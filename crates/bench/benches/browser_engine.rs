@@ -1,0 +1,65 @@
+//! Host-side throughput of the browser engine's real work: HTML parsing,
+//! CSS parsing vs scanning (the §4.1 asymmetry), JS execution, and a full
+//! page-load pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewb_core::browser::fetch::FixedRateFetcher;
+use ewb_core::browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+use ewb_core::browser::{css, html, js, CpuCostModel};
+use ewb_core::simcore::SimTime;
+use ewb_core::webpage::{benchmark_corpus, ObjectKind, OriginServer, PageVersion};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let corpus = benchmark_corpus(1);
+    let espn = corpus.page("espn", PageVersion::Full).unwrap();
+    let html_body = &espn.object(espn.root_url()).unwrap().body;
+    let css_body = &espn
+        .objects()
+        .find(|o| o.kind == ObjectKind::Css)
+        .unwrap()
+        .body;
+    let js_body = &espn
+        .objects()
+        .find(|o| o.kind == ObjectKind::Js)
+        .unwrap()
+        .body;
+
+    c.bench_function("html_parse_espn_root", |b| {
+        b.iter(|| black_box(html::parse(black_box(html_body))))
+    });
+    c.bench_function("css_full_parse", |b| {
+        b.iter(|| black_box(css::parse(black_box(css_body))))
+    });
+    c.bench_function("css_url_scan", |b| {
+        b.iter(|| black_box(css::scan_urls(black_box(css_body))))
+    });
+    c.bench_function("js_execute", |b| {
+        b.iter(|| black_box(js::execute(black_box(js_body), None)))
+    });
+
+    let server = OriginServer::from_corpus(&corpus);
+    let mut group = c.benchmark_group("full_page_load");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("original", PipelineMode::Original),
+        ("energy_aware", PipelineMode::EnergyAware),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut fetcher = FixedRateFetcher::paper_3g(server.clone());
+                black_box(load_page(
+                    &mut fetcher,
+                    espn.root_url(),
+                    SimTime::ZERO,
+                    &PipelineConfig::new(mode),
+                    &CpuCostModel::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

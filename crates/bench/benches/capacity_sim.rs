@@ -1,0 +1,26 @@
+//! Throughput of the M/G/N/N loss simulator (Fig. 11 runs hundreds of
+//! thousands of sessions per point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewb_core::capacity::{simulate, CapacityConfig, ServiceTimes};
+use std::hint::black_box;
+
+fn bench_capacity(c: &mut Criterion) {
+    let service = ServiceTimes::empirical(vec![8.0, 10.0, 12.0, 15.0, 20.0, 25.0]).unwrap();
+    let mut group = c.benchmark_group("capacity_sim");
+    group.sample_size(10);
+    group.bench_function("mgnn_450users_1h", |b| {
+        b.iter(|| {
+            let cfg = CapacityConfig {
+                users: 450,
+                horizon_s: 3600.0,
+                ..CapacityConfig::paper()
+            };
+            black_box(simulate(&cfg, &service))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 7's measurement: prediction latency vs forest size
+//! (1 000 / 10 000 / 20 000 trees of 8 terminal nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewb_core::gbrt::GbrtParams;
+use ewb_core::traces::{ReadingTimePredictor, TraceConfig, TraceDataset};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let trace = TraceDataset::generate(&TraceConfig {
+        users: 4,
+        visits_per_user: 150,
+        ..TraceConfig::paper()
+    });
+    let engaged = trace.engaged_only(2.0);
+    let row = engaged.visits()[0].features;
+
+    let mut group = c.benchmark_group("gbrt_predict_table7");
+    for n_trees in [1_000usize, 10_000, 20_000] {
+        let predictor = ReadingTimePredictor::train(
+            &engaged,
+            &GbrtParams {
+                n_trees,
+                max_leaves: 8,
+                learning_rate: 0.05,
+                min_samples_leaf: 8,
+                ..GbrtParams::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &predictor, |b, p| {
+            b.iter(|| black_box(p.predict_seconds(black_box(&row))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Training throughput of the GBRT implementation (the paper trains
+//! offline "on a PC or on the smartphone when it is connected to a power
+//! source", §4.3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewb_core::gbrt::{Gbrt, GbrtParams};
+use ewb_core::traces::{TraceConfig, TraceDataset};
+use std::hint::black_box;
+
+fn bench_train(c: &mut Criterion) {
+    let trace = TraceDataset::generate(&TraceConfig {
+        users: 6,
+        visits_per_user: 120,
+        ..TraceConfig::paper()
+    });
+    let data = trace.to_gbrt_dataset();
+
+    let mut group = c.benchmark_group("gbrt_train");
+    group.sample_size(10);
+    for n_trees in [20usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, &n| {
+            b.iter(|| {
+                black_box(Gbrt::fit(
+                    black_box(&data),
+                    &GbrtParams {
+                        n_trees: n,
+                        max_leaves: 8,
+                        min_samples_leaf: 8,
+                        ..GbrtParams::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the RRC state machine: transfer cycles per second of
+//! host time (the machine sits on every simulated network event).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewb_core::rrc::{RrcConfig, RrcMachine};
+use ewb_core::simcore::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("rrc_transfer_cycle_with_tail", |b| {
+        b.iter(|| {
+            let mut m = RrcMachine::new(RrcConfig::paper(), SimTime::ZERO);
+            let mut t = SimTime::ZERO;
+            for _ in 0..100 {
+                let ds = m.begin_transfer(t, true);
+                let de = ds + SimDuration::from_millis(500);
+                m.end_transfer(de);
+                t = de + SimDuration::from_secs(25); // full tail to IDLE
+                m.advance_to(t);
+            }
+            black_box(m.energy_j())
+        })
+    });
+
+    c.bench_function("rrc_fast_dormancy_cycle", |b| {
+        b.iter(|| {
+            let mut m = RrcMachine::new(RrcConfig::paper(), SimTime::ZERO);
+            let mut t = SimTime::ZERO;
+            for _ in 0..100 {
+                let ds = m.begin_transfer(t, true);
+                let de = ds + SimDuration::from_millis(500);
+                m.end_transfer(de);
+                t = m.release_to_idle(de) + SimDuration::from_secs(10);
+                m.advance_to(t);
+            }
+            black_box(m.energy_j())
+        })
+    });
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation — EA connection-pool depth.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::ablations::connection_pool(&ctx));
+}

@@ -1,0 +1,4 @@
+//! Ablation — GBRT size frontier.
+fn main() {
+    print!("{}", ewb_bench::ablations::gbrt_size());
+}

@@ -1,0 +1,4 @@
+//! Ablation — interest threshold vs accuracy.
+fn main() {
+    print!("{}", ewb_bench::ablations::interest_threshold());
+}

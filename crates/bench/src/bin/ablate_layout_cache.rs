@@ -1,0 +1,5 @@
+//! Extension — layout caching on repeat visits.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::ablations::layout_cache(&ctx));
+}

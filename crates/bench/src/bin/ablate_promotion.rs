@@ -1,0 +1,4 @@
+//! Ablation — promotion energy vs Fig. 3 break-even.
+fn main() {
+    print!("{}", ewb_bench::ablations::promotion_energy());
+}

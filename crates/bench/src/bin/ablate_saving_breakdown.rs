@@ -1,0 +1,5 @@
+//! Ablation — saving decomposition.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::ablations::saving_breakdown(&ctx));
+}

@@ -1,0 +1,4 @@
+//! Ablation — T1/T2 sensitivity.
+fn main() {
+    print!("{}", ewb_bench::ablations::timers());
+}

@@ -1,0 +1,5 @@
+//! Related-work baseline — remote transcoding proxy.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::ablations::proxy_baseline(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Fig. 1 — RRC state power levels.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig01(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Fig. 3 — the intuitive approach break-even.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig03(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Fig. 4 — browser vs socket traffic.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig04(&ctx));
+}

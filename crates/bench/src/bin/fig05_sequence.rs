@@ -1,0 +1,5 @@
+//! Fig. 5 — computation sequence schedules.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig05(&ctx));
+}

@@ -1,0 +1,4 @@
+//! Fig. 7 — reading-time CDF.
+fn main() {
+    print!("{}", ewb_bench::reports::fig07());
+}

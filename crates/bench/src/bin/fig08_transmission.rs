@@ -1,0 +1,5 @@
+//! Fig. 8 — transmission/load times.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig08(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Fig. 9 — espn power traces.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig09(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Fig. 10 — open + reading energy.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig10(&ctx));
+}

@@ -1,0 +1,7 @@
+//! Fig. 11 — network capacity. Pass `--quick` for a short horizon.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let horizon = if quick { 20_000.0 } else { 4.0 * 3600.0 };
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig11(&ctx, horizon));
+}

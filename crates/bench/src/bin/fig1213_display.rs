@@ -1,0 +1,5 @@
+//! Figs. 12/13 — espn display times.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig1213(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Fig. 14 — average display times.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig14(&ctx));
+}

@@ -1,0 +1,4 @@
+//! Fig. 15 — prediction accuracy.
+fn main() {
+    print!("{}", ewb_bench::reports::fig15());
+}

@@ -1,0 +1,7 @@
+//! Fig. 16 — the six policy cases. Pass `--quick` for a small slice.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (users, sessions) = if quick { (2, 4) } else { (6, 10) };
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::fig16(&ctx, users, sessions));
+}

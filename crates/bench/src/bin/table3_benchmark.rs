@@ -1,0 +1,5 @@
+//! Table 3 — benchmark inventory.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::table3(&ctx));
+}

@@ -1,0 +1,4 @@
+//! Table 4 — Pearson correlations.
+fn main() {
+    print!("{}", ewb_bench::reports::table4());
+}

@@ -1,0 +1,5 @@
+//! Table 5 — per-state power.
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::table5(&ctx));
+}

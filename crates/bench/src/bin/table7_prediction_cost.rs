@@ -1,0 +1,4 @@
+//! Table 7 — prediction cost vs forest size.
+fn main() {
+    print!("{}", ewb_bench::reports::table7());
+}

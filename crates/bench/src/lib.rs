@@ -1,0 +1,62 @@
+//! # ewb-bench — the evaluation harness
+//!
+//! One reporting function per paper figure/table, each returning the
+//! formatted report its binary prints. `cargo run -p ewb-bench --bin
+//! <name> --release` regenerates any single artifact;
+//! `--bin all_figures` runs the lot (that output is the basis of
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod reports;
+
+use ewb_core::CoreConfig;
+use ewb_core::webpage::{benchmark_corpus, Corpus, OriginServer};
+
+/// The seed every report uses, so EXPERIMENTS.md is reproducible.
+pub const REPORT_SEED: u64 = 2013;
+
+/// Shared experiment context.
+pub struct Context {
+    /// The Table 3 corpus.
+    pub corpus: Corpus,
+    /// The origin server holding it.
+    pub server: OriginServer,
+    /// The paper configuration.
+    pub cfg: CoreConfig,
+}
+
+impl Context {
+    /// Builds the standard context.
+    pub fn new() -> Self {
+        let corpus = benchmark_corpus(REPORT_SEED);
+        let server = OriginServer::from_corpus(&corpus);
+        Context {
+            corpus,
+            server,
+            cfg: CoreConfig::paper(),
+        }
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+/// Formats a fraction as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Report header with the paper reference.
+pub fn header(title: &str, paper: &str) -> String {
+    format!(
+        "================================================================\n\
+         {title}\n  paper reference: {paper}\n\
+         ================================================================\n"
+    )
+}

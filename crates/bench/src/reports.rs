@@ -1,0 +1,659 @@
+//! The per-figure/table report generators.
+
+use crate::{header, pct, Context, REPORT_SEED};
+use ewb_core::browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+use ewb_core::capacity::erlang_b;
+use ewb_core::cases::Case;
+use ewb_core::experiments::{
+    capacity_exp, cases16, display, energy, loadtime, power_trace, traffic,
+};
+use ewb_core::gbrt::GbrtParams;
+use ewb_core::net::ThreeGFetcher;
+use ewb_core::rrc::{intuitive, scenario};
+use ewb_core::simcore::{SimDuration, SimTime};
+use ewb_core::traces::{
+    accuracy_with_threshold, accuracy_without_threshold, reading_time_params,
+    ReadingTimePredictor, TraceConfig, TraceDataset,
+};
+use ewb_core::webpage::PageVersion;
+use std::fmt::Write as _;
+
+/// Fig. 1 — the power level of the radio across its states.
+pub fn fig01(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 1 — power level of the 3G radio interface per RRC state",
+        "IDLE ≈0.15 W, DCH ≈1.25 W burst, FACH ≈0.63 W plateau, back to IDLE",
+    );
+    let (trace, transitions) = scenario::state_tour(
+        &ctx.cfg.rrc,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(3),
+        SimDuration::from_secs(5),
+    );
+    let _ = writeln!(out, "state transitions:");
+    for t in &transitions {
+        let _ = writeln!(out, "  {:>9.2} s  {} -> {}", t.at.as_secs_f64(), t.from, t.to);
+    }
+    let _ = writeln!(out, "\n4 Hz power samples (t, W):");
+    for (i, w) in trace.samples().iter().enumerate() {
+        if i % 4 == 0 {
+            let _ = write!(out, "\n  {:>5.2}s:", i as f64 * 0.25);
+        }
+        let _ = write!(out, " {w:.2}");
+    }
+    let _ = writeln!(out, "\n\nmean power: {:.3} W", trace.mean_watts());
+    out
+}
+
+/// Fig. 3 — power vs transmission interval for the intuitive approach.
+pub fn fig03(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 3 — original vs intuitive (always-release) per-cycle energy",
+        "break-even at 9 s; intuitive loses below, wins above",
+    );
+    let transfer = SimDuration::from_millis(500);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "interval", "original J", "intuitive J", "saving J", "extra delay"
+    );
+    for p in intuitive::sweep(&ctx.cfg.rrc, transfer) {
+        let _ = writeln!(
+            out,
+            "{:>9.0}s {:>12.2} {:>12.2} {:>12.2} {:>11.2}s",
+            p.interval_s, p.original_j, p.intuitive_j, p.saving_j, p.extra_delay_s
+        );
+    }
+    let be = intuitive::break_even(&ctx.cfg.rrc, transfer);
+    let _ = writeln!(out, "\nbreak-even interval: {be:.2} s (paper: 9 s)");
+    out
+}
+
+/// Fig. 4 — browser-paced vs socket-paced traffic.
+pub fn fig04(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 4 — traffic of opening espn.go.com/sports vs bulk download",
+        "browser: 760 KB spread over 47 s; socket: same bytes in 8 s",
+    );
+    let c = traffic::compare(&ctx.corpus, &ctx.server, &ctx.cfg, "espn");
+    let _ = writeln!(
+        out,
+        "total bytes: {:.0} KB",
+        c.total_bytes as f64 / 1024.0
+    );
+    let _ = writeln!(
+        out,
+        "browser transmission time: {:.1} s  (paper 47 s)",
+        c.browser_duration_s
+    );
+    let _ = writeln!(out, "bulk socket download:      {:.1} s  (paper 8 s)", c.bulk_duration_s);
+    let _ = writeln!(
+        out,
+        "slowdown factor: {:.1}x (paper ≈5.9x)\n",
+        c.browser_duration_s / c.bulk_duration_s
+    );
+    let dump = |name: &str, buckets: &[f64], out: &mut String| {
+        let _ = writeln!(out, "{name} traffic per 0.5 s bucket (KB):");
+        for (i, b) in buckets.iter().enumerate() {
+            if i % 10 == 0 {
+                let _ = write!(out, "\n  {:>5.1}s:", i as f64 * 0.5);
+            }
+            let _ = write!(out, " {:>5.1}", b / 1024.0);
+        }
+        let _ = writeln!(out);
+    };
+    dump("browser", &c.browser_buckets, &mut out);
+    dump("socket", &c.bulk_buckets, &mut out);
+    out
+}
+
+/// Fig. 5 — the computation sequence: objects into the DOM per time slot.
+pub fn fig05(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 5 — object completion schedule, original vs reorganized",
+        "the reorganized browser retrieves all objects before any layout",
+    );
+    let espn = ctx.corpus.page("espn", PageVersion::Full).expect("espn");
+    for mode in [PipelineMode::Original, PipelineMode::EnergyAware] {
+        let mut fetcher =
+            ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc.clone(), &ctx.server, SimTime::ZERO);
+        let m = load_page(
+            &mut fetcher,
+            espn.root_url(),
+            SimTime::ZERO,
+            &PipelineConfig::new(mode),
+            &ctx.cfg.cost,
+        );
+        let _ = writeln!(out, "\n{mode:?}:");
+        let slot = SimDuration::from_secs(2);
+        let counts: Vec<usize> = {
+            let mut v = Vec::new();
+            let mut cum = 0usize;
+            let buckets = m.traffic.bucket_sums(slot);
+            for (i, b) in buckets.iter().enumerate() {
+                // bucket_sums returns bytes; count objects by re-walking
+                // points per bucket.
+                let lo = i as u64 * slot.as_micros();
+                let hi = lo + slot.as_micros();
+                cum += m
+                    .traffic
+                    .points()
+                    .iter()
+                    .filter(|(t, _)| t.as_micros() >= lo && t.as_micros() < hi)
+                    .count();
+                let _ = b;
+                v.push(cum);
+            }
+            v
+        };
+        let _ = write!(out, "  cumulative objects per 2 s slot:");
+        for (i, c) in counts.iter().enumerate() {
+            if i % 10 == 0 {
+                let _ = write!(out, "\n   {:>4}s:", i * 2);
+            }
+            let _ = write!(out, " {c:>3}");
+        }
+        let _ = writeln!(
+            out,
+            "\n  transmissions end: {:.1} s; final display: {:.1} s",
+            m.data_transmission_end.as_secs_f64(),
+            m.final_display_at.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Fig. 7 — the reading-time CDF.
+pub fn fig07() -> String {
+    let mut out = header(
+        "Fig. 7 — cumulative distribution of reading time (40-user trace)",
+        "30% < 2 s (α), 53% < 9 s (Tp), 68% < 20 s (Td)",
+    );
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    let cdf = trace.reading_time_cdf();
+    let _ = writeln!(out, "visits: {}", trace.len());
+    for x in [1.0, 2.0, 4.0, 6.0, 9.0, 12.0, 16.0, 20.0, 30.0, 60.0, 120.0, 300.0] {
+        let _ = writeln!(
+            out,
+            "  P(reading <= {x:>5.0} s) = {:>5.1}%",
+            cdf.fraction_at_or_below(x) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nanchors: {:.1}% < 2 s (paper 30%), {:.1}% < 9 s (paper 53%), {:.1}% < 20 s (paper 68%)",
+        cdf.fraction_at_or_below(2.0) * 100.0,
+        cdf.fraction_at_or_below(9.0) * 100.0,
+        cdf.fraction_at_or_below(20.0) * 100.0
+    );
+    out
+}
+
+/// Fig. 8 — data-transmission and loading times over both benchmarks.
+pub fn fig08(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 8 — data transmission time (original vs energy-aware)",
+        "full: -27% tx / -17% total; mobile: -15% tx / -2.5% total",
+    );
+    for version in [PageVersion::Mobile, PageVersion::Full] {
+        let rows = loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, version);
+        let s = loadtime::summarize(&rows);
+        let _ = writeln!(out, "\n{version} benchmark:");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "site", "orig load", "ea tx", "ea layout", "ea load", "tx sav", "tot sav"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s {:>9} {:>9}",
+                r.key,
+                r.orig_load_s,
+                r.ea_tx_s,
+                r.ea_layout_s,
+                r.ea_load_s,
+                pct(r.tx_saving()),
+                pct(r.total_saving())
+            );
+        }
+        let paper = match version {
+            PageVersion::Mobile => "(paper: -15% tx, -2.5% total)",
+            PageVersion::Full => "(paper: -27% tx, -17% total)",
+        };
+        let _ = writeln!(
+            out,
+            "  mean: orig {:.1} s -> ea tx {:.1} s / load {:.1} s  = {} tx, {} total {paper}",
+            s.orig_load_s,
+            s.ea_tx_s,
+            s.ea_load_s,
+            pct(s.tx_saving),
+            pct(s.total_saving)
+        );
+    }
+    // Fig. 8(b)'s two named pages.
+    let _ = writeln!(out, "\nFig. 8(b) detail:");
+    let mobile = loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Mobile);
+    let full = loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
+    let cnn = mobile.iter().find(|r| r.key == "cnn").expect("cnn row");
+    let ebay = full.iter().find(|r| r.key == "ebay").expect("ebay row");
+    let _ = writeln!(
+        out,
+        "  m.cnn.com:           {} tx, {} total (paper: -15%, -2.2%)",
+        pct(cnn.tx_saving()),
+        pct(cnn.total_saving())
+    );
+    let _ = writeln!(
+        out,
+        "  www.motors.ebay.com: {} tx, {} total (paper: -31%, -20%)",
+        pct(ebay.tx_saving()),
+        pct(ebay.total_saving())
+    );
+    out
+}
+
+/// Fig. 9 — the 4 Hz power trace of loading espn full.
+pub fn fig09(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 9 — power trace loading espn.go.com/sports (+25 s reading)",
+        "energy-aware finishes earlier and drops to IDLE during reading",
+    );
+    let t = power_trace::espn_power_traces(&ctx.corpus, &ctx.server, &ctx.cfg, 25.0);
+    let dump = |name: &str, tr: &ewb_core::simcore::PowerTrace, opened: f64, out: &mut String| {
+        let _ = writeln!(
+            out,
+            "\n{name} (page opened at {opened:.1} s, {:.1} J total):",
+            tr.estimated_joules()
+        );
+        for (i, w) in tr.samples().iter().enumerate() {
+            if i % 8 == 0 {
+                let _ = write!(out, "\n  {:>5.1}s:", i as f64 * 0.25);
+            }
+            let _ = write!(out, " {w:.2}");
+        }
+        let _ = writeln!(out);
+    };
+    dump("original", &t.original, t.original_opened_s, &mut out);
+    dump("energy-aware", &t.energy_aware, t.energy_aware_opened_s, &mut out);
+    out
+}
+
+/// Fig. 10 — energy for opening + 20 s reading.
+pub fn fig10(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 10 — energy of page open + 20 s reading",
+        "mobile: -35.7%; full: -30.8%; m.cnn -35.5%; espn -43.6%",
+    );
+    for version in [PageVersion::Mobile, PageVersion::Full] {
+        let rows = energy::benchmark_energy(&ctx.corpus, &ctx.server, &ctx.cfg, version);
+        let _ = writeln!(out, "\n{version} benchmark:");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>11} {:>11} {:>11} {:>11} {:>9}",
+            "site", "orig open", "orig read", "ea open", "ea read", "saving"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>10.1}J {:>10.1}J {:>10.1}J {:>10.1}J {:>9}",
+                r.key,
+                r.orig_open_j,
+                r.orig_reading_j,
+                r.ea_open_j,
+                r.ea_reading_j,
+                pct(r.saving())
+            );
+        }
+        let paper = match version {
+            PageVersion::Mobile => "(paper -35.7%)",
+            PageVersion::Full => "(paper -30.8%)",
+        };
+        let _ = writeln!(out, "  mean saving: {} {paper}", pct(energy::mean_saving(&rows)));
+    }
+    let mobile = energy::benchmark_energy(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Mobile);
+    let full = energy::benchmark_energy(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
+    let cnn = mobile.iter().find(|r| r.key == "cnn").expect("cnn");
+    let espn = full.iter().find(|r| r.key == "espn").expect("espn");
+    let _ = writeln!(
+        out,
+        "\nFig. 10(b): m.cnn.com {} (paper -35.5%), espn.go.com/sports {} (paper -43.6%)",
+        pct(cnn.saving()),
+        pct(espn.saving())
+    );
+    out
+}
+
+/// Fig. 11 — capacity curves. `horizon_s` trades precision for runtime.
+pub fn fig11(ctx: &Context, horizon_s: f64) -> String {
+    let mut out = header(
+        "Fig. 11 — session dropping probability vs number of users",
+        "capacity gain: mobile +14.3%, full +19.6% at equal drop rate",
+    );
+    let grids: [(PageVersion, Vec<usize>); 2] = [
+        (
+            PageVersion::Mobile,
+            (300..=700).step_by(50).collect::<Vec<_>>(),
+        ),
+        (PageVersion::Full, (200..=360).step_by(20).collect::<Vec<_>>()),
+    ];
+    for (version, grid) in grids {
+        let cmp = capacity_exp::compare_capacity(
+            &ctx.corpus,
+            &ctx.server,
+            &ctx.cfg,
+            version,
+            &grid,
+            0.02,
+            horizon_s,
+        );
+        let _ = writeln!(out, "\n{version} benchmark (N=200 channels, 25 s think time):");
+        let _ = writeln!(out, "  {:>7} {:>12} {:>14}", "users", "orig drop%", "ea drop%");
+        for ((u, o), e) in cmp
+            .original
+            .users
+            .iter()
+            .zip(&cmp.original.drop_probability)
+            .zip(&cmp.energy_aware.drop_probability)
+        {
+            let _ = writeln!(out, "  {u:>7} {:>11.2}% {:>13.2}%", o * 100.0, e * 100.0);
+        }
+        let paper = match version {
+            PageVersion::Mobile => "(paper +14.3%)",
+            PageVersion::Full => "(paper +19.6%)",
+        };
+        let _ = writeln!(
+            out,
+            "  capacity at 2% drop: original {} users, energy-aware {} users = {} {paper}",
+            cmp.original_capacity,
+            cmp.energy_aware_capacity,
+            pct(cmp.capacity_gain())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nsanity: Erlang-B closed form B(200, 180 erlang) = {:.3}%",
+        erlang_b(200, 180.0) * 100.0
+    );
+    out
+}
+
+/// Figs. 12/13 — the espn display timeline.
+pub fn fig1213(ctx: &Context) -> String {
+    let mut out = header(
+        "Figs. 12/13 — intermediate & final display of espn.go.com/sports",
+        "intermediate 17.6 s -> 7 s; final 34.5 s -> 28.6 s",
+    );
+    let rows = display::benchmark_display_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
+    let espn = rows.iter().find(|r| r.key == "espn").expect("espn");
+    let _ = writeln!(
+        out,
+        "intermediate display: original {:.1} s (paper 17.6), energy-aware {:.1} s (paper 7)",
+        espn.orig_first_s.unwrap_or(f64::NAN),
+        espn.ea_first_s.unwrap_or(f64::NAN)
+    );
+    let _ = writeln!(
+        out,
+        "final display:        original {:.1} s (paper 34.5), energy-aware {:.1} s (paper 28.6)",
+        espn.orig_final_s, espn.ea_final_s
+    );
+    out
+}
+
+/// Fig. 14 — average display times over both benchmarks.
+pub fn fig14(ctx: &Context) -> String {
+    let mut out = header(
+        "Fig. 14 — average screen display times",
+        "full benchmark: first display -45.5%, final display -16.8%",
+    );
+    for version in [PageVersion::Mobile, PageVersion::Full] {
+        let rows = display::benchmark_display_times(&ctx.corpus, &ctx.server, &ctx.cfg, version);
+        let _ = writeln!(out, "\n{version} benchmark:");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>11} {:>11} {:>11} {:>11}",
+            "site", "orig first", "orig final", "ea first", "ea final"
+        );
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:>10.1}s"),
+            None => format!("{:>11}", "-"),
+        };
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "  {:<10} {} {:>10.1}s {} {:>10.1}s",
+                r.key,
+                fmt_opt(r.orig_first_s),
+                r.orig_final_s,
+                fmt_opt(r.ea_first_s),
+                r.ea_final_s
+            );
+        }
+        let (first, final_) = display::fig14_savings(&rows);
+        if version == PageVersion::Full {
+            let _ = writeln!(
+                out,
+                "  savings: first {} (paper -45.5%), final {} (paper -16.8%)",
+                pct(-first),
+                pct(-final_)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  savings: final {} (mobile draws no EA intermediate display)",
+                pct(-final_)
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 15 — prediction accuracy with and without the interest threshold.
+pub fn fig15() -> String {
+    let mut out = header(
+        "Fig. 15 — GBRT prediction accuracy, ±interest threshold",
+        "threshold adds ≥10 points at both Tp=9 and Td=20",
+    );
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    for threshold in [9.0, 20.0] {
+        let without = accuracy_without_threshold(&trace, threshold, REPORT_SEED);
+        let with = accuracy_with_threshold(&trace, 2.0, threshold, REPORT_SEED);
+        let _ = writeln!(
+            out,
+            "T = {threshold:>4.0} s: without threshold {:>5.1}%, with threshold {:>5.1}% (gap {:+.1} pts)",
+            without.accuracy * 100.0,
+            with.accuracy * 100.0,
+            (with.accuracy - without.accuracy) * 100.0
+        );
+    }
+    let _ = writeln!(out, "(paper: gap of at least 10 points at both thresholds)");
+    // Cross-user generalization: the deploy-once argument of §4.3.3.
+    let across = ewb_core::traces::cross_user_accuracy(&trace, 2.0, 9.0, 30);
+    let _ = writeln!(
+        out,
+        "cross-user check: trained on 30 users, tested on the other 10 -> {:.1}% at Tp=9 \
+         (deploy-once holds)",
+        across.accuracy * 100.0
+    );
+    out
+}
+
+/// Fig. 16 — the six Table 6 cases over trace-driven sessions.
+pub fn fig16(ctx: &Context, n_users: u32, max_sessions: u32) -> String {
+    let mut out = header(
+        "Fig. 16 — power & delay savings of the six policy cases",
+        "Accurate-9 power-max 26.1%; Accurate-20 delay-max 13.6%; Original Always-off delay -1.47%",
+    );
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    let predictor =
+        ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+    // The seven cases are independent: fan them out over scoped threads.
+    let sessions = cases16::select_sessions(&trace, n_users, max_sessions);
+    assert!(!sessions.is_empty(), "no sessions selected");
+    let all_cases: Vec<Case> = std::iter::once(Case::Original)
+        .chain(Case::TABLE6)
+        .collect();
+    let totals: Vec<(Case, f64, f64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = all_cases
+            .iter()
+            .map(|&case| {
+                let sessions = &sessions;
+                let predictor = &predictor;
+                scope.spawn(move |_| {
+                    let (j, s) = cases16::run_case(
+                        &ctx.corpus,
+                        &ctx.server,
+                        &ctx.cfg,
+                        sessions,
+                        case,
+                        predictor,
+                    );
+                    (case, j, s)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("case worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    let rows = cases16::to_outcomes(&totals);
+    let _ = writeln!(
+        out,
+        "sessions from {n_users} users (≤{max_sessions} sessions each)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12} {:>12} {:>12} {:>12}",
+        "case", "energy J", "load time s", "power sav", "delay sav"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12.1} {:>12.1} {:>12} {:>12}",
+            r.case,
+            r.joules,
+            r.load_time_s,
+            pct(r.power_saving),
+            pct(r.delay_saving)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n(paper: Accurate-9 +26.1% power; Accurate-20 +13.6% delay; \
+         Original Always-off -1.47% delay, Energy-aware Always-off +9.2% delay)"
+    );
+    out
+}
+
+/// Table 3 — the benchmark inventory.
+pub fn table3(ctx: &Context) -> String {
+    let mut out = header(
+        "Table 3 — benchmark webpages",
+        "ten sites, mobile + full versions (espn full = 760 KB)",
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<22} {:>9} {:>8} | {:<28} {:>9} {:>8}",
+        "key", "mobile label", "KB", "objects", "full label", "KB", "objects"
+    );
+    for site in ctx.corpus.sites() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<22} {:>9.0} {:>8} | {:<28} {:>9.0} {:>8}",
+            site.key,
+            site.mobile_label,
+            site.mobile.total_bytes() as f64 / 1024.0,
+            site.mobile.object_count(),
+            site.full_label,
+            site.full.total_bytes() as f64 / 1024.0,
+            site.full.object_count(),
+        );
+    }
+    out
+}
+
+/// Table 4 — Pearson correlation between reading time and the features.
+pub fn table4() -> String {
+    let mut out = header(
+        "Table 4 — Pearson correlation: reading time vs each feature",
+        "all coefficients ≈0 — no linear predictor works",
+    );
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    for (name, r) in trace.pearson_table() {
+        let _ = writeln!(out, "  {name:<28} {r:>7.4}");
+    }
+    out
+}
+
+/// Table 5 — power per state, re-measured from the simulated radio.
+pub fn table5(ctx: &Context) -> String {
+    let mut out = header(
+        "Table 5 — handset power per state (measured from the model)",
+        "IDLE 0.15 / FACH 0.63 / DCH 1.15 / DCH+tx 1.25 / full CPU 0.60 W",
+    );
+    for (name, watts) in scenario::measured_state_powers(&ctx.cfg.rrc) {
+        let _ = writeln!(out, "  {name:<36} {watts:>6.3} W");
+    }
+    out
+}
+
+/// Table 7 — prediction cost vs forest size (wall-clock on this host,
+/// energy scaled at the paper's 0.6 W fully-busy-CPU figure).
+pub fn table7() -> String {
+    let mut out = header(
+        "Table 7 — prediction cost vs number of decision trees",
+        "paper (smartphone): 10000 trees -> 0.295 s / 0.177 J",
+    );
+    // A small training set is enough: prediction cost depends only on the
+    // forest size.
+    let trace = TraceDataset::generate(&TraceConfig {
+        users: 4,
+        visits_per_user: 150,
+        ..TraceConfig::paper()
+    });
+    let engaged = trace.engaged_only(2.0);
+    let rows: Vec<&ewb_core::traces::PageVisit> = engaged.visits().iter().take(200).collect();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>16} {:>16} {:>14}",
+        "trees", "per-predict ms", "batch(200) ms", "energy J*"
+    );
+    for n_trees in [1000usize, 10_000, 20_000] {
+        let predictor = ReadingTimePredictor::train(
+            &engaged,
+            &GbrtParams {
+                n_trees,
+                max_leaves: 8,
+                learning_rate: 0.05,
+                min_samples_leaf: 8,
+                ..GbrtParams::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let mut sink = 0.0;
+        for v in &rows {
+            sink += predictor.predict_seconds(&v.features);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        let per = elapsed / rows.len() as f64;
+        // The paper's phone runs one prediction through 10 000 trees in
+        // 0.295 s at 0.6 W; energy here = host-time × 0.6 W equivalent.
+        let _ = writeln!(
+            out,
+            "{:>8} {:>16.3} {:>16.1} {:>14.4}",
+            n_trees,
+            per * 1000.0,
+            elapsed * 1000.0,
+            per * 0.6
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n*energy at the paper's 0.6 W busy-CPU draw; the host CPU is far\n\
+         faster than the 2009 handset, so compare scaling (linear in trees),\n\
+         not absolute times"
+    );
+    out
+}

@@ -1,0 +1,127 @@
+//! Layout caching — the paper's §6 pointer to Zhang et al. (WWW 2010):
+//! "For webpages that have already been opened, \[they\] propose a layout
+//! caching approach. It caches the layout results to eliminate redundant
+//! computations." This module implements that comparator/extension: on a
+//! repeat visit the style+layout pass is replaced by a cheap validation,
+//! compounding with the energy-aware pipeline (whose layout phase runs
+//! off-radio anyway).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A cached layout result for one page.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachedLayout {
+    /// Page height, px.
+    pub page_height: f64,
+    /// Page width, px.
+    pub page_width: f64,
+    /// Boxes in the layout (paint still runs over these).
+    pub boxes: usize,
+    /// Total fetched bytes when the entry was created — the cheap
+    /// change-detection fingerprint.
+    pub fingerprint: u64,
+}
+
+/// An across-loads layout cache, keyed by root URL.
+///
+/// # Example
+///
+/// ```
+/// use ewb_browser::cache::{CachedLayout, LayoutCache};
+///
+/// let mut cache = LayoutCache::new();
+/// cache.insert("http://a/", CachedLayout {
+///     page_height: 3000.0, page_width: 980.0, boxes: 120, fingerprint: 1,
+/// });
+/// assert!(cache.lookup("http://a/", 1).is_some());
+/// assert!(cache.lookup("http://a/", 2).is_none(), "changed page misses");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayoutCache {
+    entries: HashMap<String, CachedLayout>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LayoutCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LayoutCache::default()
+    }
+
+    /// Looks up a fresh entry for `url`; a fingerprint mismatch (the page
+    /// changed) is a miss and evicts the stale entry.
+    pub fn lookup(&mut self, url: &str, fingerprint: u64) -> Option<CachedLayout> {
+        match self.entries.get(url) {
+            Some(e) if e.fingerprint == fingerprint => {
+                self.hits += 1;
+                Some(*e)
+            }
+            Some(_) => {
+                self.entries.remove(url);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a layout result.
+    pub fn insert(&mut self, url: impl Into<String>, layout: CachedLayout) {
+        self.entries.insert(url.into(), layout);
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(fp: u64) -> CachedLayout {
+        CachedLayout {
+            page_height: 100.0,
+            page_width: 980.0,
+            boxes: 10,
+            fingerprint: fp,
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_fingerprint() {
+        let mut c = LayoutCache::new();
+        assert!(c.lookup("u", 1).is_none());
+        c.insert("u", entry(1));
+        assert_eq!(c.lookup("u", 1), Some(entry(1)));
+        assert!(c.lookup("u", 2).is_none(), "stale entry");
+        assert!(c.is_empty(), "stale entry evicted");
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = LayoutCache::new();
+        c.insert("u", entry(1));
+        let _ = c.lookup("u", 1);
+        let _ = c.lookup("u", 1);
+        let _ = c.lookup("v", 1);
+        assert_eq!(c.stats(), (2, 1));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The CPU cost model: counted engine work → simulated smartphone time.
+//!
+//! The engine does the real parsing/interpretation work on the host and
+//! counts work units (bytes tokenized, interpreter operations, selector
+//! match attempts, boxes laid out). This model prices those units at
+//! 2009-smartphone rates, calibrated so the benchmark pages reproduce the
+//! paper's load-time structure: full pages take tens of seconds, layout
+//! computation is a large fraction of processing (the paper cites 40–70 %
+//! [Meyerovich & Bodik 2010]), and CSS *parsing* is roughly an order of
+//! magnitude more expensive than the energy-aware URL *scan*.
+
+use ewb_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-unit CPU costs (microseconds per unit unless noted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuCostModel {
+    /// HTML tokenize+tree-build, µs per byte.
+    pub html_us_per_byte: f64,
+    /// Extra cost per DOM node created, µs.
+    pub html_us_per_node: f64,
+    /// Full CSS parse (rule extraction), µs per byte.
+    pub css_parse_us_per_byte: f64,
+    /// Extra cost per rule constructed, µs.
+    pub css_us_per_rule: f64,
+    /// Cheap CSS URL scan, µs per byte.
+    pub css_scan_us_per_byte: f64,
+    /// JS lex+parse, µs per byte.
+    pub js_parse_us_per_byte: f64,
+    /// JS interpretation, µs per operation.
+    pub js_us_per_op: f64,
+    /// Image decode, µs per byte.
+    pub image_decode_us_per_byte: f64,
+    /// Selector matching, µs per match attempt.
+    pub style_us_per_match: f64,
+    /// Cascade application, µs per declaration applied.
+    pub style_us_per_decl: f64,
+    /// Layout calculation, µs per box.
+    pub layout_us_per_box: f64,
+    /// Painting, µs per box drawn.
+    pub paint_us_per_box: f64,
+}
+
+impl CpuCostModel {
+    /// The calibrated smartphone model (see module docs).
+    pub fn smartphone() -> Self {
+        CpuCostModel {
+            html_us_per_byte: 55.0,
+            html_us_per_node: 140.0,
+            css_parse_us_per_byte: 42.0,
+            css_us_per_rule: 60.0,
+            css_scan_us_per_byte: 5.0,
+            js_parse_us_per_byte: 60.0,
+            js_us_per_op: 22.0,
+            image_decode_us_per_byte: 2.4,
+            style_us_per_match: 2.6,
+            style_us_per_decl: 7.0,
+            layout_us_per_box: 950.0,
+            paint_us_per_box: 420.0,
+        }
+    }
+
+    /// Cost of parsing an HTML document.
+    pub fn html_parse(&self, bytes: usize, nodes: usize) -> SimDuration {
+        us(self.html_us_per_byte * bytes as f64 + self.html_us_per_node * nodes as f64)
+    }
+
+    /// Cost of fully parsing a stylesheet.
+    pub fn css_parse(&self, bytes: usize, rules: usize) -> SimDuration {
+        us(self.css_parse_us_per_byte * bytes as f64 + self.css_us_per_rule * rules as f64)
+    }
+
+    /// Cost of the cheap URL scan over a stylesheet.
+    pub fn css_scan(&self, bytes: usize) -> SimDuration {
+        us(self.css_scan_us_per_byte * bytes as f64)
+    }
+
+    /// Cost of lexing+parsing+executing a script.
+    pub fn js_run(&self, bytes: usize, ops: u64) -> SimDuration {
+        us(self.js_parse_us_per_byte * bytes as f64 + self.js_us_per_op * ops as f64)
+    }
+
+    /// Cost of decoding an image/flash blob.
+    pub fn image_decode(&self, bytes: u64) -> SimDuration {
+        us(self.image_decode_us_per_byte * bytes as f64)
+    }
+
+    /// Cost of style formatting (selector matching + cascade).
+    pub fn style(&self, match_attempts: usize, decls_applied: usize) -> SimDuration {
+        us(self.style_us_per_match * match_attempts as f64
+            + self.style_us_per_decl * decls_applied as f64)
+    }
+
+    /// Cost of one layout pass over `boxes` boxes.
+    pub fn layout(&self, boxes: usize) -> SimDuration {
+        us(self.layout_us_per_box * boxes as f64)
+    }
+
+    /// Cost of painting `boxes` boxes.
+    pub fn paint(&self, boxes: usize) -> SimDuration {
+        us(self.paint_us_per_box * boxes as f64)
+    }
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel::smartphone()
+    }
+}
+
+fn us(micros: f64) -> SimDuration {
+    SimDuration::from_micros(micros.max(0.0).round() as u64)
+}
+
+/// A breakdown of simulated CPU time by the paper's two computation
+/// categories plus the progressive-display overhead the original browser
+/// pays (§4.2's redraws and reflows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CpuWork {
+    /// Data-transmission computation: HTML parsing, JS execution, CSS
+    /// scanning — everything that can generate new transfers.
+    pub dtc: SimDuration,
+    /// Layout computation: CSS parsing, style, decode, layout, paint.
+    pub layout: SimDuration,
+    /// The subset of layout spent on intermediate redraws/reflows.
+    pub redraw_reflow: SimDuration,
+    /// The subset of dtc spent inside the JS interpreter (Table 1's
+    /// "JavaScript Running Time").
+    pub js: SimDuration,
+}
+
+impl CpuWork {
+    /// Total CPU time.
+    pub fn total(&self) -> SimDuration {
+        self.dtc + self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_is_much_cheaper_than_parse() {
+        let m = CpuCostModel::smartphone();
+        let parse = m.css_parse(10_240, 100);
+        let scan = m.css_scan(10_240);
+        assert!(
+            parse.as_secs_f64() > 6.0 * scan.as_secs_f64(),
+            "parse {parse} vs scan {scan}"
+        );
+    }
+
+    #[test]
+    fn costs_scale_linearly() {
+        let m = CpuCostModel::smartphone();
+        assert_eq!(
+            m.image_decode(2000).as_micros(),
+            2 * m.image_decode(1000).as_micros()
+        );
+        assert_eq!(m.layout(10) * 2, m.layout(20));
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let m = CpuCostModel::smartphone();
+        assert!(m.html_parse(0, 0).is_zero());
+        assert!(m.js_run(0, 0).is_zero());
+        assert!(m.paint(0).is_zero());
+    }
+
+    #[test]
+    fn work_totals() {
+        let w = CpuWork {
+            dtc: SimDuration::from_secs(3),
+            layout: SimDuration::from_secs(2),
+            redraw_reflow: SimDuration::from_secs(1),
+            js: SimDuration::from_millis(500),
+        };
+        assert_eq!(w.total(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn full_page_parse_takes_seconds_on_the_model() {
+        // 35 KB of HTML with ~600 nodes should take 2-ish seconds on a
+        // 2009 smartphone per the calibration.
+        let m = CpuCostModel::smartphone();
+        let t = m.html_parse(35 * 1024, 600).as_secs_f64();
+        assert!((1.0..4.0).contains(&t), "html parse {t} s");
+    }
+}

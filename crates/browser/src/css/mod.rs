@@ -1,0 +1,22 @@
+//! CSS processing.
+//!
+//! Two very different code paths, mirroring the paper's §4.1:
+//!
+//! * [`scan_urls`] — the energy-aware transmission-phase operation: a
+//!   cheap single pass that extracts `url(...)` and `@import` references
+//!   *without* building rules ("we only scan them to fetch the objects ...
+//!   but do not parse them");
+//! * [`parse`] + [`compute_styles`] — the full layout-phase work: parse
+//!   selectors and declarations, match rules against the DOM, produce
+//!   computed styles. The paper notes rule extraction "takes a lot of
+//!   processing time" — the cost model prices it accordingly.
+
+mod parser;
+mod scan;
+mod selector;
+mod style;
+
+pub use parser::{parse, CssParseResult, Declaration, Rule, Selector, SimpleSelector, Stylesheet};
+pub use scan::{scan_urls, CssScanResult};
+pub use selector::matches;
+pub use style::{compute_styles, ComputedStyle, StyleResult};

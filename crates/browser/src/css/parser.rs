@@ -1,0 +1,390 @@
+//! The CSS parser: stylesheet text → rules.
+
+/// One simple selector: optional tag, classes, optional id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimpleSelector {
+    /// Tag name to match (lower-cased), or `None` for `*`/any.
+    pub tag: Option<String>,
+    /// Required classes.
+    pub classes: Vec<String>,
+    /// Required id.
+    pub id: Option<String>,
+}
+
+impl SimpleSelector {
+    /// Whether this selector has no constraints (matches everything).
+    pub fn is_universal(&self) -> bool {
+        self.tag.is_none() && self.classes.is_empty() && self.id.is_none()
+    }
+}
+
+/// A selector: a chain of simple selectors joined by descendant
+/// combinators, e.g. `.wrap p` = `[.wrap, p]`. Pseudo-classes (`:hover`)
+/// are parsed and ignored for matching, as a non-interactive engine would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// The chain, outermost ancestor first; the last entry is the subject.
+    pub parts: Vec<SimpleSelector>,
+}
+
+impl Selector {
+    /// Specificity as (ids, classes, tags) — enough for cascade ordering.
+    pub fn specificity(&self) -> (usize, usize, usize) {
+        let mut ids = 0;
+        let mut classes = 0;
+        let mut tags = 0;
+        for p in &self.parts {
+            ids += usize::from(p.id.is_some());
+            classes += p.classes.len();
+            tags += usize::from(p.tag.is_some());
+        }
+        (ids, classes, tags)
+    }
+}
+
+/// `name: value` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Property name, lower-cased.
+    pub name: String,
+    /// Raw value text, trimmed.
+    pub value: String,
+}
+
+/// One rule: selectors sharing a declaration block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The comma-separated selector list.
+    pub selectors: Vec<Selector>,
+    /// The declarations.
+    pub declarations: Vec<Declaration>,
+}
+
+/// A parsed stylesheet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stylesheet {
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+    /// `@import` targets.
+    pub imports: Vec<String>,
+}
+
+impl Stylesheet {
+    /// Total number of declarations across all rules.
+    pub fn declaration_count(&self) -> usize {
+        self.rules.iter().map(|r| r.declarations.len()).sum()
+    }
+}
+
+/// The output of [`parse`], with work accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CssParseResult {
+    /// The stylesheet.
+    pub sheet: Stylesheet,
+    /// Bytes processed.
+    pub bytes: usize,
+    /// `url(...)` references found in declaration values.
+    pub urls: Vec<String>,
+}
+
+/// Parses stylesheet text. Robust: malformed constructs are skipped to the
+/// next `}` as the CSS error-recovery rules prescribe; arbitrary input
+/// never panics.
+pub fn parse(input: &str) -> CssParseResult {
+    let cleaned = strip_comments(input);
+    let mut rules = Vec::new();
+    let mut imports = Vec::new();
+    let mut urls = Vec::new();
+    let bytes = input.len();
+
+    let mut rest = cleaned.as_str();
+    while !rest.trim().is_empty() {
+        let trimmed = rest.trim_start();
+        let offset = rest.len() - trimmed.len();
+        rest = &rest[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.starts_with('@') {
+            // At-rule: @import url(...) | "..." ; — others skipped.
+            let end = rest.find([';', '{']).unwrap_or(rest.len());
+            let head = &rest[..end];
+            if let Some(stripped) = head.strip_prefix("@import") {
+                if let Some(u) = extract_import(stripped) {
+                    imports.push(u);
+                }
+            }
+            if rest[end..].starts_with('{') {
+                // Skip a block at-rule wholesale (balanced braces).
+                rest = skip_block(&rest[end..]);
+            } else {
+                rest = rest.get(end + 1..).unwrap_or("");
+            }
+            continue;
+        }
+        // Ordinary rule: selectors { declarations }.
+        let Some(open) = rest.find('{') else {
+            break; // trailing garbage without a block
+        };
+        let selector_text = &rest[..open];
+        let after_open = &rest[open + 1..];
+        let close = after_open.find('}').unwrap_or(after_open.len());
+        let body = &after_open[..close];
+        rest = after_open.get(close + 1..).unwrap_or("");
+
+        let selectors: Vec<Selector> = selector_text
+            .split(',')
+            .filter_map(parse_selector)
+            .collect();
+        let declarations = parse_declarations(body, &mut urls);
+        if !selectors.is_empty() && !declarations.is_empty() {
+            rules.push(Rule {
+                selectors,
+                declarations,
+            });
+        }
+    }
+
+    CssParseResult {
+        sheet: Stylesheet { rules, imports },
+        bytes,
+        urls,
+    }
+}
+
+fn strip_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start + 2..].find("*/") {
+            Some(end) => rest = &rest[start + 2 + end + 2..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn parse_selector(text: &str) -> Option<Selector> {
+    let mut parts = Vec::new();
+    for chunk in text.split_whitespace() {
+        if chunk == ">" || chunk == "+" || chunk == "~" {
+            // Treat all combinators as descendant — close enough for cost
+            // and geometry purposes.
+            continue;
+        }
+        let mut simple = SimpleSelector::default();
+        // Strip pseudo-classes/elements.
+        let chunk = chunk.split(':').next().unwrap_or("");
+        let mut cur = String::new();
+        let mut mode = b' '; // ' ' = tag, '.' = class, '#' = id
+        let flush = |mode: u8, cur: &mut String, s: &mut SimpleSelector| {
+            if cur.is_empty() {
+                return;
+            }
+            match mode {
+                b'.' => s.classes.push(cur.clone()),
+                b'#' => s.id = Some(cur.clone()),
+                _ => {
+                    if cur != "*" {
+                        s.tag = Some(cur.to_ascii_lowercase());
+                    }
+                }
+            }
+            cur.clear();
+        };
+        for ch in chunk.chars() {
+            match ch {
+                '.' | '#' => {
+                    flush(mode, &mut cur, &mut simple);
+                    mode = ch as u8;
+                }
+                c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '*' => {
+                    cur.push(c)
+                }
+                _ => {
+                    // Attribute selectors etc.: ignore the remainder.
+                    break;
+                }
+            }
+        }
+        flush(mode, &mut cur, &mut simple);
+        parts.push(simple);
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(Selector { parts })
+    }
+}
+
+fn parse_declarations(body: &str, urls: &mut Vec<String>) -> Vec<Declaration> {
+    let mut out = Vec::new();
+    for decl in body.split(';') {
+        let Some((name, value)) = decl.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name.is_empty() || value.is_empty() {
+            continue;
+        }
+        urls.extend(super::scan::urls_in_value(&value));
+        out.push(Declaration { name, value });
+    }
+    out
+}
+
+fn extract_import(text: &str) -> Option<String> {
+    let t = text.trim();
+    if let Some(u) = super::scan::urls_in_value(t).into_iter().next() {
+        return Some(u);
+    }
+    // @import "path";
+    let t = t.trim_start_matches(['"', '\'']);
+    let end = t.find(['"', '\''])?;
+    Some(t[..end].to_string())
+}
+
+/// Skips a balanced `{ ... }` block, returning the remainder.
+fn skip_block(rest: &str) -> &str {
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return rest.get(i + 1..).unwrap_or("");
+                }
+            }
+            _ => {}
+        }
+    }
+    ""
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_rules() {
+        let r = parse("body { margin: 0; color: #222; } .wrap p { font-size: 12px; }");
+        assert_eq!(r.sheet.rules.len(), 2);
+        assert_eq!(r.sheet.declaration_count(), 3);
+        let first = &r.sheet.rules[0];
+        assert_eq!(first.selectors[0].parts[0].tag.as_deref(), Some("body"));
+        assert_eq!(first.declarations[0].name, "margin");
+    }
+
+    #[test]
+    fn selector_chain_and_specificity() {
+        let r = parse("#top .menu a:hover { color: red; }");
+        let sel = &r.sheet.rules[0].selectors[0];
+        assert_eq!(sel.parts.len(), 3);
+        assert_eq!(sel.parts[0].id.as_deref(), Some("top"));
+        assert_eq!(sel.parts[1].classes, vec!["menu"]);
+        assert_eq!(sel.parts[2].tag.as_deref(), Some("a"));
+        assert_eq!(sel.specificity(), (1, 1, 1));
+    }
+
+    #[test]
+    fn selector_list_splits_on_comma() {
+        let r = parse("h1, h2, .big { font-weight: bold; }");
+        assert_eq!(r.sheet.rules[0].selectors.len(), 3);
+    }
+
+    #[test]
+    fn extracts_urls_from_values() {
+        let r = parse(".hero { background-image: url(\"http://s/img/bg0.png\"); }");
+        assert_eq!(r.urls, vec!["http://s/img/bg0.png"]);
+    }
+
+    #[test]
+    fn imports_are_collected() {
+        let r = parse("@import url(\"http://s/css/extra.css\");\n@import \"plain.css\";\nbody{margin:0;}");
+        assert_eq!(
+            r.sheet.imports,
+            vec!["http://s/css/extra.css", "plain.css"]
+        );
+        assert_eq!(r.sheet.rules.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let r = parse("/* c1 */ body /* c2 */ { margin: 0; /* c3 */ }");
+        assert_eq!(r.sheet.rules.len(), 1);
+    }
+
+    #[test]
+    fn at_media_blocks_are_skipped() {
+        let r = parse("@media print { body { display: none; } } p { color: blue; }");
+        assert_eq!(r.sheet.rules.len(), 1);
+        assert_eq!(
+            r.sheet.rules[0].selectors[0].parts[0].tag.as_deref(),
+            Some("p")
+        );
+    }
+
+    #[test]
+    fn malformed_input_does_not_panic() {
+        for s in ["{", "}", "a {", "a } b {", "@import", "/* open", "x { y }"] {
+            let _ = parse(s);
+        }
+    }
+
+    #[test]
+    fn universal_selector() {
+        let r = parse("* { margin: 0; }");
+        assert!(r.sheet.rules[0].selectors[0].parts[0].is_universal());
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+
+    #[test]
+    fn attribute_selectors_degrade_gracefully() {
+        let r = parse("a[href^=\"http\"] { color: blue; } p { margin: 1px; }");
+        // The attribute chunk is truncated at '['; both rules survive.
+        assert_eq!(r.sheet.rules.len(), 2);
+    }
+
+    #[test]
+    fn nested_at_rule_blocks_are_skipped_wholesale() {
+        let r = parse(
+            "@media screen { @supports (display: flex) { p { color: red; } } } \
+             div { padding: 2px; }",
+        );
+        assert_eq!(r.sheet.rules.len(), 1);
+        assert_eq!(r.sheet.rules[0].selectors[0].parts[0].tag.as_deref(), Some("div"));
+    }
+
+    #[test]
+    fn declaration_without_colon_is_dropped() {
+        let r = parse("p { color red; margin: 3px; }");
+        assert_eq!(r.sheet.declaration_count(), 1);
+    }
+
+    #[test]
+    fn multiple_urls_in_one_declaration() {
+        let r = parse(".a { background: url(one.png), url(two.png); }");
+        assert_eq!(r.urls, vec!["one.png", "two.png"]);
+    }
+
+    #[test]
+    fn selector_with_only_combinators_is_dropped() {
+        let r = parse("> { color: red; } p { color: blue; }");
+        assert_eq!(r.sheet.rules.len(), 1);
+    }
+
+    #[test]
+    fn unclosed_final_block_still_parses() {
+        let r = parse("p { color: red; margin: 2px");
+        assert_eq!(r.sheet.rules.len(), 1);
+        assert_eq!(r.sheet.declaration_count(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! The cheap URL scan — the energy-aware transmission-phase CSS path.
+//!
+//! §4.1: "For the computation to process CSS code and files, we only scan
+//! them to fetch the objects (images and CSS files) referred by URLs, but
+//! do not parse them." This module is that scan: one pass over the bytes,
+//! no rule construction, roughly an order of magnitude cheaper than
+//! [`super::parse`] under the cost model.
+
+/// The output of [`scan_urls`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CssScanResult {
+    /// `url(...)` targets, in source order.
+    pub urls: Vec<String>,
+    /// `@import` targets (stylesheets to fetch and scan too).
+    pub imports: Vec<String>,
+    /// Bytes scanned (work accounting).
+    pub bytes: usize,
+}
+
+/// Scans stylesheet text for fetchable references without parsing rules.
+pub fn scan_urls(input: &str) -> CssScanResult {
+    let mut urls = Vec::new();
+    let mut imports = Vec::new();
+    let bytes = input.len();
+
+    let b = input.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        // The scan advances byte-wise; only slice on char boundaries.
+        if !input.is_char_boundary(i) {
+            i += 1;
+            continue;
+        }
+        // Skip comments so commented-out references are not fetched.
+        if input[i..].starts_with("/*") {
+            match input[i + 2..].find("*/") {
+                Some(end) => i += 2 + end + 2,
+                None => break,
+            }
+            continue;
+        }
+        if input[i..].starts_with("@import") {
+            let end = input[i..].find(';').map_or(input.len(), |p| i + p);
+            let head = &input[i + 7..end.min(input.len())];
+            if let Some(u) = urls_in_value(head).into_iter().next() {
+                imports.push(u);
+            } else if let Some(u) = quoted_string(head) {
+                imports.push(u);
+            }
+            i = end + 1;
+            continue;
+        }
+        if has_url_at(input, i) {
+            let (url, next) = read_url(input, i + 4);
+            if let Some(u) = url {
+                urls.push(u);
+            }
+            i = next;
+            continue;
+        }
+        i += 1;
+    }
+
+    CssScanResult {
+        urls,
+        imports,
+        bytes,
+    }
+}
+
+fn has_url_at(input: &str, i: usize) -> bool {
+    input[i..].len() >= 4
+        && input.as_bytes()[i..i + 3].eq_ignore_ascii_case(b"url")
+        && input.as_bytes()[i + 3] == b'('
+}
+
+/// Reads the contents of `url( ... )` starting just past `url(`.
+/// Returns `(url, index_after_close_paren)`.
+fn read_url(input: &str, start: usize) -> (Option<String>, usize) {
+    let rest = &input[start..];
+    let close = match rest.find(')') {
+        Some(p) => p,
+        None => return (None, input.len()),
+    };
+    let raw = rest[..close].trim();
+    let url = raw
+        .trim_start_matches(['"', '\''])
+        .trim_end_matches(['"', '\''])
+        .trim();
+    let next = start + close + 1;
+    if url.is_empty() {
+        (None, next)
+    } else {
+        (Some(url.to_string()), next)
+    }
+}
+
+/// All `url(...)` values inside a declaration value (used by the full
+/// parser too, so both paths agree on what counts as a reference).
+pub(super) fn urls_in_value(value: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < value.len() {
+        if !value.is_char_boundary(i) {
+            i += 1;
+            continue;
+        }
+        if has_url_at(value, i) {
+            let (url, next) = read_url(value, i + 4);
+            if let Some(u) = url {
+                out.push(u);
+            }
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn quoted_string(text: &str) -> Option<String> {
+    let t = text.trim();
+    let first = t.find(['"', '\''])?;
+    let quote = t.as_bytes()[first] as char;
+    let rest = &t[first + 1..];
+    let end = rest.find(quote)?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_urls_in_various_quotings() {
+        let css = r#"
+            .a { background: url("http://s/1.png"); }
+            .b { background-image: url('http://s/2.png'); }
+            .c { background: url(http://s/3.png) no-repeat; }
+        "#;
+        let r = scan_urls(css);
+        assert_eq!(
+            r.urls,
+            vec!["http://s/1.png", "http://s/2.png", "http://s/3.png"]
+        );
+        assert_eq!(r.bytes, css.len());
+    }
+
+    #[test]
+    fn finds_imports() {
+        let r = scan_urls("@import url(\"http://s/x.css\");\n@import 'y.css';");
+        assert_eq!(r.imports, vec!["http://s/x.css", "y.css"]);
+    }
+
+    #[test]
+    fn ignores_commented_out_references() {
+        let r = scan_urls("/* url(\"http://s/ghost.png\") */ .a { background: url(real.png); }");
+        assert_eq!(r.urls, vec!["real.png"]);
+    }
+
+    #[test]
+    fn agrees_with_full_parser_on_urls() {
+        let css = r#"
+            .hero0 { background-image: url("http://s/img/bg0.png"); height: 120px; }
+            .hero1 { background-image: url("http://s/img/bg1.png"); }
+            p { color: red; }
+        "#;
+        let scan = scan_urls(css);
+        let full = super::super::parse(css);
+        assert_eq!(scan.urls, full.urls);
+    }
+
+    #[test]
+    fn case_insensitive_url_keyword() {
+        let r = scan_urls(".a { background: URL(x.png); }");
+        assert_eq!(r.urls, vec!["x.png"]);
+    }
+
+    #[test]
+    fn malformed_input_does_not_panic() {
+        for s in ["url(", "url(   ", "@import", "url()", "/* open", "url(')"] {
+            let _ = scan_urls(s);
+        }
+        assert!(scan_urls("url()").urls.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Style formatting: assigning computed styles to DOM nodes.
+//!
+//! §2.2: "After the CSS code has been parsed, the style and layout
+//! properties are assigned to these nodes in the DOM tree." The cascade
+//! here is simplified (specificity, then source order) but real: every
+//! element is matched against every rule, which is exactly the cost the
+//! paper's layout-computation category pays.
+
+use super::parser::Stylesheet;
+use super::selector::matches;
+use crate::dom::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// The layout-relevant computed style of one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputedStyle {
+    /// `display: none` removes the subtree from layout.
+    pub display_none: bool,
+    /// Vertical margin in pixels (top + bottom combined).
+    pub margin_px: f64,
+    /// Padding in pixels (all sides).
+    pub padding_px: f64,
+    /// Font size in pixels.
+    pub font_size_px: f64,
+    /// Explicit height (e.g. CSS-sized hero images), if any.
+    pub height_px: Option<f64>,
+    /// Explicit width, if any.
+    pub width_px: Option<f64>,
+    /// Number of declarations that applied (cascade accounting).
+    pub applied: usize,
+}
+
+impl Default for ComputedStyle {
+    fn default() -> Self {
+        ComputedStyle {
+            display_none: false,
+            margin_px: 4.0,
+            padding_px: 0.0,
+            font_size_px: 14.0,
+            height_px: None,
+            width_px: None,
+            applied: 0,
+        }
+    }
+}
+
+/// The output of [`compute_styles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleResult {
+    /// Computed style per element node.
+    pub styles: HashMap<NodeId, ComputedStyle>,
+    /// Total selector-match attempts (elements × selectors) — the work
+    /// unit priced by the cost model.
+    pub match_attempts: usize,
+    /// Total declarations applied.
+    pub declarations_applied: usize,
+}
+
+/// Matches every element against every rule of every sheet and folds the
+/// winning declarations into computed styles.
+pub fn compute_styles(doc: &Document, sheets: &[&Stylesheet]) -> StyleResult {
+    let mut styles = HashMap::new();
+    let mut match_attempts = 0usize;
+    let mut declarations_applied = 0usize;
+
+    // Collect (specificity, source_index, rule) across sheets for cascade
+    // ordering.
+    let mut indexed = Vec::new();
+    for sheet in sheets {
+        for rule in &sheet.rules {
+            indexed.push(rule);
+        }
+    }
+
+    for id in doc.descendants() {
+        if !matches!(doc.node(id).kind, NodeKind::Element { .. }) {
+            continue;
+        }
+        let mut style = ComputedStyle::default();
+        // Gather matching declarations with cascade keys.
+        let mut winners: Vec<((usize, usize, usize), usize, &super::parser::Declaration)> =
+            Vec::new();
+        for (src_idx, rule) in indexed.iter().enumerate() {
+            for sel in &rule.selectors {
+                match_attempts += 1;
+                if matches(doc, id, sel) {
+                    let spec = sel.specificity();
+                    for d in &rule.declarations {
+                        winners.push((spec, src_idx, d));
+                    }
+                    break; // one matching selector per rule suffices
+                }
+            }
+        }
+        winners.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, _, d) in winners {
+            apply(&mut style, &d.name, &d.value);
+            style.applied += 1;
+            declarations_applied += 1;
+        }
+        styles.insert(id, style);
+    }
+
+    StyleResult {
+        styles,
+        match_attempts,
+        declarations_applied,
+    }
+}
+
+fn apply(style: &mut ComputedStyle, name: &str, value: &str) {
+    match name {
+        "display" => style.display_none = value.eq_ignore_ascii_case("none"),
+        "margin" => {
+            if let Some(px) = first_px(value) {
+                style.margin_px = px * 2.0;
+            }
+        }
+        "padding" => {
+            if let Some(px) = first_px(value) {
+                style.padding_px = px;
+            }
+        }
+        "font-size" => {
+            if let Some(px) = first_px(value) {
+                style.font_size_px = px.clamp(6.0, 64.0);
+            }
+        }
+        "height" => style.height_px = first_px(value),
+        "width" => style.width_px = first_px(value),
+        _ => {}
+    }
+}
+
+/// Extracts the first `<number>px` in a value.
+fn first_px(value: &str) -> Option<f64> {
+    for token in value.split_whitespace() {
+        if let Some(num) = token.strip_suffix("px") {
+            if let Ok(v) = num.parse::<f64>() {
+                if v.is_finite() && v >= 0.0 {
+                    return Some(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::css::parse;
+    use crate::html;
+
+    #[test]
+    fn applies_matching_declarations() {
+        let r = html::parse("<div class=\"wrap\"><p class=\"c1\">x</p></div>");
+        let css = parse(".wrap p { font-size: 20px; margin: 6px; } .c1 { padding: 3px; }");
+        let out = compute_styles(&r.document, &[&css.sheet]);
+        let p = r
+            .document
+            .descendants()
+            .into_iter()
+            .find(|&id| r.document.tag(id) == Some("p"))
+            .unwrap();
+        let style = &out.styles[&p];
+        assert_eq!(style.font_size_px, 20.0);
+        assert_eq!(style.margin_px, 12.0);
+        assert_eq!(style.padding_px, 3.0);
+        assert_eq!(style.applied, 3);
+        assert!(out.match_attempts >= 4, "2 elements x 2 rules");
+    }
+
+    #[test]
+    fn cascade_specificity_wins_over_source_order() {
+        let r = html::parse("<p class=\"c1\">x</p>");
+        let css = parse(".c1 { font-size: 22px; } p { font-size: 10px; }");
+        let out = compute_styles(&r.document, &[&css.sheet]);
+        let p = r
+            .document
+            .descendants()
+            .into_iter()
+            .find(|&id| r.document.tag(id) == Some("p"))
+            .unwrap();
+        // .c1 (0,1,0) beats p (0,0,1) despite earlier source position.
+        assert_eq!(out.styles[&p].font_size_px, 22.0);
+    }
+
+    #[test]
+    fn later_source_wins_at_equal_specificity() {
+        let r = html::parse("<p>x</p>");
+        let css = parse("p { font-size: 10px; } p { font-size: 18px; }");
+        let out = compute_styles(&r.document, &[&css.sheet]);
+        let p = r
+            .document
+            .descendants()
+            .into_iter()
+            .find(|&id| r.document.tag(id) == Some("p"))
+            .unwrap();
+        assert_eq!(out.styles[&p].font_size_px, 18.0);
+    }
+
+    #[test]
+    fn display_none_and_explicit_geometry() {
+        let r = html::parse("<div class=\"hide\">x</div><div class=\"hero0\">y</div>");
+        let css = parse(".hide { display: none; } .hero0 { height: 150px; width: 300px; }");
+        let out = compute_styles(&r.document, &[&css.sheet]);
+        let divs: Vec<_> = r
+            .document
+            .descendants()
+            .into_iter()
+            .filter(|&id| r.document.tag(id) == Some("div"))
+            .collect();
+        assert!(out.styles[&divs[0]].display_none);
+        assert_eq!(out.styles[&divs[1]].height_px, Some(150.0));
+        assert_eq!(out.styles[&divs[1]].width_px, Some(300.0));
+    }
+
+    #[test]
+    fn unstyled_elements_get_defaults() {
+        let r = html::parse("<p>x</p>");
+        let out = compute_styles(&r.document, &[]);
+        let p = r
+            .document
+            .descendants()
+            .into_iter()
+            .find(|&id| r.document.tag(id) == Some("p"))
+            .unwrap();
+        assert_eq!(out.styles[&p], ComputedStyle::default());
+        assert_eq!(out.declarations_applied, 0);
+    }
+
+    #[test]
+    fn first_px_parsing() {
+        assert_eq!(first_px("12px"), Some(12.0));
+        assert_eq!(first_px("0 auto 3px"), Some(3.0));
+        assert_eq!(first_px("red"), None);
+        assert_eq!(first_px("-5px"), None, "negative rejected");
+    }
+}

@@ -1,0 +1,355 @@
+//! The Document Object Model: an arena-backed tree of nodes.
+//!
+//! The paper's §2.2: "After the HTML code has been parsed, the nodes in
+//! the DOM tree store the HTML data. ... Each object is added to the DOM
+//! tree as a node." This is that tree — deliberately small, but a real
+//! tree with parent/child links, attributes, and traversal.
+
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+pub type NodeId = usize;
+
+/// The payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document root.
+    Document,
+    /// An element like `<p class="x">`.
+    Element {
+        /// Lower-cased tag name.
+        tag: String,
+        /// Attributes in source order (lower-cased names).
+        attrs: Vec<(String, String)>,
+    },
+    /// A text run.
+    Text(String),
+    /// A comment (content length only; comments never affect layout).
+    Comment(usize),
+}
+
+/// One node of the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// What the node is.
+    pub kind: NodeKind,
+    /// Parent node, `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// An arena-backed DOM tree.
+///
+/// # Example
+///
+/// ```
+/// use ewb_browser::dom::{Document, NodeKind};
+///
+/// let mut doc = Document::new();
+/// let body = doc.append_element(doc.root(), "body", vec![]);
+/// let p = doc.append_element(body, "p", vec![("class".into(), "c1".into())]);
+/// doc.append_text(p, "hello");
+/// assert_eq!(doc.element_count(), 2);
+/// assert_eq!(doc.text_len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates a document containing only the root node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Appends an element under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of bounds.
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        tag: &str,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        self.append(parent, NodeKind::Element {
+            tag: tag.to_ascii_lowercase(),
+            attrs,
+        })
+    }
+
+    /// Appends a text node under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of bounds.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.append(parent, NodeKind::Text(text.to_string()))
+    }
+
+    /// Appends a comment marker under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of bounds.
+    pub fn append_comment(&mut self, parent: NodeId, len: usize) -> NodeId {
+        self.append(parent, NodeKind::Comment(len))
+    }
+
+    fn append(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        assert!(parent < self.nodes.len(), "parent {parent} out of bounds");
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Total node count, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A document is never empty (the root always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    /// Total length of all text runs.
+    pub fn text_len(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Text(t) => t.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Pre-order traversal of all node ids.
+    pub fn descendants(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children reversed so traversal is document-order.
+            for &c in self.nodes[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The value of attribute `name` on element `id`, if present.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.nodes[id].kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The tag of element `id`, or `None` for non-elements.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id].kind {
+            NodeKind::Element { tag, .. } => Some(tag.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Ancestor chain of `id`, nearest first (excluding `id` itself).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[id].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].parent;
+        }
+        out
+    }
+
+    /// Merges another document's children under `parent` here — the
+    /// mechanism behind `document.write` fragments.
+    pub fn adopt(&mut self, parent: NodeId, fragment: &Document) {
+        // Map fragment ids to new ids; root's children go under `parent`.
+        let mut map = vec![usize::MAX; fragment.nodes.len()];
+        map[fragment.root()] = parent;
+        for id in fragment.descendants() {
+            if id == fragment.root() {
+                continue;
+            }
+            let new_parent = map[fragment.nodes[id].parent.expect("non-root has parent")];
+            let new_id = self.append(new_parent, fragment.nodes[id].kind.clone());
+            map[id] = new_id;
+        }
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Document({} nodes, {} elements, {} text bytes)",
+            self.len(),
+            self.element_count(),
+            self.text_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_tree() {
+        let mut d = Document::new();
+        let html = d.append_element(d.root(), "HTML", vec![]);
+        let body = d.append_element(html, "body", vec![]);
+        let p = d.append_element(body, "p", vec![("id".into(), "x".into())]);
+        d.append_text(p, "hi");
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.element_count(), 3);
+        assert_eq!(d.tag(html), Some("html"), "tags are lower-cased");
+        assert_eq!(d.attr(p, "id"), Some("x"));
+        assert_eq!(d.attr(p, "missing"), None);
+        assert_eq!(d.node(p).parent, Some(body));
+    }
+
+    #[test]
+    fn descendants_are_document_order() {
+        let mut d = Document::new();
+        let a = d.append_element(d.root(), "a", vec![]);
+        let b = d.append_element(a, "b", vec![]);
+        let c = d.append_element(a, "c", vec![]);
+        let e = d.append_element(d.root(), "e", vec![]);
+        assert_eq!(d.descendants(), vec![0, a, b, c, e]);
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let mut d = Document::new();
+        let a = d.append_element(d.root(), "a", vec![]);
+        let b = d.append_element(a, "b", vec![]);
+        assert_eq!(d.ancestors(b), vec![a, 0]);
+        assert_eq!(d.ancestors(0), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn adopt_merges_fragments() {
+        let mut main = Document::new();
+        let body = main.append_element(main.root(), "body", vec![]);
+        let mut frag = Document::new();
+        let p = frag.append_element(frag.root(), "p", vec![]);
+        frag.append_text(p, "written");
+        main.adopt(body, &frag);
+        assert_eq!(main.element_count(), 2);
+        assert_eq!(main.text_len(), 7);
+        // The adopted <p> is a child of <body>.
+        let p_new = main.node(body).children[0];
+        assert_eq!(main.tag(p_new), Some("p"));
+    }
+
+    #[test]
+    fn text_len_and_comment() {
+        let mut d = Document::new();
+        d.append_text(d.root(), "abc");
+        d.append_comment(d.root(), 10);
+        assert_eq!(d.text_len(), 3);
+        assert_eq!(d.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn adopt_preserves_deep_structure() {
+        let mut main = Document::new();
+        let host = main.append_element(main.root(), "div", vec![]);
+        let mut frag = Document::new();
+        let outer = frag.append_element(frag.root(), "section", vec![]);
+        let inner = frag.append_element(outer, "p", vec![("id".into(), "deep".into())]);
+        frag.append_text(inner, "nested");
+        main.adopt(host, &frag);
+        // The adopted subtree keeps its shape and attributes.
+        let section = main.node(host).children[0];
+        assert_eq!(main.tag(section), Some("section"));
+        let p = main.node(section).children[0];
+        assert_eq!(main.attr(p, "id"), Some("deep"));
+        assert_eq!(main.text_len(), 6);
+    }
+
+    #[test]
+    fn adopt_empty_fragment_is_noop() {
+        let mut main = Document::new();
+        let host = main.append_element(main.root(), "div", vec![]);
+        let before = main.len();
+        main.adopt(host, &Document::new());
+        assert_eq!(main.len(), before);
+    }
+
+    #[test]
+    fn display_summarizes_the_tree() {
+        let mut d = Document::new();
+        let p = d.append_element(d.root(), "p", vec![]);
+        d.append_text(p, "hello");
+        let s = d.to_string();
+        assert!(s.contains("3 nodes"));
+        assert!(s.contains("1 elements"));
+        assert!(s.contains("5 text bytes"));
+    }
+
+    #[test]
+    fn descendants_count_matches_len() {
+        let mut d = Document::new();
+        let mut parent = d.root();
+        for i in 0..50 {
+            parent = d.append_element(parent, if i % 2 == 0 { "div" } else { "span" }, vec![]);
+        }
+        assert_eq!(d.descendants().len(), d.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! The resource-fetching abstraction the pipelines drive.
+//!
+//! The browser is network-agnostic: it issues requests and consumes
+//! completions. `ewb-net` implements [`ResourceFetcher`] on top of the 3G
+//! link and RRC machine; [`FixedRateFetcher`] is a simple deterministic
+//! implementation for tests and for isolating CPU effects from radio
+//! effects.
+
+use ewb_simcore::SimTime;
+use ewb_webpage::{OriginServer, WebObject};
+use std::collections::VecDeque;
+
+/// One finished transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchCompletion {
+    /// The requested URL.
+    pub url: String,
+    /// When the last byte arrived (or when the 404 was known).
+    pub at: SimTime,
+    /// The object, or `None` for a 404.
+    pub object: Option<WebObject>,
+}
+
+/// A source of web objects with simulated timing.
+///
+/// Contract: completions are delivered in non-decreasing `at` order, and
+/// every `request` eventually yields exactly one completion.
+pub trait ResourceFetcher {
+    /// Issues a request for `url` at time `t`.
+    fn request(&mut self, url: &str, t: SimTime);
+
+    /// Delivers the next completion, or `None` if nothing is outstanding.
+    fn next_completion(&mut self) -> Option<FetchCompletion>;
+}
+
+/// A FIFO pipe at a fixed byte rate with per-request overhead — the
+/// simplest useful network: requests queue, bytes stream at `bytes_per_sec`,
+/// and each request pays `overhead` of latency that overlaps with earlier
+/// transfers (HTTP pipelining).
+#[derive(Debug, Clone)]
+pub struct FixedRateFetcher {
+    server: OriginServer,
+    bytes_per_sec: f64,
+    overhead: SimTime, // stored as duration-from-zero for arithmetic ease
+    busy_until: SimTime,
+    queue: VecDeque<(String, SimTime)>,
+}
+
+impl FixedRateFetcher {
+    /// Creates a fetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not positive and finite.
+    pub fn new(server: OriginServer, bytes_per_sec: f64, overhead: ewb_simcore::SimDuration) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "rate must be positive, got {bytes_per_sec}"
+        );
+        FixedRateFetcher {
+            server,
+            bytes_per_sec,
+            overhead: SimTime::ZERO + overhead,
+            busy_until: SimTime::ZERO,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The paper's effective DCH goodput: ≈95 KB/s (a 760 KB bulk download
+    /// completes in ≈8 s, Fig. 4), with a 300 ms per-request overhead.
+    pub fn paper_3g(server: OriginServer) -> Self {
+        FixedRateFetcher::new(
+            server,
+            95.0 * 1024.0,
+            ewb_simcore::SimDuration::from_millis(300),
+        )
+    }
+}
+
+impl ResourceFetcher for FixedRateFetcher {
+    fn request(&mut self, url: &str, t: SimTime) {
+        self.queue.push_back((url.to_string(), t));
+    }
+
+    fn next_completion(&mut self) -> Option<FetchCompletion> {
+        let (url, t) = self.queue.pop_front()?;
+        let overhead = self.overhead - SimTime::ZERO;
+        let arrival = t + overhead;
+        let object = self.server.fetch(&url).cloned();
+        let at = match &object {
+            Some(obj) => {
+                let start = self.busy_until.max(arrival);
+                let end = start
+                    + ewb_simcore::SimDuration::from_secs_f64(
+                        obj.bytes as f64 / self.bytes_per_sec,
+                    );
+                self.busy_until = end;
+                end
+            }
+            None => {
+                // 404: the error response still rides the FIFO pipe, so
+                // completion order stays monotone.
+                let at = self.busy_until.max(arrival);
+                self.busy_until = at;
+                at
+            }
+        };
+        Some(FetchCompletion { url, at, object })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewb_simcore::SimDuration;
+    use ewb_webpage::{benchmark_corpus, PageVersion};
+
+    fn setup() -> (FixedRateFetcher, String) {
+        let corpus = benchmark_corpus(5);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        let root = espn.root_url().to_string();
+        (
+            FixedRateFetcher::paper_3g(OriginServer::from_corpus(&corpus)),
+            root,
+        )
+    }
+
+    #[test]
+    fn single_fetch_timing() {
+        let (mut f, root) = setup();
+        f.request(&root, SimTime::ZERO);
+        let c = f.next_completion().unwrap();
+        assert_eq!(c.url, root);
+        let obj = c.object.unwrap();
+        let expected = 0.3 + obj.bytes as f64 / (95.0 * 1024.0);
+        assert!((c.at.as_secs_f64() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completions_are_fifo_and_monotone() {
+        let (mut f, root) = setup();
+        let corpus = benchmark_corpus(5);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        let urls: Vec<String> = espn.objects().map(|o| o.url.clone()).collect();
+        for u in &urls {
+            f.request(u, SimTime::ZERO);
+        }
+        let _ = root;
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(c) = f.next_completion() {
+            assert!(c.at >= last, "completion went backwards");
+            last = c.at;
+            count += 1;
+        }
+        assert_eq!(count, urls.len());
+    }
+
+    #[test]
+    fn bulk_download_rate_matches_fig4() {
+        // Downloading the 760 KB espn page as one stream takes ≈8 s.
+        let (mut f, _) = setup();
+        let corpus = benchmark_corpus(5);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        for o in espn.objects() {
+            f.request(&o.url, SimTime::ZERO);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(c) = f.next_completion() {
+            last = c.at;
+        }
+        let secs = last.as_secs_f64();
+        assert!((6.5..10.0).contains(&secs), "bulk download took {secs} s");
+    }
+
+    #[test]
+    fn missing_url_is_a_404() {
+        let (mut f, _) = setup();
+        f.request("http://nowhere/x.png", SimTime::from_secs(1));
+        let c = f.next_completion().unwrap();
+        assert!(c.object.is_none());
+        assert_eq!(c.at, SimTime::from_secs(1) + SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn empty_fetcher_returns_none() {
+        let (mut f, _) = setup();
+        assert!(f.next_completion().is_none());
+    }
+}

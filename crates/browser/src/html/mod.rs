@@ -1,0 +1,13 @@
+//! HTML processing: tokenizer and tree builder.
+//!
+//! This is not a full HTML5 parser; it is the subset a 2009 mobile engine
+//! needed for real pages — tags, attributes (quoted and bare), comments,
+//! doctype, raw-text `<script>`/`<style>` elements, void elements — plus
+//! unconditional robustness: any byte sequence tokenizes without panicking
+//! (verified by property tests).
+
+mod parser;
+mod tokenizer;
+
+pub use parser::{parse, HtmlParseResult, Resource};
+pub use tokenizer::{tokenize, Token};

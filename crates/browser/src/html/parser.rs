@@ -1,0 +1,298 @@
+//! The HTML tree builder: tokens in, DOM + discovered resources out.
+
+use super::tokenizer::{tokenize, Token};
+use crate::dom::Document;
+use ewb_webpage::ObjectKind;
+
+/// A resource reference discovered while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Absolute URL as written in the document.
+    pub url: String,
+    /// What kind of object the reference points at.
+    pub kind: ObjectKind,
+}
+
+/// The output of [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HtmlParseResult {
+    /// The constructed DOM tree.
+    pub document: Document,
+    /// External resources referenced by the markup, in document order:
+    /// stylesheets, scripts, images, flash objects.
+    pub resources: Vec<Resource>,
+    /// Inline `<script>` bodies, in document order.
+    pub inline_scripts: Vec<String>,
+    /// Inline `<style>` bodies, in document order.
+    pub inline_styles: Vec<String>,
+    /// `<a href>` targets — the paper's "Second URL" feature (Table 1).
+    pub secondary_urls: Vec<String>,
+    /// Bytes of input processed (work accounting).
+    pub bytes: usize,
+    /// Tokens produced (work accounting).
+    pub tokens: usize,
+}
+
+/// Elements that never have children.
+const VOID_ELEMENTS: &[&str] = &[
+    "img", "br", "hr", "link", "meta", "input", "area", "base", "col", "embed",
+    "source", "track", "wbr",
+];
+
+/// Parses an HTML document (or a `document.write` fragment), building the
+/// DOM and collecting resource references. Robust to arbitrary input.
+pub fn parse(input: &str) -> HtmlParseResult {
+    let tokens = tokenize(input);
+    let mut document = Document::new();
+    let mut resources = Vec::new();
+    let mut inline_scripts = Vec::new();
+    let mut inline_styles = Vec::new();
+    let mut secondary_urls = Vec::new();
+
+    // Open-element stack; the top is the insertion point.
+    let mut stack: Vec<(usize, String)> = vec![(document.root(), String::new())];
+    // When inside <script>/<style>, the next Text token is the body.
+    let mut in_script = false;
+    let mut in_style = false;
+
+    let n_tokens = tokens.len();
+    for token in tokens {
+        match token {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                // Resource discovery by tag.
+                match name.as_str() {
+                    "link" => {
+                        let rel = attr(&attrs, "rel").unwrap_or_default();
+                        if rel.eq_ignore_ascii_case("stylesheet") {
+                            if let Some(href) = attr(&attrs, "href") {
+                                resources.push(Resource { url: href, kind: ObjectKind::Css });
+                            }
+                        }
+                    }
+                    "script" => {
+                        if let Some(src) = attr(&attrs, "src") {
+                            resources.push(Resource { url: src, kind: ObjectKind::Js });
+                        } else if !self_closing {
+                            in_script = true;
+                        }
+                    }
+                    "style"
+                        if !self_closing => {
+                            in_style = true;
+                        }
+                    "img" => {
+                        if let Some(src) = attr(&attrs, "src") {
+                            resources.push(Resource { url: src, kind: ObjectKind::Image });
+                        }
+                    }
+                    "embed" | "object" => {
+                        if let Some(src) = attr(&attrs, "src").or_else(|| attr(&attrs, "data")) {
+                            resources.push(Resource { url: src, kind: ObjectKind::Flash });
+                        }
+                    }
+                    "a" => {
+                        if let Some(href) = attr(&attrs, "href") {
+                            secondary_urls.push(href);
+                        }
+                    }
+                    _ => {}
+                }
+
+                let parent = stack.last().expect("stack never empty").0;
+                let id = document.append_element(parent, &name, attrs);
+                let is_void = VOID_ELEMENTS.contains(&name.as_str());
+                if !is_void && !self_closing {
+                    stack.push((id, name));
+                }
+            }
+            Token::EndTag { name } => {
+                if name == "script" {
+                    in_script = false;
+                }
+                if name == "style" {
+                    in_style = false;
+                }
+                // Pop to the matching open element, if any; otherwise
+                // ignore the stray end tag (standard recovery).
+                if let Some(pos) = stack.iter().rposition(|(_, n)| *n == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+            }
+            Token::Text(text) => {
+                let parent = stack.last().expect("stack never empty").0;
+                if in_script {
+                    inline_scripts.push(text.clone());
+                    in_script = false;
+                    document.append_text(parent, &text);
+                } else if in_style {
+                    inline_styles.push(text.clone());
+                    in_style = false;
+                    document.append_text(parent, &text);
+                } else if !text.trim().is_empty() {
+                    document.append_text(parent, &text);
+                }
+            }
+            Token::Comment(len) => {
+                let parent = stack.last().expect("stack never empty").0;
+                document.append_comment(parent, len);
+            }
+            Token::Doctype => {}
+        }
+    }
+
+    HtmlParseResult {
+        document,
+        resources,
+        inline_scripts,
+        inline_styles,
+        secondary_urls,
+        bytes: input.len(),
+        tokens: n_tokens,
+    }
+}
+
+fn attr(attrs: &[(String, String)], name: &str) -> Option<String> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<!DOCTYPE html>
+<html><head>
+<link rel="stylesheet" href="http://s/css/a.css">
+<script src="http://s/js/b.js"></script>
+</head><body>
+<p class="intro">Hello</p>
+<img src="http://s/img/c.jpg" width="100">
+<a href="http://s/story/1.html">read</a>
+<embed src="http://s/f/anim.swf">
+<script>var x = 1 + 2;</script>
+</body></html>"#;
+
+    #[test]
+    fn discovers_all_resource_kinds_in_order() {
+        let r = parse(DOC);
+        let urls: Vec<(&str, ObjectKind)> = r
+            .resources
+            .iter()
+            .map(|x| (x.url.as_str(), x.kind))
+            .collect();
+        assert_eq!(
+            urls,
+            vec![
+                ("http://s/css/a.css", ObjectKind::Css),
+                ("http://s/js/b.js", ObjectKind::Js),
+                ("http://s/img/c.jpg", ObjectKind::Image),
+                ("http://s/f/anim.swf", ObjectKind::Flash),
+            ]
+        );
+        assert_eq!(r.secondary_urls, vec!["http://s/story/1.html"]);
+        assert_eq!(r.inline_scripts, vec!["var x = 1 + 2;"]);
+    }
+
+    #[test]
+    fn builds_nested_dom() {
+        let r = parse(DOC);
+        let d = &r.document;
+        assert!(d.element_count() >= 8);
+        // The <p> holds the text "Hello".
+        let p = d
+            .descendants()
+            .into_iter()
+            .find(|&id| d.tag(id) == Some("p"))
+            .unwrap();
+        assert_eq!(d.attr(p, "class"), Some("intro"));
+        let text_child = d.node(p).children[0];
+        assert!(matches!(
+            &d.node(text_child).kind,
+            crate::dom::NodeKind::Text(t) if t == "Hello"
+        ));
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let r = parse("<p><img src=\"a.jpg\"><img src=\"b.jpg\"></p>");
+        let d = &r.document;
+        let p = d
+            .descendants()
+            .into_iter()
+            .find(|&id| d.tag(id) == Some("p"))
+            .unwrap();
+        // Both images are siblings under <p>.
+        assert_eq!(d.node(p).children.len(), 2);
+    }
+
+    #[test]
+    fn stray_end_tags_are_ignored() {
+        let r = parse("</div><p>ok</p></span>");
+        assert_eq!(r.document.element_count(), 1);
+        assert_eq!(r.document.text_len(), 2);
+    }
+
+    #[test]
+    fn unclosed_elements_still_build() {
+        let r = parse("<div><p>one<p>two");
+        assert!(r.document.element_count() >= 2);
+        assert_eq!(r.document.text_len(), 6);
+    }
+
+    #[test]
+    fn script_without_rel_stylesheet_link_is_not_css() {
+        let r = parse("<link rel=\"icon\" href=\"x.ico\"><link href=\"y.css\">");
+        assert!(r.resources.is_empty());
+    }
+
+    #[test]
+    fn work_counters_are_populated() {
+        let r = parse(DOC);
+        assert_eq!(r.bytes, DOC.len());
+        assert!(r.tokens > 10);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let r = parse("<p>\n   \n</p><p>x</p>");
+        assert_eq!(r.document.text_len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod inline_style_tests {
+    use super::*;
+
+    #[test]
+    fn inline_styles_are_collected() {
+        let r = parse(
+            "<head><style>.a { background: url(\"http://s/bg.png\"); }</style></head><p>x</p>",
+        );
+        assert_eq!(r.inline_styles.len(), 1);
+        assert!(r.inline_styles[0].contains("bg.png"));
+        // The style body is raw text, not parsed as markup.
+        assert!(r.resources.is_empty());
+    }
+
+    #[test]
+    fn style_and_script_bodies_do_not_mix() {
+        let r = parse("<style>p{color:red}</style><script>var a=1;</script>");
+        assert_eq!(r.inline_styles, vec!["p{color:red}"]);
+        assert_eq!(r.inline_scripts, vec!["var a=1;"]);
+    }
+
+    #[test]
+    fn empty_style_element_is_harmless() {
+        let r = parse("<style></style><p>x</p>");
+        assert!(r.inline_styles.is_empty());
+        assert_eq!(r.document.text_len(), 1);
+    }
+}

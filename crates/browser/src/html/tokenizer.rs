@@ -1,0 +1,356 @@
+//! The HTML tokenizer: bytes in, tokens out.
+
+/// One HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<tag attr="v">`; `self_closing` for `<tag/>`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order, names lower-cased.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A text run between tags.
+    Text(String),
+    /// `<!-- ... -->` (content length only).
+    Comment(usize),
+    /// `<!DOCTYPE ...>` and other markup declarations.
+    Doctype,
+}
+
+/// Tokenizes `input` completely. Never panics: malformed markup degrades
+/// to text or gets skipped, as real engines do.
+///
+/// `<script>` and `<style>` contents are treated as raw text: everything
+/// until the matching end tag becomes a single [`Token::Text`].
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+    let mut text_start = 0;
+
+    // Pending raw-text element (script/style): consume until its end tag.
+    let mut raw_until: Option<String> = None;
+
+    while i < n {
+        if let Some(tag) = &raw_until {
+            // Scan for `</tag` case-insensitively.
+            let close = format!("</{tag}");
+            let rest = &input[i..];
+            let pos = find_ci(rest, &close);
+            let (content_end, resume) = match pos {
+                Some(p) => (i + p, i + p),
+                None => (n, n),
+            };
+            if content_end > i {
+                tokens.push(Token::Text(input[i..content_end].to_string()));
+            }
+            i = resume;
+            text_start = i;
+            raw_until = None;
+            continue;
+        }
+
+        if bytes[i] == b'<' {
+            // Flush preceding text.
+            if i > text_start {
+                tokens.push(Token::Text(input[text_start..i].to_string()));
+            }
+            if input[i..].starts_with("<!--") {
+                // Comment.
+                let end = input[i + 4..].find("-->").map(|p| i + 4 + p);
+                match end {
+                    Some(e) => {
+                        tokens.push(Token::Comment(e - (i + 4)));
+                        i = e + 3;
+                    }
+                    None => {
+                        tokens.push(Token::Comment(n - (i + 4).min(n)));
+                        i = n;
+                    }
+                }
+                text_start = i;
+                continue;
+            }
+            if input[i..].starts_with("<!") {
+                // Doctype / markup declaration: skip to '>'.
+                let end = input[i..].find('>').map(|p| i + p);
+                tokens.push(Token::Doctype);
+                i = end.map_or(n, |e| e + 1);
+                text_start = i;
+                continue;
+            }
+            if input[i..].starts_with("</") {
+                match parse_end_tag(input, i) {
+                    Some((name, next)) => {
+                        tokens.push(Token::EndTag { name });
+                        i = next;
+                    }
+                    None => {
+                        // Malformed `</`: emit as text and move on.
+                        tokens.push(Token::Text("</".to_string()));
+                        i += 2;
+                    }
+                }
+                text_start = i;
+                continue;
+            }
+            match parse_start_tag(input, i) {
+                Some((name, attrs, self_closing, next)) => {
+                    if !self_closing && (name == "script" || name == "style") {
+                        raw_until = Some(name.clone());
+                    }
+                    tokens.push(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing,
+                    });
+                    i = next;
+                }
+                None => {
+                    // A lone '<' that is not a tag: literal text.
+                    tokens.push(Token::Text("<".to_string()));
+                    i += 1;
+                }
+            }
+            text_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    if n > text_start {
+        tokens.push(Token::Text(input[text_start..].to_string()));
+    }
+    tokens
+}
+
+/// Case-insensitive substring search (ASCII).
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let nd = needle.as_bytes();
+    if nd.is_empty() || nd.len() > h.len() {
+        return None;
+    }
+    'outer: for start in 0..=(h.len() - nd.len()) {
+        for (j, &c) in nd.iter().enumerate() {
+            if !h[start + j].eq_ignore_ascii_case(&c) {
+                continue 'outer;
+            }
+        }
+        return Some(start);
+    }
+    None
+}
+
+/// Parses `</name ... >` starting at `i`. Returns `(name, index_after_gt)`.
+fn parse_end_tag(input: &str, i: usize) -> Option<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut j = i + 2;
+    let name_start = j;
+    while j < bytes.len() && bytes[j].is_ascii_alphanumeric() {
+        j += 1;
+    }
+    if j == name_start {
+        return None;
+    }
+    let name = input[name_start..j].to_ascii_lowercase();
+    // Skip to '>'.
+    while j < bytes.len() && bytes[j] != b'>' {
+        j += 1;
+    }
+    if j < bytes.len() {
+        j += 1;
+    }
+    Some((name, j))
+}
+
+/// Parses `<name attr=... >` starting at `i`.
+/// Returns `(name, attrs, self_closing, index_after_gt)`.
+#[allow(clippy::type_complexity)]
+fn parse_start_tag(input: &str, i: usize) -> Option<(String, Vec<(String, String)>, bool, usize)> {
+    let bytes = input.as_bytes();
+    let mut j = i + 1;
+    let name_start = j;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-') {
+        j += 1;
+    }
+    if j == name_start {
+        return None;
+    }
+    let name = input[name_start..j].to_ascii_lowercase();
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+
+    loop {
+        // Skip whitespace.
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() {
+            break;
+        }
+        match bytes[j] {
+            b'>' => {
+                j += 1;
+                break;
+            }
+            b'/' => {
+                self_closing = true;
+                j += 1;
+            }
+            _ => {
+                // Attribute name.
+                let an_start = j;
+                while j < bytes.len()
+                    && !bytes[j].is_ascii_whitespace()
+                    && bytes[j] != b'='
+                    && bytes[j] != b'>'
+                    && bytes[j] != b'/'
+                {
+                    j += 1;
+                }
+                if j == an_start {
+                    // Unexpected byte (e.g. a stray quote); skip it.
+                    j += 1;
+                    continue;
+                }
+                let an = input[an_start..j].to_ascii_lowercase();
+                // Skip whitespace before '='.
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                let value = if j < bytes.len() && bytes[j] == b'=' {
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] == b'"' || bytes[j] == b'\'') {
+                        let quote = bytes[j];
+                        j += 1;
+                        let v_start = j;
+                        while j < bytes.len() && bytes[j] != quote {
+                            j += 1;
+                        }
+                        let v = input[v_start..j].to_string();
+                        if j < bytes.len() {
+                            j += 1; // closing quote
+                        }
+                        v
+                    } else {
+                        let v_start = j;
+                        while j < bytes.len() && !bytes[j].is_ascii_whitespace() && bytes[j] != b'>'
+                        {
+                            j += 1;
+                        }
+                        input[v_start..j].to_string()
+                    }
+                } else {
+                    String::new()
+                };
+                attrs.push((an, value));
+            }
+        }
+    }
+    Some((name, attrs, self_closing, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<html><body><p>hi</p></body></html>");
+        assert_eq!(toks.len(), 7);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "html"));
+        assert!(matches!(&toks[3], Token::Text(t) if t == "hi"));
+        assert!(matches!(&toks[4], Token::EndTag { name } if name == "p"));
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let toks = tokenize(r#"<img SRC="a.jpg" width=120 alt='x y'>"#);
+        let Token::StartTag { name, attrs, .. } = &toks[0] else {
+            panic!("expected start tag, got {toks:?}");
+        };
+        assert_eq!(name, "img");
+        assert_eq!(
+            attrs,
+            &vec![
+                ("src".to_string(), "a.jpg".to_string()),
+                ("width".to_string(), "120".to_string()),
+                ("alt".to_string(), "x y".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let toks = tokenize("<br/><hr />");
+        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&toks[1], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- twelve chars --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype);
+        assert!(matches!(toks[1], Token::Comment(14)));
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let toks = tokenize("<script>if (a < b) { x = \"<p>\"; }</script><p>t</p>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
+        let Token::Text(body) = &toks[1] else {
+            panic!("expected raw text, got {:?}", toks[1]);
+        };
+        assert!(body.contains("a < b"));
+        assert!(body.contains("\"<p>\""));
+        assert!(matches!(&toks[2], Token::EndTag { name } if name == "script"));
+        assert!(matches!(&toks[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn script_end_tag_is_case_insensitive() {
+        let toks = tokenize("<script>x</SCRIPT>done");
+        assert!(matches!(&toks[2], Token::EndTag { name } if name == "script"));
+        assert!(matches!(&toks[3], Token::Text(t) if t == "done"));
+    }
+
+    #[test]
+    fn malformed_markup_degrades_to_text() {
+        let toks = tokenize("a < b and </ and <");
+        let text: String = toks
+            .iter()
+            .map(|t| match t {
+                Token::Text(s) => s.as_str(),
+                _ => "",
+            })
+            .collect();
+        assert_eq!(text, "a < b and </ and <");
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for s in ["<p", "<!-- open", "<script>never closed", "</", "<img src=\"x"] {
+            let _ = tokenize(s); // must not panic
+        }
+    }
+
+    #[test]
+    fn unquoted_attr_stops_at_gt() {
+        let toks = tokenize("<a href=x>y</a>");
+        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        assert_eq!(attrs[0], ("href".to_string(), "x".to_string()));
+        assert!(matches!(&toks[1], Token::Text(t) if t == "y"));
+    }
+}

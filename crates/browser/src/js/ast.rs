@@ -1,0 +1,516 @@
+//! The JavaScript AST and recursive-descent parser.
+
+use super::lexer::{lex, JsToken};
+use std::fmt;
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation: `+ - * / % < > <= >= == !=`.
+    Binary {
+        /// Operator text.
+        op: &'static str,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation: `-` or `!`.
+    Unary {
+        /// Operator text.
+        op: &'static str,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Assignment to a variable (expression-valued, as in JS).
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value expression.
+        value: Box<Expr>,
+    },
+    /// A call to a plain or dotted name, e.g. `loadImage(x)` or
+    /// `document.write(y)`.
+    Call {
+        /// The (possibly dotted) callee name.
+        target: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = init;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `function name(params) { .. }`
+    FunctionDecl {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Option<Expr>),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub statements: Vec<Stmt>,
+    /// Token count (work accounting).
+    pub tokens: usize,
+}
+
+/// A parse failure (position + message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token index where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first construct outside the supported
+/// subset; the engine treats that as a script error and continues the page
+/// load, exactly like a real browser.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source);
+    let n = tokens.len();
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    let mut statements = Vec::new();
+    while !p.at_end() {
+        statements.push(p.statement()?);
+    }
+    Ok(Program {
+        statements,
+        tokens: n,
+    })
+}
+
+const MAX_DEPTH: usize = 200;
+
+struct Parser {
+    tokens: Vec<JsToken>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&JsToken> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<JsToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.advance() {
+            Some(JsToken::Punct(q)) if q == p => Ok(()),
+            other => Err(self.err(format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let result = self.statement_inner();
+        self.leave();
+        result
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(JsToken::Keyword("var")) => {
+                self.advance();
+                let name = self.ident()?;
+                let init = if matches!(self.peek(), Some(JsToken::Punct("="))) {
+                    self.advance();
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                self.semi();
+                Ok(Stmt::VarDecl { name, init })
+            }
+            Some(JsToken::Keyword("if")) => {
+                self.advance();
+                self.expect_punct("(")?;
+                let cond = self.expression()?;
+                self.expect_punct(")")?;
+                let then_branch = self.block_or_single()?;
+                let else_branch = if matches!(self.peek(), Some(JsToken::Keyword("else"))) {
+                    self.advance();
+                    self.block_or_single()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            Some(JsToken::Keyword("while")) => {
+                self.advance();
+                self.expect_punct("(")?;
+                let cond = self.expression()?;
+                self.expect_punct(")")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(JsToken::Keyword("function")) => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect_punct("(")?;
+                let mut params = Vec::new();
+                if !matches!(self.peek(), Some(JsToken::Punct(")"))) {
+                    loop {
+                        params.push(self.ident()?);
+                        if matches!(self.peek(), Some(JsToken::Punct(","))) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::FunctionDecl { name, params, body })
+            }
+            Some(JsToken::Keyword("return")) => {
+                self.advance();
+                let value = if matches!(self.peek(), Some(JsToken::Punct(";")) | None) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.semi();
+                Ok(Stmt::Return(value))
+            }
+            Some(_) => {
+                let e = self.expression()?;
+                self.semi();
+                Ok(Stmt::Expr(e))
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// Consumes an optional semicolon (ASI-lite).
+    fn semi(&mut self) {
+        if matches!(self.peek(), Some(JsToken::Punct(";"))) {
+            self.advance();
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !matches!(self.peek(), Some(JsToken::Punct("}")) | None) {
+            out.push(self.statement()?);
+        }
+        self.expect_punct("}")?;
+        Ok(out)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if matches!(self.peek(), Some(JsToken::Punct("{"))) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(JsToken::Ident(name)) => Ok(name),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let result = self.assignment();
+        self.leave();
+        result
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let left = self.comparison()?;
+        if matches!(self.peek(), Some(JsToken::Punct("="))) {
+            let Expr::Var(name) = left else {
+                return Err(self.err("invalid assignment target"));
+            };
+            self.advance();
+            let value = self.assignment()?;
+            return Ok(Expr::Assign {
+                name,
+                value: Box::new(value),
+            });
+        }
+        Ok(left)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.additive()?;
+        while let Some(JsToken::Punct(op @ ("<" | ">" | "<=" | ">=" | "==" | "!="))) = self.peek()
+        {
+            let op = *op;
+            self.advance();
+            let right = self.additive()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        while let Some(JsToken::Punct(op @ ("+" | "-"))) = self.peek() {
+            let op = *op;
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        while let Some(JsToken::Punct(op @ ("*" | "/" | "%"))) = self.peek() {
+            let op = *op;
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if let Some(JsToken::Punct(op @ ("-" | "!"))) = self.peek() {
+            let op = *op;
+            self.advance();
+            self.enter()?;
+            let operand = self.unary();
+            self.leave();
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand?),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let primary = self.primary()?;
+        // Dotted member path + optional call.
+        if let Expr::Var(mut name) = primary {
+            while matches!(self.peek(), Some(JsToken::Punct("."))) {
+                self.advance();
+                let field = self.ident()?;
+                name = format!("{name}.{field}");
+            }
+            if matches!(self.peek(), Some(JsToken::Punct("("))) {
+                self.advance();
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Some(JsToken::Punct(")"))) {
+                    loop {
+                        args.push(self.expression()?);
+                        if matches!(self.peek(), Some(JsToken::Punct(","))) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+                return Ok(Expr::Call { target: name, args });
+            }
+            return Ok(Expr::Var(name));
+        }
+        Ok(primary)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(JsToken::Num(v)) => Ok(Expr::Num(v)),
+            Some(JsToken::Str(s)) => Ok(Expr::Str(s)),
+            Some(JsToken::Keyword("true")) => Ok(Expr::Bool(true)),
+            Some(JsToken::Keyword("false")) => Ok(Expr::Bool(false)),
+            Some(JsToken::Ident(name)) => Ok(Expr::Var(name)),
+            Some(JsToken::Punct("(")) => {
+                let e = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_var_and_while() {
+        let p = parse_program("var i = 0; while (i < 3) { i = i + 1; }").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert!(matches!(&p.statements[0], Stmt::VarDecl { name, .. } if name == "i"));
+        let Stmt::While { body, .. } = &p.statements[1] else {
+            panic!("expected while");
+        };
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_function_and_call() {
+        let p = parse_program("function mix(a, b) { return a * 31 + b; } var h = mix(1, 2);")
+            .unwrap();
+        let Stmt::FunctionDecl { name, params, body } = &p.statements[0] else {
+            panic!("expected function");
+        };
+        assert_eq!(name, "mix");
+        assert_eq!(params, &["a", "b"]);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_dotted_call() {
+        let p = parse_program("document.write(\"<p>x</p>\");").unwrap();
+        let Stmt::Expr(Expr::Call { target, args }) = &p.statements[0] else {
+            panic!("expected call");
+        };
+        assert_eq!(target, "document.write");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_before_add_before_cmp() {
+        let p = parse_program("var x = 1 + 2 * 3 < 10;").unwrap();
+        let Stmt::VarDecl { init: Some(e), .. } = &p.statements[0] else {
+            panic!()
+        };
+        // (1 + (2*3)) < 10
+        let Expr::Binary { op: "<", left, .. } = e else { panic!("{e:?}") };
+        let Expr::Binary { op: "+", right, .. } = left.as_ref() else { panic!() };
+        assert!(matches!(right.as_ref(), Expr::Binary { op: "*", .. }));
+    }
+
+    #[test]
+    fn if_else_without_braces() {
+        let p = parse_program("if (a < b) x = 1; else x = 2;").unwrap();
+        let Stmt::If { then_branch, else_branch, .. } = &p.statements[0] else {
+            panic!()
+        };
+        assert_eq!(then_branch.len(), 1);
+        assert_eq!(else_branch.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse_program("var x = {a: 1};").is_err());
+        assert!(parse_program("x = = 2;").is_err());
+        assert!(parse_program("1 = 2;").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let src = format!("var x = {}1{};", "(".repeat(500), ")".repeat(500));
+        assert!(parse_program(&src).is_err());
+    }
+
+    #[test]
+    fn token_count_recorded() {
+        let p = parse_program("var a = 1;").unwrap();
+        assert_eq!(p.tokens, 5);
+    }
+}

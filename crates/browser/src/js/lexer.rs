@@ -1,0 +1,204 @@
+//! The JavaScript lexer.
+
+/// One token of the JS subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsToken {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// Identifier or dotted member path (`document.write` lexes as two
+    /// idents joined by `Dot`).
+    Ident(String),
+    /// `var`, `function`, `return`, `if`, `else`, `while`, `true`, `false`.
+    Keyword(&'static str),
+    /// A single punctuation/operator token.
+    Punct(&'static str),
+}
+
+const KEYWORDS: &[&str] = &["var", "function", "return", "if", "else", "while", "true", "false"];
+
+/// Multi-character operators, longest first.
+const OPS2: &[&str] = &["<=", ">=", "==", "!="];
+const OPS1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{", "}", ";", ",", ".", "!",
+];
+
+/// Lexes `input` into tokens. Unknown bytes are skipped (robustness over
+/// strictness — a real engine reports a syntax error, ours just moves on
+/// and lets the parser fail gracefully).
+pub fn lex(input: &str) -> Vec<JsToken> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if input[i..].starts_with("//") {
+            i = input[i..].find('\n').map_or(input.len(), |p| i + p + 1);
+            continue;
+        }
+        if input[i..].starts_with("/*") {
+            i = input[i + 2..].find("*/").map_or(input.len(), |p| i + 2 + p + 2);
+            continue;
+        }
+        // Strings.
+        if c == b'"' || c == b'\'' {
+            let quote = c;
+            let mut s = String::new();
+            let mut j = i + 1;
+            while j < b.len() && b[j] != quote {
+                if b[j] == b'\\' && j + 1 < b.len() && b[j + 1].is_ascii() {
+                    let esc = b[j + 1];
+                    s.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    j += 2;
+                } else if b[j] == b'\\' {
+                    // Backslash before a multi-byte char (or at EOF):
+                    // drop the backslash, let the char flow through.
+                    j += 1;
+                } else {
+                    // Multi-byte UTF-8 safe: take the full char.
+                    let ch = input[j..].chars().next().expect("in bounds");
+                    s.push(ch);
+                    j += ch.len_utf8();
+                }
+            }
+            out.push(JsToken::Str(s));
+            i = (j + 1).min(input.len());
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.') {
+                j += 1;
+            }
+            match input[start..j].parse::<f64>() {
+                Ok(v) => out.push(JsToken::Num(v)),
+                Err(_) => out.push(JsToken::Num(0.0)), // e.g. "1.2.3"
+            }
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'$' {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'$') {
+                j += 1;
+            }
+            let word = &input[start..j];
+            if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == word) {
+                out.push(JsToken::Keyword(kw));
+            } else {
+                out.push(JsToken::Ident(word.to_string()));
+            }
+            i = j;
+            continue;
+        }
+        // Operators.
+        if let Some(&op) = OPS2.iter().find(|&&op| input[i..].starts_with(op)) {
+            out.push(JsToken::Punct(op));
+            i += 2;
+            continue;
+        }
+        if let Some(&op) = OPS1.iter().find(|&&op| input[i..].starts_with(op)) {
+            out.push(JsToken::Punct(op));
+            i += 1;
+            continue;
+        }
+        // Unknown byte: skip (robustness).
+        i += input[i..].chars().next().map_or(1, |ch| ch.len_utf8());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_typical_corpus_line() {
+        let toks = lex("loadImage(base + n0 + \".jpg\");");
+        assert_eq!(
+            toks,
+            vec![
+                JsToken::Ident("loadImage".into()),
+                JsToken::Punct("("),
+                JsToken::Ident("base".into()),
+                JsToken::Punct("+"),
+                JsToken::Ident("n0".into()),
+                JsToken::Punct("+"),
+                JsToken::Str(".jpg".into()),
+                JsToken::Punct(")"),
+                JsToken::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let toks = lex("var varx = whiled;");
+        assert_eq!(toks[0], JsToken::Keyword("var"));
+        assert_eq!(toks[1], JsToken::Ident("varx".into()));
+        assert_eq!(toks[3], JsToken::Ident("whiled".into()));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = lex("a <= 3.5 != 2");
+        assert_eq!(
+            toks,
+            vec![
+                JsToken::Ident("a".into()),
+                JsToken::Punct("<="),
+                JsToken::Num(3.5),
+                JsToken::Punct("!="),
+                JsToken::Num(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("// line\nx /* block */ = 1;");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], JsToken::Ident("x".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""a\"b\n\\""#);
+        assert_eq!(toks, vec![JsToken::Str("a\"b\n\\".into())]);
+    }
+
+    #[test]
+    fn member_access_lexes_with_dot() {
+        let toks = lex("document.write(\"x\")");
+        assert_eq!(toks[0], JsToken::Ident("document".into()));
+        assert_eq!(toks[1], JsToken::Punct("."));
+        assert_eq!(toks[2], JsToken::Ident("write".into()));
+    }
+
+    #[test]
+    fn junk_bytes_are_skipped() {
+        let toks = lex("a @ § b");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = lex("\"open");
+        assert_eq!(toks, vec![JsToken::Str("open".into())]);
+    }
+}

@@ -1,0 +1,70 @@
+//! # ewb-browser — a miniature smartphone web-browser engine
+//!
+//! The paper's first technique (§4.1–§4.2) *reorganizes the computation
+//! sequence* of the browser: run every computation that can generate data
+//! transmissions first (HTML parsing, CSS scanning, JavaScript execution),
+//! batch-fetch everything, drop the radio, and only then run the layout
+//! computations (CSS rule extraction, style formatting, image decoding,
+//! layout, painting). Evaluating that idea requires an engine that
+//! actually *has* those computations, so this crate implements one:
+//!
+//! * [`html`] — tokenizer and tree builder producing a real [`dom::Document`];
+//! * [`css`] — stylesheet parser, selector matching, computed styles, and
+//!   the cheap URL *scan* the energy-aware path uses instead of parsing;
+//! * [`js`] — a small JavaScript interpreter (variables, functions,
+//!   arithmetic, strings, `while`/`if`, `loadImage`, `document.write`)
+//!   because "there is no simple approach to find out if \[JS\] will
+//!   generate new data transmission without executing \[it\]" (§4.1);
+//! * [`layout`] — block layout with page-geometry output and
+//!   reflow/redraw cost accounting (§4.2);
+//! * [`CpuCostModel`] — converts counted engine work (bytes tokenized,
+//!   ops executed, boxes laid out) into simulated smartphone CPU time;
+//! * [`pipeline`] — the two end-to-end page-load schedules,
+//!   [`pipeline::PipelineMode::Original`] (interleaved, progressive
+//!   redraw/reflow) and [`pipeline::PipelineMode::EnergyAware`]
+//!   (transmission phase, then layout phase, with the §4.2 cheap
+//!   intermediate display).
+//!
+//! The engine runs on *virtual* CPU time: it does the real parsing and
+//! interpretation work, counts work units, and prices them with the cost
+//! model — so the simulated timings scale like a 2009 smartphone's even
+//! though the host is much faster.
+//!
+//! # Example
+//!
+//! ```
+//! use ewb_browser::fetch::FixedRateFetcher;
+//! use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+//! use ewb_browser::CpuCostModel;
+//! use ewb_simcore::SimTime;
+//! use ewb_webpage::{benchmark_corpus, OriginServer, PageVersion};
+//!
+//! let corpus = benchmark_corpus(1);
+//! let espn = corpus.page("espn", PageVersion::Full).unwrap();
+//! let mut fetcher = FixedRateFetcher::paper_3g(OriginServer::from_corpus(&corpus));
+//! let metrics = load_page(
+//!     &mut fetcher,
+//!     espn.root_url(),
+//!     SimTime::ZERO,
+//!     &PipelineConfig::new(PipelineMode::EnergyAware),
+//!     &CpuCostModel::default(),
+//! );
+//! assert!(metrics.objects_fetched >= 50);
+//! assert!(metrics.final_display_at > metrics.first_display_at.unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod css;
+pub mod dom;
+pub mod fetch;
+pub mod html;
+pub mod js;
+pub mod layout;
+pub mod pipeline;
+
+mod cost;
+
+pub use cost::{CpuCostModel, CpuWork};

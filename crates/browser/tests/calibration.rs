@@ -1,0 +1,132 @@
+//! Calibration checks: the load-time *structure* must match the paper.
+//!
+//! Run with `--nocapture` to see the measured numbers next to the paper's.
+
+use ewb_browser::fetch::FixedRateFetcher;
+use ewb_browser::pipeline::{load_page, LoadMetrics, PipelineConfig, PipelineMode};
+use ewb_browser::CpuCostModel;
+use ewb_simcore::SimTime;
+use ewb_webpage::{benchmark_corpus, OriginServer, PageVersion};
+
+fn load(key: &str, version: PageVersion, mode: PipelineMode) -> LoadMetrics {
+    let corpus = benchmark_corpus(1);
+    let page = corpus.page(key, version).unwrap();
+    let mut fetcher = FixedRateFetcher::paper_3g(OriginServer::from_corpus(&corpus));
+    let mut cfg = PipelineConfig::new(mode);
+    if version == PageVersion::Mobile {
+        cfg.draw_intermediate = false;
+    }
+    load_page(
+        &mut fetcher,
+        page.root_url(),
+        SimTime::ZERO,
+        &cfg,
+        &CpuCostModel::default(),
+    )
+}
+
+fn mean<T: Fn(&LoadMetrics) -> f64>(version: PageVersion, mode: PipelineMode, f: T) -> f64 {
+    let keys: Vec<&str> = ewb_webpage::BENCHMARK_SITES.iter().map(|s| s.0).collect();
+    let vals: Vec<f64> = keys.iter().map(|k| f(&load(k, version, mode))).collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Paper Fig. 8(a), full-version benchmark: EA cuts data-transmission time
+/// by ≈27 % and total load time by ≈17 %.
+#[test]
+fn full_benchmark_savings_match_fig8() {
+    let orig_tx = mean(PageVersion::Full, PipelineMode::Original, |m| {
+        m.transmission_time().as_secs_f64()
+    });
+    let ea_tx = mean(PageVersion::Full, PipelineMode::EnergyAware, |m| {
+        m.transmission_time().as_secs_f64()
+    });
+    let ea_total = mean(PageVersion::Full, PipelineMode::EnergyAware, |m| {
+        m.load_time().as_secs_f64()
+    });
+    let tx_saving = 1.0 - ea_tx / orig_tx;
+    let total_saving = 1.0 - ea_total / orig_tx; // original load time == its tx time
+    println!(
+        "FULL: orig tx/load = {orig_tx:.1} s, ea tx = {ea_tx:.1} s, ea total = {ea_total:.1} s"
+    );
+    println!(
+        "FULL: tx saving = {:.1}% (paper 27%), total saving = {:.1}% (paper 17%)",
+        tx_saving * 100.0,
+        total_saving * 100.0
+    );
+    assert!((0.17..0.40).contains(&tx_saving), "tx saving {tx_saving}");
+    assert!(
+        (0.06..0.30).contains(&total_saving),
+        "total saving {total_saving}"
+    );
+    assert!(
+        (15.0..55.0).contains(&orig_tx),
+        "full pages should take tens of seconds, got {orig_tx}"
+    );
+}
+
+/// Paper Fig. 8(a), mobile benchmark: ≈15 % tx saving, ≈2.5 % total.
+#[test]
+fn mobile_benchmark_savings_match_fig8() {
+    let orig_tx = mean(PageVersion::Mobile, PipelineMode::Original, |m| {
+        m.transmission_time().as_secs_f64()
+    });
+    let ea_tx = mean(PageVersion::Mobile, PipelineMode::EnergyAware, |m| {
+        m.transmission_time().as_secs_f64()
+    });
+    let ea_total = mean(PageVersion::Mobile, PipelineMode::EnergyAware, |m| {
+        m.load_time().as_secs_f64()
+    });
+    let tx_saving = 1.0 - ea_tx / orig_tx;
+    let total_saving = 1.0 - ea_total / orig_tx;
+    println!(
+        "MOBILE: orig tx/load = {orig_tx:.1} s, ea tx = {ea_tx:.1} s, ea total = {ea_total:.1} s"
+    );
+    println!(
+        "MOBILE: tx saving = {:.1}% (paper 15%), total saving = {:.1}% (paper 2.5%)",
+        tx_saving * 100.0,
+        total_saving * 100.0
+    );
+    assert!((0.05..0.30).contains(&tx_saving), "tx saving {tx_saving}");
+    assert!(total_saving > -0.05, "total saving {total_saving}");
+    assert!(
+        (3.0..16.0).contains(&orig_tx),
+        "mobile pages load in seconds, got {orig_tx}"
+    );
+}
+
+/// Paper Fig. 12/13 (espn full): intermediate display 17.6 s → 7 s, final
+/// 34.5 s → 28.6 s. Shape: EA intermediate far earlier, EA final earlier.
+#[test]
+fn espn_display_times_match_fig12_13() {
+    let orig = load("espn", PageVersion::Full, PipelineMode::Original);
+    let ea = load("espn", PageVersion::Full, PipelineMode::EnergyAware);
+    let of = orig.first_display_at.unwrap().as_secs_f64();
+    let ef = ea.first_display_at.unwrap().as_secs_f64();
+    let ol = orig.final_display_at.as_secs_f64();
+    let el = ea.final_display_at.as_secs_f64();
+    println!("ESPN first display: orig {of:.1} s (paper 17.6), ea {ef:.1} s (paper 7)");
+    println!("ESPN final display: orig {ol:.1} s (paper 34.5), ea {el:.1} s (paper 28.6)");
+    assert!(ef < 0.6 * of, "EA intermediate should be much earlier");
+    assert!(el < ol, "EA final should be earlier");
+}
+
+/// Diagnostic: print the CPU work breakdown (not asserted).
+#[test]
+fn print_work_breakdown() {
+    for (key, ver) in [("espn", PageVersion::Full), ("cnn", PageVersion::Mobile)] {
+        for mode in [PipelineMode::Original, PipelineMode::EnergyAware] {
+            let m = load(key, ver, mode);
+            println!(
+                "{key}/{ver:?}/{mode:?}: tx={:.1}s load={:.1}s dtc={:.1}s layout={:.1}s redraw={:.1}s js={:.1}s bytes_net={:.1}s",
+                m.transmission_time().as_secs_f64(),
+                m.load_time().as_secs_f64(),
+                m.work.dtc.as_secs_f64(),
+                m.work.layout.as_secs_f64(),
+                m.work.redraw_reflow.as_secs_f64(),
+                m.work.js.as_secs_f64(),
+                m.bytes_fetched as f64 / (95.0 * 1024.0),
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based robustness tests for the browser engine.
+//!
+//! The engine processes whatever the network hands it; none of these
+//! components may panic or hang on arbitrary input.
+
+use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+use ewb_browser::{css, html, js, layout, CpuCostModel};
+use ewb_simcore::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// The HTML tokenizer and parser accept arbitrary strings.
+    #[test]
+    fn html_parse_never_panics(input in ".{0,400}") {
+        let r = html::parse(&input);
+        prop_assert!(!r.document.is_empty());
+        prop_assert_eq!(r.bytes, input.len());
+    }
+
+    /// Tag-soup built from HTML-ish fragments parses and lays out.
+    #[test]
+    fn tag_soup_builds_a_layoutable_dom(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<div>".to_string()),
+                Just("</div>".to_string()),
+                Just("<p class='a'>".to_string()),
+                Just("</p>".to_string()),
+                Just("<img src='x.jpg'>".to_string()),
+                Just("text content".to_string()),
+                Just("<script>var a = 1;</script>".to_string()),
+                Just("<!-- comment -->".to_string()),
+                Just("<a href='y.html'>l</a>".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let doc_text: String = parts.concat();
+        let r = html::parse(&doc_text);
+        let lr = layout::layout(&r.document, None, 980.0);
+        prop_assert!(lr.page_height >= 0.0);
+        prop_assert!(lr.page_width >= 980.0);
+    }
+
+    /// Text length through the parser never exceeds input length.
+    #[test]
+    fn parsed_text_is_bounded_by_input(input in "[a-z<>/ ]{0,300}") {
+        let r = html::parse(&input);
+        prop_assert!(r.document.text_len() <= input.len());
+    }
+
+    /// The CSS parser and scanner accept arbitrary strings and agree that
+    /// scanning finds at least every URL the parser attributes to
+    /// declarations.
+    #[test]
+    fn css_paths_never_panic(input in ".{0,400}") {
+        let parsed = css::parse(&input);
+        let scanned = css::scan_urls(&input);
+        prop_assert_eq!(scanned.bytes, input.len());
+        for u in &parsed.urls {
+            prop_assert!(
+                scanned.urls.contains(u),
+                "parser found {} that scan missed", u
+            );
+        }
+    }
+
+    /// The JS engine accepts arbitrary strings: parse errors are flagged,
+    /// and execution always terminates within gas.
+    #[test]
+    fn js_never_panics_or_hangs(input in ".{0,300}") {
+        let out = js::execute(&input, Some(50_000));
+        prop_assert!(out.ops <= 50_001);
+        if !out.parse_ok {
+            prop_assert!(out.effects.is_empty());
+        }
+    }
+
+    /// Structured-but-random JS programs run within budget.
+    #[test]
+    fn random_programs_terminate(
+        n in 0u32..50,
+        m in 1u32..20,
+        s in "[a-z]{1,8}",
+    ) {
+        let src = format!(
+            "var acc = 0;\nvar i = 0;\nwhile (i < {n}) {{ acc = acc + i % {m}; i = i + 1; }}\n\
+             if (acc > 3) {{ loadImage(\"{s}\" + acc + \".png\"); }}"
+        );
+        let out = js::execute(&src, None);
+        prop_assert!(out.parse_ok);
+        prop_assert!(!out.hit_gas_limit);
+    }
+
+    /// Layout is monotone in content: adding a paragraph never shrinks
+    /// the page.
+    #[test]
+    fn layout_is_monotone(base in "[a-z ]{0,200}", extra in "[a-z ]{1,200}") {
+        let d1 = html::parse(&format!("<p>{base}</p>"));
+        let d2 = html::parse(&format!("<p>{base}</p><p>{extra}</p>"));
+        let h1 = layout::layout(&d1.document, None, 980.0).page_height;
+        let h2 = layout::layout(&d2.document, None, 980.0).page_height;
+        prop_assert!(h2 >= h1);
+    }
+}
+
+// A fetcher serving one synthetic object store built from arbitrary
+// bodies: the pipeline must terminate and account every byte.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn pipeline_survives_arbitrary_content(
+        html_body in ".{0,500}",
+        css_body in ".{0,200}",
+        js_body in ".{0,200}",
+        mode_ea in any::<bool>(),
+    ) {
+        use ewb_webpage::{ObjectKind, WebObject};
+        // Craft a root that references the two sub-objects plus the
+        // arbitrary body.
+        let root = "http://t/".to_string();
+        let doc = format!(
+            "<html><head><link rel=\"stylesheet\" href=\"http://t/a.css\">\
+             <script src=\"http://t/a.js\"></script></head><body>{html_body}</body></html>"
+        );
+        let objs = vec![
+            WebObject::text(root.clone(), ObjectKind::Html, doc),
+            WebObject::text("http://t/a.css".to_string(), ObjectKind::Css, css_body),
+            WebObject::text("http://t/a.js".to_string(), ObjectKind::Js, js_body),
+        ];
+        // An instant in-memory fetcher over a URL map.
+        struct MapFetcher {
+            map: std::collections::HashMap<String, WebObject>,
+            queue: std::collections::VecDeque<(String, SimTime)>,
+        }
+        impl ewb_browser::fetch::ResourceFetcher for MapFetcher {
+            fn request(&mut self, url: &str, t: SimTime) {
+                self.queue.push_back((url.to_string(), t));
+            }
+            fn next_completion(&mut self) -> Option<ewb_browser::fetch::FetchCompletion> {
+                let (url, t) = self.queue.pop_front()?;
+                Some(ewb_browser::fetch::FetchCompletion {
+                    object: self.map.get(&url).cloned(),
+                    url,
+                    at: t,
+                })
+            }
+        }
+        let map: std::collections::HashMap<String, WebObject> =
+            objs.into_iter().map(|o| (o.url.clone(), o)).collect();
+        let total_bytes: u64 = map.values().map(|o| o.bytes).sum();
+        let mut fetcher = MapFetcher { map, queue: Default::default() };
+        let mode = if mode_ea { PipelineMode::EnergyAware } else { PipelineMode::Original };
+        let m = load_page(
+            &mut fetcher,
+            &root,
+            SimTime::ZERO,
+            &PipelineConfig::new(mode),
+            &CpuCostModel::default(),
+        );
+        // Every *existing* object referenced got fetched; arbitrary bodies
+        // may reference nonexistent URLs (404s are fine).
+        prop_assert!(m.bytes_fetched >= total_bytes.min(1));
+        prop_assert!(m.final_display_at >= m.data_transmission_end);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the Erlang-loss capacity simulator.
+
+use ewb_capacity::{erlang_b, simulate, CapacityConfig, ServiceTimes};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: offered = carried + dropped, probabilities bounded.
+    #[test]
+    fn accounting_is_conserved(
+        users in 10usize..600,
+        channels in 5usize..250,
+        mean_service in 1.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CapacityConfig {
+            channels,
+            users,
+            mean_interarrival_s: 25.0,
+            horizon_s: 5_000.0,
+            seed,
+        };
+        let r = simulate(&cfg, &ServiceTimes::Exponential(mean_service));
+        prop_assert!(r.dropped <= r.offered);
+        prop_assert!((0.0..=1.0).contains(&r.drop_probability()));
+        prop_assert!(r.peak_busy <= channels);
+    }
+
+    /// Erlang-B is monotone: more load blocks more, more servers block
+    /// less.
+    #[test]
+    fn erlang_b_monotonicity(n in 1usize..100, a in 0.1f64..120.0, da in 0.1f64..20.0) {
+        let b = erlang_b(n, a);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(erlang_b(n, a + da) >= b - 1e-12, "more load, more blocking");
+        prop_assert!(erlang_b(n + 1, a) <= b + 1e-12, "more servers, less blocking");
+    }
+
+    /// The insensitivity property: deterministic and exponential service
+    /// with the same mean block (approximately) alike.
+    #[test]
+    fn insensitivity_holds(seed in any::<u64>()) {
+        let cfg = CapacityConfig {
+            channels: 15,
+            users: 60,
+            mean_interarrival_s: 25.0,
+            horizon_s: 150_000.0,
+            seed,
+        };
+        let e = simulate(&cfg, &ServiceTimes::Exponential(5.0)).drop_probability();
+        let d = simulate(&cfg, &ServiceTimes::Deterministic(5.0)).drop_probability();
+        prop_assert!((e - d).abs() < 0.04, "expo {e} vs det {d}");
+    }
+
+    /// The simulator agrees with the closed form across loads.
+    #[test]
+    fn simulator_tracks_erlang_b(users in 30usize..200, seed in any::<u64>()) {
+        let cfg = CapacityConfig {
+            channels: 20,
+            users,
+            mean_interarrival_s: 25.0,
+            horizon_s: 200_000.0,
+            seed,
+        };
+        let mean_service = 4.0;
+        let got = simulate(&cfg, &ServiceTimes::Exponential(mean_service)).drop_probability();
+        let expected = erlang_b(20, users as f64 * mean_service / 25.0);
+        prop_assert!((got - expected).abs() < 0.03, "sim {got} vs B {expected}");
+    }
+}

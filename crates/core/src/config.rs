@@ -1,0 +1,156 @@
+//! Top-level configuration: the paper's Table 2 parameters plus the
+//! substrate configurations.
+
+use ewb_browser::CpuCostModel;
+use ewb_net::NetConfig;
+use ewb_rrc::RrcConfig;
+use serde::{Deserialize, Serialize};
+
+/// Algorithm 2's operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AlgorithmMode {
+    /// Optimize delay: only release when no delay penalty is possible
+    /// (`Tr > Td`).
+    #[default]
+    DelayDriven,
+    /// Optimize power: release whenever it saves energy (`Tr > Tp`), even
+    /// at some delay risk.
+    PowerDriven,
+}
+
+/// The paper's Table 2 parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmParams {
+    /// Interest threshold α: wait this long after the page opens before
+    /// predicting (sub-α visits never reach the predictor). Paper: 2 s.
+    pub alpha_s: f64,
+    /// Delay-driven threshold Td = T1 + T2 ≈ 20 s.
+    pub td_s: f64,
+    /// Power-driven threshold Tp = 9 s (the Fig. 3 break-even).
+    pub tp_s: f64,
+    /// Operating mode.
+    pub mode: AlgorithmMode,
+}
+
+impl AlgorithmParams {
+    /// The paper's values.
+    pub fn paper() -> Self {
+        AlgorithmParams {
+            alpha_s: 2.0,
+            td_s: 20.0,
+            tp_s: 9.0,
+            mode: AlgorithmMode::DelayDriven,
+        }
+    }
+
+    /// The release threshold implied by the mode: Algorithm 2 switches to
+    /// IDLE when `Tr > Td`, or when `Tr > Tp` in power-driven mode.
+    pub fn release_threshold_s(&self) -> f64 {
+        match self.mode {
+            AlgorithmMode::DelayDriven => self.td_s,
+            AlgorithmMode::PowerDriven => self.tp_s,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("alpha_s", self.alpha_s), ("td_s", self.td_s), ("tp_s", self.tp_s)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        if self.tp_s > self.td_s {
+            return Err("Tp must not exceed Td".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AlgorithmParams {
+    fn default() -> Self {
+        AlgorithmParams::paper()
+    }
+}
+
+/// All knobs of the reproduction in one place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// UMTS radio (timers, power, promotions).
+    pub rrc: RrcConfig,
+    /// 3G link (goodput, RTT).
+    pub net: NetConfig,
+    /// Smartphone CPU cost model.
+    pub cost: CpuCostModel,
+    /// Algorithm 2 parameters.
+    pub alg: AlgorithmParams,
+}
+
+impl CoreConfig {
+    /// The paper's testbed configuration.
+    pub fn paper() -> Self {
+        CoreConfig {
+            rrc: RrcConfig::paper(),
+            net: NetConfig::paper(),
+            cost: CpuCostModel::smartphone(),
+            alg: AlgorithmParams::paper(),
+        }
+    }
+
+    /// Validates every component.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure.
+    pub fn validate(&self) -> Result<(), String> {
+        self.rrc.validate()?;
+        self.net.validate()?;
+        self.alg.validate()
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_table2() {
+        let p = AlgorithmParams::paper();
+        assert_eq!(p.alpha_s, 2.0);
+        assert_eq!(p.td_s, 20.0);
+        assert_eq!(p.tp_s, 9.0);
+        assert_eq!(p.mode, AlgorithmMode::DelayDriven);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn mode_selects_threshold() {
+        let mut p = AlgorithmParams::paper();
+        assert_eq!(p.release_threshold_s(), 20.0);
+        p.mode = AlgorithmMode::PowerDriven;
+        assert_eq!(p.release_threshold_s(), 9.0);
+    }
+
+    #[test]
+    fn validation_rejects_inverted_thresholds() {
+        let p = AlgorithmParams { tp_s: 30.0, ..AlgorithmParams::paper() };
+        assert!(p.validate().is_err());
+        let p = AlgorithmParams { alpha_s: f64::NAN, ..AlgorithmParams::paper() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn core_config_validates() {
+        assert!(CoreConfig::paper().validate().is_ok());
+        assert_eq!(CoreConfig::default(), CoreConfig::paper());
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 4 — browser-paced traffic vs a bulk socket download.
+//!
+//! The paper opens espn.go.com/sports (760 KB) in the stock browser: the
+//! transmissions spread over 47 s in bursts. A socket client pulls the
+//! same bytes in 8 s. The contrast motivates grouping the transmissions.
+
+use super::single_visit;
+use crate::cases::Case;
+use crate::config::CoreConfig;
+use ewb_net::download::{bulk_download, BulkDownload, TRAFFIC_BUCKET};
+use ewb_simcore::SimTime;
+use ewb_webpage::{Corpus, OriginServer, PageVersion};
+
+/// The Fig. 4 data: browser-paced and socket-paced transfers of the same
+/// byte volume.
+#[derive(Debug, Clone)]
+pub struct TrafficComparison {
+    /// Bytes per 0.5 s bucket for the browser-paced load.
+    pub browser_buckets: Vec<f64>,
+    /// Browser transmission duration, s.
+    pub browser_duration_s: f64,
+    /// Bytes per 0.5 s bucket for the bulk download.
+    pub bulk_buckets: Vec<f64>,
+    /// Bulk download duration, s.
+    pub bulk_duration_s: f64,
+    /// Total bytes moved (identical in both).
+    pub total_bytes: u64,
+}
+
+/// Runs the comparison on one page (the paper uses espn full).
+pub fn compare(
+    corpus: &Corpus,
+    server: &OriginServer,
+    cfg: &CoreConfig,
+    key: &str,
+) -> TrafficComparison {
+    let page = corpus
+        .page(key, PageVersion::Full)
+        .unwrap_or_else(|| panic!("unknown benchmark site {key}"));
+    let out = single_visit(server, page, Case::Original, cfg, 0.0);
+    let record = &out.pages[0];
+
+    // The browser-paced traffic: rebuild the per-completion series from
+    // the replayed radio's transfer activity is equivalent to the load's
+    // own traffic series; use a fresh pipeline run for the series.
+    let mut fetcher =
+        ewb_net::ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), server, SimTime::ZERO);
+    let metrics = ewb_browser::pipeline::load_page(
+        &mut fetcher,
+        page.root_url(),
+        SimTime::ZERO,
+        &ewb_browser::pipeline::PipelineConfig::new(Case::Original.pipeline_mode()),
+        &cfg.cost,
+    );
+
+    let bulk: BulkDownload = bulk_download(&cfg.net, &cfg.rrc, page.total_bytes(), SimTime::ZERO);
+
+    TrafficComparison {
+        browser_buckets: metrics.traffic.bucket_sums(TRAFFIC_BUCKET),
+        browser_duration_s: record.tx_time_s(),
+        bulk_buckets: bulk.traffic.bucket_sums(TRAFFIC_BUCKET),
+        bulk_duration_s: bulk.duration.as_secs_f64(),
+        total_bytes: page.total_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewb_webpage::benchmark_corpus;
+
+    #[test]
+    fn browser_is_several_times_slower_than_bulk() {
+        let corpus = benchmark_corpus(1);
+        let server = OriginServer::from_corpus(&corpus);
+        let cfg = CoreConfig::paper();
+        let c = compare(&corpus, &server, &cfg, "espn");
+        // Paper: 47 s vs 8 s (≈5.9×). Shape: browser-paced should be
+        // well over 2× the socket time.
+        let ratio = c.browser_duration_s / c.bulk_duration_s;
+        assert!(
+            ratio > 2.0,
+            "browser {:.1}s vs bulk {:.1}s (ratio {ratio:.2})",
+            c.browser_duration_s,
+            c.bulk_duration_s
+        );
+        // Both move the full 760 KB.
+        let kb = c.total_bytes as f64 / 1024.0;
+        assert!((660.0..860.0).contains(&kb));
+        let browser_sum: f64 = c.browser_buckets.iter().sum();
+        assert!((browser_sum - c.total_bytes as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn browser_traffic_is_bursty_bulk_is_continuous() {
+        let corpus = benchmark_corpus(1);
+        let server = OriginServer::from_corpus(&corpus);
+        let cfg = CoreConfig::paper();
+        let c = compare(&corpus, &server, &cfg, "espn");
+        // Compare within each transfer's active span (trim the leading
+        // promotion/RTT silence and trailing zeros).
+        let idle_frac = |buckets: &[f64]| {
+            let first = buckets.iter().position(|&b| b > 0.0).unwrap_or(0);
+            let last = buckets.iter().rposition(|&b| b > 0.0).unwrap_or(0);
+            let active = &buckets[first..=last];
+            active.iter().filter(|&&b| b == 0.0).count() as f64 / active.len() as f64
+        };
+        let browser_idle = idle_frac(&c.browser_buckets);
+        let bulk_idle = idle_frac(&c.bulk_buckets);
+        assert!(
+            browser_idle > bulk_idle + 0.15,
+            "browser idle {browser_idle:.2} should exceed bulk idle {bulk_idle:.2}"
+        );
+    }
+}

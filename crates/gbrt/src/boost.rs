@@ -1,0 +1,476 @@
+//! Gradient boosting (the paper's Algorithm 1, "Regression Tree Boost").
+//!
+//! ```text
+//! F0(x) = median{y}
+//! for m in 1..=M:
+//!     ỹ_i   = -∂L(y_i, F_{m-1}(x_i)) / ∂F_{m-1}(x_i)       (pseudo-residuals)
+//!     {R_jm} = J-terminal-node tree fitted to {ỹ_i, x_i}
+//!     γ_jm  = argmin_γ Σ_{x_i ∈ R_jm} L(y_i, F_{m-1}(x_i) + γ)
+//!     F_m(x) = F_{m-1}(x) + ν · Σ_j γ_jm · 1(x ∈ R_jm)
+//! ```
+//!
+//! `ν` is the shrinkage (learning rate); the paper's Table 7 measures
+//! prediction cost for forests of 1 000–20 000 trees of 8 nodes each.
+
+use crate::data::Dataset;
+use crate::loss::Loss;
+use crate::tree::{RegressionTree, TreeParams};
+use ewb_simcore::Xoshiro256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbrtParams {
+    /// Number of boosting iterations `M`.
+    pub n_trees: usize,
+    /// Terminal nodes per tree `J` (paper default: 8).
+    pub max_leaves: usize,
+    /// Shrinkage `ν` applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled (without replacement) per iteration;
+    /// 1.0 disables subsampling (stochastic gradient boosting otherwise).
+    pub subsample: f64,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// The boosting loss.
+    pub loss: Loss,
+    /// Seed for the subsampling stream.
+    pub seed: u64,
+}
+
+impl Default for GbrtParams {
+    fn default() -> Self {
+        GbrtParams {
+            n_trees: 200,
+            max_leaves: 8,
+            learning_rate: 0.1,
+            subsample: 1.0,
+            min_samples_leaf: 2,
+            loss: Loss::SquaredError,
+            seed: 0,
+        }
+    }
+}
+
+impl GbrtParams {
+    /// Validates the hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_trees == 0 {
+            return Err("n_trees must be at least 1".to_string());
+        }
+        if self.max_leaves < 2 {
+            return Err("max_leaves must be at least 2".to_string());
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0 && self.learning_rate <= 1.0)
+        {
+            return Err(format!(
+                "learning_rate must be in (0,1], got {}",
+                self.learning_rate
+            ));
+        }
+        if !(self.subsample.is_finite() && self.subsample > 0.0 && self.subsample <= 1.0) {
+            return Err(format!("subsample must be in (0,1], got {}", self.subsample));
+        }
+        Ok(())
+    }
+}
+
+/// A trained boosted forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbrtModel {
+    init: f64,
+    trees: Vec<RegressionTree>,
+    loss: Loss,
+    n_features: usize,
+}
+
+/// The trainer. (A unit struct namespace: `Gbrt::fit` mirrors the paper's
+/// "Regression Tree Boost" procedure name.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gbrt;
+
+impl Gbrt {
+    /// Trains a model on `data` with `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`GbrtParams::validate`].
+    pub fn fit(data: &Dataset, params: &GbrtParams) -> GbrtModel {
+        Gbrt::fit_traced(data, params).0
+    }
+
+    /// Like [`Gbrt::fit`], additionally returning the training loss after
+    /// each boosting stage (useful for convergence tests and the ablation
+    /// benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`GbrtParams::validate`].
+    pub fn fit_traced(data: &Dataset, params: &GbrtParams) -> (GbrtModel, Vec<f64>) {
+        if let Err(e) = params.validate() {
+            panic!("invalid GbrtParams: {e}");
+        }
+        let n = data.len();
+        let targets = data.targets();
+        let init = params.loss.initial_value(targets);
+        let mut predictions = vec![init; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut loss_curve = Vec::with_capacity(params.n_trees);
+        let mut rng = Xoshiro256::seed_from_u64(params.seed);
+        let tree_params = TreeParams {
+            max_leaves: params.max_leaves,
+            min_samples_leaf: params.min_samples_leaf,
+        };
+
+        let all_indices: Vec<usize> = (0..n).collect();
+        for _ in 0..params.n_trees {
+            // Pseudo-residuals under the current model.
+            let residuals = params.loss.negative_gradient(targets, &predictions);
+
+            // Optional stochastic subsample.
+            let indices: Vec<usize> = if params.subsample < 1.0 {
+                let k = ((n as f64) * params.subsample).ceil().max(1.0) as usize;
+                let mut shuffled = all_indices.clone();
+                rng.shuffle(&mut shuffled);
+                shuffled.truncate(k);
+                shuffled
+            } else {
+                all_indices.clone()
+            };
+
+            let mut tree = RegressionTree::fit(data.rows(), &residuals, &indices, &tree_params);
+
+            // Loss-optimal leaf values γ_jm over the *training* samples in
+            // each region (all samples, not just the subsample — the
+            // regions partition the whole space).
+            let mut regions: HashMap<usize, Vec<usize>> = HashMap::new();
+            for &i in &all_indices {
+                regions.entry(tree.leaf_id(data.row(i))).or_default().push(i);
+            }
+            for (leaf, members) in &regions {
+                let ys: Vec<f64> = members.iter().map(|&i| targets[i]).collect();
+                let fs: Vec<f64> = members.iter().map(|&i| predictions[i]).collect();
+                let gamma = params.loss.leaf_value(&ys, &fs);
+                tree.set_leaf_value(*leaf, gamma * params.learning_rate);
+            }
+
+            // F_m = F_{m-1} + ν γ.
+            for &i in &all_indices {
+                predictions[i] += tree.predict(data.row(i));
+            }
+            loss_curve.push(params.loss.mean_loss(targets, &predictions));
+            trees.push(tree);
+        }
+
+        (
+            GbrtModel {
+                init,
+                trees,
+                loss: params.loss,
+                n_features: data.n_features(),
+            },
+            loss_curve,
+        )
+    }
+}
+
+impl GbrtModel {
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.init + self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Prediction using only the first `m` trees — the staged model `F_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the number of trees or `x` has the wrong
+    /// width.
+    pub fn predict_staged(&self, x: &[f64], m: usize) -> f64 {
+        assert!(m <= self.trees.len(), "stage {m} > {} trees", self.trees.len());
+        self.init + self.trees[..m].iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// The constant initial model `F0`.
+    pub fn initial_value(&self) -> f64 {
+        self.init
+    }
+
+    /// Number of trees `M`.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The loss the model was trained with.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Read access to the individual trees (for importance analysis).
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Serializes the model to JSON — the paper's "deploy the tree model
+    /// to the prediction program" step (§4.3.3).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for models produced by [`Gbrt::fit`] (all values are
+    /// finite).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("GbrtModel is always serializable")
+    }
+
+    /// Deserializes a model from [`GbrtModel::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::rmse;
+
+    /// A nonlinear, interaction-heavy synthetic regression problem.
+    fn friedman_like(n: usize, seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..5).map(|_| rng.f64()).collect();
+            let y = 10.0 * (std::f64::consts::PI * x[0] * x[1]).sin()
+                + 20.0 * (x[2] - 0.5).powi(2)
+                + 10.0 * x[3]
+                + 5.0 * x[4];
+            rows.push(x);
+            ys.push(y);
+        }
+        Dataset::new(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn training_loss_is_nonincreasing_for_l2() {
+        let data = friedman_like(300, 1);
+        let (_, curve) = Gbrt::fit_traced(
+            &data,
+            &GbrtParams { n_trees: 60, ..GbrtParams::default() },
+        );
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "loss increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn fits_nonlinear_function_well() {
+        let data = friedman_like(500, 2);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 300, learning_rate: 0.1, ..GbrtParams::default() },
+        );
+        let err = rmse(&model.predict_all(&data), data.targets());
+        let baseline = rmse(
+            &vec![model.initial_value(); data.len()],
+            data.targets(),
+        );
+        assert!(err < baseline * 0.25, "rmse {err} vs baseline {baseline}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let data = friedman_like(1200, 3);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let (train, test) = data.split(0.7, &mut rng);
+        let model = Gbrt::fit(
+            &train,
+            &GbrtParams { n_trees: 300, ..GbrtParams::default() },
+        );
+        let err = rmse(&model.predict_all(&test), test.targets());
+        let baseline = rmse(&vec![model.initial_value(); test.len()], test.targets());
+        assert!(err < baseline * 0.5, "test rmse {err} vs baseline {baseline}");
+    }
+
+    #[test]
+    fn initial_value_is_target_median() {
+        let data = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![1.0, 100.0, 3.0],
+        )
+        .unwrap();
+        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 1, ..GbrtParams::default() });
+        assert_eq!(model.initial_value(), 3.0);
+    }
+
+    #[test]
+    fn staged_prediction_matches_full() {
+        let data = friedman_like(200, 4);
+        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 30, ..GbrtParams::default() });
+        let x = data.row(0);
+        assert_eq!(model.predict_staged(x, 30), model.predict(x));
+        assert_eq!(model.predict_staged(x, 0), model.initial_value());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = friedman_like(200, 5);
+        let p = GbrtParams { n_trees: 20, subsample: 0.6, seed: 11, ..GbrtParams::default() };
+        let a = Gbrt::fit(&data, &p);
+        let b = Gbrt::fit(&data, &p);
+        assert_eq!(a, b);
+        let c = Gbrt::fit(&data, &GbrtParams { seed: 12, ..p });
+        assert_ne!(a, c, "different seed should subsample differently");
+    }
+
+    #[test]
+    fn subsampling_still_converges() {
+        let data = friedman_like(400, 6);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 200, subsample: 0.5, ..GbrtParams::default() },
+        );
+        let err = rmse(&model.predict_all(&data), data.targets());
+        let baseline = rmse(&vec![model.initial_value(); data.len()], data.targets());
+        assert!(err < baseline * 0.5, "rmse {err} vs baseline {baseline}");
+    }
+
+    #[test]
+    fn l1_loss_trains_and_is_robust() {
+        let mut data = friedman_like(300, 7);
+        // Inject gross outliers.
+        let mut rows = data.rows().to_vec();
+        let mut ys = data.targets().to_vec();
+        for i in 0..10 {
+            rows.push(vec![0.5; 5]);
+            ys.push(1e4 + i as f64);
+        }
+        data = Dataset::new(rows, ys).unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 100, loss: Loss::AbsoluteError, ..GbrtParams::default() },
+        );
+        // Median-based model should stay near the bulk, not the outliers.
+        let pred = model.predict(&[0.1, 0.9, 0.3, 0.7, 0.2]);
+        assert!(pred < 100.0, "L1 model dragged to outliers: {pred}");
+    }
+
+    #[test]
+    fn trees_have_at_most_j_leaves() {
+        let data = friedman_like(300, 8);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 10, max_leaves: 8, ..GbrtParams::default() },
+        );
+        for t in model.trees() {
+            assert!(t.n_leaves() <= 8);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let data = friedman_like(150, 9);
+        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 15, ..GbrtParams::default() });
+        let restored = GbrtModel::from_json(&model.to_json()).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(model.predict(data.row(i)), restored.predict(data.row(i)));
+        }
+        assert!(GbrtModel::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GbrtParams")]
+    fn rejects_zero_trees() {
+        let data = friedman_like(10, 10);
+        Gbrt::fit(&data, &GbrtParams { n_trees: 0, ..GbrtParams::default() });
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(GbrtParams::default().validate().is_ok());
+        assert!(GbrtParams { max_leaves: 1, ..GbrtParams::default() }.validate().is_err());
+        assert!(GbrtParams { learning_rate: 0.0, ..GbrtParams::default() }.validate().is_err());
+        assert!(GbrtParams { learning_rate: 2.0, ..GbrtParams::default() }.validate().is_err());
+        assert!(GbrtParams { subsample: 0.0, ..GbrtParams::default() }.validate().is_err());
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+
+    #[test]
+    fn single_row_dataset_trains_to_a_constant() {
+        let data = Dataset::new(vec![vec![1.0, 2.0]], vec![7.0]).unwrap();
+        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 5, ..GbrtParams::default() });
+        assert_eq!(model.predict(&[1.0, 2.0]), 7.0);
+        assert_eq!(model.predict(&[100.0, -5.0]), 7.0, "no splits possible");
+    }
+
+    #[test]
+    fn min_samples_leaf_larger_than_data_gives_constant_trees() {
+        let data = Dataset::new(
+            (0..6).map(|i| vec![i as f64]).collect(),
+            (0..6).map(|i| i as f64 * 3.0).collect(),
+        )
+        .unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 10, min_samples_leaf: 10, ..GbrtParams::default() },
+        );
+        for t in model.trees() {
+            assert_eq!(t.n_leaves(), 1);
+        }
+        // Prediction = median everywhere.
+        assert_eq!(model.predict(&[0.0]), model.predict(&[5.0]));
+    }
+
+    #[test]
+    fn duplicate_rows_with_conflicting_targets_average_out() {
+        let data = Dataset::new(
+            vec![vec![1.0]; 10],
+            (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect(),
+        )
+        .unwrap();
+        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 50, ..GbrtParams::default() });
+        let p = model.predict(&[1.0]);
+        assert!((4.0..6.0).contains(&p), "should settle near the mean: {p}");
+    }
+
+    #[test]
+    fn extreme_learning_rate_one_still_converges_on_train() {
+        let data = Dataset::new(
+            (0..50).map(|i| vec![i as f64]).collect(),
+            (0..50).map(|i| ((i / 10) * 10) as f64).collect(),
+        )
+        .unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 30, learning_rate: 1.0, ..GbrtParams::default() },
+        );
+        let err = crate::eval::rmse(&model.predict_all(&data), data.targets());
+        assert!(err < 1.0, "rmse {err}");
+    }
+}

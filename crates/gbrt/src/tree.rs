@@ -1,0 +1,480 @@
+//! CART-style regression trees with J terminal nodes.
+//!
+//! The paper's Algorithm 1 grows a `J-terminalnode tree` per boosting
+//! iteration. We grow trees **best-first**: starting from the root, the
+//! leaf whose best split yields the largest squared-error reduction is
+//! expanded next, until the tree has `max_leaves` terminal nodes or no
+//! split improves the fit. This produces exactly J terminal regions
+//! `{R_j}` as in Eq. (7) of the paper.
+
+use crate::data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Tree growth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum number of terminal nodes (the paper's `J`). Table 7
+    /// evaluates forests of 8-node trees.
+    pub max_leaves: usize,
+    /// Minimum number of training samples on each side of a split.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_leaves: 8,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// A tree node: either a terminal value or a binary split
+/// (`x[feature] <= threshold` goes left).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+///
+/// # Example
+///
+/// ```
+/// use ewb_gbrt::{Dataset, RegressionTree, TreeParams};
+///
+/// // A step function of the first feature.
+/// let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..10).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+/// let data = Dataset::new(rows, y).unwrap();
+/// let tree = RegressionTree::fit_dataset(&data, &TreeParams::default());
+/// assert_eq!(tree.predict(&[2.0]), 1.0);
+/// assert_eq!(tree.predict(&[7.0]), 9.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// `(feature, gain)` for every split made — input to feature
+    /// importance.
+    split_gains: Vec<(usize, f64)>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+/// A grown-but-unexpanded leaf awaiting possible splitting.
+struct Candidate {
+    node: usize,
+    split: BestSplit,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `targets[i]` for the samples `indices` drawn from
+    /// `rows`. This is the boosting-internal entry point — each boosting
+    /// stage fits a tree to pseudo-residuals over a (possibly subsampled)
+    /// index set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty, any index is out of bounds, or
+    /// `params.max_leaves == 0`.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert!(params.max_leaves >= 1, "max_leaves must be at least 1");
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        let n_features = rows.first().map_or(0, |r| r.len());
+
+        let root_value = region_mean(targets, indices);
+        let mut tree = RegressionTree {
+            nodes: vec![Node::Leaf { value: root_value }],
+            n_features,
+            split_gains: Vec::new(),
+        };
+        let mut leaves = 1usize;
+        let mut candidates: Vec<Candidate> = Vec::new();
+        if let Some(split) = best_split(rows, targets, indices, params.min_samples_leaf) {
+            candidates.push(Candidate { node: 0, split });
+        }
+
+        while leaves < params.max_leaves && !candidates.is_empty() {
+            // Deterministic arg-max: largest gain, ties to the earliest
+            // node (stable regardless of float noise in unrelated splits).
+            let mut best = 0;
+            for (i, c) in candidates.iter().enumerate() {
+                if c.split.gain > candidates[best].split.gain {
+                    best = i;
+                }
+            }
+            let Candidate { node, split } = candidates.swap_remove(best);
+
+            let left_value = region_mean(targets, &split.left);
+            let right_value = region_mean(targets, &split.right);
+            let left_id = tree.nodes.len();
+            tree.nodes.push(Node::Leaf { value: left_value });
+            let right_id = tree.nodes.len();
+            tree.nodes.push(Node::Leaf { value: right_value });
+            tree.nodes[node] = Node::Split {
+                feature: split.feature,
+                threshold: split.threshold,
+                left: left_id,
+                right: right_id,
+            };
+            tree.split_gains.push((split.feature, split.gain));
+            leaves += 1;
+
+            for (child, idx) in [(left_id, split.left), (right_id, split.right)] {
+                if let Some(s) = best_split(rows, targets, &idx, params.min_samples_leaf) {
+                    candidates.push(Candidate { node: child, split: s });
+                }
+            }
+        }
+        tree
+    }
+
+    /// Fits a tree directly to a [`Dataset`]'s targets.
+    pub fn fit_dataset(data: &Dataset, params: &TreeParams) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        RegressionTree::fit(data.rows(), data.targets(), &indices, params)
+    }
+
+    /// Predicts the value for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match self.nodes[self.leaf_id(x)] {
+            Node::Leaf { value } => value,
+            Node::Split { .. } => unreachable!("leaf_id returns a leaf"),
+        }
+    }
+
+    /// The node index of the terminal region `x` falls into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn leaf_id(&self, x: &[f64]) -> usize {
+        assert_eq!(
+            x.len(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            x.len()
+        );
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Overwrites the value of leaf `node` — used by the booster to install
+    /// the loss-optimal `γ_jm` of the paper's Algorithm 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a leaf or the value is not finite.
+    pub fn set_leaf_value(&mut self, node: usize, value: f64) {
+        assert!(value.is_finite(), "leaf value must be finite");
+        match &mut self.nodes[node] {
+            Node::Leaf { value: v } => *v = value,
+            Node::Split { .. } => panic!("node {node} is not a leaf"),
+        }
+    }
+
+    /// Number of terminal nodes.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Total number of nodes (terminal + internal).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of features the tree was trained with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Maximum root-to-leaf depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// `(feature, impurity_gain)` for each split made while growing.
+    pub fn split_gains(&self) -> &[(usize, f64)] {
+        &self.split_gains
+    }
+}
+
+fn region_mean(targets: &[f64], indices: &[usize]) -> f64 {
+    indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64
+}
+
+/// Finds the squared-error-optimal split of `indices`, or `None` when no
+/// split has positive gain (e.g. constant targets or too few samples).
+fn best_split(
+    rows: &[Vec<f64>],
+    targets: &[f64],
+    indices: &[usize],
+    min_leaf: usize,
+) -> Option<BestSplit> {
+    let n = indices.len();
+    if n < 2 * min_leaf.max(1) {
+        return None;
+    }
+    let n_features = rows[indices[0]].len();
+    let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+    let parent_score = total_sum * total_sum / n as f64;
+
+    let mut best: Option<(usize, f64, f64, usize)> = None; // (feature, threshold, gain, sorted_split_pos)
+    let mut best_order: Vec<usize> = Vec::new();
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // `feature` is a real feature index, not a rows iterator
+    for feature in 0..n_features {
+        order.clear();
+        order.extend_from_slice(indices);
+        order.sort_by(|&a, &b| {
+            rows[a][feature]
+                .partial_cmp(&rows[b][feature])
+                .expect("finite feature values")
+        });
+        // Scan split positions: left = order[..k], right = order[k..].
+        let mut left_sum = 0.0;
+        for k in 1..n {
+            left_sum += targets[order[k - 1]];
+            // Cannot split between equal feature values.
+            if rows[order[k - 1]][feature] == rows[order[k]][feature] {
+                continue;
+            }
+            if k < min_leaf || n - k < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let score = left_sum * left_sum / k as f64
+                + right_sum * right_sum / (n - k) as f64;
+            let gain = score - parent_score;
+            if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.2) {
+                let threshold =
+                    0.5 * (rows[order[k - 1]][feature] + rows[order[k]][feature]);
+                best = Some((feature, threshold, gain, k));
+                best_order = order.clone();
+            }
+        }
+    }
+
+    best.map(|(feature, threshold, gain, k)| BestSplit {
+        feature,
+        threshold,
+        gain,
+        left: best_order[..k].to_vec(),
+        right: best_order[k..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(rows: Vec<Vec<f64>>, y: Vec<f64>) -> Dataset {
+        Dataset::new(rows, y).unwrap()
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let d = dataset(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            vec![5.0; 10],
+        );
+        let t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[100.0]), 5.0);
+    }
+
+    #[test]
+    fn step_function_recovered_exactly() {
+        let d = dataset(
+            (0..20).map(|i| vec![i as f64]).collect(),
+            (0..20).map(|i| if i < 12 { -3.0 } else { 4.0 }).collect(),
+        );
+        let t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        assert_eq!(t.predict(&[0.0]), -3.0);
+        assert_eq!(t.predict(&[11.0]), -3.0);
+        assert_eq!(t.predict(&[12.0]), 4.0);
+        assert_eq!(t.predict(&[19.0]), 4.0);
+    }
+
+    #[test]
+    fn respects_max_leaves() {
+        let d = dataset(
+            (0..100).map(|i| vec![i as f64]).collect(),
+            (0..100).map(|i| (i as f64).sin() * 10.0).collect(),
+        );
+        for j in [1, 2, 4, 8, 16] {
+            let t = RegressionTree::fit_dataset(
+                &d,
+                &TreeParams { max_leaves: j, min_samples_leaf: 1 },
+            );
+            assert!(t.n_leaves() <= j, "J={j} got {}", t.n_leaves());
+            if j > 1 {
+                assert!(t.n_leaves() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines y.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64, ((i * 7919) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| if r[0] < 5.0 { 0.0 } else { 10.0 }).collect();
+        let t = RegressionTree::fit_dataset(
+            &dataset(rows, y),
+            &TreeParams { max_leaves: 2, min_samples_leaf: 1 },
+        );
+        assert_eq!(t.split_gains().len(), 1);
+        assert_eq!(t.split_gains()[0].0, 0, "should split on feature 0");
+    }
+
+    #[test]
+    fn interaction_needs_enough_leaves() {
+        // XOR of two binary features (with a tiny marginal hint so the
+        // greedy first split has positive gain — pure XOR has zero
+        // marginal gain for any single split, a known CART limitation):
+        // unlearnable with 2 leaves, essentially exact with 4.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                let xor = if (r[0] as i64) ^ (r[1] as i64) == 1 { 1.0 } else { 0.0 };
+                xor + 0.01 * r[0]
+            })
+            .collect();
+        let d = dataset(rows.clone(), y.clone());
+        let shallow = RegressionTree::fit_dataset(
+            &d,
+            &TreeParams { max_leaves: 2, min_samples_leaf: 1 },
+        );
+        let deep = RegressionTree::fit_dataset(
+            &d,
+            &TreeParams { max_leaves: 4, min_samples_leaf: 1 },
+        );
+        let sse = |t: &RegressionTree| -> f64 {
+            rows.iter().zip(&y).map(|(r, &v)| (t.predict(r) - v).powi(2)).sum()
+        };
+        assert!(sse(&shallow) > 5.0, "2 leaves cannot capture XOR: {}", sse(&shallow));
+        for (r, target) in rows.iter().zip(&y) {
+            assert!((deep.predict(r) - target).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_limits_splits() {
+        let d = dataset(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| i as f64).collect(),
+        );
+        let t = RegressionTree::fit_dataset(
+            &d,
+            &TreeParams { max_leaves: 16, min_samples_leaf: 5 },
+        );
+        // Only the middle split satisfies 5/5.
+        assert_eq!(t.n_leaves(), 2);
+    }
+
+    #[test]
+    fn leaf_ids_partition_samples() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).cos()).collect();
+        let d = dataset(rows.clone(), y);
+        let t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        for r in &rows {
+            let id = t.leaf_id(r);
+            assert!(matches!(t.nodes[id], Node::Leaf { .. }));
+        }
+        assert_eq!(t.n_nodes(), 2 * t.n_leaves() - 1);
+    }
+
+    #[test]
+    fn set_leaf_value_changes_prediction() {
+        let d = dataset(vec![vec![0.0], vec![1.0]], vec![0.0, 10.0]);
+        let mut t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        let id = t.leaf_id(&[0.0]);
+        t.set_leaf_value(id, -99.0);
+        assert_eq!(t.predict(&[0.0]), -99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn set_leaf_value_rejects_internal_nodes() {
+        let d = dataset(vec![vec![0.0], vec![1.0]], vec![0.0, 10.0]);
+        let mut t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        // Node 0 is the root split for this data.
+        t.set_leaf_value(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 features")]
+    fn predict_rejects_wrong_width() {
+        let d = dataset(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0]);
+        let t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        t.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 5) as f64 * 2.0).collect();
+        let d = dataset(rows.clone(), y);
+        let t = RegressionTree::fit_dataset(&d, &TreeParams::default());
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: RegressionTree = serde_json::from_str(&json).unwrap();
+        for r in &rows {
+            assert_eq!(t.predict(r), t2.predict(r));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the GBRT implementation.
+
+use ewb_gbrt::{Dataset, Gbrt, GbrtParams, Loss, RegressionTree, TreeParams};
+use proptest::prelude::*;
+
+/// Arbitrary small regression problems: 2 features, bounded values.
+fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    proptest::collection::vec(((-100.0f64..100.0), (-100.0f64..100.0), (-50.0f64..50.0)), 4..80)
+        .prop_map(|triples| {
+            let rows = triples.iter().map(|t| vec![t.0, t.1]).collect();
+            let ys = triples.iter().map(|t| t.2).collect();
+            (rows, ys)
+        })
+}
+
+proptest! {
+    /// A single tree's predictions always lie within the target range
+    /// (leaf values are means of target subsets).
+    #[test]
+    fn tree_predictions_within_target_range((rows, ys) in problem()) {
+        let data = Dataset::new(rows.clone(), ys.clone()).unwrap();
+        let tree = RegressionTree::fit_dataset(&data, &TreeParams::default());
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for r in &rows {
+            let p = tree.predict(r);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Tree training-set SSE never exceeds the constant-mean baseline.
+    #[test]
+    fn tree_never_worse_than_mean((rows, ys) in problem()) {
+        let data = Dataset::new(rows.clone(), ys.clone()).unwrap();
+        let tree = RegressionTree::fit_dataset(&data, &TreeParams::default());
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let sse_tree: f64 = rows.iter().zip(&ys).map(|(r, &y)| (tree.predict(r) - y).powi(2)).sum();
+        let sse_mean: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
+        prop_assert!(sse_tree <= sse_mean + 1e-6);
+    }
+
+    /// Trees are binary: node count is exactly 2·leaves − 1.
+    #[test]
+    fn tree_shape_invariant((rows, ys) in problem(), j in 2usize..16) {
+        let data = Dataset::new(rows, ys).unwrap();
+        let tree = RegressionTree::fit_dataset(
+            &data,
+            &TreeParams { max_leaves: j, min_samples_leaf: 1 },
+        );
+        prop_assert_eq!(tree.n_nodes(), 2 * tree.n_leaves() - 1);
+        prop_assert!(tree.n_leaves() <= j);
+        prop_assert!(tree.depth() < tree.n_leaves().max(1));
+    }
+
+    /// L2 boosting training loss is non-increasing stage over stage for
+    /// arbitrary data.
+    #[test]
+    fn boosting_loss_monotone((rows, ys) in problem()) {
+        let data = Dataset::new(rows, ys).unwrap();
+        let (_, curve) = Gbrt::fit_traced(
+            &data,
+            &GbrtParams { n_trees: 15, min_samples_leaf: 1, ..GbrtParams::default() },
+        );
+        for w in curve.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Model serialization round-trips exactly.
+    #[test]
+    fn model_roundtrip((rows, ys) in problem(), loss_l1 in any::<bool>()) {
+        let data = Dataset::new(rows.clone(), ys).unwrap();
+        let loss = if loss_l1 { Loss::AbsoluteError } else { Loss::SquaredError };
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 5, loss, min_samples_leaf: 1, ..GbrtParams::default() },
+        );
+        let restored = ewb_gbrt::GbrtModel::from_json(&model.to_json()).unwrap();
+        for r in &rows {
+            prop_assert_eq!(model.predict(r), restored.predict(r));
+        }
+    }
+
+    /// Staged predictions interpolate from F0 to the full model.
+    #[test]
+    fn staged_prediction_consistency((rows, ys) in problem()) {
+        let data = Dataset::new(rows.clone(), ys).unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 8, min_samples_leaf: 1, ..GbrtParams::default() },
+        );
+        let x = &rows[0];
+        prop_assert_eq!(model.predict_staged(x, 0), model.initial_value());
+        prop_assert_eq!(model.predict_staged(x, model.n_trees()), model.predict(x));
+    }
+
+    /// Feature importance is a probability vector (or all zeros).
+    #[test]
+    fn importance_is_normalized((rows, ys) in problem()) {
+        let data = Dataset::new(rows, ys).unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 5, min_samples_leaf: 1, ..GbrtParams::default() },
+        );
+        let imp = ewb_gbrt::feature_importance(&model);
+        prop_assert_eq!(imp.len(), 2);
+        prop_assert!(imp.iter().all(|&g| g >= 0.0));
+        let total: f64 = imp.iter().sum();
+        prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Link parameters.
+
+use ewb_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// 3G link configuration.
+///
+/// Defaults reproduce the paper's testbed throughput: the Fig. 4 socket
+/// experiment downloads 760 KB in ≈8 s, i.e. ≈95 KB/s of DCH goodput.
+/// FACH carries only "a few hundred bytes/second" (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// DCH downlink goodput, bytes/second.
+    pub dch_bytes_per_sec: f64,
+    /// FACH shared-channel goodput, bytes/second.
+    pub fach_bytes_per_sec: f64,
+    /// HTTP request round-trip (uplink + server think time), excluding
+    /// RRC promotion latency which the radio model adds on its own.
+    pub rtt: SimDuration,
+}
+
+impl NetConfig {
+    /// The paper's link.
+    pub fn paper() -> Self {
+        NetConfig {
+            dch_bytes_per_sec: 95.0 * 1024.0,
+            fach_bytes_per_sec: 400.0,
+            rtt: SimDuration::from_millis(300),
+        }
+    }
+
+    /// Transfer duration for a payload of `bytes` at the given goodput.
+    pub fn transfer_time(&self, bytes: u64, bytes_per_sec: f64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.dch_bytes_per_sec.is_finite() && self.dch_bytes_per_sec > 0.0) {
+            return Err(format!("dch rate must be positive, got {}", self.dch_bytes_per_sec));
+        }
+        if !(self.fach_bytes_per_sec.is_finite() && self.fach_bytes_per_sec > 0.0) {
+            return Err(format!("fach rate must be positive, got {}", self.fach_bytes_per_sec));
+        }
+        if self.fach_bytes_per_sec > self.dch_bytes_per_sec {
+            return Err("FACH cannot be faster than DCH".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_give_eight_second_bulk() {
+        let cfg = NetConfig::paper();
+        let t = cfg.transfer_time(760 * 1024, cfg.dch_bytes_per_sec);
+        assert!((t.as_secs_f64() - 8.0).abs() < 0.1, "{t}");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        let mut cfg = NetConfig::paper();
+        cfg.dch_bytes_per_sec = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NetConfig::paper();
+        cfg.fach_bytes_per_sec = cfg.dch_bytes_per_sec * 2.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Bulk socket download — the paper's Fig. 4 comparison line.
+//!
+//! "We open a socket client to download the same amount of data (760 KB),
+//! and it only takes 8 seconds." One promotion, one round trip, then a
+//! continuous stream at DCH goodput.
+
+use crate::config::NetConfig;
+use ewb_rrc::{RrcConfig, RrcMachine};
+use ewb_simcore::{SimDuration, SimTime, TimeSeries};
+
+/// The result of a bulk download.
+#[derive(Debug, Clone)]
+pub struct BulkDownload {
+    /// Total wall-clock duration from request to last byte.
+    pub duration: SimDuration,
+    /// Handset energy over the download (radio only), joules.
+    pub energy_j: f64,
+    /// Bytes-per-bucket traffic series (0.5 s buckets, like Fig. 4).
+    pub traffic: TimeSeries,
+    /// The radio, positioned at the end of the download.
+    pub machine: RrcMachine,
+}
+
+/// Fig. 4's bucket width.
+pub const TRAFFIC_BUCKET: SimDuration = SimDuration::from_millis(500);
+
+/// Downloads `bytes` as one continuous stream starting at `start` from a
+/// cold (IDLE) radio.
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero or a configuration is invalid.
+pub fn bulk_download(
+    cfg: &NetConfig,
+    rrc_cfg: &RrcConfig,
+    bytes: u64,
+    start: SimTime,
+) -> BulkDownload {
+    assert!(bytes > 0, "cannot download zero bytes");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid NetConfig: {e}");
+    }
+    let mut machine = RrcMachine::new(rrc_cfg.clone(), start);
+    let data_start = machine.begin_transfer(start, true);
+    let stream_start = data_start + cfg.rtt;
+    let end = stream_start + cfg.transfer_time(bytes, cfg.dch_bytes_per_sec);
+    machine.end_transfer(end);
+
+    // Record arrival of bytes into Fig. 4 buckets.
+    let mut traffic = TimeSeries::new();
+    let mut t = stream_start;
+    while t < end {
+        let next = (t + TRAFFIC_BUCKET).min(end);
+        let frac = (next - t).as_secs_f64() / (end - stream_start).as_secs_f64();
+        traffic.record(t, bytes as f64 * frac);
+        t = next;
+    }
+
+    BulkDownload {
+        duration: end - start,
+        energy_j: machine.energy_j(),
+        traffic,
+        machine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_760kb_takes_about_8s_plus_promotion() {
+        let d = bulk_download(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            760 * 1024,
+            SimTime::ZERO,
+        );
+        let secs = d.duration.as_secs_f64();
+        // 1.75 s promotion + 0.3 s RTT + 8.0 s stream.
+        assert!((9.5..10.6).contains(&secs), "duration {secs}");
+    }
+
+    #[test]
+    fn traffic_sums_to_total_bytes() {
+        let bytes = 300 * 1024;
+        let d = bulk_download(&NetConfig::paper(), &RrcConfig::paper(), bytes, SimTime::ZERO);
+        assert!((d.traffic.total() - bytes as f64).abs() < 1.0);
+        // Buckets are dense: a continuous stream, unlike browser-paced.
+        let buckets = d.traffic.bucket_sums(TRAFFIC_BUCKET);
+        let busy = buckets.iter().filter(|&&b| b > 0.0).count();
+        assert!(busy as f64 >= 0.9 * buckets.len() as f64 - 7.0);
+    }
+
+    #[test]
+    fn energy_accounts_promotion_and_stream() {
+        let d = bulk_download(&NetConfig::paper(), &RrcConfig::paper(), 95 * 1024, SimTime::ZERO);
+        // promotion 7.0 J + (0.3 + 1.0) s at 1.25 W.
+        let expected = 7.0 + 1.3 * 1.25;
+        assert!((d.energy_j - expected).abs() < 0.05, "{}", d.energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bytes")]
+    fn rejects_zero_bytes() {
+        bulk_download(&NetConfig::paper(), &RrcConfig::paper(), 0, SimTime::ZERO);
+    }
+}

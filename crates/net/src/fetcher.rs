@@ -1,0 +1,261 @@
+//! The 3G resource fetcher: HTTP transactions over the RRC radio.
+
+use crate::config::NetConfig;
+use ewb_browser::fetch::{FetchCompletion, ResourceFetcher};
+use ewb_rrc::{RrcConfig, RrcMachine, RrcState};
+use ewb_simcore::SimTime;
+use ewb_webpage::OriginServer;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One radio transfer as observed at the handset — the replayable record
+/// of a session's network activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// When the browser issued the request (radio activity starts here).
+    pub requested_at: SimTime,
+    /// When response data could start flowing (after any promotion).
+    pub data_start: SimTime,
+    /// When the transfer finished.
+    pub end: SimTime,
+    /// Response payload size (0 for a 404 control exchange).
+    pub bytes: u64,
+    /// Whether the transfer needed dedicated channels.
+    pub needs_dch: bool,
+}
+
+/// A [`ResourceFetcher`] over a simulated UMTS radio.
+///
+/// Each request wakes the radio (promoting from IDLE/FACH as needed),
+/// pays the HTTP round trip, and streams the response at the state's
+/// goodput over a FIFO link. Concurrent requests keep the radio's
+/// transfer refcount up, so the inactivity timers behave exactly as the
+/// network side would.
+#[derive(Debug)]
+pub struct ThreeGFetcher<'a> {
+    cfg: NetConfig,
+    machine: RrcMachine,
+    server: &'a OriginServer,
+    queue: VecDeque<(String, SimTime)>,
+    busy_until: SimTime,
+    transfers: Vec<TransferRecord>,
+}
+
+impl<'a> ThreeGFetcher<'a> {
+    /// Creates a fetcher with a fresh radio in IDLE at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    pub fn new(
+        cfg: NetConfig,
+        rrc_cfg: RrcConfig,
+        server: &'a OriginServer,
+        start: SimTime,
+    ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid NetConfig: {e}");
+        }
+        ThreeGFetcher {
+            cfg,
+            machine: RrcMachine::new(rrc_cfg, start),
+            server,
+            queue: VecDeque::new(),
+            busy_until: start,
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing radio (e.g. mid-session, still in FACH from the
+    /// previous page).
+    pub fn with_machine(cfg: NetConfig, machine: RrcMachine, server: &'a OriginServer) -> Self {
+        let busy_until = machine.now();
+        ThreeGFetcher {
+            cfg,
+            machine,
+            server,
+            queue: VecDeque::new(),
+            busy_until,
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Read access to the radio.
+    pub fn machine(&self) -> &RrcMachine {
+        &self.machine
+    }
+
+    /// Mutable access to the radio (e.g. to fast-dormancy release between
+    /// page loads).
+    pub fn machine_mut(&mut self) -> &mut RrcMachine {
+        &mut self.machine
+    }
+
+    /// Consumes the fetcher, returning the radio.
+    pub fn into_machine(self) -> RrcMachine {
+        self.machine
+    }
+
+    /// The recorded transfers, in completion order.
+    pub fn transfers(&self) -> &[TransferRecord] {
+        &self.transfers
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+}
+
+impl ResourceFetcher for ThreeGFetcher<'_> {
+    fn request(&mut self, url: &str, t: SimTime) {
+        self.queue.push_back((url.to_string(), t));
+    }
+
+    fn next_completion(&mut self) -> Option<FetchCompletion> {
+        let (url, t) = self.queue.pop_front()?;
+        let object = self.server.fetch(&url).cloned();
+        let bytes = object.as_ref().map_or(0, |o| o.bytes);
+        // Uplink request: even a 404 exchanges a little data. Whether the
+        // response needs dedicated channels depends on its size.
+        let needs_dch = self
+            .machine
+            .config()
+            .needs_dch(bytes.max(1));
+        // The machine processes events sequentially; a request issued
+        // while a previous transfer is still draining piggybacks on the
+        // already-active radio (no promotion, RTT overlapped with the
+        // earlier transfer's bytes).
+        let begin_at = t.max(self.machine.now());
+        let data_start = self.machine.begin_transfer(begin_at, needs_dch);
+        let promotion = data_start - begin_at;
+        // Response bytes flow after the request's own round trip (anchored
+        // at the *request* time plus any real promotion wait), once the
+        // FIFO link is free; the rate depends on the state serving them.
+        let rate = if self.machine.state() == RrcState::Fach && !needs_dch {
+            self.cfg.fach_bytes_per_sec
+        } else {
+            self.cfg.dch_bytes_per_sec
+        };
+        let response_start = (t + promotion + self.cfg.rtt).max(self.busy_until);
+        let end = response_start + self.cfg.transfer_time(bytes, rate);
+        self.machine.end_transfer(end);
+        self.busy_until = end;
+        // Record the machine-effective begin time so a replay (which
+        // drives a fresh machine with the same calls) stays chronological.
+        self.transfers.push(TransferRecord {
+            requested_at: begin_at,
+            data_start,
+            end,
+            bytes,
+            needs_dch,
+        });
+        Some(FetchCompletion {
+            url,
+            at: end,
+            object,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewb_simcore::SimDuration;
+    use ewb_webpage::{benchmark_corpus, PageVersion};
+
+    fn setup() -> (OriginServer, String) {
+        let corpus = benchmark_corpus(2);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        (OriginServer::from_corpus(&corpus), espn.root_url().to_string())
+    }
+
+    #[test]
+    fn cold_request_pays_promotion_and_rtt() {
+        let (server, root) = setup();
+        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        f.request(&root, SimTime::ZERO);
+        let c = f.next_completion().unwrap();
+        let obj = c.object.unwrap();
+        let expected = 1.75 + 0.3 + obj.bytes as f64 / (95.0 * 1024.0);
+        assert!(
+            (c.at.as_secs_f64() - expected).abs() < 1e-6,
+            "got {} expected {expected}",
+            c.at.as_secs_f64()
+        );
+        assert_eq!(f.machine().counters().idle_to_dch, 1);
+        assert_eq!(f.transfers().len(), 1);
+    }
+
+    #[test]
+    fn warm_requests_skip_promotion() {
+        let (server, root) = setup();
+        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        f.request(&root, SimTime::ZERO);
+        let c1 = f.next_completion().unwrap();
+        f.request("http://www.espn.com/main/css/s0.css", c1.at);
+        let c2 = f.next_completion().unwrap();
+        assert_eq!(f.machine().counters().idle_to_dch, 1, "no second promotion");
+        assert!(c2.at > c1.at);
+    }
+
+    #[test]
+    fn pipelined_requests_share_the_link_fifo() {
+        let (server, _) = setup();
+        let corpus = benchmark_corpus(2);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        for o in espn.objects() {
+            f.request(&o.url, SimTime::ZERO);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some(c) = f.next_completion() {
+            assert!(c.at >= last);
+            last = c.at;
+            n += 1;
+        }
+        assert_eq!(n, espn.object_count());
+        // All queued at once: one promotion + one RTT + streaming ≈ 10 s.
+        let secs = last.as_secs_f64();
+        assert!((8.0..13.0).contains(&secs), "bulk-ish download took {secs}");
+    }
+
+    #[test]
+    fn radio_rides_tail_to_idle_after_transfers() {
+        let (server, root) = setup();
+        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        f.request(&root, SimTime::ZERO);
+        let c = f.next_completion().unwrap();
+        let m = f.machine_mut();
+        m.advance_to(c.at + SimDuration::from_secs(30));
+        assert_eq!(m.state(), RrcState::Idle);
+        assert_eq!(m.counters().t1_expirations, 1);
+        assert_eq!(m.counters().t2_expirations, 1);
+    }
+
+    #[test]
+    fn missing_url_costs_a_round_trip_not_bytes() {
+        let (server, _) = setup();
+        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        f.request("http://nowhere/x", SimTime::ZERO);
+        let c = f.next_completion().unwrap();
+        assert!(c.object.is_none());
+        // Promotion (small transfer → FACH path) + rtt.
+        assert!(c.at.as_secs_f64() < 1.5, "{}", c.at);
+        assert_eq!(f.transfers()[0].bytes, 0);
+    }
+
+    #[test]
+    fn records_match_machine_timeline() {
+        let (server, root) = setup();
+        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        f.request(&root, SimTime::ZERO);
+        let c = f.next_completion().unwrap();
+        let r = f.transfers()[0];
+        assert_eq!(r.end, c.at);
+        assert!(r.data_start >= r.requested_at);
+        assert!(r.end > r.data_start);
+        assert_eq!(f.machine().now(), r.end);
+    }
+}

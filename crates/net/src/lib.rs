@@ -1,0 +1,57 @@
+//! # ewb-net — the simulated 3G network path
+//!
+//! Connects the browser engine to the origin server through a UMTS radio:
+//!
+//! * [`NetConfig`] — link parameters (DCH/FACH goodput, round-trip time),
+//!   calibrated so a 760 KB bulk download takes ≈8 s (the paper's Fig. 4
+//!   socket experiment);
+//! * [`ThreeGFetcher`] — implements the browser's
+//!   [`ResourceFetcher`](ewb_browser::fetch::ResourceFetcher) on top of an
+//!   [`RrcMachine`](ewb_rrc::RrcMachine): requests promote the radio,
+//!   transfers hold it, and every radio event is recorded for energy
+//!   replay;
+//! * [`download`] — the bulk socket download model (Fig. 4's comparison
+//!   line);
+//! * [`replay`] — re-integrates a session's radio events together with the
+//!   browser's CPU-busy intervals on a fresh machine, producing the exact
+//!   handset energy of the session.
+//!
+//! # Example
+//!
+//! ```
+//! use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+//! use ewb_browser::CpuCostModel;
+//! use ewb_net::{NetConfig, ThreeGFetcher};
+//! use ewb_rrc::RrcConfig;
+//! use ewb_simcore::SimTime;
+//! use ewb_webpage::{benchmark_corpus, OriginServer, PageVersion};
+//!
+//! let corpus = benchmark_corpus(1);
+//! let server = OriginServer::from_corpus(&corpus);
+//! let espn = corpus.page("espn", PageVersion::Full).unwrap();
+//!
+//! let mut fetcher = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+//! let metrics = load_page(
+//!     &mut fetcher,
+//!     espn.root_url(),
+//!     SimTime::ZERO,
+//!     &PipelineConfig::new(PipelineMode::EnergyAware),
+//!     &CpuCostModel::default(),
+//! );
+//! // The radio paid a cold promotion for the first request.
+//! assert!(fetcher.machine().counters().idle_to_dch >= 1);
+//! assert!(metrics.objects_fetched > 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fetcher;
+
+pub mod download;
+pub mod proxy;
+pub mod replay;
+
+pub use config::NetConfig;
+pub use fetcher::{ThreeGFetcher, TransferRecord};

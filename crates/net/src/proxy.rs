@@ -1,0 +1,198 @@
+//! A remote-proxy baseline (the paper's §6 Opera-Mini comparison).
+//!
+//! "Opera Mini first processes webpages on a proxy and then deliver the
+//! data to smartphones. Although these approaches can reduce the webpage
+//! loading time, they need additional remote devices." This module models
+//! that comparator: the proxy fetches and renders the page server-side,
+//! then ships one compressed bundle; the handset pays one radio transfer
+//! plus a thin decode/paint pass.
+
+use crate::config::NetConfig;
+use ewb_rrc::{RrcConfig, RrcMachine};
+use ewb_simcore::{SimDuration, SimTime};
+use ewb_webpage::Page;
+use serde::{Deserialize, Serialize};
+
+/// Proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProxyConfig {
+    /// Bundle size as a fraction of the original page bytes (Opera Mini
+    /// advertised up to 90 % reduction; 0.45 is a conservative figure for
+    /// image-heavy pages).
+    pub compression_ratio: f64,
+    /// Server-side fetch+render time before the first byte ships.
+    pub proxy_render: SimDuration,
+    /// Handset-side decode+paint CPU time per shipped KB.
+    pub client_us_per_kb: f64,
+}
+
+impl ProxyConfig {
+    /// A 2009-era transcoding proxy.
+    pub fn paper_era() -> Self {
+        ProxyConfig {
+            compression_ratio: 0.45,
+            proxy_render: SimDuration::from_millis(1500),
+            client_us_per_kb: 8_000.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.compression_ratio.is_finite()
+            && self.compression_ratio > 0.0
+            && self.compression_ratio <= 1.0)
+        {
+            return Err(format!(
+                "compression ratio must be in (0,1], got {}",
+                self.compression_ratio
+            ));
+        }
+        if !(self.client_us_per_kb.is_finite() && self.client_us_per_kb >= 0.0) {
+            return Err("client cost must be non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig::paper_era()
+    }
+}
+
+/// The outcome of a proxy-mediated page load.
+#[derive(Debug, Clone)]
+pub struct ProxyLoad {
+    /// Click → final display, as a duration.
+    pub load_time: SimDuration,
+    /// Handset energy, joules (radio + client CPU + display).
+    pub energy_j: f64,
+    /// Bytes shipped over the air.
+    pub bytes_shipped: u64,
+    /// The radio, positioned at the end of the load.
+    pub machine: RrcMachine,
+}
+
+/// Loads `page` through the proxy from a cold (IDLE) radio.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid.
+pub fn proxy_load(
+    net: &NetConfig,
+    rrc: &RrcConfig,
+    proxy: &ProxyConfig,
+    page: &Page,
+    start: SimTime,
+) -> ProxyLoad {
+    if let Err(e) = net.validate() {
+        panic!("invalid NetConfig: {e}");
+    }
+    if let Err(e) = proxy.validate() {
+        panic!("invalid ProxyConfig: {e}");
+    }
+    let bytes_shipped =
+        ((page.total_bytes() as f64) * proxy.compression_ratio).ceil() as u64;
+    let mut machine = RrcMachine::new(rrc.clone(), start);
+    let data_start = machine.begin_transfer(start, true);
+    // One round trip, the proxy's render time, then a continuous stream.
+    let stream_start = data_start + net.rtt + proxy.proxy_render;
+    let end = stream_start + net.transfer_time(bytes_shipped, net.dch_bytes_per_sec);
+    machine.end_transfer(end);
+    // Thin-client decode+paint on the handset.
+    let client = SimDuration::from_micros(
+        (bytes_shipped as f64 / 1024.0 * proxy.client_us_per_kb).round() as u64,
+    );
+    machine.set_cpu_load(end, 1.0);
+    machine.advance_to(end + client);
+    machine.set_cpu_load(end + client, 0.0);
+    ProxyLoad {
+        load_time: (end + client) - start,
+        energy_j: machine.energy_j(),
+        bytes_shipped,
+        machine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewb_webpage::{benchmark_corpus, PageVersion};
+
+    fn espn() -> Page {
+        benchmark_corpus(4)
+            .page("espn", PageVersion::Full)
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn proxy_ships_fewer_bytes_and_loads_fast() {
+        let page = espn();
+        let out = proxy_load(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            &ProxyConfig::paper_era(),
+            &page,
+            SimTime::ZERO,
+        );
+        assert!(out.bytes_shipped < page.total_bytes() / 2 + 1);
+        // ~45% of 760 KB at 95 KB/s ≈ 3.5 s + promotion + render + client.
+        let secs = out.load_time.as_secs_f64();
+        assert!((5.0..15.0).contains(&secs), "proxy load {secs} s");
+    }
+
+    #[test]
+    fn proxy_energy_accounts_radio_and_client() {
+        let page = espn();
+        let out = proxy_load(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            &ProxyConfig::paper_era(),
+            &page,
+            SimTime::ZERO,
+        );
+        // Lower bound: promotion + streaming at DCH-tx power.
+        let stream_s = out.bytes_shipped as f64 / (95.0 * 1024.0);
+        assert!(out.energy_j > 7.0 + stream_s * 1.25);
+        assert!(out.energy_j < 60.0, "{}", out.energy_j);
+    }
+
+    #[test]
+    fn lighter_compression_ships_more_and_takes_longer() {
+        let page = espn();
+        let tight = proxy_load(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            &ProxyConfig { compression_ratio: 0.2, ..ProxyConfig::paper_era() },
+            &page,
+            SimTime::ZERO,
+        );
+        let loose = proxy_load(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            &ProxyConfig { compression_ratio: 0.9, ..ProxyConfig::paper_era() },
+            &page,
+            SimTime::ZERO,
+        );
+        assert!(tight.bytes_shipped < loose.bytes_shipped);
+        assert!(tight.load_time < loose.load_time);
+        assert!(tight.energy_j < loose.energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn rejects_bad_ratio() {
+        proxy_load(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            &ProxyConfig { compression_ratio: 0.0, ..ProxyConfig::paper_era() },
+            &espn(),
+            SimTime::ZERO,
+        );
+    }
+}

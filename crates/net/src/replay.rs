@@ -1,0 +1,242 @@
+//! Energy replay: radio events + CPU-busy intervals → exact handset energy.
+//!
+//! The [`ThreeGFetcher`](crate::ThreeGFetcher) computes transfer timing on
+//! a radio whose CPU load is zero (the browser engine is network-agnostic
+//! and doesn't know about the radio). To get the *handset* energy — radio
+//! plus CPU plus display, as the paper's Agilent rig measures it — the
+//! session's events are replayed chronologically onto a fresh machine with
+//! the CPU intervals interleaved.
+
+use crate::fetcher::TransferRecord;
+use ewb_rrc::{RrcConfig, RrcMachine};
+use ewb_simcore::SimTime;
+
+/// One radio-relevant event of a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RadioEvent {
+    /// A transfer begins (request issued).
+    BeginTransfer {
+        /// Request time.
+        at: SimTime,
+        /// Whether dedicated channels are needed.
+        needs_dch: bool,
+    },
+    /// A transfer ends (last byte).
+    EndTransfer {
+        /// Completion time.
+        at: SimTime,
+    },
+    /// Application-initiated fast-dormancy release (Algorithm 2's "switch
+    /// to IDLE state").
+    Release {
+        /// When the release is requested.
+        at: SimTime,
+    },
+    /// CPU load change (browser computation starting or stopping).
+    CpuLoad {
+        /// When the load changes.
+        at: SimTime,
+        /// New load in `[0, 1]`.
+        load: f64,
+    },
+}
+
+impl RadioEvent {
+    /// Event time.
+    pub fn at(&self) -> SimTime {
+        match self {
+            RadioEvent::BeginTransfer { at, .. }
+            | RadioEvent::EndTransfer { at }
+            | RadioEvent::Release { at }
+            | RadioEvent::CpuLoad { at, .. } => *at,
+        }
+    }
+}
+
+/// Builds the event list for one page load: its transfers plus the
+/// browser's CPU-busy intervals.
+pub fn events_of_load(
+    transfers: &[TransferRecord],
+    cpu_busy: &[(SimTime, SimTime)],
+) -> Vec<RadioEvent> {
+    let mut events = Vec::with_capacity(transfers.len() * 2 + cpu_busy.len() * 2);
+    for t in transfers {
+        events.push(RadioEvent::BeginTransfer {
+            at: t.requested_at,
+            needs_dch: t.needs_dch,
+        });
+        events.push(RadioEvent::EndTransfer { at: t.end });
+    }
+    for &(s, e) in cpu_busy {
+        events.push(RadioEvent::CpuLoad { at: s, load: 1.0 });
+        events.push(RadioEvent::CpuLoad { at: e, load: 0.0 });
+    }
+    events
+}
+
+/// Replays `events` (sorted internally; ties keep insertion order within
+/// the same kind, with transfer-ends before begins so refcounts match the
+/// original timeline) onto a fresh machine, then advances to `until`.
+///
+/// # Panics
+///
+/// Panics if the event sequence is inconsistent (e.g. an `EndTransfer`
+/// without a matching begin), which indicates a session-assembly bug.
+pub fn replay(
+    rrc_cfg: RrcConfig,
+    start: SimTime,
+    mut events: Vec<RadioEvent>,
+    until: SimTime,
+) -> RrcMachine {
+    // Stable sort by time; rank breaks exact-time ties: CPU changes first
+    // (they never interact with refcounts), then transfer ends, then
+    // begins, then releases (a release always follows the transfers that
+    // triggered the decision).
+    fn rank(e: &RadioEvent) -> u8 {
+        match e {
+            RadioEvent::CpuLoad { .. } => 0,
+            RadioEvent::EndTransfer { .. } => 1,
+            RadioEvent::BeginTransfer { .. } => 2,
+            RadioEvent::Release { .. } => 3,
+        }
+    }
+    events.sort_by(|a, b| a.at().cmp(&b.at()).then(rank(a).cmp(&rank(b))));
+
+    let mut machine = RrcMachine::new(rrc_cfg, start);
+    for e in events {
+        match e {
+            RadioEvent::BeginTransfer { at, needs_dch } => {
+                let _ = machine.begin_transfer(at, needs_dch);
+            }
+            RadioEvent::EndTransfer { at } => machine.end_transfer(at),
+            RadioEvent::Release { at } => {
+                let _ = machine.release_to_idle(at);
+            }
+            RadioEvent::CpuLoad { at, load } => machine.set_cpu_load(at, load),
+        }
+    }
+    machine.advance_to(until.max(machine.now()));
+    machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::fetcher::ThreeGFetcher;
+    use ewb_browser::fetch::ResourceFetcher;
+    use ewb_simcore::SimDuration;
+    use ewb_webpage::{benchmark_corpus, OriginServer, PageVersion};
+
+    #[test]
+    fn replay_matches_fetcher_radio_energy_without_cpu() {
+        let corpus = benchmark_corpus(3);
+        let server = OriginServer::from_corpus(&corpus);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        let mut f =
+            ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        for o in espn.objects() {
+            f.request(&o.url, SimTime::ZERO);
+        }
+        while f.next_completion().is_some() {}
+        let end = f.machine().now();
+        let original_energy = f.machine().energy_j();
+
+        let events = events_of_load(f.transfers(), &[]);
+        let replayed = replay(RrcConfig::paper(), SimTime::ZERO, events, end);
+        assert!(
+            (replayed.energy_j() - original_energy).abs() < 1e-6,
+            "replayed {} vs original {original_energy}",
+            replayed.energy_j()
+        );
+        assert_eq!(replayed.residency(), f.machine().residency());
+    }
+
+    #[test]
+    fn cpu_intervals_add_energy() {
+        let transfers = [TransferRecord {
+            requested_at: SimTime::ZERO,
+            data_start: SimTime::from_millis(1750),
+            end: SimTime::from_secs(4),
+            bytes: 100_000,
+            needs_dch: true,
+        }];
+        let no_cpu = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            events_of_load(&transfers, &[]),
+            SimTime::from_secs(10),
+        );
+        let cpu = vec![(SimTime::from_secs(4), SimTime::from_secs(6))];
+        let with_cpu = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            events_of_load(&transfers, &cpu),
+            SimTime::from_secs(10),
+        );
+        let delta = with_cpu.energy_j() - no_cpu.energy_j();
+        assert!((delta - 2.0 * 0.45).abs() < 1e-6, "delta {delta}");
+    }
+
+    #[test]
+    fn release_event_cuts_the_tail() {
+        let transfers = [TransferRecord {
+            requested_at: SimTime::ZERO,
+            data_start: SimTime::from_millis(1750),
+            end: SimTime::from_secs(4),
+            bytes: 100_000,
+            needs_dch: true,
+        }];
+        let mut events = events_of_load(&transfers, &[]);
+        events.push(RadioEvent::Release { at: SimTime::from_secs(4) });
+        let released = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            events,
+            SimTime::from_secs(30),
+        );
+        let kept = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            events_of_load(&transfers, &[]),
+            SimTime::from_secs(30),
+        );
+        assert!(released.energy_j() < kept.energy_j());
+        assert_eq!(released.counters().fast_dormancy_releases, 1);
+    }
+
+    #[test]
+    fn tie_breaking_keeps_refcounts_consistent() {
+        // Two transfers where one ends exactly when another begins.
+        let t = |a: u64, b: u64| TransferRecord {
+            requested_at: SimTime::from_secs(a),
+            data_start: SimTime::from_secs(a),
+            end: SimTime::from_secs(b),
+            bytes: 10_000,
+            needs_dch: true,
+        };
+        let transfers = [t(0, 5), t(5, 9)];
+        let m = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            events_of_load(&transfers, &[]),
+            SimTime::from_secs(40),
+        );
+        assert_eq!(m.counters().transfers, 2);
+        assert!(!m.is_transferring());
+        // T1 armed from the second end only.
+        assert_eq!(m.counters().t1_expirations, 1);
+    }
+
+    #[test]
+    fn until_extends_idle_accounting() {
+        let m = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            Vec::new(),
+            SimTime::from_secs(20),
+        );
+        assert!((m.energy_j() - 20.0 * 0.15).abs() < 1e-9);
+        assert_eq!(m.residency().idle, SimDuration::from_secs(20));
+    }
+}

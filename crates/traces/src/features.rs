@@ -1,0 +1,144 @@
+//! The Table 1 feature vector.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of predictor features (Table 1 lists ten inputs; "Reading Time"
+/// is the target).
+pub const N_FEATURES: usize = 10;
+
+/// Table 1 feature names, in order.
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "Transmission Time",
+    "Webpage Size",
+    "Download Objects",
+    "Download JavaScript files",
+    "Download Figures",
+    "Figure Size",
+    "JavaScript Running Time",
+    "Second URL",
+    "Page Height",
+    "Page Width",
+];
+
+/// One page visit's feature vector `x = {x1..x10}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector(pub [f64; N_FEATURES]);
+
+impl FeatureVector {
+    /// Data transmission time, seconds.
+    pub fn transmission_time(&self) -> f64 {
+        self.0[0]
+    }
+    /// Page size without figures, KB.
+    pub fn page_size(&self) -> f64 {
+        self.0[1]
+    }
+    /// Number of downloaded objects.
+    pub fn objects(&self) -> f64 {
+        self.0[2]
+    }
+    /// Number of downloaded JavaScript files.
+    pub fn js_files(&self) -> f64 {
+        self.0[3]
+    }
+    /// Number of downloaded figures.
+    pub fn figures(&self) -> f64 {
+        self.0[4]
+    }
+    /// Total figure size, KB.
+    pub fn figure_size(&self) -> f64 {
+        self.0[5]
+    }
+    /// JavaScript running time, seconds.
+    pub fn js_time(&self) -> f64 {
+        self.0[6]
+    }
+    /// Number of secondary URLs.
+    pub fn second_urls(&self) -> f64 {
+        self.0[7]
+    }
+    /// Page height, px.
+    pub fn page_height(&self) -> f64 {
+        self.0[8]
+    }
+    /// Page width, px.
+    pub fn page_width(&self) -> f64 {
+        self.0[9]
+    }
+
+    /// The vector as a GBRT input row.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.0.to_vec()
+    }
+
+    /// Builds from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have exactly [`N_FEATURES`] elements.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert_eq!(
+            values.len(),
+            N_FEATURES,
+            "expected {N_FEATURES} features, got {}",
+            values.len()
+        );
+        let mut arr = [0.0; N_FEATURES];
+        arr.copy_from_slice(values);
+        FeatureVector(arr)
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, v)) in FEATURE_NAMES.iter().zip(self.0.iter()).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={v:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_positions() {
+        let fv = FeatureVector([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(fv.transmission_time(), 1.0);
+        assert_eq!(fv.page_size(), 2.0);
+        assert_eq!(fv.objects(), 3.0);
+        assert_eq!(fv.js_files(), 4.0);
+        assert_eq!(fv.figures(), 5.0);
+        assert_eq!(fv.figure_size(), 6.0);
+        assert_eq!(fv.js_time(), 7.0);
+        assert_eq!(fv.second_urls(), 8.0);
+        assert_eq!(fv.page_height(), 9.0);
+        assert_eq!(fv.page_width(), 10.0);
+    }
+
+    #[test]
+    fn roundtrip_slice() {
+        let fv = FeatureVector([0.5; N_FEATURES]);
+        assert_eq!(FeatureVector::from_slice(&fv.to_vec()), fv);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 10 features")]
+    fn rejects_wrong_width() {
+        FeatureVector::from_slice(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_names_every_feature() {
+        let fv = FeatureVector([1.0; N_FEATURES]);
+        let s = fv.to_string();
+        for name in FEATURE_NAMES {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

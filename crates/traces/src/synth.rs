@@ -1,0 +1,240 @@
+//! Per-visit feature synthesis.
+//!
+//! Each visit's Table 1 features derive from the benchmark corpus shapes
+//! (`ewb-webpage`) plus per-visit jitter: a user browsing espn does not
+//! land on the identical page twice. Three of the jitters are deliberately
+//! *independent* across features — they feed the binarized interaction
+//! that drives engaged dwell (see [`crate::user`]), which is what keeps
+//! Table 4's linear correlations at zero while staying tree-learnable.
+
+use crate::features::FeatureVector;
+use ewb_simcore::dist::{Distribution, LogNormal};
+use ewb_simcore::Xoshiro256;
+use ewb_webpage::{Corpus, PageVersion};
+use serde::{Deserialize, Serialize};
+
+/// The latent per-visit factors the dwell model consumes.
+///
+/// Each bit is an **outer-band** indicator of one feature: true when the
+/// value is in the outer half of its (log-symmetric) distribution, i.e.
+/// unusually small *or* unusually large. The symmetry is what keeps every
+/// Pearson coefficient in Table 4 near zero — a banded effect has no
+/// linear component — while a regression tree recovers each bit with two
+/// splits (the band edges). The three carrier features
+/// (`page_height`, `js_running_time`, `second_urls`) are drawn from
+/// global (site-independent) log-normal distributions so the band edges
+/// are global constants; this learnability-preserving simplification is
+/// recorded as a substitution in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisitLatents {
+    /// Page height in the outer band (unusually short or tall page).
+    pub tall_page: bool,
+    /// Secondary-URL count in the outer band.
+    pub link_rich: bool,
+    /// JS running time in the outer band.
+    pub script_heavy: bool,
+}
+
+/// Global median of the page-height feature, px.
+pub const HEIGHT_MEDIAN_PX: f64 = 2800.0;
+/// Log-σ of the page-height feature.
+pub const HEIGHT_SIGMA: f64 = 0.45;
+/// Global median of the JS-running-time feature, seconds.
+pub const JS_TIME_MEDIAN_S: f64 = 0.9;
+/// Log-σ of the JS-time feature.
+pub const JS_TIME_SIGMA: f64 = 0.5;
+/// Global median of the secondary-URL count.
+pub const LINKS_MEDIAN: f64 = 14.0;
+/// Log-σ of the link-count feature.
+pub const LINKS_SIGMA: f64 = 0.5;
+
+/// |z| threshold putting exactly half the mass in the outer band
+/// (Φ(0.674) = 0.75).
+const OUTER_BAND_Z: f64 = 0.674;
+
+/// Whether `value` lies in the outer band of a log-normal with the given
+/// median and log-σ.
+pub fn outer_band(value: f64, median: f64, sigma: f64) -> bool {
+    (value / median).ln().abs() > OUTER_BAND_Z * sigma
+}
+
+/// Synthesizes visit features anchored to corpus page shapes.
+#[derive(Debug, Clone)]
+pub struct VisitSynthesizer {
+    /// `(site_key, version, base)` rows derived from the corpus.
+    bases: Vec<(String, PageVersion, FeatureVector)>,
+}
+
+impl VisitSynthesizer {
+    /// Builds a synthesizer from the benchmark corpus.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let mut bases = Vec::new();
+        for site in corpus.sites() {
+            for version in [PageVersion::Mobile, PageVersion::Full] {
+                let page = match version {
+                    PageVersion::Mobile => &site.mobile,
+                    PageVersion::Full => &site.full,
+                };
+                let spec = page.spec();
+                let text_kb = spec.html_kb
+                    + spec.n_css as f64 * spec.css_kb
+                    + spec.n_scripts as f64 * spec.js_kb;
+                let figures = (spec.n_images + spec.js_fetches + spec.css_image_refs) as f64;
+                let figure_kb = figures * spec.image_kb;
+                // Analytic load estimates (the full browser pipeline gives
+                // the precise values; for trace generation these anchors
+                // only need the right scale).
+                let tx_time = 2.0 + (text_kb + figure_kb) / 95.0 + figures * 0.05;
+                let js_time = spec.n_scripts as f64 * (0.1 + spec.js_work as f64 * 2e-4);
+                let height = 900.0 + spec.text_paragraphs as f64 * 160.0 + figures * 120.0;
+                let width = match version {
+                    PageVersion::Mobile => 480.0,
+                    PageVersion::Full => 980.0,
+                };
+                bases.push((
+                    site.key.clone(),
+                    version,
+                    FeatureVector([
+                        tx_time,
+                        text_kb,
+                        figures + 1.0 + spec.n_css as f64 + spec.n_scripts as f64,
+                        spec.n_scripts as f64,
+                        figures,
+                        figure_kb,
+                        js_time,
+                        spec.n_links as f64,
+                        height,
+                        width,
+                    ]),
+                ));
+            }
+        }
+        VisitSynthesizer { bases }
+    }
+
+    /// Number of distinct (site, version) bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether there are no bases (never true for the benchmark corpus).
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Draws one visit: picks a (site, version), jitters its features,
+    /// and returns the latent bits for the dwell model.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> (String, PageVersion, FeatureVector, VisitLatents) {
+        let (key, version, base) = rng.choose(&self.bases);
+        let mut f = *base;
+
+        // Correlated bulk jitter: bigger variants of the same page.
+        let bulk = LogNormal::new(0.0, 0.25).sample(rng);
+        f.0[1] *= bulk; // page size
+        f.0[2] = (f.0[2] * bulk).round().max(1.0); // objects
+        f.0[3] = (f.0[3] * LogNormal::new(0.0, 0.3).sample(rng)).round().max(0.0);
+        f.0[4] = (f.0[4] * bulk).round().max(0.0); // figures
+        f.0[5] = f.0[5] * bulk * LogNormal::new(0.0, 0.3).sample(rng); // figure KB
+
+        // The three bit-carrying features come from global distributions,
+        // so the outer-band edges are global constants and the bits are
+        // balanced, independent, and recoverable with two splits each.
+        let height = LogNormal::with_median(HEIGHT_MEDIAN_PX, HEIGHT_SIGMA).sample(rng);
+        let js_time = LogNormal::with_median(JS_TIME_MEDIAN_S, JS_TIME_SIGMA).sample(rng);
+        let links = LogNormal::with_median(LINKS_MEDIAN, LINKS_SIGMA).sample(rng);
+        f.0[8] = height;
+        f.0[6] = js_time;
+        f.0[7] = links.round();
+
+        // Transmission time follows the jittered payload plus its own
+        // network noise.
+        f.0[0] = f.0[0] * bulk * LogNormal::new(0.0, 0.2).sample(rng);
+
+        let latents = VisitLatents {
+            tall_page: outer_band(height, HEIGHT_MEDIAN_PX, HEIGHT_SIGMA),
+            link_rich: outer_band(links, LINKS_MEDIAN, LINKS_SIGMA),
+            script_heavy: outer_band(js_time, JS_TIME_MEDIAN_S, JS_TIME_SIGMA),
+        };
+        (key.clone(), *version, f, latents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewb_webpage::benchmark_corpus;
+
+    fn synth() -> VisitSynthesizer {
+        VisitSynthesizer::from_corpus(&benchmark_corpus(1))
+    }
+
+    #[test]
+    fn twenty_bases_from_ten_sites() {
+        let s = synth();
+        assert_eq!(s.len(), 20);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn samples_are_plausible() {
+        let s = synth();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..200 {
+            let (key, _, f, _) = s.sample(&mut rng);
+            assert!(!key.is_empty());
+            assert!(f.transmission_time() > 0.0);
+            assert!(f.page_size() > 1.0);
+            assert!(f.objects() >= 1.0);
+            assert!(f.page_height() > 100.0);
+            assert!(f.page_width() == 480.0 || f.page_width() == 980.0);
+        }
+    }
+
+    #[test]
+    fn latent_bits_are_roughly_balanced_and_independent() {
+        let s = synth();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let n = 20_000;
+        let mut counts = [0u32; 3];
+        let mut pair = [[0u32; 2]; 3];
+        for _ in 0..n {
+            let (_, _, _, l) = s.sample(&mut rng);
+            let bits = [l.tall_page, l.link_rich, l.script_heavy];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    counts[i] += 1;
+                }
+            }
+            // Pairwise joint for independence spot-check (bit0 vs bit1 etc.)
+            pair[0][usize::from(bits[0] == bits[1])] += 1;
+            pair[1][usize::from(bits[1] == bits[2])] += 1;
+            pair[2][usize::from(bits[0] == bits[2])] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((0.46..0.54).contains(&frac), "bit balance {frac}");
+        }
+        for p in pair {
+            let agree = p[1] as f64 / n as f64;
+            assert!((0.46..0.54).contains(&agree), "pair agreement {agree}");
+        }
+    }
+
+    #[test]
+    fn mobile_and_full_differ_in_scale() {
+        let s = synth();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut mobile = Vec::new();
+        let mut full = Vec::new();
+        for _ in 0..2000 {
+            let (_, v, f, _) = s.sample(&mut rng);
+            match v {
+                PageVersion::Mobile => mobile.push(f.page_size()),
+                PageVersion::Full => full.push(f.page_size()),
+            }
+        }
+        let m = ewb_simcore::stats::mean(&mobile);
+        let f = ewb_simcore::stats::mean(&full);
+        assert!(f > 3.0 * m, "full {f} KB vs mobile {m} KB");
+    }
+}

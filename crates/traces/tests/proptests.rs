@@ -1,0 +1,85 @@
+//! Property-based tests for the trace generator and predictor plumbing.
+
+use ewb_traces::{FeatureVector, TraceConfig, TraceDataset, N_FEATURES};
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = TraceConfig> {
+    (1u32..6, 5u32..60, 2u32..10, any::<u64>()).prop_map(
+        |(users, visits_per_user, session_length, seed)| TraceConfig {
+            users,
+            visits_per_user,
+            session_length,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated trace is structurally sound: volumes, bounds,
+    /// feature finiteness.
+    #[test]
+    fn traces_are_well_formed(cfg in arbitrary_config()) {
+        let trace = TraceDataset::generate(&cfg);
+        prop_assert_eq!(trace.len() as u32, cfg.users * cfg.visits_per_user);
+        for v in trace.visits() {
+            prop_assert!(v.user < cfg.users);
+            prop_assert!((0.0..=600.0).contains(&v.reading_time_s));
+            for x in v.features.to_vec() {
+                prop_assert!(x.is_finite() && x >= 0.0);
+            }
+        }
+    }
+
+    /// Sessions are contiguous, per user, starting at 0.
+    #[test]
+    fn sessions_are_contiguous(cfg in arbitrary_config()) {
+        let trace = TraceDataset::generate(&cfg);
+        for user in 0..cfg.users {
+            let sessions: Vec<u32> = trace
+                .visits()
+                .iter()
+                .filter(|v| v.user == user)
+                .map(|v| v.session)
+                .collect();
+            prop_assert_eq!(sessions[0], 0);
+            for w in sessions.windows(2) {
+                prop_assert!(w[1] == w[0] || w[1] == w[0] + 1);
+            }
+        }
+    }
+
+    /// The interest-threshold filter is exactly a target filter.
+    #[test]
+    fn engaged_filter_matches_manual(cfg in arbitrary_config(), alpha in 0.5f64..10.0) {
+        let trace = TraceDataset::generate(&cfg);
+        let engaged = trace.engaged_only(alpha);
+        let manual = trace
+            .visits()
+            .iter()
+            .filter(|v| v.reading_time_s > alpha)
+            .count();
+        prop_assert_eq!(engaged.len(), manual);
+    }
+
+    /// GBRT dataset conversion preserves everything.
+    #[test]
+    fn gbrt_conversion_is_lossless(cfg in arbitrary_config()) {
+        let trace = TraceDataset::generate(&cfg);
+        let data = trace.to_gbrt_dataset();
+        prop_assert_eq!(data.len(), trace.len());
+        prop_assert_eq!(data.n_features(), N_FEATURES);
+        for (i, v) in trace.visits().iter().enumerate() {
+            prop_assert_eq!(data.row(i), &v.features.to_vec()[..]);
+            prop_assert_eq!(data.targets()[i], v.reading_time_s);
+        }
+    }
+
+    /// FeatureVector round-trips through its slice form.
+    #[test]
+    fn feature_vector_roundtrip(values in proptest::collection::vec(0.0f64..1e6, N_FEATURES)) {
+        let fv = FeatureVector::from_slice(&values);
+        prop_assert_eq!(fv.to_vec(), values);
+    }
+}

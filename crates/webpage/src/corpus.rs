@@ -1,0 +1,275 @@
+//! The Table 3 benchmark corpus.
+//!
+//! Ten sites, each with a mobile-version and a full-version page, matching
+//! the paper's benchmark table:
+//!
+//! | Mobile version | Full version |
+//! |---|---|
+//! | cnn | edition.cnn.com/WORLD/ |
+//! | ebay | www.motors.ebay.com |
+//! | espn.go.com | espn.go.com/sports |
+//! | amazon | amazon full version |
+//! | msn | home.autos.msn.com |
+//! | myspace | www.myspace.com/music |
+//! | bbc.co.uk | bbc.com/travel |
+//! | aol | www.popeater.com/celebrities/ |
+//! | nytime | www.apple.com |
+//! | youtube | hotjobs.yahoo.com |
+//!
+//! Object counts and sizes are calibrated to the paper's anecdotes (espn
+//! full = 760 KB) and to 2009-era page-weight statistics.
+
+use crate::page::Page;
+use crate::spec::{PageSpec, PageVersion};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark site: its Table 3 labels and both generated pages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Short key used throughout the workspace, e.g. `"espn"`.
+    pub key: String,
+    /// The paper's mobile-version label, e.g. `"espn.go.com"`.
+    pub mobile_label: String,
+    /// The paper's full-version label, e.g. `"espn.go.com/sports"`.
+    pub full_label: String,
+    /// The generated mobile page.
+    pub mobile: Page,
+    /// The generated full page.
+    pub full: Page,
+}
+
+/// The generated benchmark corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    sites: Vec<Site>,
+}
+
+/// `(key, mobile_label, full_label)` for the ten Table 3 sites.
+pub const BENCHMARK_SITES: &[(&str, &str, &str)] = &[
+    ("cnn", "cnn", "edition.cnn.com/WORLD/"),
+    ("ebay", "ebay", "www.motors.ebay.com"),
+    ("espn", "espn.go.com", "espn.go.com/sports"),
+    ("amazon", "amazon", "amazon full version"),
+    ("msn", "msn", "home.autos.msn.com"),
+    ("myspace", "myspace", "www.myspace.com/music"),
+    ("bbc", "bbc.co.uk", "bbc.com/travel"),
+    ("aol", "aol", "www.popeater.com/celebrities/"),
+    ("nytime", "nytime", "www.apple.com"),
+    ("youtube", "youtube", "hotjobs.yahoo.com"),
+];
+
+/// Full-version shape parameters per site:
+/// `(total_kb, n_images, n_scripts, n_css, js_fetches, css_image_refs, n_links)`.
+type FullShapeRow = (&'static str, f64, usize, usize, usize, usize, usize, usize);
+const FULL_SHAPE: &[FullShapeRow] = &[
+    ("cnn", 520.0, 30, 8, 4, 5, 4, 25),
+    ("ebay", 680.0, 38, 7, 4, 6, 4, 30),
+    ("espn", 760.0, 42, 8, 5, 6, 5, 28),
+    ("amazon", 590.0, 34, 9, 4, 5, 3, 35),
+    ("msn", 430.0, 26, 6, 3, 4, 3, 22),
+    ("myspace", 510.0, 30, 7, 4, 5, 4, 18),
+    ("bbc", 390.0, 22, 6, 3, 3, 3, 20),
+    ("aol", 460.0, 28, 6, 3, 4, 3, 24),
+    ("nytime", 350.0, 18, 5, 3, 3, 2, 15),
+    ("youtube", 420.0, 24, 6, 3, 4, 3, 21),
+];
+
+/// Mobile-version shape parameters per site:
+/// `(total_kb, n_images, js_fetches, n_links)`.
+const MOBILE_SHAPE: &[(&str, f64, usize, usize, usize)] = &[
+    ("cnn", 60.0, 6, 1, 10),
+    ("ebay", 75.0, 8, 1, 12),
+    ("espn", 85.0, 8, 1, 11),
+    ("amazon", 70.0, 7, 1, 14),
+    ("msn", 50.0, 5, 0, 9),
+    ("myspace", 65.0, 6, 1, 8),
+    ("bbc", 45.0, 4, 0, 9),
+    ("aol", 55.0, 5, 1, 10),
+    ("nytime", 40.0, 4, 0, 8),
+    ("youtube", 58.0, 6, 1, 9),
+];
+
+fn full_spec(key: &str, seed: u64) -> PageSpec {
+    let &(_, total_kb, n_images, n_scripts, n_css, js_fetches, css_refs, n_links) = FULL_SHAPE
+        .iter()
+        .find(|r| r.0 == key)
+        .expect("unknown benchmark site");
+    let html_kb = 35.0;
+    let css_kb = 11.0;
+    let js_kb = 9.0;
+    let fixed = html_kb + n_css as f64 * css_kb + n_scripts as f64 * js_kb;
+    let image_kb = (total_kb - fixed) / (n_images + js_fetches + css_refs) as f64;
+    PageSpec {
+        site: key.to_string(),
+        version: PageVersion::Full,
+        html_kb,
+        n_css,
+        css_kb,
+        n_scripts,
+        js_kb,
+        js_fetches,
+        js_work: 1200,
+        n_images,
+        image_kb,
+        css_image_refs: css_refs,
+        n_links,
+        text_paragraphs: 28,
+        seed,
+    }
+}
+
+fn mobile_spec(key: &str, seed: u64) -> PageSpec {
+    let &(_, total_kb, n_images, js_fetches, n_links) = MOBILE_SHAPE
+        .iter()
+        .find(|r| r.0 == key)
+        .expect("unknown benchmark site");
+    let html_kb = 12.0;
+    let css_kb = 4.0;
+    let js_kb = 3.0;
+    let n_css = 1;
+    let n_scripts = 1;
+    let fixed = html_kb + css_kb + js_kb;
+    let image_kb = (total_kb - fixed) / (n_images + js_fetches).max(1) as f64;
+    PageSpec {
+        site: key.to_string(),
+        version: PageVersion::Mobile,
+        html_kb,
+        n_css,
+        css_kb,
+        n_scripts,
+        js_kb,
+        js_fetches,
+        js_work: 200,
+        n_images,
+        image_kb,
+        css_image_refs: 0,
+        n_links,
+        text_paragraphs: 10,
+        seed,
+    }
+}
+
+/// Generates the full Table 3 corpus deterministically from `seed`.
+pub fn benchmark_corpus(seed: u64) -> Corpus {
+    let sites = BENCHMARK_SITES
+        .iter()
+        .map(|&(key, mobile_label, full_label)| Site {
+            key: key.to_string(),
+            mobile_label: mobile_label.to_string(),
+            full_label: full_label.to_string(),
+            mobile: Page::generate(&mobile_spec(key, seed)),
+            full: Page::generate(&full_spec(key, seed)),
+        })
+        .collect();
+    Corpus { sites }
+}
+
+impl Corpus {
+    /// The sites in Table 3 order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Looks up one page by site key and version.
+    pub fn page(&self, key: &str, version: PageVersion) -> Option<&Page> {
+        self.sites.iter().find(|s| s.key == key).map(|s| match version {
+            PageVersion::Mobile => &s.mobile,
+            PageVersion::Full => &s.full,
+        })
+    }
+
+    /// All pages of one version, in Table 3 order.
+    pub fn pages(&self, version: PageVersion) -> Vec<&Page> {
+        self.sites
+            .iter()
+            .map(|s| match version {
+                PageVersion::Mobile => &s.mobile,
+                PageVersion::Full => &s.full,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKind;
+
+    #[test]
+    fn corpus_has_ten_sites_with_both_versions() {
+        let c = benchmark_corpus(1);
+        assert_eq!(c.sites().len(), 10);
+        for site in c.sites() {
+            assert!(site.mobile.total_bytes() > 0);
+            assert!(site.full.total_bytes() > site.mobile.total_bytes());
+        }
+    }
+
+    #[test]
+    fn espn_full_matches_the_papers_760_kb() {
+        let c = benchmark_corpus(1);
+        let espn = c.page("espn", PageVersion::Full).unwrap();
+        let kb = espn.total_bytes() as f64 / 1024.0;
+        assert!((660.0..860.0).contains(&kb), "espn full = {kb} KB");
+    }
+
+    #[test]
+    fn mobile_pages_are_light() {
+        let c = benchmark_corpus(1);
+        for p in c.pages(PageVersion::Mobile) {
+            let kb = p.total_bytes() as f64 / 1024.0;
+            assert!((20.0..160.0).contains(&kb), "{} = {kb} KB", p.root_url());
+            assert!(p.object_count() <= 15);
+        }
+    }
+
+    #[test]
+    fn full_pages_have_rich_object_mix() {
+        let c = benchmark_corpus(1);
+        for p in c.pages(PageVersion::Full) {
+            assert!(p.count_kind(ObjectKind::Image) >= 15, "{}", p.root_url());
+            assert!(p.count_kind(ObjectKind::Js) >= 5);
+            assert!(p.count_kind(ObjectKind::Css) >= 3);
+        }
+    }
+
+    #[test]
+    fn page_lookup_by_key() {
+        let c = benchmark_corpus(1);
+        assert!(c.page("cnn", PageVersion::Mobile).is_some());
+        assert!(c.page("nosuch", PageVersion::Mobile).is_none());
+    }
+
+    #[test]
+    fn different_seeds_change_content_not_shape() {
+        let a = benchmark_corpus(1);
+        let b = benchmark_corpus(2);
+        let pa = a.page("bbc", PageVersion::Full).unwrap();
+        let pb = b.page("bbc", PageVersion::Full).unwrap();
+        assert_eq!(pa.object_count(), pb.object_count());
+        assert_ne!(pa.total_bytes(), pb.total_bytes());
+    }
+
+    #[test]
+    fn labels_match_table3() {
+        let c = benchmark_corpus(1);
+        let espn = c.sites().iter().find(|s| s.key == "espn").unwrap();
+        assert_eq!(espn.mobile_label, "espn.go.com");
+        assert_eq!(espn.full_label, "espn.go.com/sports");
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn corpus_roundtrips_through_serde() {
+        // The corpus is a data structure (C-SERDE): a downstream user can
+        // snapshot it to disk and reload it bit-for-bit.
+        let c = benchmark_corpus(9);
+        let json = serde_json::to_string(&c).expect("serializable");
+        let restored: Corpus = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(c, restored);
+    }
+}

@@ -1,0 +1,330 @@
+//! Deterministic content generators: real HTML, CSS, and JavaScript text.
+//!
+//! The generated documents are what the `ewb-browser` engine actually
+//! parses and executes. In particular:
+//!
+//! * the HTML references stylesheets, scripts, images, and secondary URLs;
+//! * the CSS contains `url(...)` values that only a CSS scan discovers;
+//! * the JavaScript *computes* the URLs it fetches (string concatenation in
+//!   a loop), so only executing it reveals the transfers — the paper's
+//!   §4.1 observation that "there is no simple approach to find out if
+//!   [JS] will generate new data transmission without executing [it]".
+
+use crate::spec::PageSpec;
+use ewb_simcore::Xoshiro256;
+use std::fmt::Write as _;
+
+/// Filler vocabulary for body text (deterministic, looks like prose).
+const WORDS: &[&str] = &[
+    "sports", "scores", "league", "market", "travel", "finance", "update",
+    "report", "season", "player", "review", "mobile", "device", "signal",
+    "network", "energy", "budget", "record", "detail", "column", "editor",
+    "global", "nation", "policy", "launch", "stream", "camera", "gadget",
+];
+
+fn words(rng: &mut Xoshiro256, n: usize) -> String {
+    let mut s = String::with_capacity(n * 7);
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.usize_below(WORDS.len())]);
+    }
+    s
+}
+
+/// URL helpers shared by the generators and the page assembler.
+pub(crate) fn css_url(root: &str, i: usize) -> String {
+    format!("{root}css/s{i}.css")
+}
+pub(crate) fn js_url(root: &str, i: usize) -> String {
+    format!("{root}js/a{i}.js")
+}
+pub(crate) fn img_url(root: &str, i: usize) -> String {
+    format!("{root}img/p{i}.jpg")
+}
+pub(crate) fn dyn_img_url(root: &str, i: usize) -> String {
+    format!("{root}img/dyn{i}.jpg")
+}
+pub(crate) fn bg_img_url(root: &str, i: usize) -> String {
+    format!("{root}img/bg{i}.png")
+}
+pub(crate) fn link_url(root: &str, i: usize) -> String {
+    format!("{root}story/{i}.html")
+}
+
+/// Pads `doc` with HTML comments until it reaches `target_bytes`.
+fn pad_with_comments(doc: &mut String, target_bytes: usize, rng: &mut Xoshiro256) {
+    while doc.len() < target_bytes {
+        let chunk = words(rng, 12);
+        let _ = writeln!(doc, "<!-- {chunk} -->");
+    }
+}
+
+/// Generates the main HTML document.
+pub(crate) fn gen_html(spec: &PageSpec, rng: &mut Xoshiro256) -> String {
+    let root = spec.root_url();
+    let mut doc = String::with_capacity((spec.html_kb * 1024.0) as usize + 512);
+    let _ = write!(
+        doc,
+        "<!DOCTYPE html>\n<html>\n<head>\n<title>{} {} edition</title>\n",
+        spec.site, spec.version
+    );
+    for i in 0..spec.n_css {
+        let _ = writeln!(doc, "<link rel=\"stylesheet\" href=\"{}\">", css_url(&root, i));
+    }
+    for i in 0..spec.n_scripts {
+        let _ = writeln!(doc, "<script src=\"{}\"></script>", js_url(&root, i));
+    }
+    // A small inline stylesheet, as real pages carry: the engine must
+    // treat it like any other CSS (scan in the transmission phase, parse
+    // in the layout phase).
+    doc.push_str(
+        "<style>\n#page { padding: 4px; }\n.c0 p { color: #333; margin: 5px; }\n</style>\n",
+    );
+    doc.push_str("</head>\n<body>\n<div id=\"page\" class=\"wrap\">\n");
+
+    // Interleave paragraphs, images, and links the way a news page does.
+    let blocks = spec.text_paragraphs.max(1);
+    for b in 0..blocks {
+        let para_len = 18 + rng.usize_below(18);
+        let _ = writeln!(doc, "<p class=\"c{}\">{}</p>", b % 11, words(rng, para_len));
+        if b < spec.n_images {
+            let _ = writeln!(
+                doc,
+                "<img src=\"{}\" width=\"{}\" height=\"{}\" alt=\"img{b}\">",
+                img_url(&root, b),
+                120 + rng.usize_below(400),
+                90 + rng.usize_below(260),
+            );
+        }
+        if b < spec.n_links {
+            let _ = writeln!(
+                doc,
+                "<a href=\"{}\">{}</a>",
+                link_url(&root, b),
+                words(rng, 3)
+            );
+        }
+    }
+    // Any images beyond the paragraph count still need tags.
+    for b in blocks..spec.n_images {
+        let _ = writeln!(doc, "<img src=\"{}\" alt=\"img{b}\">", img_url(&root, b));
+    }
+    for b in blocks..spec.n_links {
+        let _ = writeln!(doc, "<a href=\"{}\">more</a>", link_url(&root, b));
+    }
+
+    // A small inline script: pure computation, no fetches (those live in
+    // the external scripts), so the engine's inline-script path is also
+    // exercised.
+    doc.push_str(
+        "<script>\nvar inlineAcc = 0;\nvar q = 0;\nwhile (q < 25) { inlineAcc = inlineAcc + q; q = q + 1; }\n</script>\n",
+    );
+    doc.push_str("</div>\n</body>\n</html>\n");
+
+    let target = (spec.html_kb * 1024.0) as usize;
+    pad_with_comments(&mut doc, target, rng);
+    doc
+}
+
+/// Generates stylesheet `i`. CSS-only image references are distributed
+/// round-robin across the stylesheets.
+pub(crate) fn gen_css(spec: &PageSpec, i: usize, rng: &mut Xoshiro256) -> String {
+    let root = spec.root_url();
+    let mut doc = String::with_capacity((spec.css_kb * 1024.0) as usize + 256);
+    let _ = writeln!(doc, "/* stylesheet {i} for {} */", spec.site);
+    let _ = write!(
+        doc,
+        "body {{ margin: 0; font-family: sans-serif; color: #222; }}\n\
+         .wrap {{ width: {}px; margin: 0 auto; }}\n",
+        760 + rng.usize_below(240)
+    );
+    // The CSS-discovered images: only scanning this text reveals them.
+    for j in 0..spec.css_image_refs {
+        if j % spec.n_css.max(1) == i {
+            let _ = writeln!(
+                doc,
+                ".hero{j} {{ background-image: url(\"{}\"); height: {}px; }}",
+                bg_img_url(&root, j),
+                100 + rng.usize_below(200)
+            );
+        }
+    }
+    // Ordinary rules until the stylesheet reaches its target size.
+    let target = (spec.css_kb * 1024.0) as usize;
+    let mut k = 0;
+    while doc.len() < target {
+        let _ = writeln!(
+            doc,
+            ".c{} p, .c{} a:hover {{ color: #{:06x}; margin: {}px {}px; padding: {}px; \
+             font-size: {}px; line-height: 1.{}; }}",
+            k % 11,
+            (k + 3) % 11,
+            rng.u64_below(0xFFFFFF),
+            rng.usize_below(24),
+            rng.usize_below(24),
+            rng.usize_below(16),
+            10 + rng.usize_below(14),
+            rng.usize_below(9),
+        );
+        k += 1;
+    }
+    doc
+}
+
+/// Generates script `i`. JS-discovered fetches are split contiguously
+/// across the scripts; the last such resource is requested through
+/// `document.write` so both discovery paths are exercised.
+pub(crate) fn gen_js(spec: &PageSpec, i: usize, rng: &mut Xoshiro256) -> String {
+    let root = spec.root_url();
+    let mut doc = String::with_capacity((spec.js_kb * 1024.0) as usize + 256);
+    let _ = writeln!(doc, "// script {i} for {} ({})", spec.site, spec.version);
+
+    // Which dyn-image indices does this script own?
+    let per = if spec.n_scripts == 0 {
+        0
+    } else {
+        spec.js_fetches.div_ceil(spec.n_scripts)
+    };
+    let lo = i * per;
+    let hi = ((i + 1) * per).min(spec.js_fetches);
+    if lo < hi {
+        // The URLs are *computed*: base + index + extension. Only an
+        // interpreter can know what gets fetched.
+        let _ = write!(doc, "var base{i} = \"{root}img/dyn\";\nvar n{i} = {lo};\n");
+        let last_here = hi - 1;
+        let loop_hi = if hi == spec.js_fetches { last_here } else { hi };
+        let _ = write!(
+            doc,
+            "while (n{i} < {loop_hi}) {{\n  loadImage(base{i} + n{i} + \".jpg\");\n  n{i} = n{i} + 1;\n}}\n"
+        );
+        if hi == spec.js_fetches {
+            // The final dynamic image arrives via document.write: the
+            // written HTML itself must be scanned to find the reference.
+            let _ = writeln!(
+                doc,
+                "document.write(\"<img src='\" + base{i} + \"{last_here}.jpg'>\");"
+            );
+        }
+    }
+
+    // Filler computation — drives the Table 1 "JavaScript Running Time"
+    // feature without fetching anything.
+    let _ = write!(
+        doc,
+        "function mix{i}(a, b) {{ return a * 31 + b % 97; }}\n\
+         var acc{i} = 0;\nvar k{i} = 0;\n\
+         while (k{i} < {}) {{ acc{i} = mix{i}(acc{i}, k{i}); k{i} = k{i} + 1; }}\n\
+         if (acc{i} < 0) {{ document.write(\"<p>unreachable</p>\"); }}\n",
+        spec.js_work
+    );
+
+    // Pad with comments to the target size.
+    let target = (spec.js_kb * 1024.0) as usize;
+    while doc.len() < target {
+        let chunk = words(rng, 10);
+        let _ = writeln!(doc, "// {chunk}");
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PageVersion;
+
+    fn spec() -> PageSpec {
+        PageSpec {
+            site: "espn".into(),
+            version: PageVersion::Full,
+            html_kb: 30.0,
+            n_css: 2,
+            css_kb: 8.0,
+            n_scripts: 3,
+            js_kb: 6.0,
+            js_fetches: 5,
+            js_work: 50,
+            n_images: 10,
+            image_kb: 15.0,
+            css_image_refs: 3,
+            n_links: 6,
+            text_paragraphs: 12,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn html_contains_all_references() {
+        let s = spec();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let html = gen_html(&s, &mut rng);
+        let root = s.root_url();
+        for i in 0..s.n_css {
+            assert!(html.contains(&css_url(&root, i)), "missing css {i}");
+        }
+        for i in 0..s.n_scripts {
+            assert!(html.contains(&js_url(&root, i)), "missing js {i}");
+        }
+        for i in 0..s.n_images {
+            assert!(html.contains(&img_url(&root, i)), "missing img {i}");
+        }
+        for i in 0..s.n_links {
+            assert!(html.contains(&link_url(&root, i)), "missing link {i}");
+        }
+        assert!(html.len() >= 30 * 1024);
+    }
+
+    #[test]
+    fn css_contains_background_urls_exactly_once_across_sheets() {
+        let s = spec();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let all: String = (0..s.n_css).map(|i| gen_css(&s, i, &mut rng)).collect();
+        let root = s.root_url();
+        for j in 0..s.css_image_refs {
+            let needle = bg_img_url(&root, j);
+            assert_eq!(
+                all.matches(&needle).count(),
+                1,
+                "bg image {j} should appear exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn js_mentions_computed_urls_only_via_base() {
+        let s = spec();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let all: String = (0..s.n_scripts).map(|i| gen_js(&s, i, &mut rng)).collect();
+        let root = s.root_url();
+        // The full literal URL of a dynamic image never appears: it is
+        // computed at runtime.
+        for j in 0..s.js_fetches {
+            assert!(
+                !all.contains(&dyn_img_url(&root, j)),
+                "dyn image {j} must not appear literally"
+            );
+        }
+        assert!(all.contains("loadImage"));
+        assert!(all.contains("document.write"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec();
+        let a = gen_html(&s, &mut Xoshiro256::seed_from_u64(9));
+        let b = gen_html(&s, &mut Xoshiro256::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_hit_targets() {
+        let s = spec();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let css = gen_css(&s, 0, &mut rng);
+        let js = gen_js(&s, 0, &mut rng);
+        assert!(css.len() >= (s.css_kb * 1024.0) as usize);
+        assert!(css.len() <= (s.css_kb * 1024.0) as usize + 512);
+        assert!(js.len() >= (s.js_kb * 1024.0) as usize);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ewb-webpage — the synthetic web corpus
+//!
+//! The paper benchmarks against the Alexa top sites (its Table 3), in a
+//! mobile-version and a full-version flavor. Live 2009-era webpages are
+//! long gone, so this crate *generates* a deterministic corpus with the
+//! same shape: each benchmark page is a set of real byte-for-byte
+//! HTML/CSS/JavaScript documents plus opaque image/flash blobs, sized to
+//! match the paper's anecdotes (espn.go.com/sports full version = 760 KB,
+//! mobile pages a few tens of KB).
+//!
+//! The content is *real* in the sense that matters: the `ewb-browser`
+//! engine actually tokenizes the HTML, parses the CSS, and executes the
+//! JavaScript to discover the resources each page pulls in — including
+//! images referenced only from CSS `url(...)` values and resources only a
+//! JavaScript interpreter can find (the paper's §4.1 point that JS "must
+//! be executed" to know what it fetches).
+//!
+//! # Example
+//!
+//! ```
+//! use ewb_webpage::{benchmark_corpus, PageVersion};
+//!
+//! let corpus = benchmark_corpus(42);
+//! let espn = corpus.page("espn", PageVersion::Full).unwrap();
+//! // The paper's Fig. 4 anecdote: 760 KB for the full espn sports page.
+//! let kb = espn.total_bytes() as f64 / 1024.0;
+//! assert!((700.0..820.0).contains(&kb), "espn full = {kb} KB");
+//! assert!(espn.object(espn.root_url()).unwrap().body.contains("<html"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod gen;
+mod object;
+mod page;
+mod server;
+mod spec;
+
+pub use corpus::{benchmark_corpus, Corpus, Site, BENCHMARK_SITES};
+pub use object::{ObjectKind, WebObject};
+pub use page::Page;
+pub use server::OriginServer;
+pub use spec::{PageSpec, PageVersion};

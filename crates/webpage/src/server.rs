@@ -1,0 +1,110 @@
+//! The origin server: a URL-addressed content store.
+//!
+//! The network substrate asks the server for objects by URL; the server is
+//! the authoritative store built from one or more generated [`Page`]s.
+
+use crate::object::WebObject;
+use crate::page::Page;
+use std::collections::HashMap;
+
+/// An in-memory origin server.
+///
+/// # Example
+///
+/// ```
+/// use ewb_webpage::{benchmark_corpus, OriginServer, PageVersion};
+///
+/// let corpus = benchmark_corpus(7);
+/// let server = OriginServer::from_corpus(&corpus);
+/// let espn = corpus.page("espn", PageVersion::Full).unwrap();
+/// assert!(server.fetch(espn.root_url()).is_some());
+/// assert!(server.fetch("http://nowhere/").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OriginServer {
+    objects: HashMap<String, WebObject>,
+}
+
+impl OriginServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        OriginServer {
+            objects: HashMap::new(),
+        }
+    }
+
+    /// Creates a server holding every object of every page in `corpus`.
+    pub fn from_corpus(corpus: &crate::corpus::Corpus) -> Self {
+        let mut server = OriginServer::new();
+        for site in corpus.sites() {
+            server.add_page(&site.mobile);
+            server.add_page(&site.full);
+        }
+        server
+    }
+
+    /// Adds all objects of `page` to the store. Re-adding a page replaces
+    /// its objects.
+    pub fn add_page(&mut self, page: &Page) {
+        for obj in page.objects() {
+            self.objects.insert(obj.url.clone(), obj.clone());
+        }
+    }
+
+    /// Serves the object at `url`, or `None` (a 404).
+    pub fn fetch(&self, url: &str) -> Option<&WebObject> {
+        self.objects.get(url)
+    }
+
+    /// Number of objects in the store.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::benchmark_corpus;
+    use crate::spec::PageVersion;
+
+    #[test]
+    fn serves_every_corpus_object() {
+        let corpus = benchmark_corpus(3);
+        let server = OriginServer::from_corpus(&corpus);
+        let total: usize = corpus
+            .sites()
+            .iter()
+            .map(|s| s.mobile.object_count() + s.full.object_count())
+            .sum();
+        assert_eq!(server.len(), total, "URLs must be globally unique");
+        for site in corpus.sites() {
+            for obj in site.full.objects() {
+                assert_eq!(server.fetch(&obj.url), Some(obj));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_url_is_a_404() {
+        let server = OriginServer::from_corpus(&benchmark_corpus(3));
+        assert!(server.fetch("http://example.invalid/x.png").is_none());
+    }
+
+    #[test]
+    fn add_page_is_idempotent() {
+        let corpus = benchmark_corpus(3);
+        let page = corpus.page("cnn", PageVersion::Mobile).unwrap();
+        let mut server = OriginServer::new();
+        assert!(server.is_empty());
+        server.add_page(page);
+        let n = server.len();
+        server.add_page(page);
+        assert_eq!(server.len(), n);
+    }
+}

@@ -1,0 +1,65 @@
+//! Operator-view capacity planning (the paper's §5.4): how many
+//! subscribers can N=200 dedicated channel pairs carry under each
+//! browser, at a given session-dropping budget?
+//!
+//! ```text
+//! cargo run --example capacity_planning --release
+//! ```
+
+use ewb_core::capacity::{erlang_b, simulate, supported_users, CapacityConfig, ServiceTimes};
+use ewb_core::experiments::loadtime;
+use ewb_core::webpage::{benchmark_corpus, OriginServer, PageVersion};
+use ewb_core::CoreConfig;
+
+fn main() {
+    let corpus = benchmark_corpus(11);
+    let server = OriginServer::from_corpus(&corpus);
+    let cfg = CoreConfig::paper();
+
+    // Measure per-page channel-holding times with the real pipelines.
+    println!("measuring data-transmission times over the full benchmark...");
+    let rows = loadtime::benchmark_load_times(&corpus, &server, &cfg, PageVersion::Full);
+    let orig: Vec<f64> = rows.iter().map(|r| r.orig_load_s).collect();
+    let ea: Vec<f64> = rows.iter().map(|r| r.ea_tx_s).collect();
+    println!(
+        "  mean holding time: original {:.1} s, energy-aware {:.1} s\n",
+        orig.iter().sum::<f64>() / orig.len() as f64,
+        ea.iter().sum::<f64>() / ea.len() as f64
+    );
+
+    let orig_service = ServiceTimes::empirical(orig).expect("positive");
+    let ea_service = ServiceTimes::empirical(ea).expect("positive");
+    let base = CapacityConfig {
+        horizon_s: 40_000.0,
+        ..CapacityConfig::paper()
+    };
+
+    println!("dropping probability vs subscribers (N=200, 25 s think time):");
+    println!("{:>8} {:>12} {:>14}", "users", "original", "energy-aware");
+    for users in (200..=360).step_by(40) {
+        let o = simulate(&CapacityConfig { users, ..base }, &orig_service);
+        let e = simulate(&CapacityConfig { users, ..base }, &ea_service);
+        println!(
+            "{users:>8} {:>11.2}% {:>13.2}%",
+            o.drop_probability() * 100.0,
+            e.drop_probability() * 100.0
+        );
+    }
+
+    for budget in [0.01, 0.02, 0.05] {
+        let o = supported_users(&base, &orig_service, budget, 50, 1200);
+        let e = supported_users(&base, &ea_service, budget, 50, 1200);
+        println!(
+            "\nat a {:.0}% dropping budget: original {o} users, energy-aware {e} users ({:+.1}%)",
+            budget * 100.0,
+            (e as f64 / o as f64 - 1.0) * 100.0
+        );
+    }
+
+    // Closed-form cross-check.
+    let a = 300.0 * 20.0 / 25.0;
+    println!(
+        "\nErlang-B cross-check: B(200, {a:.0} erlang) = {:.2}%",
+        erlang_b(200, a) * 100.0
+    );
+}

@@ -1,0 +1,69 @@
+//! Train, evaluate, serialize, and reload the reading-time predictor —
+//! the paper's offline-train / on-phone-deploy cycle (§4.3.3).
+//!
+//! ```text
+//! cargo run --example train_predictor --release
+//! ```
+
+use ewb_core::gbrt::feature_importance;
+use ewb_core::traces::{
+    accuracy_with_threshold, accuracy_without_threshold, reading_time_params,
+    ReadingTimePredictor, TraceConfig, TraceDataset, FEATURE_NAMES,
+};
+
+fn main() {
+    // The 40-user trace (§5.1.3).
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    println!("trace: {} visits from {} users", trace.len(), trace.users());
+    let cdf = trace.reading_time_cdf();
+    println!(
+        "dwell CDF anchors: {:.0}% < 2 s, {:.0}% < 9 s, {:.0}% < 20 s\n",
+        cdf.fraction_at_or_below(2.0) * 100.0,
+        cdf.fraction_at_or_below(9.0) * 100.0,
+        cdf.fraction_at_or_below(20.0) * 100.0
+    );
+
+    // Table 4: no linear signal anywhere...
+    println!("Pearson correlation with reading time (Table 4):");
+    for (name, r) in trace.pearson_table() {
+        println!("  {name:<28} {r:>7.4}");
+    }
+
+    // ...yet the GBRT finds the structure (Fig. 15).
+    println!("\nthreshold accuracy (Fig. 15):");
+    for t in [9.0, 20.0] {
+        let without = accuracy_without_threshold(&trace, t, 1);
+        let with = accuracy_with_threshold(&trace, 2.0, t, 1);
+        println!(
+            "  T={t:>4.0}s: {:.1}% raw, {:.1}% with the 2 s interest threshold",
+            without.accuracy * 100.0,
+            with.accuracy * 100.0
+        );
+    }
+
+    // Deploy cycle: train -> serialize -> reload -> predict.
+    let predictor =
+        ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+    let json = predictor.to_json();
+    println!(
+        "\nserialized model: {:.1} KB, {} trees",
+        json.len() as f64 / 1024.0,
+        predictor.model().n_trees()
+    );
+    let deployed = ReadingTimePredictor::from_json(&json).expect("round trip");
+
+    println!("\nwhich features does the model actually use?");
+    let importance = feature_importance(deployed.model());
+    let mut ranked: Vec<_> = FEATURE_NAMES.iter().zip(importance).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (name, imp) in ranked.iter().take(5) {
+        println!("  {name:<28} {:>5.1}%", imp * 100.0);
+    }
+
+    let sample = &trace.visits()[0];
+    println!(
+        "\nsample prediction: {:.1} s (actual {:.1} s)",
+        deployed.predict_seconds(&sample.features),
+        sample.reading_time_s
+    );
+}

@@ -1,0 +1,73 @@
+//! Cross-crate integration: measured browser load times feeding the
+//! Erlang-loss capacity simulation (the paper's Fig. 11 chain).
+
+use ewb_core::capacity::{erlang_b, simulate, CapacityConfig};
+use ewb_core::experiments::{capacity_exp, loadtime};
+use ewb_core::webpage::{benchmark_corpus, OriginServer, PageVersion};
+use ewb_core::CoreConfig;
+
+#[test]
+fn measured_service_times_produce_the_capacity_gain() {
+    let corpus = benchmark_corpus(8);
+    let server = OriginServer::from_corpus(&corpus);
+    let cfg = CoreConfig::paper();
+    let cmp = capacity_exp::compare_capacity(
+        &corpus,
+        &server,
+        &cfg,
+        PageVersion::Full,
+        &[220, 280],
+        0.02,
+        20_000.0,
+    );
+    assert!(
+        cmp.energy_aware_capacity > cmp.original_capacity,
+        "{cmp:?}"
+    );
+    let gain = cmp.capacity_gain();
+    assert!((0.05..0.80).contains(&gain), "gain {gain}");
+}
+
+#[test]
+fn simulation_is_consistent_with_erlang_b_at_the_measured_means() {
+    let corpus = benchmark_corpus(8);
+    let server = OriginServer::from_corpus(&corpus);
+    let cfg = CoreConfig::paper();
+    let rows = loadtime::benchmark_load_times(&corpus, &server, &cfg, PageVersion::Full);
+    let (orig_service, _) = capacity_exp::service_times(&rows);
+
+    let users = 260;
+    let capacity_cfg = CapacityConfig {
+        users,
+        horizon_s: 200_000.0,
+        ..CapacityConfig::paper()
+    };
+    let simulated = simulate(&capacity_cfg, &orig_service).drop_probability();
+    // Erlang insensitivity: blocking depends on the service distribution
+    // only through its mean.
+    let offered = users as f64 * orig_service.mean() / 25.0;
+    let closed_form = erlang_b(200, offered);
+    assert!(
+        (simulated - closed_form).abs() < 0.02,
+        "simulated {simulated} vs Erlang-B {closed_form}"
+    );
+}
+
+#[test]
+fn mobile_pages_allow_far_more_users_than_full_pages() {
+    let corpus = benchmark_corpus(8);
+    let server = OriginServer::from_corpus(&corpus);
+    let cfg = CoreConfig::paper();
+    let mobile = capacity_exp::compare_capacity(
+        &corpus, &server, &cfg, PageVersion::Mobile, &[500], 0.02, 20_000.0,
+    );
+    let full = capacity_exp::compare_capacity(
+        &corpus, &server, &cfg, PageVersion::Full, &[250], 0.02, 20_000.0,
+    );
+    assert!(
+        mobile.original_capacity > 2 * full.original_capacity,
+        "mobile {} vs full {}",
+        mobile.original_capacity,
+        full.original_capacity
+    );
+}

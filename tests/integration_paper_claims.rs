@@ -1,0 +1,118 @@
+//! The paper's headline claims, end to end. Each test names the claim it
+//! reproduces; EXPERIMENTS.md records the exact measured values.
+
+use ewb_core::experiments::{display, energy, loadtime};
+use ewb_core::rrc::intuitive;
+use ewb_core::simcore::SimDuration;
+use ewb_core::traces::{
+    accuracy_with_threshold, accuracy_without_threshold, TraceConfig, TraceDataset,
+};
+use ewb_core::webpage::{benchmark_corpus, OriginServer, PageVersion};
+use ewb_core::CoreConfig;
+
+fn setup() -> (ewb_core::webpage::Corpus, OriginServer, CoreConfig) {
+    let corpus = benchmark_corpus(2013);
+    let server = OriginServer::from_corpus(&corpus);
+    (corpus, server, CoreConfig::paper())
+}
+
+/// Abstract: "our approach can reduce the power consumption of the
+/// smartphone by more than 30% during web browsing."
+#[test]
+fn claim_energy_saving_over_30_percent() {
+    let (corpus, server, cfg) = setup();
+    for version in [PageVersion::Mobile, PageVersion::Full] {
+        let rows = energy::benchmark_energy(&corpus, &server, &cfg, version);
+        let saving = energy::mean_saving(&rows);
+        assert!(
+            saving > 0.25,
+            "{version}: saving {saving:.3} should be paper-scale (>30%)"
+        );
+    }
+}
+
+/// Abstract: "our solution can reduce the webpage loading time by 17%."
+#[test]
+fn claim_loading_time_reduction_about_17_percent() {
+    let (corpus, server, cfg) = setup();
+    let rows = loadtime::benchmark_load_times(&corpus, &server, &cfg, PageVersion::Full);
+    let s = loadtime::summarize(&rows);
+    assert!(
+        (0.10..0.30).contains(&s.total_saving),
+        "full-version total saving {:.3} (paper 0.17)",
+        s.total_saving
+    );
+}
+
+/// §5.2: "our approach reduces the data transmission time by 27%" (full).
+#[test]
+fn claim_transmission_time_reduction_about_27_percent() {
+    let (corpus, server, cfg) = setup();
+    let rows = loadtime::benchmark_load_times(&corpus, &server, &cfg, PageVersion::Full);
+    let s = loadtime::summarize(&rows);
+    assert!(
+        (0.18..0.40).contains(&s.tx_saving),
+        "full-version tx saving {:.3} (paper 0.27)",
+        s.tx_saving
+    );
+}
+
+/// §3.1 / Fig. 3: "This intuitive approach can save power only when the
+/// data transmission interval is larger than 9 seconds."
+#[test]
+fn claim_intuitive_break_even_at_nine_seconds() {
+    let cfg = CoreConfig::paper();
+    let be = intuitive::break_even(&cfg.rrc, SimDuration::from_millis(500));
+    assert!((8.0..10.0).contains(&be), "break-even {be}");
+}
+
+/// §5.1.3 / Fig. 7: the dwell CDF anchors the thresholds are built on.
+#[test]
+fn claim_reading_time_distribution_anchors() {
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    let cdf = trace.reading_time_cdf();
+    let p2 = cdf.fraction_at_or_below(2.0);
+    let p9 = cdf.fraction_at_or_below(9.0);
+    let p20 = cdf.fraction_at_or_below(20.0);
+    assert!((0.25..0.36).contains(&p2), "P(<2)={p2} (paper 0.30)");
+    assert!((0.47..0.59).contains(&p9), "P(<9)={p9} (paper 0.53)");
+    assert!((0.62..0.74).contains(&p20), "P(<20)={p20} (paper 0.68)");
+}
+
+/// §5.6.1 / Fig. 15: "using interest threshold can increase the
+/// prediction accuracy by at least 10%."
+#[test]
+fn claim_interest_threshold_accuracy_gain() {
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    for t in [9.0, 20.0] {
+        let without = accuracy_without_threshold(&trace, t, 4);
+        let with = accuracy_with_threshold(&trace, 2.0, t, 4);
+        assert!(
+            with.accuracy - without.accuracy >= 0.08,
+            "T={t}: {:.3} -> {:.3}",
+            without.accuracy,
+            with.accuracy
+        );
+    }
+}
+
+/// §5.5 / Figs. 12-14: the intermediate display appears much earlier and
+/// the final display somewhat earlier.
+#[test]
+fn claim_display_appears_earlier() {
+    let (corpus, server, cfg) = setup();
+    let rows = display::benchmark_display_times(&corpus, &server, &cfg, PageVersion::Full);
+    let (first_saving, final_saving) = display::fig14_savings(&rows);
+    assert!(first_saving > 0.30, "first-display saving {first_saving:.3} (paper 0.455)");
+    assert!(final_saving > 0.05, "final-display saving {final_saving:.3} (paper 0.168)");
+}
+
+/// Table 4: "there is no notable correlation between the reading time and
+/// the 10 webpage features."
+#[test]
+fn claim_no_linear_correlation() {
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    for (name, r) in trace.pearson_table() {
+        assert!(r.abs() < 0.08, "{name}: r={r}");
+    }
+}

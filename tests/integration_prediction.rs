@@ -1,0 +1,109 @@
+//! Cross-crate integration: trace generation → GBRT training → Algorithm 2
+//! decisions inside full sessions.
+
+use ewb_core::cases::Case;
+use ewb_core::experiments::cases16;
+use ewb_core::traces::{
+    reading_time_params, ReadingTimePredictor, TraceConfig, TraceDataset,
+};
+use ewb_core::webpage::{benchmark_corpus, OriginServer};
+use ewb_core::CoreConfig;
+
+fn trained() -> (TraceDataset, ReadingTimePredictor) {
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    let predictor =
+        ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+    (trace, predictor)
+}
+
+#[test]
+fn predicted_policy_tracks_the_oracle() {
+    let (trace, predictor) = trained();
+    let corpus = benchmark_corpus(2013);
+    let server = OriginServer::from_corpus(&corpus);
+    let cfg = CoreConfig::paper();
+    let sessions = cases16::select_sessions(&trace, 2, 4);
+    assert!(!sessions.is_empty());
+
+    let (oracle_j, oracle_s) =
+        cases16::run_case(&corpus, &server, &cfg, &sessions, Case::Accurate20, &predictor);
+    let (pred_j, pred_s) =
+        cases16::run_case(&corpus, &server, &cfg, &sessions, Case::Predict20, &predictor);
+    let (base_j, base_s) =
+        cases16::run_case(&corpus, &server, &cfg, &sessions, Case::Original, &predictor);
+
+    // The predicted policy should capture most of the oracle's saving.
+    let oracle_saving = 1.0 - oracle_j / base_j;
+    let pred_saving = 1.0 - pred_j / base_j;
+    assert!(oracle_saving > 0.05, "oracle saving {oracle_saving}");
+    assert!(
+        pred_saving > 0.6 * oracle_saving,
+        "predicted saving {pred_saving} vs oracle {oracle_saving}"
+    );
+    // And not blow up delay relative to the baseline.
+    assert!(pred_s < base_s * 1.05, "pred {pred_s} vs base {base_s}");
+    let _ = oracle_s;
+}
+
+#[test]
+fn predictor_separates_short_from_long_dwells() {
+    let (trace, predictor) = trained();
+    // Over held-out-ish visits (the trace is big; spot check the tail),
+    // long actual dwells should get systematically higher predictions.
+    let tail = &trace.visits()[trace.len() - 2000..];
+    let mut short_preds = Vec::new();
+    let mut long_preds = Vec::new();
+    for v in tail {
+        let p = predictor.predict_seconds(&v.features);
+        if v.reading_time_s > 20.0 {
+            long_preds.push(p);
+        } else if v.reading_time_s > 2.0 && v.reading_time_s < 9.0 {
+            short_preds.push(p);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&long_preds) > 2.0 * mean(&short_preds),
+        "long {} vs short {}",
+        mean(&long_preds),
+        mean(&short_preds)
+    );
+}
+
+#[test]
+fn deployed_model_behaves_identically_after_serialization() {
+    let (trace, predictor) = trained();
+    let deployed = ReadingTimePredictor::from_json(&predictor.to_json()).unwrap();
+    for v in trace.visits().iter().take(100) {
+        assert_eq!(
+            predictor.predict_seconds(&v.features),
+            deployed.predict_seconds(&v.features)
+        );
+    }
+}
+
+#[test]
+fn interest_threshold_training_beats_raw_training_in_sessions() {
+    // Fig. 15's accuracy gap should translate into session-level energy:
+    // the threshold-trained predictor mispredicts less, so Predict-20
+    // releases more of the truly-long reads.
+    let trace = TraceDataset::generate(&TraceConfig::paper());
+    let raw = ReadingTimePredictor::train(&trace, &reading_time_params());
+    let filtered =
+        ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+
+    // Count correct release decisions at Td=20 over a sample.
+    let correct = |p: &ReadingTimePredictor| {
+        trace.visits()[..3000]
+            .iter()
+            .filter(|v| v.reading_time_s > 2.0)
+            .filter(|v| (p.predict_seconds(&v.features) > 20.0) == (v.reading_time_s > 20.0))
+            .count()
+    };
+    let raw_ok = correct(&raw);
+    let filtered_ok = correct(&filtered);
+    assert!(
+        filtered_ok > raw_ok,
+        "threshold-trained {filtered_ok} should beat raw {raw_ok}"
+    );
+}
