@@ -7,7 +7,7 @@ use ewb_core::gbrt::GbrtParams;
 use ewb_core::rrc::{intuitive, PowerModel, RrcConfig};
 use ewb_core::simcore::SimDuration;
 use ewb_core::traces::{
-    accuracy_with_threshold, reading_time_params, ReadingTimePredictor, TraceConfig, TraceDataset,
+    accuracy_grid, reading_time_params, EvalCell, ReadingTimePredictor, TraceConfig, TraceDataset,
 };
 use ewb_core::webpage::PageVersion;
 use ewb_core::CoreConfig;
@@ -42,13 +42,23 @@ pub fn interest_threshold() -> String {
         "the paper sets α = 2 s from the 30% quick-bounce knee",
     );
     let trace = TraceDataset::generate(&TraceConfig::paper());
-    let _ = writeln!(out, "{:>8} {:>12} {:>12}", "alpha s", "accuracy", "train frac");
-    for alpha in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0] {
-        let report = if alpha == 0.0 {
-            ewb_core::traces::accuracy_without_threshold(&trace, 9.0, crate::REPORT_SEED)
-        } else {
-            accuracy_with_threshold(&trace, alpha, 9.0, crate::REPORT_SEED)
-        };
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12}",
+        "alpha s", "accuracy", "train frac"
+    );
+    let alphas = [0.0, 0.5, 1.0, 2.0, 3.0, 5.0];
+    // Six independent α cells, each training its own model — one scoped
+    // worker per cell.
+    let cells: Vec<EvalCell> = alphas
+        .iter()
+        .map(|&alpha| EvalCell {
+            alpha_s: (alpha > 0.0).then_some(alpha),
+            decision_threshold_s: 9.0,
+            seed: crate::REPORT_SEED,
+        })
+        .collect();
+    for (alpha, report) in alphas.iter().zip(accuracy_grid(&trace, &cells)) {
         let frac = report.train_size + report.test_size;
         let _ = writeln!(
             out,
@@ -70,19 +80,48 @@ pub fn gbrt_size() -> String {
     let data = trace.to_gbrt_dataset();
     let mut rng = ewb_core::simcore::Xoshiro256::seed_from_u64(3);
     let (train, test) = data.split(0.7, &mut rng);
-    let _ = writeln!(out, "{:>8} {:>8} {:>12} {:>14}", "trees", "leaves", "accuracy", "predict µs");
-    for (n_trees, leaves) in [(25, 8), (50, 8), (150, 8), (400, 8), (150, 4), (150, 16)] {
-        let params = GbrtParams {
-            n_trees,
-            max_leaves: leaves,
-            ..reading_time_params()
-        };
-        let p = ReadingTimePredictor::train_dataset(&train, &params);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>12} {:>14}",
+        "trees", "leaves", "accuracy", "predict µs"
+    );
+    let grid = [(25, 8), (50, 8), (150, 8), (400, 8), (150, 4), (150, 16)];
+    // Training the six forests is the expensive part and every cell is
+    // independent — fan it out; the timing measurements stay serial so
+    // the workers don't contend for cores while the clock runs.
+    let predictors: Vec<ReadingTimePredictor> = crossbeam::thread::scope(|scope| {
+        let train = &train;
+        let handles: Vec<_> = grid
+            .iter()
+            .map(|&(n_trees, leaves)| {
+                scope.spawn(move |_| {
+                    let params = GbrtParams {
+                        n_trees,
+                        max_leaves: leaves,
+                        ..reading_time_params()
+                    };
+                    ReadingTimePredictor::train_dataset(train, &params)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("training worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    for ((n_trees, leaves), p) in grid.iter().zip(&predictors) {
         let start = std::time::Instant::now();
-        let preds: Vec<f64> = (0..test.len()).map(|i| p.predict_row(test.row(i))).collect();
+        let preds: Vec<f64> = (0..test.len())
+            .map(|i| p.predict_row(test.row(i)))
+            .collect();
         let us = start.elapsed().as_secs_f64() / test.len() as f64 * 1e6;
         let acc = ewb_core::gbrt::threshold_accuracy(&preds, test.targets(), 9.0);
-        let _ = writeln!(out, "{n_trees:>8} {leaves:>8} {:>11.1}% {us:>14.2}", acc * 100.0);
+        let _ = writeln!(
+            out,
+            "{n_trees:>8} {leaves:>8} {:>11.1}% {us:>14.2}",
+            acc * 100.0
+        );
     }
     out
 }
@@ -258,7 +297,13 @@ pub fn connection_pool(ctx: &Context) -> String {
         cfg.max_parallel = pool;
         let mut fetcher =
             ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc.clone(), &ctx.server, SimTime::ZERO);
-        let m = load_page(&mut fetcher, espn.root_url(), SimTime::ZERO, &cfg, &ctx.cfg.cost);
+        let m = load_page(
+            &mut fetcher,
+            espn.root_url(),
+            SimTime::ZERO,
+            &cfg,
+            &ctx.cfg.cost,
+        );
         let _ = writeln!(
             out,
             "{pool:>8} {:>14.1} {:>12.1}",

@@ -12,8 +12,8 @@
 pub mod ablations;
 pub mod reports;
 
-use ewb_core::CoreConfig;
 use ewb_core::webpage::{benchmark_corpus, Corpus, OriginServer};
+use ewb_core::CoreConfig;
 
 /// The seed every report uses, so EXPERIMENTS.md is reproducible.
 pub const REPORT_SEED: u64 = 2013;

@@ -12,8 +12,7 @@ use ewb_core::net::ThreeGFetcher;
 use ewb_core::rrc::{intuitive, scenario};
 use ewb_core::simcore::{SimDuration, SimTime};
 use ewb_core::traces::{
-    accuracy_with_threshold, accuracy_without_threshold, reading_time_params,
-    ReadingTimePredictor, TraceConfig, TraceDataset,
+    accuracy_grid, reading_time_params, EvalCell, ReadingTimePredictor, TraceConfig, TraceDataset,
 };
 use ewb_core::webpage::PageVersion;
 use std::fmt::Write as _;
@@ -32,7 +31,13 @@ pub fn fig01(ctx: &Context) -> String {
     );
     let _ = writeln!(out, "state transitions:");
     for t in &transitions {
-        let _ = writeln!(out, "  {:>9.2} s  {} -> {}", t.at.as_secs_f64(), t.from, t.to);
+        let _ = writeln!(
+            out,
+            "  {:>9.2} s  {} -> {}",
+            t.at.as_secs_f64(),
+            t.from,
+            t.to
+        );
     }
     let _ = writeln!(out, "\n4 Hz power samples (t, W):");
     for (i, w) in trace.samples().iter().enumerate() {
@@ -76,17 +81,17 @@ pub fn fig04(ctx: &Context) -> String {
         "browser: 760 KB spread over 47 s; socket: same bytes in 8 s",
     );
     let c = traffic::compare(&ctx.corpus, &ctx.server, &ctx.cfg, "espn");
-    let _ = writeln!(
-        out,
-        "total bytes: {:.0} KB",
-        c.total_bytes as f64 / 1024.0
-    );
+    let _ = writeln!(out, "total bytes: {:.0} KB", c.total_bytes as f64 / 1024.0);
     let _ = writeln!(
         out,
         "browser transmission time: {:.1} s  (paper 47 s)",
         c.browser_duration_s
     );
-    let _ = writeln!(out, "bulk socket download:      {:.1} s  (paper 8 s)", c.bulk_duration_s);
+    let _ = writeln!(
+        out,
+        "bulk socket download:      {:.1} s  (paper 8 s)",
+        c.bulk_duration_s
+    );
     let _ = writeln!(
         out,
         "slowdown factor: {:.1}x (paper ≈5.9x)\n",
@@ -172,7 +177,9 @@ pub fn fig07() -> String {
     let trace = TraceDataset::generate(&TraceConfig::paper());
     let cdf = trace.reading_time_cdf();
     let _ = writeln!(out, "visits: {}", trace.len());
-    for x in [1.0, 2.0, 4.0, 6.0, 9.0, 12.0, 16.0, 20.0, 30.0, 60.0, 120.0, 300.0] {
+    for x in [
+        1.0, 2.0, 4.0, 6.0, 9.0, 12.0, 16.0, 20.0, 30.0, 60.0, 120.0, 300.0,
+    ] {
         let _ = writeln!(
             out,
             "  P(reading <= {x:>5.0} s) = {:>5.1}%",
@@ -233,8 +240,10 @@ pub fn fig08(ctx: &Context) -> String {
     }
     // Fig. 8(b)'s two named pages.
     let _ = writeln!(out, "\nFig. 8(b) detail:");
-    let mobile = loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Mobile);
-    let full = loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
+    let mobile =
+        loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Mobile);
+    let full =
+        loadtime::benchmark_load_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
     let cnn = mobile.iter().find(|r| r.key == "cnn").expect("cnn row");
     let ebay = full.iter().find(|r| r.key == "ebay").expect("ebay row");
     let _ = writeln!(
@@ -274,7 +283,12 @@ pub fn fig09(ctx: &Context) -> String {
         let _ = writeln!(out);
     };
     dump("original", &t.original, t.original_opened_s, &mut out);
-    dump("energy-aware", &t.energy_aware, t.energy_aware_opened_s, &mut out);
+    dump(
+        "energy-aware",
+        &t.energy_aware,
+        t.energy_aware_opened_s,
+        &mut out,
+    );
     out
 }
 
@@ -308,7 +322,11 @@ pub fn fig10(ctx: &Context) -> String {
             PageVersion::Mobile => "(paper -35.7%)",
             PageVersion::Full => "(paper -30.8%)",
         };
-        let _ = writeln!(out, "  mean saving: {} {paper}", pct(energy::mean_saving(&rows)));
+        let _ = writeln!(
+            out,
+            "  mean saving: {} {paper}",
+            pct(energy::mean_saving(&rows))
+        );
     }
     let mobile = energy::benchmark_energy(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Mobile);
     let full = energy::benchmark_energy(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
@@ -334,7 +352,10 @@ pub fn fig11(ctx: &Context, horizon_s: f64) -> String {
             PageVersion::Mobile,
             (300..=700).step_by(50).collect::<Vec<_>>(),
         ),
-        (PageVersion::Full, (200..=360).step_by(20).collect::<Vec<_>>()),
+        (
+            PageVersion::Full,
+            (200..=360).step_by(20).collect::<Vec<_>>(),
+        ),
     ];
     for (version, grid) in grids {
         let cmp = capacity_exp::compare_capacity(
@@ -346,8 +367,15 @@ pub fn fig11(ctx: &Context, horizon_s: f64) -> String {
             0.02,
             horizon_s,
         );
-        let _ = writeln!(out, "\n{version} benchmark (N=200 channels, 25 s think time):");
-        let _ = writeln!(out, "  {:>7} {:>12} {:>14}", "users", "orig drop%", "ea drop%");
+        let _ = writeln!(
+            out,
+            "\n{version} benchmark (N=200 channels, 25 s think time):"
+        );
+        let _ = writeln!(
+            out,
+            "  {:>7} {:>12} {:>14}",
+            "users", "orig drop%", "ea drop%"
+        );
         for ((u, o), e) in cmp
             .original
             .users
@@ -383,7 +411,8 @@ pub fn fig1213(ctx: &Context) -> String {
         "Figs. 12/13 — intermediate & final display of espn.go.com/sports",
         "intermediate 17.6 s -> 7 s; final 34.5 s -> 28.6 s",
     );
-    let rows = display::benchmark_display_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
+    let rows =
+        display::benchmark_display_times(&ctx.corpus, &ctx.server, &ctx.cfg, PageVersion::Full);
     let espn = rows.iter().find(|r| r.key == "espn").expect("espn");
     let _ = writeln!(
         out,
@@ -454,12 +483,25 @@ pub fn fig15() -> String {
         "threshold adds ≥10 points at both Tp=9 and Td=20",
     );
     let trace = TraceDataset::generate(&TraceConfig::paper());
-    for threshold in [9.0, 20.0] {
-        let without = accuracy_without_threshold(&trace, threshold, REPORT_SEED);
-        let with = accuracy_with_threshold(&trace, 2.0, threshold, REPORT_SEED);
+    // The four (α, T) cells each train their own model — evaluate them
+    // in parallel and print in grid order.
+    let cells: Vec<EvalCell> = [9.0, 20.0]
+        .iter()
+        .flat_map(|&t| {
+            [None, Some(2.0)].map(|alpha_s| EvalCell {
+                alpha_s,
+                decision_threshold_s: t,
+                seed: REPORT_SEED,
+            })
+        })
+        .collect();
+    let reports = accuracy_grid(&trace, &cells);
+    for pair in reports.chunks(2) {
+        let (without, with) = (&pair[0], &pair[1]);
         let _ = writeln!(
             out,
-            "T = {threshold:>4.0} s: without threshold {:>5.1}%, with threshold {:>5.1}% (gap {:+.1} pts)",
+            "T = {:>4.0} s: without threshold {:>5.1}%, with threshold {:>5.1}% (gap {:+.1} pts)",
+            without.decision_threshold_s,
             without.accuracy * 100.0,
             with.accuracy * 100.0,
             (with.accuracy - without.accuracy) * 100.0
@@ -616,8 +658,8 @@ pub fn table7() -> String {
     let rows: Vec<&ewb_core::traces::PageVisit> = engaged.visits().iter().take(200).collect();
     let _ = writeln!(
         out,
-        "{:>8} {:>16} {:>16} {:>14}",
-        "trees", "per-predict ms", "batch(200) ms", "energy J*"
+        "{:>8} {:>14} {:>14} {:>16} {:>14}",
+        "trees", "flat ms", "enum ms", "batch(200) ms", "energy J*"
     );
     for n_trees in [1000usize, 10_000, 20_000] {
         let predictor = ReadingTimePredictor::train(
@@ -630,6 +672,7 @@ pub fn table7() -> String {
                 ..GbrtParams::default()
             },
         );
+        // Deployed path: the flattened SoA forest.
         let start = std::time::Instant::now();
         let mut sink = 0.0;
         for v in &rows {
@@ -638,13 +681,22 @@ pub fn table7() -> String {
         let elapsed = start.elapsed().as_secs_f64();
         std::hint::black_box(sink);
         let per = elapsed / rows.len() as f64;
+        // Same forest, walked through the enum node representation.
+        let start = std::time::Instant::now();
+        let mut sink = 0.0;
+        for v in &rows {
+            sink += predictor.model().predict(&v.features.to_vec());
+        }
+        let enum_per = start.elapsed().as_secs_f64() / rows.len() as f64;
+        std::hint::black_box(sink);
         // The paper's phone runs one prediction through 10 000 trees in
         // 0.295 s at 0.6 W; energy here = host-time × 0.6 W equivalent.
         let _ = writeln!(
             out,
-            "{:>8} {:>16.3} {:>16.1} {:>14.4}",
+            "{:>8} {:>14.3} {:>14.3} {:>16.1} {:>14.4}",
             n_trees,
             per * 1000.0,
+            enum_per * 1000.0,
             elapsed * 1000.0,
             per * 0.6
         );

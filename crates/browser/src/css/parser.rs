@@ -200,9 +200,7 @@ fn parse_selector(text: &str) -> Option<Selector> {
                     flush(mode, &mut cur, &mut simple);
                     mode = ch as u8;
                 }
-                c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '*' => {
-                    cur.push(c)
-                }
+                c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '*' => cur.push(c),
                 _ => {
                     // Attribute selectors etc.: ignore the remainder.
                     break;
@@ -304,11 +302,10 @@ mod tests {
 
     #[test]
     fn imports_are_collected() {
-        let r = parse("@import url(\"http://s/css/extra.css\");\n@import \"plain.css\";\nbody{margin:0;}");
-        assert_eq!(
-            r.sheet.imports,
-            vec!["http://s/css/extra.css", "plain.css"]
+        let r = parse(
+            "@import url(\"http://s/css/extra.css\");\n@import \"plain.css\";\nbody{margin:0;}",
         );
+        assert_eq!(r.sheet.imports, vec!["http://s/css/extra.css", "plain.css"]);
         assert_eq!(r.sheet.rules.len(), 1);
     }
 
@@ -360,7 +357,10 @@ mod edge_case_tests {
              div { padding: 2px; }",
         );
         assert_eq!(r.sheet.rules.len(), 1);
-        assert_eq!(r.sheet.rules[0].selectors[0].parts[0].tag.as_deref(), Some("div"));
+        assert_eq!(
+            r.sheet.rules[0].selectors[0].parts[0].tag.as_deref(),
+            Some("div")
+        );
     }
 
     #[test]

@@ -41,9 +41,7 @@ fn matches_simple(doc: &Document, id: NodeId, simple: &SimpleSelector) -> bool {
         }
     }
     if let Some(want_id) = &simple.id {
-        let has = attrs
-            .iter()
-            .any(|(k, v)| k == "id" && v == want_id);
+        let has = attrs.iter().any(|(k, v)| k == "id" && v == want_id);
         if !has {
             return false;
         }
@@ -105,7 +103,10 @@ mod tests {
         assert!(matches(&d, a, &sel("#top a")));
         assert!(matches(&d, a, &sel("div p a")));
         assert!(!matches(&d, a, &sel("span a")));
-        assert!(!matches(&d, p, &sel("p a")), "subject must be the element itself");
+        assert!(
+            !matches(&d, p, &sel("p a")),
+            "subject must be the element itself"
+        );
     }
 
     #[test]

@@ -95,10 +95,13 @@ impl Document {
         tag: &str,
         attrs: Vec<(String, String)>,
     ) -> NodeId {
-        self.append(parent, NodeKind::Element {
-            tag: tag.to_ascii_lowercase(),
-            attrs,
-        })
+        self.append(
+            parent,
+            NodeKind::Element {
+                tag: tag.to_ascii_lowercase(),
+                attrs,
+            },
+        )
     }
 
     /// Appends a text node under `parent` and returns its id.

@@ -52,7 +52,11 @@ impl FixedRateFetcher {
     /// # Panics
     ///
     /// Panics if `bytes_per_sec` is not positive and finite.
-    pub fn new(server: OriginServer, bytes_per_sec: f64, overhead: ewb_simcore::SimDuration) -> Self {
+    pub fn new(
+        server: OriginServer,
+        bytes_per_sec: f64,
+        overhead: ewb_simcore::SimDuration,
+    ) -> Self {
         assert!(
             bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
             "rate must be positive, got {bytes_per_sec}"

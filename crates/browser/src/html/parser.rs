@@ -35,8 +35,8 @@ pub struct HtmlParseResult {
 
 /// Elements that never have children.
 const VOID_ELEMENTS: &[&str] = &[
-    "img", "br", "hr", "link", "meta", "input", "area", "base", "col", "embed",
-    "source", "track", "wbr",
+    "img", "br", "hr", "link", "meta", "input", "area", "base", "col", "embed", "source", "track",
+    "wbr",
 ];
 
 /// Parses an HTML document (or a `document.write` fragment), building the
@@ -69,29 +69,40 @@ pub fn parse(input: &str) -> HtmlParseResult {
                         let rel = attr(&attrs, "rel").unwrap_or_default();
                         if rel.eq_ignore_ascii_case("stylesheet") {
                             if let Some(href) = attr(&attrs, "href") {
-                                resources.push(Resource { url: href, kind: ObjectKind::Css });
+                                resources.push(Resource {
+                                    url: href,
+                                    kind: ObjectKind::Css,
+                                });
                             }
                         }
                     }
                     "script" => {
                         if let Some(src) = attr(&attrs, "src") {
-                            resources.push(Resource { url: src, kind: ObjectKind::Js });
+                            resources.push(Resource {
+                                url: src,
+                                kind: ObjectKind::Js,
+                            });
                         } else if !self_closing {
                             in_script = true;
                         }
                     }
-                    "style"
-                        if !self_closing => {
-                            in_style = true;
-                        }
+                    "style" if !self_closing => {
+                        in_style = true;
+                    }
                     "img" => {
                         if let Some(src) = attr(&attrs, "src") {
-                            resources.push(Resource { url: src, kind: ObjectKind::Image });
+                            resources.push(Resource {
+                                url: src,
+                                kind: ObjectKind::Image,
+                            });
                         }
                     }
                     "embed" | "object" => {
                         if let Some(src) = attr(&attrs, "src").or_else(|| attr(&attrs, "data")) {
-                            resources.push(Resource { url: src, kind: ObjectKind::Flash });
+                            resources.push(Resource {
+                                url: src,
+                                kind: ObjectKind::Flash,
+                            });
                         }
                     }
                     "a" => {

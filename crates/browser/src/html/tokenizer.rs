@@ -295,8 +295,20 @@ mod tests {
     #[test]
     fn self_closing_tag() {
         let toks = tokenize("<br/><hr />");
-        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
-        assert!(matches!(&toks[1], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -341,7 +353,13 @@ mod tests {
 
     #[test]
     fn unterminated_constructs_do_not_panic() {
-        for s in ["<p", "<!-- open", "<script>never closed", "</", "<img src=\"x"] {
+        for s in [
+            "<p",
+            "<!-- open",
+            "<script>never closed",
+            "</",
+            "<img src=\"x",
+        ] {
             let _ = tokenize(s); // must not panic
         }
     }
@@ -349,7 +367,9 @@ mod tests {
     #[test]
     fn unquoted_attr_stops_at_gt() {
         let toks = tokenize("<a href=x>y</a>");
-        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        let Token::StartTag { attrs, .. } = &toks[0] else {
+            panic!()
+        };
         assert_eq!(attrs[0], ("href".to_string(), "x".to_string()));
         assert!(matches!(&toks[1], Token::Text(t) if t == "y"));
     }

@@ -330,8 +330,7 @@ impl Parser {
 
     fn comparison(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.additive()?;
-        while let Some(JsToken::Punct(op @ ("<" | ">" | "<=" | ">=" | "==" | "!="))) = self.peek()
-        {
+        while let Some(JsToken::Punct(op @ ("<" | ">" | "<=" | ">=" | "==" | "!="))) = self.peek() {
             let op = *op;
             self.advance();
             let right = self.additive()?;
@@ -453,8 +452,8 @@ mod tests {
 
     #[test]
     fn parses_function_and_call() {
-        let p = parse_program("function mix(a, b) { return a * 31 + b; } var h = mix(1, 2);")
-            .unwrap();
+        let p =
+            parse_program("function mix(a, b) { return a * 31 + b; } var h = mix(1, 2);").unwrap();
         let Stmt::FunctionDecl { name, params, body } = &p.statements[0] else {
             panic!("expected function");
         };
@@ -480,15 +479,24 @@ mod tests {
             panic!()
         };
         // (1 + (2*3)) < 10
-        let Expr::Binary { op: "<", left, .. } = e else { panic!("{e:?}") };
-        let Expr::Binary { op: "+", right, .. } = left.as_ref() else { panic!() };
+        let Expr::Binary { op: "<", left, .. } = e else {
+            panic!("{e:?}")
+        };
+        let Expr::Binary { op: "+", right, .. } = left.as_ref() else {
+            panic!()
+        };
         assert!(matches!(right.as_ref(), Expr::Binary { op: "*", .. }));
     }
 
     #[test]
     fn if_else_without_braces() {
         let p = parse_program("if (a < b) x = 1; else x = 2;").unwrap();
-        let Stmt::If { then_branch, else_branch, .. } = &p.statements[0] else {
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &p.statements[0]
+        else {
             panic!()
         };
         assert_eq!(then_branch.len(), 1);

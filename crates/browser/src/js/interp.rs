@@ -424,10 +424,7 @@ mod tests {
         for k in 0..10 {
             acc = acc * 31 + k % 97;
         }
-        assert_eq!(
-            out.effects[0],
-            JsEffect::LoadImage(format!("got{acc}.png"))
-        );
+        assert_eq!(out.effects[0], JsEffect::LoadImage(format!("got{acc}.png")));
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub enum JsToken {
     Punct(&'static str),
 }
 
-const KEYWORDS: &[&str] = &["var", "function", "return", "if", "else", "while", "true", "false"];
+const KEYWORDS: &[&str] = &[
+    "var", "function", "return", "if", "else", "while", "true", "false",
+];
 
 /// Multi-character operators, longest first.
 const OPS2: &[&str] = &["<=", ">=", "==", "!="];
@@ -44,7 +46,9 @@ pub fn lex(input: &str) -> Vec<JsToken> {
             continue;
         }
         if input[i..].starts_with("/*") {
-            i = input[i + 2..].find("*/").map_or(input.len(), |p| i + 2 + p + 2);
+            i = input[i + 2..]
+                .find("*/")
+                .map_or(input.len(), |p| i + 2 + p + 2);
             continue;
         }
         // Strings.

@@ -64,10 +64,7 @@ pub fn layout(doc: &Document, styles: Option<&StyleResult>, viewport_px: f64) ->
                         continue;
                     }
                     let attr_h = attr_px(attrs, "height");
-                    let h = style
-                        .height_px
-                        .or(attr_h)
-                        .unwrap_or(DEFAULT_IMAGE_HEIGHT);
+                    let h = style.height_px.or(attr_h).unwrap_or(DEFAULT_IMAGE_HEIGHT);
                     let w = style
                         .width_px
                         .or_else(|| attr_px(attrs, "width"))

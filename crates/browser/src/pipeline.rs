@@ -386,7 +386,9 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
     /// Issues queued requests up to the connection limit.
     fn pump(&mut self) {
         while self.in_flight < self.cfg.max_parallel.max(1) {
-            let Some(url) = self.queue.pop_front() else { break };
+            let Some(url) = self.queue.pop_front() else {
+                break;
+            };
             self.fetcher.request(&url, self.t);
             self.in_flight += 1;
         }
@@ -417,10 +419,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
         for script in &parsed.inline_scripts {
             self.run_script(script);
         }
-        if is_root
-            && self.cfg.mode == PipelineMode::EnergyAware
-            && self.cfg.draw_intermediate
-        {
+        if is_root && self.cfg.mode == PipelineMode::EnergyAware && self.cfg.draw_intermediate {
             // §4.2: a simplified display with no CSS rules, styles, or
             // images — just the text content laid out with defaults.
             let doc = self.doc.as_ref().expect("root doc just set");
@@ -438,9 +437,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             PipelineMode::Original => {
                 // Full parse now (rule extraction on the critical path).
                 let parsed = css::parse(body);
-                let d = self
-                    .cost
-                    .css_parse(parsed.bytes, parsed.sheet.rules.len());
+                let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
                 self.busy(d, Cat::Layout);
                 for u in parsed.urls.iter().chain(&parsed.sheet.imports) {
                     if u.ends_with(".css") {
@@ -472,9 +469,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
         match self.cfg.mode {
             PipelineMode::Original => {
                 let parsed = css::parse(body);
-                let d = self
-                    .cost
-                    .css_parse(parsed.bytes, parsed.sheet.rules.len());
+                let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
                 self.busy(d, Cat::Layout);
                 for u in parsed.urls.iter().chain(&parsed.sheet.imports) {
                     if u.ends_with(".css") {
@@ -512,9 +507,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 js::JsEffect::LoadImage(u) | js::JsEffect::LoadScript(u) => self.request(&u),
                 js::JsEffect::DocumentWrite(fragment) => {
                     let parsed = html::parse(&fragment);
-                    let d = self
-                        .cost
-                        .html_parse(parsed.bytes, parsed.document.len());
+                    let d = self.cost.html_parse(parsed.bytes, parsed.document.len());
                     self.busy(d, Cat::Dtc);
                     self.m.secondary_urls += parsed.secondary_urls.len();
                     for r in &parsed.resources {
@@ -578,7 +571,9 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
         let sheet_refs: Vec<&css::Stylesheet> = self.sheets.iter().collect();
         let styles = css::compute_styles(doc, &sheet_refs);
         let lr = layout::layout(doc, Some(&styles), self.cfg.viewport_px);
-        let d = self.cost.style(styles.match_attempts, styles.declarations_applied)
+        let d = self
+            .cost
+            .style(styles.match_attempts, styles.declarations_applied)
             + self.cost.layout(lr.boxes)
             + self.cost.paint(lr.boxes);
         self.busy(d, Cat::RedrawReflow);
@@ -615,9 +610,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             let bodies = std::mem::take(&mut self.css_bodies);
             for body in &bodies {
                 let parsed = css::parse(body);
-                let d = self
-                    .cost
-                    .css_parse(parsed.bytes, parsed.sheet.rules.len());
+                let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
                 self.busy(d, Cat::Layout);
                 self.sheets.push(parsed.sheet);
             }
@@ -628,7 +621,9 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
         let sheet_refs: Vec<&css::Stylesheet> = self.sheets.iter().collect();
         let styles = css::compute_styles(&doc, &sheet_refs);
         let lr = layout::layout(&doc, Some(&styles), self.cfg.viewport_px);
-        let d = self.cost.style(styles.match_attempts, styles.declarations_applied)
+        let d = self
+            .cost
+            .style(styles.match_attempts, styles.declarations_applied)
             + self.cost.layout(lr.boxes)
             + self.cost.paint(lr.boxes);
         self.busy(d, Cat::Layout);
@@ -690,8 +685,8 @@ mod tests {
     fn energy_aware_shortens_the_transmission_phase() {
         let orig = load(PipelineMode::Original, "espn", PageVersion::Full);
         let ea = load(PipelineMode::EnergyAware, "espn", PageVersion::Full);
-        let saving = 1.0
-            - ea.transmission_time().as_secs_f64() / orig.transmission_time().as_secs_f64();
+        let saving =
+            1.0 - ea.transmission_time().as_secs_f64() / orig.transmission_time().as_secs_f64();
         assert!(
             (0.15..0.55).contains(&saving),
             "tx saving should be paper-scale (27%), got {saving:.3} \
@@ -738,7 +733,11 @@ mod tests {
     fn original_pays_redraw_reflow_energy_aware_does_not() {
         let orig = load(PipelineMode::Original, "espn", PageVersion::Full);
         let ea = load(PipelineMode::EnergyAware, "espn", PageVersion::Full);
-        assert!(orig.work.redraw_reflow.as_secs_f64() > 1.0, "{:?}", orig.work);
+        assert!(
+            orig.work.redraw_reflow.as_secs_f64() > 1.0,
+            "{:?}",
+            orig.work
+        );
         assert!(ea.work.redraw_reflow.is_zero());
     }
 
@@ -844,7 +843,11 @@ mod inline_style_pipeline_tests {
         fn next_completion(&mut self) -> Option<FetchCompletion> {
             let (url, t) = self.queue.pop_front()?;
             let object = if url == "http://t/" {
-                Some(WebObject::text(url.clone(), ObjectKind::Html, self.body.clone()))
+                Some(WebObject::text(
+                    url.clone(),
+                    ObjectKind::Html,
+                    self.body.clone(),
+                ))
             } else if self.bg && url == "http://t/bg.png" {
                 Some(WebObject::opaque(url.clone(), ObjectKind::Image, 2048))
             } else {
@@ -875,7 +878,10 @@ mod inline_style_pipeline_tests {
                 &PipelineConfig::new(mode),
                 &CpuCostModel::default(),
             );
-            assert_eq!(m.objects_fetched, 2, "{mode:?}: html + CSS-discovered image");
+            assert_eq!(
+                m.objects_fetched, 2,
+                "{mode:?}: html + CSS-discovered image"
+            );
             assert_eq!(m.image_objects, 1);
         }
     }

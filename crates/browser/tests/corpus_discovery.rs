@@ -12,7 +12,13 @@ use ewb_webpage::{OriginServer, Page, PageSpec, PageVersion};
 use proptest::prelude::*;
 
 fn arbitrary_spec() -> impl Strategy<Value = PageSpec> {
-    let text = (1.0f64..40.0, 1usize..4, 1.0f64..10.0, 1usize..6, 1.0f64..8.0);
+    let text = (
+        1.0f64..40.0,
+        1usize..4,
+        1.0f64..10.0,
+        1usize..6,
+        1.0f64..8.0,
+    );
     let scripts = (0usize..6, 0usize..300);
     let media = (0usize..20, 1.0f64..20.0, 0usize..4);
     let misc = (0usize..12, 1usize..20, any::<u64>(), any::<bool>());
@@ -25,7 +31,11 @@ fn arbitrary_spec() -> impl Strategy<Value = PageSpec> {
         )| {
             PageSpec {
                 site: "discovery".to_string(),
-                version: if full { PageVersion::Full } else { PageVersion::Mobile },
+                version: if full {
+                    PageVersion::Full
+                } else {
+                    PageVersion::Mobile
+                },
                 html_kb,
                 n_css,
                 css_kb,

@@ -215,7 +215,10 @@ pub fn simulate(cfg: &CapacityConfig, service: &ServiceTimes) -> CapacityResult 
 /// The Erlang-B blocking probability `B(N, a)` for offered load `a`
 /// erlangs on `n` servers — the closed-form check for the simulator.
 pub fn erlang_b(n: usize, a: f64) -> f64 {
-    assert!(a >= 0.0 && a.is_finite(), "offered load must be non-negative");
+    assert!(
+        a >= 0.0 && a.is_finite(),
+        "offered load must be non-negative"
+    );
     let mut b = 1.0;
     for k in 1..=n {
         b = a * b / (k as f64 + a * b);
@@ -318,7 +321,10 @@ mod tests {
         let low = drop(300);
         let mid = drop(500);
         let high = drop(800);
-        assert!(low <= mid + 0.005 && mid <= high + 0.005, "{low} {mid} {high}");
+        assert!(
+            low <= mid + 0.005 && mid <= high + 0.005,
+            "{low} {mid} {high}"
+        );
         assert!(high > low);
     }
 
@@ -444,7 +450,10 @@ mod replicated_tests {
     #[test]
     #[should_panic(expected = "two replicas")]
     fn rejects_single_replica() {
-        let cfg = CapacityConfig { users: 10, ..CapacityConfig::paper() };
+        let cfg = CapacityConfig {
+            users: 10,
+            ..CapacityConfig::paper()
+        };
         simulate_replicated(&cfg, &ServiceTimes::Deterministic(1.0), 1);
     }
 }

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn pipelines_match_table6() {
         assert_eq!(Case::Original.pipeline_mode(), PipelineMode::Original);
-        assert_eq!(Case::OriginalAlwaysOff.pipeline_mode(), PipelineMode::Original);
+        assert_eq!(
+            Case::OriginalAlwaysOff.pipeline_mode(),
+            PipelineMode::Original
+        );
         for c in [Case::EnergyAwareAlwaysOff, Case::Accurate9, Case::Predict20] {
             assert_eq!(c.pipeline_mode(), PipelineMode::EnergyAware);
         }
@@ -133,7 +136,10 @@ mod tests {
             Case::Predict20.release_policy(),
             ReleasePolicy::PredictedThreshold { threshold_s: 20.0 }
         );
-        assert_eq!(Case::EnergyAwareAlwaysOff.release_policy(), ReleasePolicy::AfterLoad);
+        assert_eq!(
+            Case::EnergyAwareAlwaysOff.release_policy(),
+            ReleasePolicy::AfterLoad
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl AlgorithmParams {
     ///
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in [("alpha_s", self.alpha_s), ("td_s", self.td_s), ("tp_s", self.tp_s)] {
+        for (name, v) in [
+            ("alpha_s", self.alpha_s),
+            ("td_s", self.td_s),
+            ("tp_s", self.tp_s),
+        ] {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{name} must be non-negative, got {v}"));
             }
@@ -142,9 +146,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_inverted_thresholds() {
-        let p = AlgorithmParams { tp_s: 30.0, ..AlgorithmParams::paper() };
+        let p = AlgorithmParams {
+            tp_s: 30.0,
+            ..AlgorithmParams::paper()
+        };
         assert!(p.validate().is_err());
-        let p = AlgorithmParams { alpha_s: f64::NAN, ..AlgorithmParams::paper() };
+        let p = AlgorithmParams {
+            alpha_s: f64::NAN,
+            ..AlgorithmParams::paper()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -74,13 +74,25 @@ pub fn compare_capacity(
         horizon_s,
         ..CapacityConfig::paper()
     };
+    // Every (user-count, service-time) cell is an independent loss
+    // simulation with its own seeded RNG — fan the grid out over scoped
+    // threads, collecting in grid order.
     let curve = |service: &ServiceTimes| {
-        let drop_probability = users_grid
-            .iter()
-            .map(|&users| {
-                simulate(&CapacityConfig { users, ..base }, service).drop_probability()
-            })
-            .collect();
+        let drop_probability = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = users_grid
+                .iter()
+                .map(|&users| {
+                    scope.spawn(move |_| {
+                        simulate(&CapacityConfig { users, ..base }, service).drop_probability()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("capacity cell worker panicked"))
+                .collect()
+        })
+        .expect("thread scope");
         CapacityCurve {
             users: users_grid.to_vec(),
             drop_probability,

@@ -145,13 +145,19 @@ mod tests {
     /// the bench harness.
     #[test]
     fn fig16_shape_holds_on_a_small_slice() {
-        let trace_cfg = TraceConfig { seed: 2013, ..TraceConfig::small() };
+        let trace_cfg = TraceConfig {
+            seed: 2013,
+            ..TraceConfig::small()
+        };
         let trace = TraceDataset::generate(&trace_cfg);
         let corpus = benchmark_corpus(trace_cfg.seed);
         let server = OriginServer::from_corpus(&corpus);
         let cfg = CoreConfig::paper();
-        let predictor =
-            ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+        let predictor = ReadingTimePredictor::train_with_interest_threshold(
+            &trace,
+            2.0,
+            &reading_time_params(),
+        );
 
         let rows = run(&corpus, &server, &cfg, &trace, &predictor, 2, 3);
         assert_eq!(rows.len(), 7);

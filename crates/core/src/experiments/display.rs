@@ -28,34 +28,31 @@ pub struct DisplayRow {
     pub ea_final_s: f64,
 }
 
-/// Measures display timings over one benchmark version.
+/// Measures display timings over one benchmark version, one scoped
+/// worker per independent site.
 pub fn benchmark_display_times(
     corpus: &Corpus,
     server: &OriginServer,
     cfg: &CoreConfig,
     version: PageVersion,
 ) -> Vec<DisplayRow> {
-    corpus
-        .sites()
-        .iter()
-        .map(|site| {
-            let page = match version {
-                PageVersion::Mobile => &site.mobile,
-                PageVersion::Full => &site.full,
-            };
-            let to_s = |t: Option<ewb_simcore::SimTime>| t.map(|x| x.as_secs_f64());
-            let orig = single_visit(server, page, Case::Original, cfg, 0.0);
-            let ea = single_visit(server, page, Case::EnergyAwareAlwaysOff, cfg, 0.0);
-            DisplayRow {
-                key: site.key.clone(),
-                version,
-                orig_first_s: to_s(orig.pages[0].first_display),
-                orig_final_s: orig.pages[0].opened.as_secs_f64(),
-                ea_first_s: to_s(ea.pages[0].first_display),
-                ea_final_s: ea.pages[0].opened.as_secs_f64(),
-            }
-        })
-        .collect()
+    super::par_map_sites(corpus, |site| {
+        let page = match version {
+            PageVersion::Mobile => &site.mobile,
+            PageVersion::Full => &site.full,
+        };
+        let to_s = |t: Option<ewb_simcore::SimTime>| t.map(|x| x.as_secs_f64());
+        let orig = single_visit(server, page, Case::Original, cfg, 0.0);
+        let ea = single_visit(server, page, Case::EnergyAwareAlwaysOff, cfg, 0.0);
+        DisplayRow {
+            key: site.key.clone(),
+            version,
+            orig_first_s: to_s(orig.pages[0].first_display),
+            orig_final_s: orig.pages[0].opened.as_secs_f64(),
+            ea_first_s: to_s(ea.pages[0].first_display),
+            ea_final_s: ea.pages[0].opened.as_secs_f64(),
+        }
+    })
 }
 
 /// Fig. 14 means: `(first_saving, final_saving)` fractions over rows that
@@ -109,8 +106,14 @@ mod tests {
         let cfg = CoreConfig::paper();
         let rows = benchmark_display_times(&corpus, &server, &cfg, PageVersion::Full);
         let (first, final_) = fig14_savings(&rows);
-        assert!((0.30..0.90).contains(&first), "first saving {first:.3} (paper 0.455)");
-        assert!((0.05..0.35).contains(&final_), "final saving {final_:.3} (paper 0.168)");
+        assert!(
+            (0.30..0.90).contains(&first),
+            "first saving {first:.3} (paper 0.455)"
+        );
+        assert!(
+            (0.05..0.35).contains(&final_),
+            "final saving {final_:.3} (paper 0.168)"
+        );
     }
 
     #[test]
@@ -120,7 +123,11 @@ mod tests {
         let cfg = CoreConfig::paper();
         let rows = benchmark_display_times(&corpus, &server, &cfg, PageVersion::Mobile);
         for r in &rows {
-            assert!(r.ea_first_s.is_none(), "{}: mobile EA draws no intermediate", r.key);
+            assert!(
+                r.ea_first_s.is_none(),
+                "{}: mobile EA draws no intermediate",
+                r.key
+            );
         }
     }
 }

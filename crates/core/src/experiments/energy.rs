@@ -50,35 +50,32 @@ impl EnergyRow {
     }
 }
 
-/// Measures every page of one benchmark version.
+/// Measures every page of one benchmark version, one scoped worker per
+/// independent site.
 pub fn benchmark_energy(
     corpus: &Corpus,
     server: &OriginServer,
     cfg: &CoreConfig,
     version: PageVersion,
 ) -> Vec<EnergyRow> {
-    corpus
-        .sites()
-        .iter()
-        .map(|site| {
-            let page = match version {
-                PageVersion::Mobile => &site.mobile,
-                PageVersion::Full => &site.full,
-            };
-            let orig = single_visit(server, page, Case::Original, cfg, READING_S);
-            // "Our approach": reorganized pipeline + release during the
-            // reading window (20 s > Tp = 9 s, so the oracle releases).
-            let ea = single_visit(server, page, Case::Accurate9, cfg, READING_S);
-            EnergyRow {
-                key: site.key.clone(),
-                version,
-                orig_open_j: orig.pages[0].load_joules,
-                orig_reading_j: orig.pages[0].reading_joules,
-                ea_open_j: ea.pages[0].load_joules,
-                ea_reading_j: ea.pages[0].reading_joules,
-            }
-        })
-        .collect()
+    super::par_map_sites(corpus, |site| {
+        let page = match version {
+            PageVersion::Mobile => &site.mobile,
+            PageVersion::Full => &site.full,
+        };
+        let orig = single_visit(server, page, Case::Original, cfg, READING_S);
+        // "Our approach": reorganized pipeline + release during the
+        // reading window (20 s > Tp = 9 s, so the oracle releases).
+        let ea = single_visit(server, page, Case::Accurate9, cfg, READING_S);
+        EnergyRow {
+            key: site.key.clone(),
+            version,
+            orig_open_j: orig.pages[0].load_joules,
+            orig_reading_j: orig.pages[0].reading_joules,
+            ea_open_j: ea.pages[0].load_joules,
+            ea_reading_j: ea.pages[0].reading_joules,
+        }
+    })
 }
 
 /// Mean saving across rows.
@@ -135,8 +132,7 @@ mod tests {
         let server = OriginServer::from_corpus(&corpus);
         let cfg = CoreConfig::paper();
         let rows = benchmark_energy(&corpus, &server, &cfg, PageVersion::Mobile);
-        let read_saving: f64 =
-            rows.iter().map(|r| r.orig_reading_j - r.ea_reading_j).sum();
+        let read_saving: f64 = rows.iter().map(|r| r.orig_reading_j - r.ea_reading_j).sum();
         let open_saving: f64 = rows.iter().map(|r| r.orig_open_j - r.ea_open_j).sum();
         assert!(
             read_saving > open_saving,

@@ -56,35 +56,32 @@ pub struct Fig8Summary {
     pub total_saving: f64,
 }
 
-/// Measures every benchmark page under both pipelines.
+/// Measures every benchmark page under both pipelines, fanning the
+/// independent per-site simulations over scoped threads.
 pub fn benchmark_load_times(
     corpus: &Corpus,
     server: &OriginServer,
     cfg: &CoreConfig,
     version: PageVersion,
 ) -> Vec<LoadTimeRow> {
-    corpus
-        .sites()
-        .iter()
-        .map(|site| {
-            let page = match version {
-                PageVersion::Mobile => &site.mobile,
-                PageVersion::Full => &site.full,
-            };
-            let orig = single_visit(server, page, Case::Original, cfg, 0.0);
-            let ea = single_visit(server, page, Case::EnergyAwareAlwaysOff, cfg, 0.0);
-            let op = &orig.pages[0];
-            let ep = &ea.pages[0];
-            LoadTimeRow {
-                key: site.key.clone(),
-                version,
-                orig_load_s: op.load_time_s(),
-                ea_tx_s: ep.tx_time_s(),
-                ea_layout_s: ep.load_time_s() - ep.tx_time_s(),
-                ea_load_s: ep.load_time_s(),
-            }
-        })
-        .collect()
+    super::par_map_sites(corpus, |site| {
+        let page = match version {
+            PageVersion::Mobile => &site.mobile,
+            PageVersion::Full => &site.full,
+        };
+        let orig = single_visit(server, page, Case::Original, cfg, 0.0);
+        let ea = single_visit(server, page, Case::EnergyAwareAlwaysOff, cfg, 0.0);
+        let op = &orig.pages[0];
+        let ep = &ea.pages[0];
+        LoadTimeRow {
+            key: site.key.clone(),
+            version,
+            orig_load_s: op.load_time_s(),
+            ea_tx_s: ep.tx_time_s(),
+            ea_layout_s: ep.load_time_s() - ep.tx_time_s(),
+            ea_load_s: ep.load_time_s(),
+        }
+    })
 }
 
 /// Aggregates rows into the Fig. 8(a) summary.
@@ -154,8 +151,15 @@ mod tests {
             "mobile total saving {:.3} (paper 0.025)",
             s.total_saving
         );
-        assert!(s.orig_load_s < summarize(
-            &benchmark_load_times(&corpus, &server, &cfg, PageVersion::Full)
-        ).orig_load_s);
+        assert!(
+            s.orig_load_s
+                < summarize(&benchmark_load_times(
+                    &corpus,
+                    &server,
+                    &cfg,
+                    PageVersion::Full
+                ))
+                .orig_load_s
+        );
     }
 }

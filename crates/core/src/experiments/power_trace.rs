@@ -81,6 +81,13 @@ mod tests {
 
         // Both traces peak at DCH transmission levels early on.
         assert!(t.original.samples().iter().copied().fold(0.0_f64, f64::max) >= 1.2);
-        assert!(t.energy_aware.samples().iter().copied().fold(0.0_f64, f64::max) >= 1.2);
+        assert!(
+            t.energy_aware
+                .samples()
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max)
+                >= 1.2
+        );
     }
 }

@@ -173,9 +173,7 @@ pub fn simulate_session(
                     let features = visit
                         .features
                         .unwrap_or_else(|| FeatureVector::from_slice(&metrics.features().to_vec()));
-                    let tr = predictor
-                        .expect("checked above")
-                        .predict_seconds(&features);
+                    let tr = predictor.expect("checked above").predict_seconds(&features);
                     predicted_s = Some(tr);
                     let at = opened + SimDuration::from_secs_f64(cfg.alg.alpha_s);
                     (tr > threshold_s).then_some(at)
@@ -268,8 +266,7 @@ mod tests {
         let (corpus, server, cfg) = setup();
         let long = vec![visit(&corpus, "cnn", PageVersion::Mobile, 30.0)];
         let short = vec![visit(&corpus, "cnn", PageVersion::Mobile, 5.0)];
-        let released =
-            simulate_session(&server, &long, Case::Accurate9, &cfg, None);
+        let released = simulate_session(&server, &long, Case::Accurate9, &cfg, None);
         let kept = simulate_session(&server, &short, Case::Accurate9, &cfg, None);
         assert!(released.pages[0].released_at.is_some());
         assert!(kept.pages[0].released_at.is_none());
@@ -313,7 +310,10 @@ mod tests {
             out.pages[1].load_time_s(),
             out.pages[0].load_time_s()
         );
-        assert_eq!(out.counters.idle_to_dch, 1, "only the first load promotes cold");
+        assert_eq!(
+            out.counters.idle_to_dch, 1,
+            "only the first load promotes cold"
+        );
     }
 
     #[test]
@@ -342,8 +342,7 @@ mod tests {
             &ewb_traces::reading_time_params(),
         );
         let visits = vec![visit(&corpus, "espn", PageVersion::Full, 30.0)];
-        let out =
-            simulate_session(&server, &visits, Case::Predict9, &cfg, Some(&predictor));
+        let out = simulate_session(&server, &visits, Case::Predict9, &cfg, Some(&predictor));
         assert!(out.pages[0].predicted_s.is_some());
     }
 
@@ -411,8 +410,14 @@ mod algorithm_mode_tests {
             None,
         );
         let kept = simulate_session(&server, &visits, Case::Accurate20, &delay_cfg, None);
-        assert!(released.pages[0].released_at.is_some(), "power mode releases at 14 s");
-        assert!(kept.pages[0].released_at.is_none(), "delay mode keeps at 14 s");
+        assert!(
+            released.pages[0].released_at.is_some(),
+            "power mode releases at 14 s"
+        );
+        assert!(
+            kept.pages[0].released_at.is_none(),
+            "delay mode keeps at 14 s"
+        );
     }
 
     /// Releasing on a 14 s read is power-positive but costs the next

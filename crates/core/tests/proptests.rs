@@ -27,7 +27,11 @@ fn build_visits(plan: &[(usize, bool, f64)]) -> Vec<Visit<'static>> {
     plan.iter()
         .map(|&(site, mobile, reading_s)| {
             let key = ewb_core::webpage::BENCHMARK_SITES[site].0;
-            let version = if mobile { PageVersion::Mobile } else { PageVersion::Full };
+            let version = if mobile {
+                PageVersion::Mobile
+            } else {
+                PageVersion::Full
+            };
             Visit {
                 page: corpus.page(key, version).expect("benchmark site"),
                 reading_s,

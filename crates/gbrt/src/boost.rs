@@ -13,11 +13,12 @@
 //! prediction cost for forests of 1 000–20 000 trees of 8 nodes each.
 
 use crate::data::Dataset;
+use crate::flat::FlatForest;
 use crate::loss::Loss;
+use crate::splitter::{fit_presorted, Presorted};
 use crate::tree::{RegressionTree, TreeParams};
 use ewb_simcore::Xoshiro256;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,7 +67,9 @@ impl GbrtParams {
         if self.max_leaves < 2 {
             return Err("max_leaves must be at least 2".to_string());
         }
-        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0 && self.learning_rate <= 1.0)
+        if !(self.learning_rate.is_finite()
+            && self.learning_rate > 0.0
+            && self.learning_rate <= 1.0)
         {
             return Err(format!(
                 "learning_rate must be in (0,1], got {}",
@@ -74,7 +77,10 @@ impl GbrtParams {
             ));
         }
         if !(self.subsample.is_finite() && self.subsample > 0.0 && self.subsample <= 1.0) {
-            return Err(format!("subsample must be in (0,1], got {}", self.subsample));
+            return Err(format!(
+                "subsample must be in (0,1], got {}",
+                self.subsample
+            ));
         }
         Ok(())
     }
@@ -83,10 +89,10 @@ impl GbrtParams {
 /// A trained boosted forest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GbrtModel {
-    init: f64,
-    trees: Vec<RegressionTree>,
-    loss: Loss,
-    n_features: usize,
+    pub(crate) init: f64,
+    pub(crate) trees: Vec<RegressionTree>,
+    pub(crate) loss: Loss,
+    pub(crate) n_features: usize,
 }
 
 /// The trainer. (A unit struct namespace: `Gbrt::fit` mirrors the paper's
@@ -108,6 +114,12 @@ impl Gbrt {
     /// each boosting stage (useful for convergence tests and the ablation
     /// benches).
     ///
+    /// Each iteration fits its tree over pre-sorted feature columns
+    /// (argsorted once per call, partitioned down each tree), then
+    /// resolves every sample's leaf region in a single traversal reused
+    /// for both the γ fit and the `F_m` update. Output is bit-identical
+    /// to [`Gbrt::fit_reference`].
+    ///
     /// # Panics
     ///
     /// Panics if `params` fails [`GbrtParams::validate`].
@@ -117,6 +129,8 @@ impl Gbrt {
         }
         let n = data.len();
         let targets = data.targets();
+        let cols = data.columns();
+        let pre = Presorted::new(cols, n);
         let init = params.loss.initial_value(targets);
         let mut predictions = vec![init; n];
         let mut trees = Vec::with_capacity(params.n_trees);
@@ -127,41 +141,74 @@ impl Gbrt {
             min_samples_leaf: params.min_samples_leaf,
         };
 
-        let all_indices: Vec<usize> = (0..n).collect();
+        // Reusable per-iteration buffers: the subsample index list, each
+        // sample's leaf region, the region-grouped sample ids (a counting
+        // sort over the handful of node ids), and the per-leaf target /
+        // prediction scratch handed to the loss.
+        let mut indices_buf: Vec<usize> = Vec::with_capacity(n);
+        let mut leaf_buf: Vec<u32> = vec![0; n];
+        let mut members: Vec<u32> = vec![0; n];
+        let mut ys: Vec<f64> = Vec::new();
+        let mut fs: Vec<f64> = Vec::new();
+
         for _ in 0..params.n_trees {
             // Pseudo-residuals under the current model.
             let residuals = params.loss.negative_gradient(targets, &predictions);
 
-            // Optional stochastic subsample.
-            let indices: Vec<usize> = if params.subsample < 1.0 {
+            let mut tree = if params.subsample < 1.0 {
+                // Stochastic subsample: shuffle the full id list (same RNG
+                // stream as ever), keep the first k.
                 let k = ((n as f64) * params.subsample).ceil().max(1.0) as usize;
-                let mut shuffled = all_indices.clone();
-                rng.shuffle(&mut shuffled);
-                shuffled.truncate(k);
-                shuffled
+                indices_buf.clear();
+                indices_buf.extend(0..n);
+                rng.shuffle(&mut indices_buf);
+                indices_buf.truncate(k);
+                fit_presorted(cols, &pre, &residuals, Some(&indices_buf), &tree_params)
             } else {
-                all_indices.clone()
+                fit_presorted(cols, &pre, &residuals, None, &tree_params)
             };
 
-            let mut tree = RegressionTree::fit(data.rows(), &residuals, &indices, &tree_params);
+            // One traversal per sample; the leaf ids drive the γ fit and
+            // the prediction update below.
+            for (i, leaf) in leaf_buf.iter_mut().enumerate() {
+                *leaf = tree.leaf_id(data.row(i)) as u32;
+            }
 
             // Loss-optimal leaf values γ_jm over the *training* samples in
             // each region (all samples, not just the subsample — the
-            // regions partition the whole space).
-            let mut regions: HashMap<usize, Vec<usize>> = HashMap::new();
-            for &i in &all_indices {
-                regions.entry(tree.leaf_id(data.row(i))).or_default().push(i);
+            // regions partition the whole space). Counting sort groups
+            // samples by leaf; members stay in sample-id order.
+            let n_nodes = tree.n_nodes();
+            let mut offsets = vec![0u32; n_nodes + 1];
+            for &l in leaf_buf.iter() {
+                offsets[l as usize + 1] += 1;
             }
-            for (leaf, members) in &regions {
-                let ys: Vec<f64> = members.iter().map(|&i| targets[i]).collect();
-                let fs: Vec<f64> = members.iter().map(|&i| predictions[i]).collect();
+            for i in 0..n_nodes {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            for (i, &l) in leaf_buf.iter().enumerate() {
+                members[cursor[l as usize] as usize] = i as u32;
+                cursor[l as usize] += 1;
+            }
+            for leaf in 0..n_nodes {
+                let (start, end) = (offsets[leaf] as usize, offsets[leaf + 1] as usize);
+                if start == end {
+                    continue;
+                }
+                ys.clear();
+                fs.clear();
+                for &i in &members[start..end] {
+                    ys.push(targets[i as usize]);
+                    fs.push(predictions[i as usize]);
+                }
                 let gamma = params.loss.leaf_value(&ys, &fs);
-                tree.set_leaf_value(*leaf, gamma * params.learning_rate);
+                tree.set_leaf_value(leaf, gamma * params.learning_rate);
             }
 
-            // F_m = F_{m-1} + ν γ.
-            for &i in &all_indices {
-                predictions[i] += tree.predict(data.row(i));
+            // F_m = F_{m-1} + ν γ — reusing the cached leaf ids.
+            for (i, &l) in leaf_buf.iter().enumerate() {
+                predictions[i] += tree.node_leaf_value(l as usize);
             }
             loss_curve.push(params.loss.mean_loss(targets, &predictions));
             trees.push(tree);
@@ -176,6 +223,18 @@ impl Gbrt {
             },
             loss_curve,
         )
+    }
+
+    /// Trains with the original implementation (per-node re-sorting tree
+    /// trainer, `HashMap` region map, per-sample tree walks) — see
+    /// [`crate::reference`]. Bit-identical to [`Gbrt::fit`] and kept as
+    /// the baseline for golden tests and the training benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`GbrtParams::validate`].
+    pub fn fit_reference(data: &Dataset, params: &GbrtParams) -> GbrtModel {
+        crate::reference::fit_boosted(data, params).0
     }
 }
 
@@ -201,7 +260,11 @@ impl GbrtModel {
     /// Panics if `m` exceeds the number of trees or `x` has the wrong
     /// width.
     pub fn predict_staged(&self, x: &[f64], m: usize) -> f64 {
-        assert!(m <= self.trees.len(), "stage {m} > {} trees", self.trees.len());
+        assert!(
+            m <= self.trees.len(),
+            "stage {m} > {} trees",
+            self.trees.len()
+        );
         self.init + self.trees[..m].iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
@@ -228,6 +291,12 @@ impl GbrtModel {
     /// Read access to the individual trees (for importance analysis).
     pub fn trees(&self) -> &[RegressionTree] {
         &self.trees
+    }
+
+    /// Compiles the forest into the flat structure-of-arrays layout for
+    /// fast inference (see [`FlatForest`]).
+    pub fn flatten(&self) -> FlatForest {
+        FlatForest::from_model(self)
     }
 
     /// Serializes the model to JSON — the paper's "deploy the tree model
@@ -278,7 +347,10 @@ mod tests {
         let data = friedman_like(300, 1);
         let (_, curve) = Gbrt::fit_traced(
             &data,
-            &GbrtParams { n_trees: 60, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 60,
+                ..GbrtParams::default()
+            },
         );
         for w in curve.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "loss increased: {} -> {}", w[0], w[1]);
@@ -290,13 +362,14 @@ mod tests {
         let data = friedman_like(500, 2);
         let model = Gbrt::fit(
             &data,
-            &GbrtParams { n_trees: 300, learning_rate: 0.1, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 300,
+                learning_rate: 0.1,
+                ..GbrtParams::default()
+            },
         );
         let err = rmse(&model.predict_all(&data), data.targets());
-        let baseline = rmse(
-            &vec![model.initial_value(); data.len()],
-            data.targets(),
-        );
+        let baseline = rmse(&vec![model.initial_value(); data.len()], data.targets());
         assert!(err < baseline * 0.25, "rmse {err} vs baseline {baseline}");
     }
 
@@ -307,28 +380,43 @@ mod tests {
         let (train, test) = data.split(0.7, &mut rng);
         let model = Gbrt::fit(
             &train,
-            &GbrtParams { n_trees: 300, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 300,
+                ..GbrtParams::default()
+            },
         );
         let err = rmse(&model.predict_all(&test), test.targets());
         let baseline = rmse(&vec![model.initial_value(); test.len()], test.targets());
-        assert!(err < baseline * 0.5, "test rmse {err} vs baseline {baseline}");
+        assert!(
+            err < baseline * 0.5,
+            "test rmse {err} vs baseline {baseline}"
+        );
     }
 
     #[test]
     fn initial_value_is_target_median() {
-        let data = Dataset::new(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![1.0, 100.0, 3.0],
-        )
-        .unwrap();
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 1, ..GbrtParams::default() });
+        let data =
+            Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1.0, 100.0, 3.0]).unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 1,
+                ..GbrtParams::default()
+            },
+        );
         assert_eq!(model.initial_value(), 3.0);
     }
 
     #[test]
     fn staged_prediction_matches_full() {
         let data = friedman_like(200, 4);
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 30, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 30,
+                ..GbrtParams::default()
+            },
+        );
         let x = data.row(0);
         assert_eq!(model.predict_staged(x, 30), model.predict(x));
         assert_eq!(model.predict_staged(x, 0), model.initial_value());
@@ -337,7 +425,12 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let data = friedman_like(200, 5);
-        let p = GbrtParams { n_trees: 20, subsample: 0.6, seed: 11, ..GbrtParams::default() };
+        let p = GbrtParams {
+            n_trees: 20,
+            subsample: 0.6,
+            seed: 11,
+            ..GbrtParams::default()
+        };
         let a = Gbrt::fit(&data, &p);
         let b = Gbrt::fit(&data, &p);
         assert_eq!(a, b);
@@ -350,7 +443,11 @@ mod tests {
         let data = friedman_like(400, 6);
         let model = Gbrt::fit(
             &data,
-            &GbrtParams { n_trees: 200, subsample: 0.5, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 200,
+                subsample: 0.5,
+                ..GbrtParams::default()
+            },
         );
         let err = rmse(&model.predict_all(&data), data.targets());
         let baseline = rmse(&vec![model.initial_value(); data.len()], data.targets());
@@ -370,7 +467,11 @@ mod tests {
         data = Dataset::new(rows, ys).unwrap();
         let model = Gbrt::fit(
             &data,
-            &GbrtParams { n_trees: 100, loss: Loss::AbsoluteError, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 100,
+                loss: Loss::AbsoluteError,
+                ..GbrtParams::default()
+            },
         );
         // Median-based model should stay near the bulk, not the outliers.
         let pred = model.predict(&[0.1, 0.9, 0.3, 0.7, 0.2]);
@@ -382,7 +483,11 @@ mod tests {
         let data = friedman_like(300, 8);
         let model = Gbrt::fit(
             &data,
-            &GbrtParams { n_trees: 10, max_leaves: 8, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 10,
+                max_leaves: 8,
+                ..GbrtParams::default()
+            },
         );
         for t in model.trees() {
             assert!(t.n_leaves() <= 8);
@@ -392,7 +497,13 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_predictions() {
         let data = friedman_like(150, 9);
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 15, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 15,
+                ..GbrtParams::default()
+            },
+        );
         let restored = GbrtModel::from_json(&model.to_json()).unwrap();
         for i in 0..data.len() {
             assert_eq!(model.predict(data.row(i)), restored.predict(data.row(i)));
@@ -404,16 +515,42 @@ mod tests {
     #[should_panic(expected = "invalid GbrtParams")]
     fn rejects_zero_trees() {
         let data = friedman_like(10, 10);
-        Gbrt::fit(&data, &GbrtParams { n_trees: 0, ..GbrtParams::default() });
+        Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 0,
+                ..GbrtParams::default()
+            },
+        );
     }
 
     #[test]
     fn params_validation() {
         assert!(GbrtParams::default().validate().is_ok());
-        assert!(GbrtParams { max_leaves: 1, ..GbrtParams::default() }.validate().is_err());
-        assert!(GbrtParams { learning_rate: 0.0, ..GbrtParams::default() }.validate().is_err());
-        assert!(GbrtParams { learning_rate: 2.0, ..GbrtParams::default() }.validate().is_err());
-        assert!(GbrtParams { subsample: 0.0, ..GbrtParams::default() }.validate().is_err());
+        assert!(GbrtParams {
+            max_leaves: 1,
+            ..GbrtParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GbrtParams {
+            learning_rate: 0.0,
+            ..GbrtParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GbrtParams {
+            learning_rate: 2.0,
+            ..GbrtParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GbrtParams {
+            subsample: 0.0,
+            ..GbrtParams::default()
+        }
+        .validate()
+        .is_err());
     }
 }
 
@@ -424,7 +561,13 @@ mod edge_case_tests {
     #[test]
     fn single_row_dataset_trains_to_a_constant() {
         let data = Dataset::new(vec![vec![1.0, 2.0]], vec![7.0]).unwrap();
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 5, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 5,
+                ..GbrtParams::default()
+            },
+        );
         assert_eq!(model.predict(&[1.0, 2.0]), 7.0);
         assert_eq!(model.predict(&[100.0, -5.0]), 7.0, "no splits possible");
     }
@@ -438,7 +581,11 @@ mod edge_case_tests {
         .unwrap();
         let model = Gbrt::fit(
             &data,
-            &GbrtParams { n_trees: 10, min_samples_leaf: 10, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 10,
+                min_samples_leaf: 10,
+                ..GbrtParams::default()
+            },
         );
         for t in model.trees() {
             assert_eq!(t.n_leaves(), 1);
@@ -454,7 +601,13 @@ mod edge_case_tests {
             (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect(),
         )
         .unwrap();
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 50, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 50,
+                ..GbrtParams::default()
+            },
+        );
         let p = model.predict(&[1.0]);
         assert!((4.0..6.0).contains(&p), "should settle near the mean: {p}");
     }
@@ -468,7 +621,11 @@ mod edge_case_tests {
         .unwrap();
         let model = Gbrt::fit(
             &data,
-            &GbrtParams { n_trees: 30, learning_rate: 1.0, ..GbrtParams::default() },
+            &GbrtParams {
+                n_trees: 30,
+                learning_rate: 1.0,
+                ..GbrtParams::default()
+            },
         );
         let err = crate::eval::rmse(&model.predict_all(&data), data.targets());
         assert!(err < 1.0, "rmse {err}");

@@ -3,6 +3,7 @@
 use ewb_simcore::Xoshiro256;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Errors produced when constructing a [`Dataset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,10 +37,11 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::Empty => write!(f, "dataset has no rows"),
-            DatasetError::RaggedRow { row, expected, actual } => write!(
-                f,
-                "row {row} has {actual} features, expected {expected}"
-            ),
+            DatasetError::RaggedRow {
+                row,
+                expected,
+                actual,
+            } => write!(f, "row {row} has {actual} features, expected {expected}"),
             DatasetError::TargetMismatch { rows, targets } => {
                 write!(f, "{rows} rows but {targets} targets")
             }
@@ -57,11 +59,25 @@ impl std::error::Error for DatasetError {}
 /// Rows are samples; all rows have the same width. Values must be finite
 /// (trees split on comparisons, and NaN comparisons silently send every
 /// sample one way).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
     rows: Vec<Vec<f64>>,
     targets: Vec<f64>,
     n_features: usize,
+    /// Column-major copy of `rows`, built on first use. The trainer scans
+    /// one feature at a time; column access through `rows` strides across
+    /// every row allocation, while a column copy is a contiguous read.
+    #[serde(skip)]
+    columns: OnceLock<Vec<Vec<f64>>>,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        // `columns` is derived data; identity is rows + targets.
+        self.rows == other.rows
+            && self.targets == other.targets
+            && self.n_features == other.n_features
+    }
 }
 
 impl Dataset {
@@ -97,6 +113,7 @@ impl Dataset {
             rows,
             targets,
             n_features,
+            columns: OnceLock::new(),
         })
     }
 
@@ -134,6 +151,17 @@ impl Dataset {
         &self.targets
     }
 
+    /// The feature matrix in column-major form: `columns()[f][i]` is
+    /// feature `f` of sample `i`. Built lazily and cached (also after
+    /// deserialization, where the cache starts empty).
+    pub fn columns(&self) -> &[Vec<f64>] {
+        self.columns.get_or_init(|| {
+            (0..self.n_features)
+                .map(|f| self.rows.iter().map(|r| r[f]).collect())
+                .collect()
+        })
+    }
+
     /// Splits into `(train, test)` with `train_fraction` of the rows in
     /// the training set, shuffled by `rng`.
     ///
@@ -154,12 +182,11 @@ impl Dataset {
             "split of {} rows at {train_fraction} leaves an empty side",
             self.len()
         );
-        let take = |idx: &[usize]| {
-            Dataset {
-                rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
-                targets: idx.iter().map(|&i| self.targets[i]).collect(),
-                n_features: self.n_features,
-            }
+        let take = |idx: &[usize]| Dataset {
+            rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
+            targets: idx.iter().map(|&i| self.targets[i]).collect(),
+            n_features: self.n_features,
+            columns: OnceLock::new(),
         };
         (take(&indices[..n_train]), take(&indices[n_train..]))
     }
@@ -184,6 +211,7 @@ impl Dataset {
                 rows,
                 targets,
                 n_features: self.n_features,
+                columns: OnceLock::new(),
             })
         }
     }
@@ -195,7 +223,12 @@ mod tests {
 
     fn small() -> Dataset {
         Dataset::new(
-            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0], vec![7.0, 8.0]],
+            vec![
+                vec![1.0, 2.0],
+                vec![3.0, 4.0],
+                vec![5.0, 6.0],
+                vec![7.0, 8.0],
+            ],
             vec![10.0, 20.0, 30.0, 40.0],
         )
         .unwrap()
@@ -221,7 +254,11 @@ mod tests {
         let err = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]).unwrap_err();
         assert_eq!(
             err,
-            DatasetError::RaggedRow { row: 1, expected: 1, actual: 2 }
+            DatasetError::RaggedRow {
+                row: 1,
+                expected: 1,
+                actual: 2
+            }
         );
         assert!(err.to_string().contains("row 1"));
     }
@@ -229,7 +266,13 @@ mod tests {
     #[test]
     fn rejects_target_mismatch() {
         let err = Dataset::new(vec![vec![1.0]], vec![0.0, 1.0]).unwrap_err();
-        assert_eq!(err, DatasetError::TargetMismatch { rows: 1, targets: 2 });
+        assert_eq!(
+            err,
+            DatasetError::TargetMismatch {
+                rows: 1,
+                targets: 2
+            }
+        );
     }
 
     #[test]
@@ -241,6 +284,19 @@ mod tests {
     }
 
     #[test]
+    fn columns_transpose_rows() {
+        let d = small();
+        assert_eq!(
+            d.columns(),
+            &[vec![1.0, 3.0, 5.0, 7.0], vec![2.0, 4.0, 6.0, 8.0]]
+        );
+        // Derived views survive cloning and splitting.
+        let (train, _) = d.split(0.5, &mut Xoshiro256::seed_from_u64(3));
+        assert_eq!(train.columns().len(), 2);
+        assert_eq!(train.columns()[0].len(), train.len());
+    }
+
+    #[test]
     fn split_partitions_rows() {
         let d = small();
         let mut rng = Xoshiro256::seed_from_u64(1);
@@ -248,7 +304,12 @@ mod tests {
         assert_eq!(train.len() + test.len(), d.len());
         assert_eq!(train.n_features(), 2);
         // Every original target appears exactly once across the split.
-        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        let mut all: Vec<f64> = train
+            .targets()
+            .iter()
+            .chain(test.targets())
+            .copied()
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(all, vec![10.0, 20.0, 30.0, 40.0]);
     }

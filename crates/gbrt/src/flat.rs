@@ -1,0 +1,295 @@
+//! Flattened structure-of-arrays inference for boosted forests.
+//!
+//! [`GbrtModel`] stores each tree as a `Vec` of enum nodes — convenient
+//! for training, but prediction over a Table 7-scale forest (20 000
+//! trees) walks thousands of small heap allocations per call, each node
+//! a 40-byte tagged enum. [`FlatForest`] compiles the whole forest into
+//! four parallel arrays (feature id, threshold/leaf value, left child,
+//! per-tree roots): one contiguous block, 14 bytes per node touched on a
+//! descent, no branching on an enum tag. Predictions are bit-identical
+//! to the source model — the per-tree walk returns the same leaf values
+//! and the accumulation order (tree 0, 1, …, then `init`) matches
+//! [`GbrtModel::predict`] exactly.
+
+use crate::boost::GbrtModel;
+use crate::data::Dataset;
+use crate::loss::Loss;
+
+/// Sentinel in the `feature` array marking a leaf node; the leaf's value
+/// lives in the `threshold` slot.
+const LEAF: u16 = u16::MAX;
+
+/// A boosted forest compiled for fast inference.
+///
+/// # Example
+///
+/// ```
+/// use ewb_gbrt::{Dataset, FlatForest, Gbrt, GbrtParams};
+///
+/// let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..50).map(|i| if i < 25 { 0.0 } else { 8.0 }).collect();
+/// let data = Dataset::new(rows, y).unwrap();
+/// let model = Gbrt::fit(&data, &GbrtParams { n_trees: 20, ..GbrtParams::default() });
+/// let flat = FlatForest::from_model(&model);
+/// assert_eq!(flat.predict(&[10.0]), model.predict(&[10.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatForest {
+    init: f64,
+    n_features: usize,
+    loss: Loss,
+    /// Start node of each tree; nodes of tree `t` occupy
+    /// `roots[t]..roots[t+1]` (or the end, for the last tree).
+    roots: Vec<u32>,
+    /// Split feature per node, or [`LEAF`].
+    feature: Vec<u16>,
+    /// Split threshold per node; leaf value for leaves.
+    threshold: Vec<f64>,
+    /// Left child per node (right child is `left + 1`); 0 for leaves.
+    left: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Compiles a trained model into the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest exceeds `u32` node indices or `u16` feature
+    /// indices — far beyond any model this crate trains.
+    pub fn from_model(model: &GbrtModel) -> Self {
+        let n_nodes: usize = model.trees().iter().map(|t| t.n_nodes()).sum();
+        assert!(
+            n_nodes < u32::MAX as usize,
+            "forest exceeds u32 node index space"
+        );
+        let mut roots = Vec::with_capacity(model.n_trees());
+        let mut feature = Vec::with_capacity(n_nodes);
+        let mut threshold = Vec::with_capacity(n_nodes);
+        let mut left = Vec::with_capacity(n_nodes);
+        for tree in model.trees() {
+            roots.push(feature.len() as u32);
+            tree.append_flat(&mut feature, &mut threshold, &mut left);
+        }
+        FlatForest {
+            init: model.initial_value(),
+            n_features: model.n_features(),
+            loss: model.loss(),
+            roots,
+            feature,
+            threshold,
+            left,
+        }
+    }
+
+    /// Walks one tree to its leaf value for `x`.
+    #[inline]
+    fn walk(&self, mut node: u32, x: &[f64]) -> f64 {
+        loop {
+            let i = node as usize;
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            let go_right = x[f as usize] > self.threshold[i];
+            node = self.left[i] + go_right as u32;
+        }
+    }
+
+    /// Predicts the target for one feature vector; bit-identical to
+    /// [`GbrtModel::predict`] on the source model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            x.len()
+        );
+        let mut acc = 0.0;
+        for &root in &self.roots {
+            acc += self.walk(root, x);
+        }
+        self.init + acc
+    }
+
+    /// Predicts every row of `data`, iterating trees in the outer loop so
+    /// each tree's nodes stay hot in cache across all samples. Per-sample
+    /// results are bit-identical to [`FlatForest::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has the wrong number of features.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
+        assert_eq!(
+            data.n_features(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            data.n_features()
+        );
+        let mut acc = vec![0.0; data.len()];
+        for &root in &self.roots {
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a += self.walk(root, data.row(i));
+            }
+        }
+        for a in &mut acc {
+            *a += self.init;
+        }
+        acc
+    }
+
+    /// Prediction using only the first `m` trees — the staged model
+    /// `F_m`; bit-identical to [`GbrtModel::predict_staged`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the number of trees or `x` has the wrong
+    /// width.
+    pub fn predict_staged(&self, x: &[f64], m: usize) -> f64 {
+        assert!(
+            m <= self.roots.len(),
+            "stage {m} > {} trees",
+            self.roots.len()
+        );
+        assert_eq!(
+            x.len(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            x.len()
+        );
+        let mut acc = 0.0;
+        for &root in &self.roots[..m] {
+            acc += self.walk(root, x);
+        }
+        self.init + acc
+    }
+
+    /// The constant initial model `F0`.
+    pub fn initial_value(&self) -> f64 {
+        self.init
+    }
+
+    /// Number of trees `M`.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total node count across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// The loss the source model was trained with.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gbrt, GbrtParams};
+    use ewb_simcore::Xoshiro256;
+
+    fn problem(n: usize, seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.f64() * 10.0).collect())
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * 2.0 + (r[1] * 0.7).sin() * 5.0 + r[2] * r[3] * 0.1)
+            .collect();
+        Dataset::new(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn predictions_match_model_bitwise() {
+        let data = problem(300, 1);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 40,
+                subsample: 0.7,
+                ..GbrtParams::default()
+            },
+        );
+        let flat = FlatForest::from_model(&model);
+        assert_eq!(flat.n_trees(), model.n_trees());
+        for i in 0..data.len() {
+            let x = data.row(i);
+            assert_eq!(flat.predict(x).to_bits(), model.predict(x).to_bits());
+        }
+        let all = flat.predict_all(&data);
+        let reference = model.predict_all(&data);
+        for (a, b) in all.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn staged_matches_model() {
+        let data = problem(120, 2);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 25,
+                ..GbrtParams::default()
+            },
+        );
+        let flat = FlatForest::from_model(&model);
+        let x = data.row(7);
+        for m in [0, 1, 12, 25] {
+            assert_eq!(
+                flat.predict_staged(x, m).to_bits(),
+                model.predict_staged(x, m).to_bits()
+            );
+        }
+        assert_eq!(flat.predict_staged(x, 0), flat.initial_value());
+    }
+
+    #[test]
+    fn metadata_carries_over() {
+        let data = problem(80, 3);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 5,
+                ..GbrtParams::default()
+            },
+        );
+        let flat = FlatForest::from_model(&model);
+        assert_eq!(flat.n_features(), model.n_features());
+        assert_eq!(flat.initial_value(), model.initial_value());
+        assert_eq!(flat.loss(), model.loss());
+        assert_eq!(
+            flat.n_nodes(),
+            model.trees().iter().map(|t| t.n_nodes()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 features")]
+    fn predict_rejects_wrong_width() {
+        let data = problem(50, 4);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 2,
+                ..GbrtParams::default()
+            },
+        );
+        FlatForest::from_model(&model).predict(&[1.0]);
+    }
+}

@@ -43,7 +43,13 @@ mod tests {
         // Only feature 1 matters.
         let y: Vec<f64> = rows.iter().map(|r| (r[1] * 8.0).floor()).collect();
         let data = Dataset::new(rows, y).unwrap();
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 50, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 50,
+                ..GbrtParams::default()
+            },
+        );
         let imp = feature_importance(&model);
         assert_eq!(imp.len(), 3);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -57,7 +63,13 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.f64(), rng.f64()]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] + r[1]).collect();
         let data = Dataset::new(rows, y).unwrap();
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 20, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 20,
+                ..GbrtParams::default()
+            },
+        );
         let imp = feature_importance(&model);
         assert!(imp.iter().all(|&g| g >= 0.0));
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -67,7 +79,13 @@ mod tests {
     fn constant_target_gives_zero_importance() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let data = Dataset::new(rows, vec![1.0; 20]).unwrap();
-        let model = Gbrt::fit(&data, &GbrtParams { n_trees: 5, ..GbrtParams::default() });
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 5,
+                ..GbrtParams::default()
+            },
+        );
         assert_eq!(feature_importance(&model), vec![0.0]);
     }
 }

@@ -41,13 +41,17 @@
 mod boost;
 mod data;
 mod eval;
+mod flat;
 mod importance;
 mod loss;
+mod reference;
+mod splitter;
 mod tree;
 
 pub use boost::{Gbrt, GbrtModel, GbrtParams};
 pub use data::{Dataset, DatasetError};
 pub use eval::{mae, rmse, threshold_accuracy};
+pub use flat::FlatForest;
 pub use importance::feature_importance;
 pub use loss::Loss;
 pub use tree::{RegressionTree, TreeParams};

@@ -29,7 +29,10 @@ impl Loss {
     ///
     /// Panics if `targets` is empty.
     pub fn initial_value(self, targets: &[f64]) -> f64 {
-        assert!(!targets.is_empty(), "cannot initialize on an empty target set");
+        assert!(
+            !targets.is_empty(),
+            "cannot initialize on an empty target set"
+        );
         median(targets)
     }
 
@@ -54,7 +57,11 @@ impl Loss {
                 // zero residual must be 0.
                 .map(|(&y, &f)| {
                     let r = y - f;
-                    if r == 0.0 { 0.0 } else { r.signum() }
+                    if r == 0.0 {
+                        0.0
+                    } else {
+                        r.signum()
+                    }
                 })
                 .collect(),
         }
@@ -130,7 +137,10 @@ mod tests {
     #[test]
     fn initial_value_is_median() {
         assert_eq!(Loss::SquaredError.initial_value(&[1.0, 9.0, 2.0]), 2.0);
-        assert_eq!(Loss::AbsoluteError.initial_value(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(
+            Loss::AbsoluteError.initial_value(&[1.0, 2.0, 3.0, 4.0]),
+            2.5
+        );
     }
 
     #[test]

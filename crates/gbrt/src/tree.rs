@@ -32,7 +32,7 @@ impl Default for TreeParams {
 /// A tree node: either a terminal value or a binary split
 /// (`x[feature] <= threshold` goes left).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -61,99 +61,56 @@ enum Node {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegressionTree {
-    nodes: Vec<Node>,
-    n_features: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) n_features: usize,
     /// `(feature, gain)` for every split made — input to feature
     /// importance.
-    split_gains: Vec<(usize, f64)>,
-}
-
-struct BestSplit {
-    feature: usize,
-    threshold: f64,
-    gain: f64,
-    left: Vec<usize>,
-    right: Vec<usize>,
-}
-
-/// A grown-but-unexpanded leaf awaiting possible splitting.
-struct Candidate {
-    node: usize,
-    split: BestSplit,
+    pub(crate) split_gains: Vec<(usize, f64)>,
 }
 
 impl RegressionTree {
     /// Fits a tree to `targets[i]` for the samples `indices` drawn from
     /// `rows`. This is the boosting-internal entry point — each boosting
     /// stage fits a tree to pseudo-residuals over a (possibly subsampled)
-    /// index set.
+    /// index set. Uses the pre-sorted exact-greedy trainer; the result is
+    /// bit-identical to [`RegressionTree::fit_reference`].
     ///
     /// # Panics
     ///
-    /// Panics if `indices` is empty, any index is out of bounds, or
-    /// `params.max_leaves == 0`.
-    pub fn fit(
+    /// Panics if `indices` is empty or contains duplicates, any index is
+    /// out of bounds, or `params.max_leaves == 0`.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], indices: &[usize], params: &TreeParams) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        let n_features = rows.first().map_or(0, |r| r.len());
+        let cols: Vec<Vec<f64>> = (0..n_features)
+            .map(|f| rows.iter().map(|r| r[f]).collect())
+            .collect();
+        let pre = crate::splitter::Presorted::new(&cols, rows.len());
+        crate::splitter::fit_presorted(&cols, &pre, targets, Some(indices), params)
+    }
+
+    /// Fits a tree directly to a [`Dataset`]'s targets.
+    pub fn fit_dataset(data: &Dataset, params: &TreeParams) -> Self {
+        let pre = crate::splitter::Presorted::new(data.columns(), data.len());
+        crate::splitter::fit_presorted(data.columns(), &pre, data.targets(), None, params)
+    }
+
+    /// Fits a tree with the original per-node re-sorting trainer (see
+    /// [`crate::reference`]'s module docs). Slower than
+    /// [`RegressionTree::fit`] but produces bit-identical trees — kept as
+    /// the baseline for equivalence tests and the training benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RegressionTree::fit`].
+    pub fn fit_reference(
         rows: &[Vec<f64>],
         targets: &[f64],
         indices: &[usize],
         params: &TreeParams,
     ) -> Self {
-        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
-        assert!(params.max_leaves >= 1, "max_leaves must be at least 1");
-        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
-        let n_features = rows.first().map_or(0, |r| r.len());
-
-        let root_value = region_mean(targets, indices);
-        let mut tree = RegressionTree {
-            nodes: vec![Node::Leaf { value: root_value }],
-            n_features,
-            split_gains: Vec::new(),
-        };
-        let mut leaves = 1usize;
-        let mut candidates: Vec<Candidate> = Vec::new();
-        if let Some(split) = best_split(rows, targets, indices, params.min_samples_leaf) {
-            candidates.push(Candidate { node: 0, split });
-        }
-
-        while leaves < params.max_leaves && !candidates.is_empty() {
-            // Deterministic arg-max: largest gain, ties to the earliest
-            // node (stable regardless of float noise in unrelated splits).
-            let mut best = 0;
-            for (i, c) in candidates.iter().enumerate() {
-                if c.split.gain > candidates[best].split.gain {
-                    best = i;
-                }
-            }
-            let Candidate { node, split } = candidates.swap_remove(best);
-
-            let left_value = region_mean(targets, &split.left);
-            let right_value = region_mean(targets, &split.right);
-            let left_id = tree.nodes.len();
-            tree.nodes.push(Node::Leaf { value: left_value });
-            let right_id = tree.nodes.len();
-            tree.nodes.push(Node::Leaf { value: right_value });
-            tree.nodes[node] = Node::Split {
-                feature: split.feature,
-                threshold: split.threshold,
-                left: left_id,
-                right: right_id,
-            };
-            tree.split_gains.push((split.feature, split.gain));
-            leaves += 1;
-
-            for (child, idx) in [(left_id, split.left), (right_id, split.right)] {
-                if let Some(s) = best_split(rows, targets, &idx, params.min_samples_leaf) {
-                    candidates.push(Candidate { node: child, split: s });
-                }
-            }
-        }
-        tree
-    }
-
-    /// Fits a tree directly to a [`Dataset`]'s targets.
-    pub fn fit_dataset(data: &Dataset, params: &TreeParams) -> Self {
-        let indices: Vec<usize> = (0..data.len()).collect();
-        RegressionTree::fit(data.rows(), data.targets(), &indices, params)
+        crate::reference::fit_tree(rows, targets, indices, params)
     }
 
     /// Predicts the value for one feature vector.
@@ -191,7 +148,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -244,72 +205,57 @@ impl RegressionTree {
     pub fn split_gains(&self) -> &[(usize, f64)] {
         &self.split_gains
     }
-}
 
-fn region_mean(targets: &[f64], indices: &[usize]) -> f64 {
-    indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64
-}
-
-/// Finds the squared-error-optimal split of `indices`, or `None` when no
-/// split has positive gain (e.g. constant targets or too few samples).
-fn best_split(
-    rows: &[Vec<f64>],
-    targets: &[f64],
-    indices: &[usize],
-    min_leaf: usize,
-) -> Option<BestSplit> {
-    let n = indices.len();
-    if n < 2 * min_leaf.max(1) {
-        return None;
-    }
-    let n_features = rows[indices[0]].len();
-    let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
-    let parent_score = total_sum * total_sum / n as f64;
-
-    let mut best: Option<(usize, f64, f64, usize)> = None; // (feature, threshold, gain, sorted_split_pos)
-    let mut best_order: Vec<usize> = Vec::new();
-
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    #[allow(clippy::needless_range_loop)] // `feature` is a real feature index, not a rows iterator
-    for feature in 0..n_features {
-        order.clear();
-        order.extend_from_slice(indices);
-        order.sort_by(|&a, &b| {
-            rows[a][feature]
-                .partial_cmp(&rows[b][feature])
-                .expect("finite feature values")
-        });
-        // Scan split positions: left = order[..k], right = order[k..].
-        let mut left_sum = 0.0;
-        for k in 1..n {
-            left_sum += targets[order[k - 1]];
-            // Cannot split between equal feature values.
-            if rows[order[k - 1]][feature] == rows[order[k]][feature] {
-                continue;
-            }
-            if k < min_leaf || n - k < min_leaf {
-                continue;
-            }
-            let right_sum = total_sum - left_sum;
-            let score = left_sum * left_sum / k as f64
-                + right_sum * right_sum / (n - k) as f64;
-            let gain = score - parent_score;
-            if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.2) {
-                let threshold =
-                    0.5 * (rows[order[k - 1]][feature] + rows[order[k]][feature]);
-                best = Some((feature, threshold, gain, k));
-                best_order = order.clone();
-            }
+    /// The stored value of leaf `node` — the booster reads this instead
+    /// of re-walking the tree for samples whose region is already known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a leaf.
+    pub(crate) fn node_leaf_value(&self, node: usize) -> f64 {
+        match self.nodes[node] {
+            Node::Leaf { value } => value,
+            Node::Split { .. } => panic!("node {node} is not a leaf"),
         }
     }
 
-    best.map(|(feature, threshold, gain, k)| BestSplit {
-        feature,
-        threshold,
-        gain,
-        left: best_order[..k].to_vec(),
-        right: best_order[k..].to_vec(),
-    })
+    /// Appends this tree's nodes to a flat structure-of-arrays layout
+    /// (see [`crate::FlatForest`]): `u16::MAX` in `feature` marks a leaf
+    /// whose value sits in the `threshold` slot, and a split's right
+    /// child is always `left + 1` (children are allocated consecutively
+    /// during growth).
+    pub(crate) fn append_flat(
+        &self,
+        feature: &mut Vec<u16>,
+        threshold: &mut Vec<f64>,
+        left: &mut Vec<u32>,
+    ) {
+        let base = feature.len() as u32;
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { value } => {
+                    feature.push(u16::MAX);
+                    threshold.push(*value);
+                    left.push(0);
+                }
+                Node::Split {
+                    feature: f,
+                    threshold: t,
+                    left: l,
+                    right: r,
+                } => {
+                    assert!(
+                        *f < u16::MAX as usize,
+                        "feature index {f} exceeds flat layout"
+                    );
+                    assert_eq!(*r, *l + 1, "children must be consecutive");
+                    feature.push(*f as u16);
+                    threshold.push(*t);
+                    left.push(base + *l as u32);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,10 +268,7 @@ mod tests {
 
     #[test]
     fn constant_targets_give_single_leaf() {
-        let d = dataset(
-            (0..10).map(|i| vec![i as f64]).collect(),
-            vec![5.0; 10],
-        );
+        let d = dataset((0..10).map(|i| vec![i as f64]).collect(), vec![5.0; 10]);
         let t = RegressionTree::fit_dataset(&d, &TreeParams::default());
         assert_eq!(t.n_leaves(), 1);
         assert_eq!(t.depth(), 0);
@@ -354,7 +297,10 @@ mod tests {
         for j in [1, 2, 4, 8, 16] {
             let t = RegressionTree::fit_dataset(
                 &d,
-                &TreeParams { max_leaves: j, min_samples_leaf: 1 },
+                &TreeParams {
+                    max_leaves: j,
+                    min_samples_leaf: 1,
+                },
             );
             assert!(t.n_leaves() <= j, "J={j} got {}", t.n_leaves());
             if j > 1 {
@@ -369,10 +315,16 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![(i % 10) as f64, ((i * 7919) % 13) as f64])
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| if r[0] < 5.0 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 5.0 { 0.0 } else { 10.0 })
+            .collect();
         let t = RegressionTree::fit_dataset(
             &dataset(rows, y),
-            &TreeParams { max_leaves: 2, min_samples_leaf: 1 },
+            &TreeParams {
+                max_leaves: 2,
+                min_samples_leaf: 1,
+            },
         );
         assert_eq!(t.split_gains().len(), 1);
         assert_eq!(t.split_gains()[0].0, 0, "should split on feature 0");
@@ -390,23 +342,40 @@ mod tests {
         let y: Vec<f64> = rows
             .iter()
             .map(|r| {
-                let xor = if (r[0] as i64) ^ (r[1] as i64) == 1 { 1.0 } else { 0.0 };
+                let xor = if (r[0] as i64) ^ (r[1] as i64) == 1 {
+                    1.0
+                } else {
+                    0.0
+                };
                 xor + 0.01 * r[0]
             })
             .collect();
         let d = dataset(rows.clone(), y.clone());
         let shallow = RegressionTree::fit_dataset(
             &d,
-            &TreeParams { max_leaves: 2, min_samples_leaf: 1 },
+            &TreeParams {
+                max_leaves: 2,
+                min_samples_leaf: 1,
+            },
         );
         let deep = RegressionTree::fit_dataset(
             &d,
-            &TreeParams { max_leaves: 4, min_samples_leaf: 1 },
+            &TreeParams {
+                max_leaves: 4,
+                min_samples_leaf: 1,
+            },
         );
         let sse = |t: &RegressionTree| -> f64 {
-            rows.iter().zip(&y).map(|(r, &v)| (t.predict(r) - v).powi(2)).sum()
+            rows.iter()
+                .zip(&y)
+                .map(|(r, &v)| (t.predict(r) - v).powi(2))
+                .sum()
         };
-        assert!(sse(&shallow) > 5.0, "2 leaves cannot capture XOR: {}", sse(&shallow));
+        assert!(
+            sse(&shallow) > 5.0,
+            "2 leaves cannot capture XOR: {}",
+            sse(&shallow)
+        );
         for (r, target) in rows.iter().zip(&y) {
             assert!((deep.predict(r) - target).abs() < 0.02);
         }
@@ -420,7 +389,10 @@ mod tests {
         );
         let t = RegressionTree::fit_dataset(
             &d,
-            &TreeParams { max_leaves: 16, min_samples_leaf: 5 },
+            &TreeParams {
+                max_leaves: 16,
+                min_samples_leaf: 5,
+            },
         );
         // Only the middle split satisfies 5/5.
         assert_eq!(t.n_leaves(), 2);

@@ -5,12 +5,15 @@ use proptest::prelude::*;
 
 /// Arbitrary small regression problems: 2 features, bounded values.
 fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    proptest::collection::vec(((-100.0f64..100.0), (-100.0f64..100.0), (-50.0f64..50.0)), 4..80)
-        .prop_map(|triples| {
-            let rows = triples.iter().map(|t| vec![t.0, t.1]).collect();
-            let ys = triples.iter().map(|t| t.2).collect();
-            (rows, ys)
-        })
+    proptest::collection::vec(
+        ((-100.0f64..100.0), (-100.0f64..100.0), (-50.0f64..50.0)),
+        4..80,
+    )
+    .prop_map(|triples| {
+        let rows = triples.iter().map(|t| vec![t.0, t.1]).collect();
+        let ys = triples.iter().map(|t| t.2).collect();
+        (rows, ys)
+    })
 }
 
 proptest! {
@@ -92,6 +95,31 @@ proptest! {
         let x = &rows[0];
         prop_assert_eq!(model.predict_staged(x, 0), model.initial_value());
         prop_assert_eq!(model.predict_staged(x, model.n_trees()), model.predict(x));
+    }
+
+    /// The flattened SoA forest predicts bit-identically to the enum
+    /// model it was compiled from, for full, staged, and batch paths.
+    #[test]
+    fn flat_forest_matches_model((rows, ys) in problem(), subsample in prop_oneof![Just(1.0f64), Just(0.7f64)]) {
+        let data = Dataset::new(rows.clone(), ys).unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams { n_trees: 12, subsample, min_samples_leaf: 1, ..GbrtParams::default() },
+        );
+        let flat = ewb_gbrt::FlatForest::from_model(&model);
+        for r in &rows {
+            prop_assert_eq!(flat.predict(r).to_bits(), model.predict(r).to_bits());
+        }
+        let m = model.n_trees() / 2;
+        prop_assert_eq!(
+            flat.predict_staged(&rows[0], m).to_bits(),
+            model.predict_staged(&rows[0], m).to_bits()
+        );
+        let batch = flat.predict_all(&data);
+        let reference = model.predict_all(&data);
+        for (a, b) in batch.iter().zip(&reference) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     /// Feature importance is a probability vector (or all zeros).

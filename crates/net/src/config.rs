@@ -41,10 +41,16 @@ impl NetConfig {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.dch_bytes_per_sec.is_finite() && self.dch_bytes_per_sec > 0.0) {
-            return Err(format!("dch rate must be positive, got {}", self.dch_bytes_per_sec));
+            return Err(format!(
+                "dch rate must be positive, got {}",
+                self.dch_bytes_per_sec
+            ));
         }
         if !(self.fach_bytes_per_sec.is_finite() && self.fach_bytes_per_sec > 0.0) {
-            return Err(format!("fach rate must be positive, got {}", self.fach_bytes_per_sec));
+            return Err(format!(
+                "fach rate must be positive, got {}",
+                self.fach_bytes_per_sec
+            ));
         }
         if self.fach_bytes_per_sec > self.dch_bytes_per_sec {
             return Err("FACH cannot be faster than DCH".to_string());

@@ -84,7 +84,12 @@ mod tests {
     #[test]
     fn traffic_sums_to_total_bytes() {
         let bytes = 300 * 1024;
-        let d = bulk_download(&NetConfig::paper(), &RrcConfig::paper(), bytes, SimTime::ZERO);
+        let d = bulk_download(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            bytes,
+            SimTime::ZERO,
+        );
         assert!((d.traffic.total() - bytes as f64).abs() < 1.0);
         // Buckets are dense: a continuous stream, unlike browser-paced.
         let buckets = d.traffic.bucket_sums(TRAFFIC_BUCKET);
@@ -94,7 +99,12 @@ mod tests {
 
     #[test]
     fn energy_accounts_promotion_and_stream() {
-        let d = bulk_download(&NetConfig::paper(), &RrcConfig::paper(), 95 * 1024, SimTime::ZERO);
+        let d = bulk_download(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            95 * 1024,
+            SimTime::ZERO,
+        );
         // promotion 7.0 J + (0.3 + 1.0) s at 1.25 W.
         let expected = 7.0 + 1.3 * 1.25;
         assert!((d.energy_j - expected).abs() < 0.05, "{}", d.energy_j);

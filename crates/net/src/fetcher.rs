@@ -118,10 +118,7 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
         let bytes = object.as_ref().map_or(0, |o| o.bytes);
         // Uplink request: even a 404 exchanges a little data. Whether the
         // response needs dedicated channels depends on its size.
-        let needs_dch = self
-            .machine
-            .config()
-            .needs_dch(bytes.max(1));
+        let needs_dch = self.machine.config().needs_dch(bytes.max(1));
         // The machine processes events sequentially; a request issued
         // while a previous transfer is still draining piggybacks on the
         // already-active radio (no promotion, RTT overlapped with the
@@ -167,13 +164,21 @@ mod tests {
     fn setup() -> (OriginServer, String) {
         let corpus = benchmark_corpus(2);
         let espn = corpus.page("espn", PageVersion::Full).unwrap();
-        (OriginServer::from_corpus(&corpus), espn.root_url().to_string())
+        (
+            OriginServer::from_corpus(&corpus),
+            espn.root_url().to_string(),
+        )
     }
 
     #[test]
     fn cold_request_pays_promotion_and_rtt() {
         let (server, root) = setup();
-        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         f.request(&root, SimTime::ZERO);
         let c = f.next_completion().unwrap();
         let obj = c.object.unwrap();
@@ -190,7 +195,12 @@ mod tests {
     #[test]
     fn warm_requests_skip_promotion() {
         let (server, root) = setup();
-        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         f.request(&root, SimTime::ZERO);
         let c1 = f.next_completion().unwrap();
         f.request("http://www.espn.com/main/css/s0.css", c1.at);
@@ -204,7 +214,12 @@ mod tests {
         let (server, _) = setup();
         let corpus = benchmark_corpus(2);
         let espn = corpus.page("espn", PageVersion::Full).unwrap();
-        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         for o in espn.objects() {
             f.request(&o.url, SimTime::ZERO);
         }
@@ -224,7 +239,12 @@ mod tests {
     #[test]
     fn radio_rides_tail_to_idle_after_transfers() {
         let (server, root) = setup();
-        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         f.request(&root, SimTime::ZERO);
         let c = f.next_completion().unwrap();
         let m = f.machine_mut();
@@ -237,7 +257,12 @@ mod tests {
     #[test]
     fn missing_url_costs_a_round_trip_not_bytes() {
         let (server, _) = setup();
-        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         f.request("http://nowhere/x", SimTime::ZERO);
         let c = f.next_completion().unwrap();
         assert!(c.object.is_none());
@@ -249,7 +274,12 @@ mod tests {
     #[test]
     fn records_match_machine_timeline() {
         let (server, root) = setup();
-        let mut f = ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         f.request(&root, SimTime::ZERO);
         let c = f.next_completion().unwrap();
         let r = f.transfers()[0];

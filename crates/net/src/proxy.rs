@@ -95,8 +95,7 @@ pub fn proxy_load(
     if let Err(e) = proxy.validate() {
         panic!("invalid ProxyConfig: {e}");
     }
-    let bytes_shipped =
-        ((page.total_bytes() as f64) * proxy.compression_ratio).ceil() as u64;
+    let bytes_shipped = ((page.total_bytes() as f64) * proxy.compression_ratio).ceil() as u64;
     let mut machine = RrcMachine::new(rrc.clone(), start);
     let data_start = machine.begin_transfer(start, true);
     // One round trip, the proxy's render time, then a continuous stream.
@@ -168,14 +167,20 @@ mod tests {
         let tight = proxy_load(
             &NetConfig::paper(),
             &RrcConfig::paper(),
-            &ProxyConfig { compression_ratio: 0.2, ..ProxyConfig::paper_era() },
+            &ProxyConfig {
+                compression_ratio: 0.2,
+                ..ProxyConfig::paper_era()
+            },
             &page,
             SimTime::ZERO,
         );
         let loose = proxy_load(
             &NetConfig::paper(),
             &RrcConfig::paper(),
-            &ProxyConfig { compression_ratio: 0.9, ..ProxyConfig::paper_era() },
+            &ProxyConfig {
+                compression_ratio: 0.9,
+                ..ProxyConfig::paper_era()
+            },
             &page,
             SimTime::ZERO,
         );
@@ -190,7 +195,10 @@ mod tests {
         proxy_load(
             &NetConfig::paper(),
             &RrcConfig::paper(),
-            &ProxyConfig { compression_ratio: 0.0, ..ProxyConfig::paper_era() },
+            &ProxyConfig {
+                compression_ratio: 0.0,
+                ..ProxyConfig::paper_era()
+            },
             &espn(),
             SimTime::ZERO,
         );

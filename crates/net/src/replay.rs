@@ -133,8 +133,12 @@ mod tests {
         let corpus = benchmark_corpus(3);
         let server = OriginServer::from_corpus(&corpus);
         let espn = corpus.page("espn", PageVersion::Full).unwrap();
-        let mut f =
-            ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        );
         for o in espn.objects() {
             f.request(&o.url, SimTime::ZERO);
         }
@@ -188,7 +192,9 @@ mod tests {
             needs_dch: true,
         }];
         let mut events = events_of_load(&transfers, &[]);
-        events.push(RadioEvent::Release { at: SimTime::from_secs(4) });
+        events.push(RadioEvent::Release {
+            at: SimTime::from_secs(4),
+        });
         let released = replay(
             RrcConfig::paper(),
             SimTime::ZERO,

@@ -148,7 +148,10 @@ mod tests {
         let p = compare_at_interval(&cfg, SimDuration::from_secs(2), half_second());
         assert!(p.saving_j < 0.0, "saving at 2 s should be negative: {p:?}");
         let p4 = compare_at_interval(&cfg, SimDuration::from_secs(4), half_second());
-        assert!(p4.saving_j < 0.0, "saving at 4 s should be negative: {p4:?}");
+        assert!(
+            p4.saving_j < 0.0,
+            "saving at 4 s should be negative: {p4:?}"
+        );
     }
 
     #[test]

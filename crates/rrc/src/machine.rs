@@ -186,10 +186,7 @@ impl RrcMachine {
                     _ => self.cfg.power.promotion_w,
                 }
             }
-            s => self
-                .cfg
-                .power
-                .watts(s, self.active_transfers > 0, 0.0),
+            s => self.cfg.power.watts(s, self.active_transfers > 0, 0.0),
         };
         w + self.cfg.power.cpu_full_extra_w * self.cpu_load
     }
@@ -253,7 +250,12 @@ impl RrcMachine {
             RrcState::Fach => {
                 if needs_dch {
                     self.counters.fach_to_dch += 1;
-                    self.start_promotion(t, RrcState::Dch, RrcState::Fach, self.cfg.fach_to_dch_latency)
+                    self.start_promotion(
+                        t,
+                        RrcState::Dch,
+                        RrcState::Fach,
+                        self.cfg.fach_to_dch_latency,
+                    )
                 } else {
                     t
                 }
@@ -261,10 +263,20 @@ impl RrcMachine {
             RrcState::Idle => {
                 if needs_dch {
                     self.counters.idle_to_dch += 1;
-                    self.start_promotion(t, RrcState::Dch, RrcState::Idle, self.cfg.idle_to_dch_latency)
+                    self.start_promotion(
+                        t,
+                        RrcState::Dch,
+                        RrcState::Idle,
+                        self.cfg.idle_to_dch_latency,
+                    )
                 } else {
                     self.counters.idle_to_fach += 1;
-                    self.start_promotion(t, RrcState::Fach, RrcState::Idle, self.cfg.idle_to_fach_latency)
+                    self.start_promotion(
+                        t,
+                        RrcState::Fach,
+                        RrcState::Idle,
+                        self.cfg.idle_to_fach_latency,
+                    )
                 }
             }
             RrcState::Promoting => {
@@ -295,7 +307,10 @@ impl RrcMachine {
     /// promoting).
     pub fn end_transfer(&mut self, t: SimTime) {
         self.advance_to(t);
-        assert!(self.active_transfers > 0, "end_transfer without begin_transfer");
+        assert!(
+            self.active_transfers > 0,
+            "end_transfer without begin_transfer"
+        );
         assert!(
             !matches!(self.state, RrcState::Promoting),
             "end_transfer at {t} while still promoting — ended before its data_start"
@@ -529,7 +544,10 @@ mod tests {
         m.advance_to(later);
         assert_eq!(m.state(), RrcState::Fach);
         let s2 = m.begin_transfer(later, false);
-        assert_eq!(s2, later, "small transfers use the shared channels directly");
+        assert_eq!(
+            s2, later,
+            "small transfers use the shared channels directly"
+        );
         assert_eq!(m.state(), RrcState::Fach);
         m.end_transfer(s2 + SimDuration::from_millis(500));
         // T2 re-arms from the transfer end.
@@ -635,7 +653,10 @@ mod tests {
         m.advance_to(secs(40.0));
         assert_eq!(m.residency().total(), SimDuration::from_secs(40));
         assert_eq!(m.residency().promoting, SimDuration::from_millis(1750));
-        assert_eq!(m.residency().dch, SimDuration::from_secs(3) + SimDuration::from_secs(4));
+        assert_eq!(
+            m.residency().dch,
+            SimDuration::from_secs(3) + SimDuration::from_secs(4)
+        );
         assert_eq!(m.residency().fach, SimDuration::from_secs(15));
     }
 
@@ -644,7 +665,11 @@ mod tests {
         let mut m = machine();
         m.set_cpu_load(SimTime::ZERO, 1.0);
         m.advance_to(secs(10.0));
-        assert!((m.energy_j() - 10.0 * 0.60).abs() < 1e-9, "{}", m.energy_j());
+        assert!(
+            (m.energy_j() - 10.0 * 0.60).abs() < 1e-9,
+            "{}",
+            m.energy_j()
+        );
         m.set_cpu_load(secs(10.0), 0.0);
         m.advance_to(secs(20.0));
         assert!((m.energy_j() - (10.0 * 0.60 + 10.0 * 0.15)).abs() < 1e-9);

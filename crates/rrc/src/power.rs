@@ -157,8 +157,14 @@ mod tests {
         let pm = PowerModel::paper();
         let half = pm.watts(RrcState::Idle, false, 0.5);
         assert!((half - (0.15 + 0.225)).abs() < 1e-12);
-        assert_eq!(pm.watts(RrcState::Idle, false, 2.0), pm.watts(RrcState::Idle, false, 1.0));
-        assert_eq!(pm.watts(RrcState::Idle, false, -1.0), pm.watts(RrcState::Idle, false, 0.0));
+        assert_eq!(
+            pm.watts(RrcState::Idle, false, 2.0),
+            pm.watts(RrcState::Idle, false, 1.0)
+        );
+        assert_eq!(
+            pm.watts(RrcState::Idle, false, -1.0),
+            pm.watts(RrcState::Idle, false, 0.0)
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn measured_state_powers(cfg: &RrcConfig) -> Vec<(String, f64)> {
     m.advance_to(SimTime::from_secs(10));
     rows.push((
         "IDLE state".to_string(),
-        m.meter().joules_between(SimTime::ZERO, SimTime::from_secs(10)) / 10.0,
+        m.meter()
+            .joules_between(SimTime::ZERO, SimTime::from_secs(10))
+            / 10.0,
     ));
 
     // Transfer: promotion, then DCH with transmission for 5 s.
@@ -103,8 +105,7 @@ mod tests {
             SimDuration::from_secs(3),
             SimDuration::from_secs(5),
         );
-        let seq: Vec<(RrcState, RrcState)> =
-            transitions.iter().map(|t| (t.from, t.to)).collect();
+        let seq: Vec<(RrcState, RrcState)> = transitions.iter().map(|t| (t.from, t.to)).collect();
         assert_eq!(
             seq,
             vec![

@@ -292,7 +292,10 @@ impl Bernoulli {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         Bernoulli { p }
     }
 }

@@ -228,7 +228,10 @@ mod tests {
         m.advance_to(SimTime::from_secs(20), 1.0);
         let j = m.joules_between(SimTime::from_secs(5), SimTime::from_secs(15));
         assert!((j - (5.0 * 2.0 + 5.0 * 1.0)).abs() < 1e-9);
-        assert_eq!(m.joules_between(SimTime::from_secs(30), SimTime::from_secs(40)), 0.0);
+        assert_eq!(
+            m.joules_between(SimTime::from_secs(30), SimTime::from_secs(40)),
+            0.0
+        );
     }
 
     #[test]

@@ -90,16 +90,14 @@ impl Xoshiro256 {
     /// distinct, stable sub-streams, so model components (user behavior,
     /// network jitter, page content) can be re-seeded independently.
     pub fn fork(&self, stream: u64) -> Xoshiro256 {
-        let tag = SplitMix64::mix(self.s[0] ^ self.s[3] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        let tag =
+            SplitMix64::mix(self.s[0] ^ self.s[3] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
         Xoshiro256::seed_from_u64(tag)
     }
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

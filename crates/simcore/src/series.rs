@@ -47,7 +47,10 @@ impl TimeSeries {
     pub fn record(&mut self, t: SimTime, value: f64) {
         assert!(!value.is_nan(), "cannot record NaN");
         if let Some(&(last, _)) = self.points.last() {
-            assert!(t >= last, "observations must be chronological: {last} then {t}");
+            assert!(
+                t >= last,
+                "observations must be chronological: {last} then {t}"
+            );
         }
         self.points.push((t, value));
     }
@@ -217,12 +220,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let ts: TimeSeries = vec![
-            (SimTime::from_secs(1), 1.0),
-            (SimTime::from_secs(2), 2.0),
-        ]
-        .into_iter()
-        .collect();
+        let ts: TimeSeries = vec![(SimTime::from_secs(1), 1.0), (SimTime::from_secs(2), 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!(ts.len(), 2);
     }
 

@@ -124,8 +124,7 @@ impl Summary {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -201,7 +200,10 @@ impl Ecdf {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if q == 0.0 {
             return self.sorted[0];
         }
@@ -318,7 +320,9 @@ mod tests {
 
     #[test]
     fn summary_basics() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
@@ -447,7 +451,10 @@ mod tests {
 ///
 /// Panics if `xs` has fewer than two elements or `z` is not positive.
 pub fn mean_confidence_interval(xs: &[f64], z: f64) -> (f64, f64) {
-    assert!(xs.len() >= 2, "confidence interval needs at least two samples");
+    assert!(
+        xs.len() >= 2,
+        "confidence interval needs at least two samples"
+    );
     assert!(z.is_finite() && z > 0.0, "z must be positive");
     let m = mean(xs);
     let sd = std_dev(xs);

@@ -98,8 +98,7 @@ impl TraceDataset {
                     in_session = 0;
                 }
                 let (site, version, features, latents) = synth.sample(&mut rng);
-                let reading_time_s =
-                    model.sample(latents, profile.interest(&site), &mut rng);
+                let reading_time_s = model.sample(latents, profile.interest(&site), &mut rng);
                 visits.push(PageVisit {
                     user: user_id,
                     session,

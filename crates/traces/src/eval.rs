@@ -71,10 +71,8 @@ fn evaluate(trace: &TraceDataset, decision_threshold_s: f64, seed: u64) -> Accur
     let data = trace.to_gbrt_dataset();
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let (train, test) = data.split(0.7, &mut rng);
-    let predictor = crate::predictor::ReadingTimePredictor::train_dataset(
-        &train,
-        &reading_time_params(),
-    );
+    let predictor =
+        crate::predictor::ReadingTimePredictor::train_dataset(&train, &reading_time_params());
     let predictions: Vec<f64> = (0..test.len())
         .map(|i| predictor.predict_row(test.row(i)))
         .collect();
@@ -87,6 +85,50 @@ fn evaluate(trace: &TraceDataset, decision_threshold_s: f64, seed: u64) -> Accur
     }
 }
 
+/// One cell of an accuracy-evaluation grid: an optional interest
+/// threshold α, a decision threshold (Tp or Td), and a train/test split
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalCell {
+    /// Interest threshold α in seconds; `None` evaluates the raw trace.
+    pub alpha_s: Option<f64>,
+    /// Decision threshold in seconds (Tp = 9 or Td = 20).
+    pub decision_threshold_s: f64,
+    /// Split seed.
+    pub seed: u64,
+}
+
+/// Evaluates every cell of a grid, fanning the independent (α, T, seed)
+/// cells out over scoped threads. Each cell trains its own model, so the
+/// cells share nothing; results come back in `cells` order and are
+/// identical to calling [`accuracy_without_threshold`] /
+/// [`accuracy_with_threshold`] serially.
+///
+/// # Panics
+///
+/// Panics if any cell's interest threshold removes every visit, or a
+/// worker panics.
+pub fn accuracy_grid(trace: &TraceDataset, cells: &[EvalCell]) -> Vec<AccuracyReport> {
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|&cell| {
+                scope.spawn(move |_| match cell.alpha_s {
+                    None => accuracy_without_threshold(trace, cell.decision_threshold_s, cell.seed),
+                    Some(alpha) => {
+                        accuracy_with_threshold(trace, alpha, cell.decision_threshold_s, cell.seed)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval cell worker panicked"))
+            .collect()
+    })
+    .expect("thread scope")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +136,35 @@ mod tests {
 
     fn trace() -> TraceDataset {
         TraceDataset::generate(&TraceConfig::paper())
+    }
+
+    #[test]
+    fn grid_matches_serial_evaluation() {
+        let t = TraceDataset::generate(&TraceConfig::small());
+        let cells = [
+            EvalCell {
+                alpha_s: None,
+                decision_threshold_s: 9.0,
+                seed: 1,
+            },
+            EvalCell {
+                alpha_s: Some(2.0),
+                decision_threshold_s: 9.0,
+                seed: 1,
+            },
+            EvalCell {
+                alpha_s: Some(2.0),
+                decision_threshold_s: 20.0,
+                seed: 2,
+            },
+        ];
+        let parallel = accuracy_grid(&t, &cells);
+        let serial = [
+            accuracy_without_threshold(&t, 9.0, 1),
+            accuracy_with_threshold(&t, 2.0, 9.0, 1),
+            accuracy_with_threshold(&t, 2.0, 20.0, 2),
+        ];
+        assert_eq!(parallel, serial);
     }
 
     #[test]
@@ -197,7 +268,10 @@ mod cross_user_tests {
         let trace = TraceDataset::generate(&TraceConfig::paper());
         let within = accuracy_with_threshold(&trace, 2.0, 9.0, 5);
         let across = cross_user_accuracy(&trace, 2.0, 9.0, 30);
-        println!("within-user {:.3}, cross-user {:.3}", within.accuracy, across.accuracy);
+        println!(
+            "within-user {:.3}, cross-user {:.3}",
+            within.accuracy, across.accuracy
+        );
         // A model trained on 30 users must hold up on the other 10 —
         // within a few points of the mixed-split accuracy.
         assert!(

@@ -42,10 +42,10 @@ mod user;
 
 pub use dataset::{PageVisit, TraceConfig, TraceDataset};
 pub use eval::{
-    accuracy_with_threshold, accuracy_without_threshold, cross_user_accuracy,
-    reading_time_params, AccuracyReport,
+    accuracy_grid, accuracy_with_threshold, accuracy_without_threshold, cross_user_accuracy,
+    reading_time_params, AccuracyReport, EvalCell,
 };
 pub use features::{FeatureVector, FEATURE_NAMES, N_FEATURES};
 pub use predictor::ReadingTimePredictor;
-pub use synth::{VisitSynthesizer, VisitLatents};
+pub use synth::{VisitLatents, VisitSynthesizer};
 pub use user::{DwellModel, UserProfile};

@@ -8,14 +8,29 @@
 
 use crate::dataset::TraceDataset;
 use crate::features::FeatureVector;
-use ewb_gbrt::{Dataset, Gbrt, GbrtModel, GbrtParams};
+use ewb_gbrt::{Dataset, FlatForest, Gbrt, GbrtModel, GbrtParams};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A trained reading-time model (the artifact the paper "deploys to the
 /// prediction program which is embedded in the web browser", §4.3.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Predictions run through a lazily compiled [`FlatForest`] — the
+/// structure-of-arrays layout the deployed device-side predictor would
+/// ship — which is bit-identical to evaluating the enum model directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReadingTimePredictor {
     model: GbrtModel,
+    /// Inference-compiled forest; rebuilt on demand after deserialization.
+    #[serde(skip)]
+    flat: OnceLock<FlatForest>,
+}
+
+impl PartialEq for ReadingTimePredictor {
+    fn eq(&self, other: &Self) -> bool {
+        // `flat` is a pure derivation of `model`.
+        self.model == other.model
+    }
 }
 
 impl ReadingTimePredictor {
@@ -53,6 +68,7 @@ impl ReadingTimePredictor {
             .expect("log transform preserves validity");
         ReadingTimePredictor {
             model: Gbrt::fit(&log_data, params),
+            flat: OnceLock::new(),
         }
     }
 
@@ -67,12 +83,17 @@ impl ReadingTimePredictor {
     ///
     /// Panics if the row has the wrong number of features.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        (self.model.predict(row).exp() - 1.0).max(0.0)
+        (self.flat().predict(row).exp() - 1.0).max(0.0)
     }
 
     /// The underlying forest.
     pub fn model(&self) -> &GbrtModel {
         &self.model
+    }
+
+    /// The inference-compiled forest, built on first use.
+    pub fn flat(&self) -> &FlatForest {
+        self.flat.get_or_init(|| self.model.flatten())
     }
 
     /// Serializes for deployment.
@@ -110,8 +131,11 @@ mod tests {
     fn interest_threshold_training_raises_predictions() {
         let trace = TraceDataset::generate(&TraceConfig::small());
         let raw = ReadingTimePredictor::train(&trace, &reading_time_params());
-        let engaged =
-            ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+        let engaged = ReadingTimePredictor::train_with_interest_threshold(
+            &trace,
+            2.0,
+            &reading_time_params(),
+        );
         // Bounces drag the raw model down; the filtered model predicts
         // longer dwell on average.
         let mean = |p: &ReadingTimePredictor| {
@@ -127,11 +151,27 @@ mod tests {
     }
 
     #[test]
+    fn flat_path_matches_enum_model() {
+        let trace = TraceDataset::generate(&TraceConfig::small());
+        let p = ReadingTimePredictor::train(&trace, &reading_time_params());
+        for v in trace.visits().iter().take(100) {
+            let row = v.features.to_vec();
+            let via_flat = p.predict_row(&row);
+            let via_model = (p.model().predict(&row).exp() - 1.0).max(0.0);
+            assert_eq!(via_flat.to_bits(), via_model.to_bits());
+        }
+        assert_eq!(p.flat().n_trees(), p.model().n_trees());
+    }
+
+    #[test]
     fn json_roundtrip() {
         let trace = TraceDataset::generate(&TraceConfig::small());
         let p = ReadingTimePredictor::train(&trace, &reading_time_params());
         let restored = ReadingTimePredictor::from_json(&p.to_json()).unwrap();
         let v = &trace.visits()[0];
-        assert_eq!(p.predict_seconds(&v.features), restored.predict_seconds(&v.features));
+        assert_eq!(
+            p.predict_seconds(&v.features),
+            restored.predict_seconds(&v.features)
+        );
     }
 }

@@ -124,7 +124,10 @@ impl VisitSynthesizer {
 
     /// Draws one visit: picks a (site, version), jitters its features,
     /// and returns the latent bits for the dwell model.
-    pub fn sample(&self, rng: &mut Xoshiro256) -> (String, PageVersion, FeatureVector, VisitLatents) {
+    pub fn sample(
+        &self,
+        rng: &mut Xoshiro256,
+    ) -> (String, PageVersion, FeatureVector, VisitLatents) {
         let (key, version, base) = rng.choose(&self.bases);
         let mut f = *base;
 
@@ -132,7 +135,9 @@ impl VisitSynthesizer {
         let bulk = LogNormal::new(0.0, 0.25).sample(rng);
         f.0[1] *= bulk; // page size
         f.0[2] = (f.0[2] * bulk).round().max(1.0); // objects
-        f.0[3] = (f.0[3] * LogNormal::new(0.0, 0.3).sample(rng)).round().max(0.0);
+        f.0[3] = (f.0[3] * LogNormal::new(0.0, 0.3).sample(rng))
+            .round()
+            .max(0.0);
         f.0[4] = (f.0[4] * bulk).round().max(0.0); // figures
         f.0[5] = f.0[5] * bulk * LogNormal::new(0.0, 0.3).sample(rng); // figure KB
 

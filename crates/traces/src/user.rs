@@ -59,12 +59,7 @@ pub struct DwellModel;
 
 impl DwellModel {
     /// Draws a reading time for one visit.
-    pub fn sample(
-        &self,
-        latents: VisitLatents,
-        interest: f64,
-        rng: &mut Xoshiro256,
-    ) -> f64 {
+    pub fn sample(&self, latents: VisitLatents, interest: f64, rng: &mut Xoshiro256) -> f64 {
         if rng.f64() < BOUNCE_FRACTION {
             // Quick bounce: feature-independent, below the α = 2 s
             // interest threshold.
@@ -156,7 +151,10 @@ mod tests {
         };
         let low = mean_for(0.2, &mut rng);
         let high = mean_for(0.8, &mut rng);
-        assert!(high > low * 1.1, "interest should raise dwell: {low} vs {high}");
+        assert!(
+            high > low * 1.1,
+            "interest should raise dwell: {low} vs {high}"
+        );
     }
 
     #[test]

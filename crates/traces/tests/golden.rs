@@ -1,0 +1,55 @@
+//! End-to-end golden test: on the fixed-seed synthetic trace, the
+//! refactored pre-sorted GBRT engine must train a model byte-identical
+//! to the original per-node re-sorting trainer — same splits, same
+//! thresholds, same serialized JSON — through the full reading-time
+//! pipeline (feature extraction, log transform, subsampled boosting).
+
+use ewb_gbrt::{Dataset, Gbrt};
+use ewb_traces::{reading_time_params, ReadingTimePredictor, TraceConfig, TraceDataset};
+
+#[test]
+fn predictor_training_is_byte_identical_to_reference() {
+    let trace = TraceDataset::generate(&TraceConfig::small());
+    let predictor = ReadingTimePredictor::train(&trace, &reading_time_params());
+
+    // Replicate the predictor's log transform, then train through the
+    // retained reference implementation.
+    let data = trace.to_gbrt_dataset();
+    let log_targets: Vec<f64> = data.targets().iter().map(|&y| (1.0 + y).ln()).collect();
+    let log_data = Dataset::new(data.rows().to_vec(), log_targets).unwrap();
+    let reference = Gbrt::fit_reference(&log_data, &reading_time_params());
+
+    assert_eq!(
+        predictor.model(),
+        &reference,
+        "fast and reference trainers disagree on the trace model"
+    );
+    assert_eq!(
+        predictor.model().to_json(),
+        reference.to_json(),
+        "serialized model bytes differ"
+    );
+
+    // And the deployed flat forest walks that exact model.
+    for v in trace.visits().iter().take(50) {
+        let row = v.features.to_vec();
+        assert_eq!(
+            predictor.flat().predict(&row).to_bits(),
+            reference.predict(&row).to_bits()
+        );
+    }
+}
+
+#[test]
+fn interest_threshold_training_is_byte_identical_to_reference() {
+    let trace = TraceDataset::generate(&TraceConfig::small());
+    let predictor =
+        ReadingTimePredictor::train_with_interest_threshold(&trace, 2.0, &reading_time_params());
+
+    let data = trace.engaged_only(2.0).to_gbrt_dataset();
+    let log_targets: Vec<f64> = data.targets().iter().map(|&y| (1.0 + y).ln()).collect();
+    let log_data = Dataset::new(data.rows().to_vec(), log_targets).unwrap();
+    let reference = Gbrt::fit_reference(&log_data, &reading_time_params());
+
+    assert_eq!(predictor.model().to_json(), reference.to_json());
+}

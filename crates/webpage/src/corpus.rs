@@ -172,10 +172,13 @@ impl Corpus {
 
     /// Looks up one page by site key and version.
     pub fn page(&self, key: &str, version: PageVersion) -> Option<&Page> {
-        self.sites.iter().find(|s| s.key == key).map(|s| match version {
-            PageVersion::Mobile => &s.mobile,
-            PageVersion::Full => &s.full,
-        })
+        self.sites
+            .iter()
+            .find(|s| s.key == key)
+            .map(|s| match version {
+                PageVersion::Mobile => &s.mobile,
+                PageVersion::Full => &s.full,
+            })
     }
 
     /// All pages of one version, in Table 3 order.

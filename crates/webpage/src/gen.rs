@@ -16,10 +16,10 @@ use std::fmt::Write as _;
 
 /// Filler vocabulary for body text (deterministic, looks like prose).
 const WORDS: &[&str] = &[
-    "sports", "scores", "league", "market", "travel", "finance", "update",
-    "report", "season", "player", "review", "mobile", "device", "signal",
-    "network", "energy", "budget", "record", "detail", "column", "editor",
-    "global", "nation", "policy", "launch", "stream", "camera", "gadget",
+    "sports", "scores", "league", "market", "travel", "finance", "update", "report", "season",
+    "player", "review", "mobile", "device", "signal", "network", "energy", "budget", "record",
+    "detail", "column", "editor", "global", "nation", "policy", "launch", "stream", "camera",
+    "gadget",
 ];
 
 fn words(rng: &mut Xoshiro256, n: usize) -> String {
@@ -71,7 +71,11 @@ pub(crate) fn gen_html(spec: &PageSpec, rng: &mut Xoshiro256) -> String {
         spec.site, spec.version
     );
     for i in 0..spec.n_css {
-        let _ = writeln!(doc, "<link rel=\"stylesheet\" href=\"{}\">", css_url(&root, i));
+        let _ = writeln!(
+            doc,
+            "<link rel=\"stylesheet\" href=\"{}\">",
+            css_url(&root, i)
+        );
     }
     for i in 0..spec.n_scripts {
         let _ = writeln!(doc, "<script src=\"{}\"></script>", js_url(&root, i));

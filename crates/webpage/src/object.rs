@@ -62,7 +62,10 @@ pub struct WebObject {
 impl WebObject {
     /// Creates a textual object whose size is its body length.
     pub fn text(url: impl Into<String>, kind: ObjectKind, body: String) -> Self {
-        debug_assert!(kind.can_discover_resources(), "textual object of opaque kind");
+        debug_assert!(
+            kind.can_discover_resources(),
+            "textual object of opaque kind"
+        );
         let bytes = body.len() as u64;
         WebObject {
             url: url.into(),
@@ -80,7 +83,10 @@ impl WebObject {
     /// generation bug.
     pub fn opaque(url: impl Into<String>, kind: ObjectKind, bytes: u64) -> Self {
         assert!(bytes > 0, "opaque object must have a positive size");
-        debug_assert!(!kind.can_discover_resources(), "opaque object of textual kind");
+        debug_assert!(
+            !kind.can_discover_resources(),
+            "opaque object of textual kind"
+        );
         WebObject {
             url: url.into(),
             kind,

@@ -48,11 +48,11 @@ impl Page {
         let root = spec.root_url();
         // Derive the content stream from the page identity + seed so every
         // page in the corpus is distinct but reproducible.
-        let identity = spec
-            .site
-            .bytes()
-            .fold(spec.seed ^ 0x9E37_79B9, |h, b| h.wrapping_mul(131).wrapping_add(b as u64))
-            ^ SplitMix64::mix(matches!(spec.version, crate::spec::PageVersion::Full) as u64 + 17);
+        let identity = spec.site.bytes().fold(spec.seed ^ 0x9E37_79B9, |h, b| {
+            h.wrapping_mul(131).wrapping_add(b as u64)
+        }) ^ SplitMix64::mix(
+            matches!(spec.version, crate::spec::PageVersion::Full) as u64 + 17,
+        );
         let mut rng = Xoshiro256::seed_from_u64(identity);
 
         let mut objects = BTreeMap::new();

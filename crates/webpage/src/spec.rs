@@ -82,11 +82,7 @@ impl PageSpec {
     /// Total number of objects this page will contain (including the main
     /// document).
     pub fn expected_objects(&self) -> usize {
-        1 + self.n_css
-            + self.n_scripts
-            + self.n_images
-            + self.js_fetches
-            + self.css_image_refs
+        1 + self.n_css + self.n_scripts + self.n_images + self.js_fetches + self.css_image_refs
     }
 
     /// Validates that the spec can be generated.
@@ -145,7 +141,10 @@ mod tests {
     #[test]
     fn root_urls_differ_by_version() {
         let full = spec();
-        let mobile = PageSpec { version: PageVersion::Mobile, ..spec() };
+        let mobile = PageSpec {
+            version: PageVersion::Mobile,
+            ..spec()
+        };
         assert_eq!(full.root_url(), "http://www.espn.com/main/");
         assert_eq!(mobile.root_url(), "http://m.espn.com/");
     }
@@ -161,9 +160,24 @@ mod tests {
     #[test]
     fn validation_catches_inconsistencies() {
         assert!(spec().validate().is_ok());
-        assert!(PageSpec { site: String::new(), ..spec() }.validate().is_err());
-        assert!(PageSpec { html_kb: 0.0, ..spec() }.validate().is_err());
-        assert!(PageSpec { n_scripts: 0, ..spec() }.validate().is_err());
+        assert!(PageSpec {
+            site: String::new(),
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(PageSpec {
+            html_kb: 0.0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(PageSpec {
+            n_scripts: 0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
         assert!(PageSpec { n_css: 0, ..spec() }.validate().is_err());
     }
 

@@ -5,7 +5,13 @@ use ewb_webpage::{ObjectKind, Page, PageSpec, PageVersion};
 use proptest::prelude::*;
 
 fn arbitrary_spec() -> impl Strategy<Value = PageSpec> {
-    let text = (1.0f64..60.0, 1usize..5, 1.0f64..15.0, 1usize..8, 1.0f64..12.0);
+    let text = (
+        1.0f64..60.0,
+        1usize..5,
+        1.0f64..15.0,
+        1usize..8,
+        1.0f64..12.0,
+    );
     let scripts = (0usize..6, 0usize..500);
     let media = (0usize..30, 1.0f64..25.0, 0usize..5);
     let misc = (0usize..20, 1usize..30, any::<u64>(), any::<bool>());
@@ -18,7 +24,11 @@ fn arbitrary_spec() -> impl Strategy<Value = PageSpec> {
         )| {
             PageSpec {
                 site: "propsite".to_string(),
-                version: if full { PageVersion::Full } else { PageVersion::Mobile },
+                version: if full {
+                    PageVersion::Full
+                } else {
+                    PageVersion::Mobile
+                },
                 html_kb,
                 n_css,
                 css_kb,

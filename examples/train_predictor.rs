@@ -7,8 +7,8 @@
 
 use ewb_core::gbrt::feature_importance;
 use ewb_core::traces::{
-    accuracy_with_threshold, accuracy_without_threshold, reading_time_params,
-    ReadingTimePredictor, TraceConfig, TraceDataset, FEATURE_NAMES,
+    accuracy_with_threshold, accuracy_without_threshold, reading_time_params, ReadingTimePredictor,
+    TraceConfig, TraceDataset, FEATURE_NAMES,
 };
 
 fn main() {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_connection_pool-2ef25781d2b30c3c.d: crates/bench/src/bin/ablate_connection_pool.rs
+
+/root/repo/target/debug/deps/ablate_connection_pool-2ef25781d2b30c3c: crates/bench/src/bin/ablate_connection_pool.rs
+
+crates/bench/src/bin/ablate_connection_pool.rs:

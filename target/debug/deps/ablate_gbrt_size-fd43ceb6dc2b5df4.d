@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_gbrt_size-fd43ceb6dc2b5df4.d: crates/bench/src/bin/ablate_gbrt_size.rs
+
+/root/repo/target/debug/deps/ablate_gbrt_size-fd43ceb6dc2b5df4: crates/bench/src/bin/ablate_gbrt_size.rs
+
+crates/bench/src/bin/ablate_gbrt_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_interest_threshold-4ad9fc1350e4b520.d: crates/bench/src/bin/ablate_interest_threshold.rs
+
+/root/repo/target/debug/deps/ablate_interest_threshold-4ad9fc1350e4b520: crates/bench/src/bin/ablate_interest_threshold.rs
+
+crates/bench/src/bin/ablate_interest_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_layout_cache-d6e9a6e5d6744c4f.d: crates/bench/src/bin/ablate_layout_cache.rs
+
+/root/repo/target/debug/deps/ablate_layout_cache-d6e9a6e5d6744c4f: crates/bench/src/bin/ablate_layout_cache.rs
+
+crates/bench/src/bin/ablate_layout_cache.rs:

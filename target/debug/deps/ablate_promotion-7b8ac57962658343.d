@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_promotion-7b8ac57962658343.d: crates/bench/src/bin/ablate_promotion.rs
+
+/root/repo/target/debug/deps/ablate_promotion-7b8ac57962658343: crates/bench/src/bin/ablate_promotion.rs
+
+crates/bench/src/bin/ablate_promotion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_saving_breakdown-b6608b9f5b7d5e3c.d: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+/root/repo/target/debug/deps/ablate_saving_breakdown-b6608b9f5b7d5e3c: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+crates/bench/src/bin/ablate_saving_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_timers-416cdd96be710076.d: crates/bench/src/bin/ablate_timers.rs
+
+/root/repo/target/debug/deps/ablate_timers-416cdd96be710076: crates/bench/src/bin/ablate_timers.rs
+
+crates/bench/src/bin/ablate_timers.rs:

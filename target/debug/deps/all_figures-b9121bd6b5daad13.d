@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-b9121bd6b5daad13.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-b9121bd6b5daad13: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

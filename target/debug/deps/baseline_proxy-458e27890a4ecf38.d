@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_proxy-458e27890a4ecf38.d: crates/bench/src/bin/baseline_proxy.rs
+
+/root/repo/target/debug/deps/baseline_proxy-458e27890a4ecf38: crates/bench/src/bin/baseline_proxy.rs
+
+crates/bench/src/bin/baseline_proxy.rs:

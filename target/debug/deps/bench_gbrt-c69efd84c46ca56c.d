@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_gbrt-c69efd84c46ca56c.d: crates/bench/src/bin/bench_gbrt.rs
+
+/root/repo/target/debug/deps/bench_gbrt-c69efd84c46ca56c: crates/bench/src/bin/bench_gbrt.rs
+
+crates/bench/src/bin/bench_gbrt.rs:

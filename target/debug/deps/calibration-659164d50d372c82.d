@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-659164d50d372c82.d: crates/browser/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-659164d50d372c82: crates/browser/tests/calibration.rs
+
+crates/browser/tests/calibration.rs:

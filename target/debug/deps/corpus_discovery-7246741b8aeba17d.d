@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_discovery-7246741b8aeba17d.d: crates/browser/tests/corpus_discovery.rs
+
+/root/repo/target/debug/deps/corpus_discovery-7246741b8aeba17d: crates/browser/tests/corpus_discovery.rs
+
+crates/browser/tests/corpus_discovery.rs:

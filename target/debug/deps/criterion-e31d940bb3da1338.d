@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e31d940bb3da1338.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-e31d940bb3da1338: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

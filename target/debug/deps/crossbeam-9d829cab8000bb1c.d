@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-9d829cab8000bb1c.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-9d829cab8000bb1c: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ewb_bench-be64d51e564e759f.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/debug/deps/ewb_bench-be64d51e564e759f: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:

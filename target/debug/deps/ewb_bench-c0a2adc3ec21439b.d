@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ewb_bench-c0a2adc3ec21439b.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/debug/deps/libewb_bench-c0a2adc3ec21439b.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/debug/deps/libewb_bench-c0a2adc3ec21439b.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:

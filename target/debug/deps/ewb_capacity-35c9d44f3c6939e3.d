@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ewb_capacity-35c9d44f3c6939e3.d: crates/capacity/src/lib.rs
+
+/root/repo/target/debug/deps/libewb_capacity-35c9d44f3c6939e3.rlib: crates/capacity/src/lib.rs
+
+/root/repo/target/debug/deps/libewb_capacity-35c9d44f3c6939e3.rmeta: crates/capacity/src/lib.rs
+
+crates/capacity/src/lib.rs:

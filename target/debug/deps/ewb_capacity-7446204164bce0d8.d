@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewb_capacity-7446204164bce0d8.d: crates/capacity/src/lib.rs
+
+/root/repo/target/debug/deps/ewb_capacity-7446204164bce0d8: crates/capacity/src/lib.rs
+
+crates/capacity/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ewb_gbrt-5a828703c15d294b.d: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/debug/deps/ewb_gbrt-5a828703c15d294b: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+crates/gbrt/src/lib.rs:
+crates/gbrt/src/boost.rs:
+crates/gbrt/src/data.rs:
+crates/gbrt/src/eval.rs:
+crates/gbrt/src/flat.rs:
+crates/gbrt/src/importance.rs:
+crates/gbrt/src/loss.rs:
+crates/gbrt/src/reference.rs:
+crates/gbrt/src/splitter.rs:
+crates/gbrt/src/tree.rs:

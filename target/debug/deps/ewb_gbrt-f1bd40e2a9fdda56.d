@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ewb_gbrt-f1bd40e2a9fdda56.d: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/debug/deps/libewb_gbrt-f1bd40e2a9fdda56.rlib: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/debug/deps/libewb_gbrt-f1bd40e2a9fdda56.rmeta: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+crates/gbrt/src/lib.rs:
+crates/gbrt/src/boost.rs:
+crates/gbrt/src/data.rs:
+crates/gbrt/src/eval.rs:
+crates/gbrt/src/flat.rs:
+crates/gbrt/src/importance.rs:
+crates/gbrt/src/loss.rs:
+crates/gbrt/src/reference.rs:
+crates/gbrt/src/splitter.rs:
+crates/gbrt/src/tree.rs:

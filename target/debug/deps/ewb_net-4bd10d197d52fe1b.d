@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ewb_net-4bd10d197d52fe1b.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+/root/repo/target/debug/deps/ewb_net-4bd10d197d52fe1b: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/fetcher.rs:
+crates/net/src/download.rs:
+crates/net/src/proxy.rs:
+crates/net/src/replay.rs:

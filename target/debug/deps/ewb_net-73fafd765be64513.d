@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ewb_net-73fafd765be64513.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+/root/repo/target/debug/deps/libewb_net-73fafd765be64513.rlib: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+/root/repo/target/debug/deps/libewb_net-73fafd765be64513.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/fetcher.rs:
+crates/net/src/download.rs:
+crates/net/src/proxy.rs:
+crates/net/src/replay.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ewb_rrc-182d7aa9dd95372a.d: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+/root/repo/target/debug/deps/libewb_rrc-182d7aa9dd95372a.rlib: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+/root/repo/target/debug/deps/libewb_rrc-182d7aa9dd95372a.rmeta: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+crates/rrc/src/lib.rs:
+crates/rrc/src/config.rs:
+crates/rrc/src/machine.rs:
+crates/rrc/src/power.rs:
+crates/rrc/src/state.rs:
+crates/rrc/src/intuitive.rs:
+crates/rrc/src/scenario.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ewb_rrc-a22ef8f68def2f35.d: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+/root/repo/target/debug/deps/ewb_rrc-a22ef8f68def2f35: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+crates/rrc/src/lib.rs:
+crates/rrc/src/config.rs:
+crates/rrc/src/machine.rs:
+crates/rrc/src/power.rs:
+crates/rrc/src/state.rs:
+crates/rrc/src/intuitive.rs:
+crates/rrc/src/scenario.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ewb_simcore-210594c57f57297e.d: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+/root/repo/target/debug/deps/ewb_simcore-210594c57f57297e: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/energy.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ewb_simcore-24fcb67afc1ad44b.d: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+/root/repo/target/debug/deps/libewb_simcore-24fcb67afc1ad44b.rlib: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+/root/repo/target/debug/deps/libewb_simcore-24fcb67afc1ad44b.rmeta: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/energy.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/stats.rs:

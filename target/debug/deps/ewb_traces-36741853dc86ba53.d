@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ewb_traces-36741853dc86ba53.d: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+/root/repo/target/debug/deps/ewb_traces-36741853dc86ba53: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/dataset.rs:
+crates/traces/src/eval.rs:
+crates/traces/src/features.rs:
+crates/traces/src/predictor.rs:
+crates/traces/src/synth.rs:
+crates/traces/src/user.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ewb_traces-cb6c1059d68800df.d: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+/root/repo/target/debug/deps/libewb_traces-cb6c1059d68800df.rlib: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+/root/repo/target/debug/deps/libewb_traces-cb6c1059d68800df.rmeta: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/dataset.rs:
+crates/traces/src/eval.rs:
+crates/traces/src/features.rs:
+crates/traces/src/predictor.rs:
+crates/traces/src/synth.rs:
+crates/traces/src/user.rs:

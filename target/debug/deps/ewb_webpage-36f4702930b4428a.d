@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ewb_webpage-36f4702930b4428a.d: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+/root/repo/target/debug/deps/libewb_webpage-36f4702930b4428a.rlib: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+/root/repo/target/debug/deps/libewb_webpage-36f4702930b4428a.rmeta: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+crates/webpage/src/lib.rs:
+crates/webpage/src/corpus.rs:
+crates/webpage/src/gen.rs:
+crates/webpage/src/object.rs:
+crates/webpage/src/page.rs:
+crates/webpage/src/server.rs:
+crates/webpage/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ewb_webpage-4dc171b103d23c06.d: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+/root/repo/target/debug/deps/ewb_webpage-4dc171b103d23c06: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+crates/webpage/src/lib.rs:
+crates/webpage/src/corpus.rs:
+crates/webpage/src/gen.rs:
+crates/webpage/src/object.rs:
+crates/webpage/src/page.rs:
+crates/webpage/src/server.rs:
+crates/webpage/src/spec.rs:

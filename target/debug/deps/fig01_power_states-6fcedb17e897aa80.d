@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_power_states-6fcedb17e897aa80.d: crates/bench/src/bin/fig01_power_states.rs
+
+/root/repo/target/debug/deps/fig01_power_states-6fcedb17e897aa80: crates/bench/src/bin/fig01_power_states.rs
+
+crates/bench/src/bin/fig01_power_states.rs:

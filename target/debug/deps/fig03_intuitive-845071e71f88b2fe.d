@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_intuitive-845071e71f88b2fe.d: crates/bench/src/bin/fig03_intuitive.rs
+
+/root/repo/target/debug/deps/fig03_intuitive-845071e71f88b2fe: crates/bench/src/bin/fig03_intuitive.rs
+
+crates/bench/src/bin/fig03_intuitive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_traffic-976f3c65f0f6519d.d: crates/bench/src/bin/fig04_traffic.rs
+
+/root/repo/target/debug/deps/fig04_traffic-976f3c65f0f6519d: crates/bench/src/bin/fig04_traffic.rs
+
+crates/bench/src/bin/fig04_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_sequence-fb90a063f257189a.d: crates/bench/src/bin/fig05_sequence.rs
+
+/root/repo/target/debug/deps/fig05_sequence-fb90a063f257189a: crates/bench/src/bin/fig05_sequence.rs
+
+crates/bench/src/bin/fig05_sequence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_reading_cdf-d1560ac9af61e12c.d: crates/bench/src/bin/fig07_reading_cdf.rs
+
+/root/repo/target/debug/deps/fig07_reading_cdf-d1560ac9af61e12c: crates/bench/src/bin/fig07_reading_cdf.rs
+
+crates/bench/src/bin/fig07_reading_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_transmission-be25c690d1b9518a.d: crates/bench/src/bin/fig08_transmission.rs
+
+/root/repo/target/debug/deps/fig08_transmission-be25c690d1b9518a: crates/bench/src/bin/fig08_transmission.rs
+
+crates/bench/src/bin/fig08_transmission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_power_trace-f1ef854ef32d72a9.d: crates/bench/src/bin/fig09_power_trace.rs
+
+/root/repo/target/debug/deps/fig09_power_trace-f1ef854ef32d72a9: crates/bench/src/bin/fig09_power_trace.rs
+
+crates/bench/src/bin/fig09_power_trace.rs:

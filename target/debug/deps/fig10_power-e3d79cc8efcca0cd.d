@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_power-e3d79cc8efcca0cd.d: crates/bench/src/bin/fig10_power.rs
+
+/root/repo/target/debug/deps/fig10_power-e3d79cc8efcca0cd: crates/bench/src/bin/fig10_power.rs
+
+crates/bench/src/bin/fig10_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_capacity-bf9da4339e8570ff.d: crates/bench/src/bin/fig11_capacity.rs
+
+/root/repo/target/debug/deps/fig11_capacity-bf9da4339e8570ff: crates/bench/src/bin/fig11_capacity.rs
+
+crates/bench/src/bin/fig11_capacity.rs:

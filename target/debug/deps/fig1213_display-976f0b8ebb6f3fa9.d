@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1213_display-976f0b8ebb6f3fa9.d: crates/bench/src/bin/fig1213_display.rs
+
+/root/repo/target/debug/deps/fig1213_display-976f0b8ebb6f3fa9: crates/bench/src/bin/fig1213_display.rs
+
+crates/bench/src/bin/fig1213_display.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_display_avg-e54de0c8d98f5272.d: crates/bench/src/bin/fig14_display_avg.rs
+
+/root/repo/target/debug/deps/fig14_display_avg-e54de0c8d98f5272: crates/bench/src/bin/fig14_display_avg.rs
+
+crates/bench/src/bin/fig14_display_avg.rs:

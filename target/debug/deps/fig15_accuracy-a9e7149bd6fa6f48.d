@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_accuracy-a9e7149bd6fa6f48.d: crates/bench/src/bin/fig15_accuracy.rs
+
+/root/repo/target/debug/deps/fig15_accuracy-a9e7149bd6fa6f48: crates/bench/src/bin/fig15_accuracy.rs
+
+crates/bench/src/bin/fig15_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_cases-bc01f94452474264.d: crates/bench/src/bin/fig16_cases.rs
+
+/root/repo/target/debug/deps/fig16_cases-bc01f94452474264: crates/bench/src/bin/fig16_cases.rs
+
+crates/bench/src/bin/fig16_cases.rs:

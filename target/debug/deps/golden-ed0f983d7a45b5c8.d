@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-ed0f983d7a45b5c8.d: crates/gbrt/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-ed0f983d7a45b5c8: crates/gbrt/tests/golden.rs
+
+crates/gbrt/tests/golden.rs:

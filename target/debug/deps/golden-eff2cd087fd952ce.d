@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-eff2cd087fd952ce.d: crates/traces/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-eff2cd087fd952ce: crates/traces/tests/golden.rs
+
+crates/traces/tests/golden.rs:

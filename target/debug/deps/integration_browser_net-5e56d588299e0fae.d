@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_browser_net-5e56d588299e0fae.d: crates/core/../../tests/integration_browser_net.rs
+
+/root/repo/target/debug/deps/integration_browser_net-5e56d588299e0fae: crates/core/../../tests/integration_browser_net.rs
+
+crates/core/../../tests/integration_browser_net.rs:

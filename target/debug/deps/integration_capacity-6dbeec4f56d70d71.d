@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_capacity-6dbeec4f56d70d71.d: crates/core/../../tests/integration_capacity.rs
+
+/root/repo/target/debug/deps/integration_capacity-6dbeec4f56d70d71: crates/core/../../tests/integration_capacity.rs
+
+crates/core/../../tests/integration_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_energy-e8c1f6de856130db.d: crates/core/../../tests/integration_energy.rs
+
+/root/repo/target/debug/deps/integration_energy-e8c1f6de856130db: crates/core/../../tests/integration_energy.rs
+
+crates/core/../../tests/integration_energy.rs:

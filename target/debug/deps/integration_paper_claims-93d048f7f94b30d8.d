@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_claims-93d048f7f94b30d8.d: crates/core/../../tests/integration_paper_claims.rs
+
+/root/repo/target/debug/deps/integration_paper_claims-93d048f7f94b30d8: crates/core/../../tests/integration_paper_claims.rs
+
+crates/core/../../tests/integration_paper_claims.rs:

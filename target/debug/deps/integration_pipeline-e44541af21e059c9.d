@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-e44541af21e059c9.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-e44541af21e059c9: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_prediction-0f750f09bad7094e.d: crates/core/../../tests/integration_prediction.rs
+
+/root/repo/target/debug/deps/integration_prediction-0f750f09bad7094e: crates/core/../../tests/integration_prediction.rs
+
+crates/core/../../tests/integration_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ef6fd7fffe5925fb.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ef6fd7fffe5925fb: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

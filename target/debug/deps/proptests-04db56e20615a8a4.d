@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-04db56e20615a8a4.d: crates/traces/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-04db56e20615a8a4: crates/traces/tests/proptests.rs
+
+crates/traces/tests/proptests.rs:

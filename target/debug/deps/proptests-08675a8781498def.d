@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-08675a8781498def.d: crates/rrc/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-08675a8781498def: crates/rrc/tests/proptests.rs
+
+crates/rrc/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2fef09d1bef7c757.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2fef09d1bef7c757: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

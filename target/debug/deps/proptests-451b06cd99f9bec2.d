@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-451b06cd99f9bec2.d: crates/webpage/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-451b06cd99f9bec2: crates/webpage/tests/proptests.rs
+
+crates/webpage/tests/proptests.rs:

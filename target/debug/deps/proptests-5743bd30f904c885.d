@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5743bd30f904c885.d: crates/browser/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5743bd30f904c885: crates/browser/tests/proptests.rs
+
+crates/browser/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-66cb6b6775d5cf81.d: crates/capacity/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-66cb6b6775d5cf81: crates/capacity/tests/proptests.rs
+
+crates/capacity/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8ff0faa9e576c14a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8ff0faa9e576c14a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

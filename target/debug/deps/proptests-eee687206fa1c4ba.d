@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-eee687206fa1c4ba.d: crates/net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-eee687206fa1c4ba: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f730ddc1d393848a.d: crates/gbrt/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f730ddc1d393848a: crates/gbrt/tests/proptests.rs
+
+crates/gbrt/tests/proptests.rs:

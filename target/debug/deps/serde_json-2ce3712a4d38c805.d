@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-2ce3712a4d38c805.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2ce3712a4d38c805.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2ce3712a4d38c805.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_benchmark-1874dff82df82cb0.d: crates/bench/src/bin/table3_benchmark.rs
+
+/root/repo/target/debug/deps/table3_benchmark-1874dff82df82cb0: crates/bench/src/bin/table3_benchmark.rs
+
+crates/bench/src/bin/table3_benchmark.rs:

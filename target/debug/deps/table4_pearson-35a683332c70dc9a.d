@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_pearson-35a683332c70dc9a.d: crates/bench/src/bin/table4_pearson.rs
+
+/root/repo/target/debug/deps/table4_pearson-35a683332c70dc9a: crates/bench/src/bin/table4_pearson.rs
+
+crates/bench/src/bin/table4_pearson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_power_states-9f2561d55e4968b0.d: crates/bench/src/bin/table5_power_states.rs
+
+/root/repo/target/debug/deps/table5_power_states-9f2561d55e4968b0: crates/bench/src/bin/table5_power_states.rs
+
+crates/bench/src/bin/table5_power_states.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_prediction_cost-b68d72d943753c67.d: crates/bench/src/bin/table7_prediction_cost.rs
+
+/root/repo/target/debug/deps/table7_prediction_cost-b68d72d943753c67: crates/bench/src/bin/table7_prediction_cost.rs
+
+crates/bench/src/bin/table7_prediction_cost.rs:

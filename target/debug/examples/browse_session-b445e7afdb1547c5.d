@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/browse_session-b445e7afdb1547c5.d: crates/core/../../examples/browse_session.rs
+
+/root/repo/target/debug/examples/browse_session-b445e7afdb1547c5: crates/core/../../examples/browse_session.rs
+
+crates/core/../../examples/browse_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-2461a654d0030759.d: crates/core/../../examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-2461a654d0030759: crates/core/../../examples/capacity_planning.rs
+
+crates/core/../../examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bae393d1c1e9fd1a.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bae393d1c1e9fd1a: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

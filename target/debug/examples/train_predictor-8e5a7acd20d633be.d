@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_predictor-8e5a7acd20d633be.d: crates/core/../../examples/train_predictor.rs
+
+/root/repo/target/debug/examples/train_predictor-8e5a7acd20d633be: crates/core/../../examples/train_predictor.rs
+
+crates/core/../../examples/train_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_connection_pool-02ba5c7544b3ac70.d: crates/bench/src/bin/ablate_connection_pool.rs
+
+/root/repo/target/release/deps/ablate_connection_pool-02ba5c7544b3ac70: crates/bench/src/bin/ablate_connection_pool.rs
+
+crates/bench/src/bin/ablate_connection_pool.rs:

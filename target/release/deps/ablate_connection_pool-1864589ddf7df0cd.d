@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_connection_pool-1864589ddf7df0cd.d: crates/bench/src/bin/ablate_connection_pool.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_connection_pool-1864589ddf7df0cd.rmeta: crates/bench/src/bin/ablate_connection_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablate_connection_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

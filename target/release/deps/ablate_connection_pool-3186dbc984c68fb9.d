@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_connection_pool-3186dbc984c68fb9.d: crates/bench/src/bin/ablate_connection_pool.rs
+
+/root/repo/target/release/deps/ablate_connection_pool-3186dbc984c68fb9: crates/bench/src/bin/ablate_connection_pool.rs
+
+crates/bench/src/bin/ablate_connection_pool.rs:

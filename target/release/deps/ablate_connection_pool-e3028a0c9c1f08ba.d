@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_connection_pool-e3028a0c9c1f08ba.d: crates/bench/src/bin/ablate_connection_pool.rs
+
+/root/repo/target/release/deps/ablate_connection_pool-e3028a0c9c1f08ba: crates/bench/src/bin/ablate_connection_pool.rs
+
+crates/bench/src/bin/ablate_connection_pool.rs:

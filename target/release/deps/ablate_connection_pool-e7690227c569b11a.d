@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_connection_pool-e7690227c569b11a.d: crates/bench/src/bin/ablate_connection_pool.rs
+
+/root/repo/target/release/deps/ablate_connection_pool-e7690227c569b11a: crates/bench/src/bin/ablate_connection_pool.rs
+
+crates/bench/src/bin/ablate_connection_pool.rs:

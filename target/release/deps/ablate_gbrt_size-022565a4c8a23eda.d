@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_gbrt_size-022565a4c8a23eda.d: crates/bench/src/bin/ablate_gbrt_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_gbrt_size-022565a4c8a23eda.rmeta: crates/bench/src/bin/ablate_gbrt_size.rs Cargo.toml
+
+crates/bench/src/bin/ablate_gbrt_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_gbrt_size-0e50327632d33480.d: crates/bench/src/bin/ablate_gbrt_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_gbrt_size-0e50327632d33480.rmeta: crates/bench/src/bin/ablate_gbrt_size.rs Cargo.toml
+
+crates/bench/src/bin/ablate_gbrt_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_gbrt_size-0edfeba61381f2f5.d: crates/bench/src/bin/ablate_gbrt_size.rs
+
+/root/repo/target/release/deps/ablate_gbrt_size-0edfeba61381f2f5: crates/bench/src/bin/ablate_gbrt_size.rs
+
+crates/bench/src/bin/ablate_gbrt_size.rs:

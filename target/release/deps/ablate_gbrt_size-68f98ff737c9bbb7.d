@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_gbrt_size-68f98ff737c9bbb7.d: crates/bench/src/bin/ablate_gbrt_size.rs
+
+/root/repo/target/release/deps/ablate_gbrt_size-68f98ff737c9bbb7: crates/bench/src/bin/ablate_gbrt_size.rs
+
+crates/bench/src/bin/ablate_gbrt_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_gbrt_size-a1c304d1f5143497.d: crates/bench/src/bin/ablate_gbrt_size.rs
+
+/root/repo/target/release/deps/ablate_gbrt_size-a1c304d1f5143497: crates/bench/src/bin/ablate_gbrt_size.rs
+
+crates/bench/src/bin/ablate_gbrt_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_gbrt_size-d3d0eed58c3f00d0.d: crates/bench/src/bin/ablate_gbrt_size.rs
+
+/root/repo/target/release/deps/ablate_gbrt_size-d3d0eed58c3f00d0: crates/bench/src/bin/ablate_gbrt_size.rs
+
+crates/bench/src/bin/ablate_gbrt_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_interest_threshold-286822100bc16252.d: crates/bench/src/bin/ablate_interest_threshold.rs
+
+/root/repo/target/release/deps/ablate_interest_threshold-286822100bc16252: crates/bench/src/bin/ablate_interest_threshold.rs
+
+crates/bench/src/bin/ablate_interest_threshold.rs:

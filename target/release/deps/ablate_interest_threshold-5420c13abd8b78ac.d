@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_interest_threshold-5420c13abd8b78ac.d: crates/bench/src/bin/ablate_interest_threshold.rs
+
+/root/repo/target/release/deps/ablate_interest_threshold-5420c13abd8b78ac: crates/bench/src/bin/ablate_interest_threshold.rs
+
+crates/bench/src/bin/ablate_interest_threshold.rs:

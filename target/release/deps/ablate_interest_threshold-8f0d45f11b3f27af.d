@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_interest_threshold-8f0d45f11b3f27af.d: crates/bench/src/bin/ablate_interest_threshold.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_interest_threshold-8f0d45f11b3f27af.rmeta: crates/bench/src/bin/ablate_interest_threshold.rs Cargo.toml
+
+crates/bench/src/bin/ablate_interest_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_interest_threshold-e0b43d143aa7090c.d: crates/bench/src/bin/ablate_interest_threshold.rs
+
+/root/repo/target/release/deps/ablate_interest_threshold-e0b43d143aa7090c: crates/bench/src/bin/ablate_interest_threshold.rs
+
+crates/bench/src/bin/ablate_interest_threshold.rs:

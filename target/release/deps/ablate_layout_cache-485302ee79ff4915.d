@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_layout_cache-485302ee79ff4915.d: crates/bench/src/bin/ablate_layout_cache.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_layout_cache-485302ee79ff4915.rmeta: crates/bench/src/bin/ablate_layout_cache.rs Cargo.toml
+
+crates/bench/src/bin/ablate_layout_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_layout_cache-781273ea8f43bbf2.d: crates/bench/src/bin/ablate_layout_cache.rs
+
+/root/repo/target/release/deps/ablate_layout_cache-781273ea8f43bbf2: crates/bench/src/bin/ablate_layout_cache.rs
+
+crates/bench/src/bin/ablate_layout_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_layout_cache-87f9c5aec2f648f0.d: crates/bench/src/bin/ablate_layout_cache.rs
+
+/root/repo/target/release/deps/ablate_layout_cache-87f9c5aec2f648f0: crates/bench/src/bin/ablate_layout_cache.rs
+
+crates/bench/src/bin/ablate_layout_cache.rs:

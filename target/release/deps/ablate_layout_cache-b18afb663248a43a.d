@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_layout_cache-b18afb663248a43a.d: crates/bench/src/bin/ablate_layout_cache.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_layout_cache-b18afb663248a43a.rmeta: crates/bench/src/bin/ablate_layout_cache.rs Cargo.toml
+
+crates/bench/src/bin/ablate_layout_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

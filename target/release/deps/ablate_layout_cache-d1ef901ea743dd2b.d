@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_layout_cache-d1ef901ea743dd2b.d: crates/bench/src/bin/ablate_layout_cache.rs
+
+/root/repo/target/release/deps/ablate_layout_cache-d1ef901ea743dd2b: crates/bench/src/bin/ablate_layout_cache.rs
+
+crates/bench/src/bin/ablate_layout_cache.rs:

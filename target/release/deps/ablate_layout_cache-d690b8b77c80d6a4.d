@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_layout_cache-d690b8b77c80d6a4.d: crates/bench/src/bin/ablate_layout_cache.rs
+
+/root/repo/target/release/deps/ablate_layout_cache-d690b8b77c80d6a4: crates/bench/src/bin/ablate_layout_cache.rs
+
+crates/bench/src/bin/ablate_layout_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_promotion-1db43a559210b684.d: crates/bench/src/bin/ablate_promotion.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_promotion-1db43a559210b684.rmeta: crates/bench/src/bin/ablate_promotion.rs Cargo.toml
+
+crates/bench/src/bin/ablate_promotion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

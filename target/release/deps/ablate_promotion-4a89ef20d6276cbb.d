@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_promotion-4a89ef20d6276cbb.d: crates/bench/src/bin/ablate_promotion.rs
+
+/root/repo/target/release/deps/ablate_promotion-4a89ef20d6276cbb: crates/bench/src/bin/ablate_promotion.rs
+
+crates/bench/src/bin/ablate_promotion.rs:

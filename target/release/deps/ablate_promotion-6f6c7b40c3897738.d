@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_promotion-6f6c7b40c3897738.d: crates/bench/src/bin/ablate_promotion.rs
+
+/root/repo/target/release/deps/ablate_promotion-6f6c7b40c3897738: crates/bench/src/bin/ablate_promotion.rs
+
+crates/bench/src/bin/ablate_promotion.rs:

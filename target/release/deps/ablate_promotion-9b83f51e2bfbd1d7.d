@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_promotion-9b83f51e2bfbd1d7.d: crates/bench/src/bin/ablate_promotion.rs
+
+/root/repo/target/release/deps/ablate_promotion-9b83f51e2bfbd1d7: crates/bench/src/bin/ablate_promotion.rs
+
+crates/bench/src/bin/ablate_promotion.rs:

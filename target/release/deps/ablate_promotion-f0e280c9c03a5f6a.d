@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_promotion-f0e280c9c03a5f6a.d: crates/bench/src/bin/ablate_promotion.rs
+
+/root/repo/target/release/deps/ablate_promotion-f0e280c9c03a5f6a: crates/bench/src/bin/ablate_promotion.rs
+
+crates/bench/src/bin/ablate_promotion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_saving_breakdown-432abda6143b073d.d: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+/root/repo/target/release/deps/ablate_saving_breakdown-432abda6143b073d: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+crates/bench/src/bin/ablate_saving_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_saving_breakdown-7911cb72dc1031ce.d: crates/bench/src/bin/ablate_saving_breakdown.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_saving_breakdown-7911cb72dc1031ce.rmeta: crates/bench/src/bin/ablate_saving_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/ablate_saving_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_saving_breakdown-8187dabd810dcd4b.d: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+/root/repo/target/release/deps/ablate_saving_breakdown-8187dabd810dcd4b: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+crates/bench/src/bin/ablate_saving_breakdown.rs:

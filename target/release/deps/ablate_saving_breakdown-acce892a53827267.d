@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_saving_breakdown-acce892a53827267.d: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+/root/repo/target/release/deps/ablate_saving_breakdown-acce892a53827267: crates/bench/src/bin/ablate_saving_breakdown.rs
+
+crates/bench/src/bin/ablate_saving_breakdown.rs:

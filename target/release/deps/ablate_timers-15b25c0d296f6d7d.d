@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_timers-15b25c0d296f6d7d.d: crates/bench/src/bin/ablate_timers.rs
+
+/root/repo/target/release/deps/ablate_timers-15b25c0d296f6d7d: crates/bench/src/bin/ablate_timers.rs
+
+crates/bench/src/bin/ablate_timers.rs:

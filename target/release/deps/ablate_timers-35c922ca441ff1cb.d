@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_timers-35c922ca441ff1cb.d: crates/bench/src/bin/ablate_timers.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_timers-35c922ca441ff1cb.rmeta: crates/bench/src/bin/ablate_timers.rs Cargo.toml
+
+crates/bench/src/bin/ablate_timers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_timers-6e259ba5ba7ab969.d: crates/bench/src/bin/ablate_timers.rs
+
+/root/repo/target/release/deps/ablate_timers-6e259ba5ba7ab969: crates/bench/src/bin/ablate_timers.rs
+
+crates/bench/src/bin/ablate_timers.rs:

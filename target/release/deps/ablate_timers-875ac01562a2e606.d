@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_timers-875ac01562a2e606.d: crates/bench/src/bin/ablate_timers.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_timers-875ac01562a2e606.rmeta: crates/bench/src/bin/ablate_timers.rs Cargo.toml
+
+crates/bench/src/bin/ablate_timers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_timers-948c24ca88a05362.d: crates/bench/src/bin/ablate_timers.rs
+
+/root/repo/target/release/deps/ablate_timers-948c24ca88a05362: crates/bench/src/bin/ablate_timers.rs
+
+crates/bench/src/bin/ablate_timers.rs:

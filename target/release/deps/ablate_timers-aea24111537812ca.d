@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_timers-aea24111537812ca.d: crates/bench/src/bin/ablate_timers.rs
+
+/root/repo/target/release/deps/ablate_timers-aea24111537812ca: crates/bench/src/bin/ablate_timers.rs
+
+crates/bench/src/bin/ablate_timers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_figures-94f2d24f4d8623e4.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_figures-94f2d24f4d8623e4.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

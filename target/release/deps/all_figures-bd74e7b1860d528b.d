@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_figures-bd74e7b1860d528b.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_figures-bd74e7b1860d528b.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

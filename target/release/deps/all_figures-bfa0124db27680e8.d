@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-bfa0124db27680e8.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-bfa0124db27680e8: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

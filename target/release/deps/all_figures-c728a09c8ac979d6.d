@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-c728a09c8ac979d6.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-c728a09c8ac979d6: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

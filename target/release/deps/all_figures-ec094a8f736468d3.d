@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-ec094a8f736468d3.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-ec094a8f736468d3: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

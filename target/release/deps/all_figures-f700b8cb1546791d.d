@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-f700b8cb1546791d.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-f700b8cb1546791d: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

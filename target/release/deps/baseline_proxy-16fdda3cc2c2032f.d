@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baseline_proxy-16fdda3cc2c2032f.d: crates/bench/src/bin/baseline_proxy.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaseline_proxy-16fdda3cc2c2032f.rmeta: crates/bench/src/bin/baseline_proxy.rs Cargo.toml
+
+crates/bench/src/bin/baseline_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_proxy-2edc55359fa43604.d: crates/bench/src/bin/baseline_proxy.rs
+
+/root/repo/target/release/deps/baseline_proxy-2edc55359fa43604: crates/bench/src/bin/baseline_proxy.rs
+
+crates/bench/src/bin/baseline_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_proxy-4f1355b17476acbf.d: crates/bench/src/bin/baseline_proxy.rs
+
+/root/repo/target/release/deps/baseline_proxy-4f1355b17476acbf: crates/bench/src/bin/baseline_proxy.rs
+
+crates/bench/src/bin/baseline_proxy.rs:

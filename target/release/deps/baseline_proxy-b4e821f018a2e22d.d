@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_proxy-b4e821f018a2e22d.d: crates/bench/src/bin/baseline_proxy.rs
+
+/root/repo/target/release/deps/baseline_proxy-b4e821f018a2e22d: crates/bench/src/bin/baseline_proxy.rs
+
+crates/bench/src/bin/baseline_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_proxy-c1b5165ecef1fa93.d: crates/bench/src/bin/baseline_proxy.rs
+
+/root/repo/target/release/deps/baseline_proxy-c1b5165ecef1fa93: crates/bench/src/bin/baseline_proxy.rs
+
+crates/bench/src/bin/baseline_proxy.rs:

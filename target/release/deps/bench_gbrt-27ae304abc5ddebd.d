@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_gbrt-27ae304abc5ddebd.d: crates/bench/src/bin/bench_gbrt.rs
+
+/root/repo/target/release/deps/bench_gbrt-27ae304abc5ddebd: crates/bench/src/bin/bench_gbrt.rs
+
+crates/bench/src/bin/bench_gbrt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_gbrt-42afac0ada822867.d: crates/bench/src/bin/bench_gbrt.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_gbrt-42afac0ada822867.rmeta: crates/bench/src/bin/bench_gbrt.rs Cargo.toml
+
+crates/bench/src/bin/bench_gbrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

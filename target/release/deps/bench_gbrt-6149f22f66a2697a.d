@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_gbrt-6149f22f66a2697a.d: crates/bench/src/bin/bench_gbrt.rs
+
+/root/repo/target/release/deps/bench_gbrt-6149f22f66a2697a: crates/bench/src/bin/bench_gbrt.rs
+
+crates/bench/src/bin/bench_gbrt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_gbrt-fcd0d6b0637248ea.d: crates/bench/src/bin/bench_gbrt.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_gbrt-fcd0d6b0637248ea.rmeta: crates/bench/src/bin/bench_gbrt.rs Cargo.toml
+
+crates/bench/src/bin/bench_gbrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/browser_engine-02b9ea90843d85b5.d: crates/bench/benches/browser_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libbrowser_engine-02b9ea90843d85b5.rmeta: crates/bench/benches/browser_engine.rs Cargo.toml
+
+crates/bench/benches/browser_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-5695c5758213eaaf.d: crates/browser/tests/calibration.rs
+
+/root/repo/target/release/deps/calibration-5695c5758213eaaf: crates/browser/tests/calibration.rs
+
+crates/browser/tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibration-7b9b0754a07bb8d0.d: crates/browser/tests/calibration.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibration-7b9b0754a07bb8d0.rmeta: crates/browser/tests/calibration.rs Cargo.toml
+
+crates/browser/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

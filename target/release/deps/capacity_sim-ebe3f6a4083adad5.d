@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/capacity_sim-ebe3f6a4083adad5.d: crates/bench/benches/capacity_sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libcapacity_sim-ebe3f6a4083adad5.rmeta: crates/bench/benches/capacity_sim.rs Cargo.toml
+
+crates/bench/benches/capacity_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

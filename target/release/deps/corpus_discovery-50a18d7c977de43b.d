@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/corpus_discovery-50a18d7c977de43b.d: crates/browser/tests/corpus_discovery.rs Cargo.toml
+
+/root/repo/target/release/deps/libcorpus_discovery-50a18d7c977de43b.rmeta: crates/browser/tests/corpus_discovery.rs Cargo.toml
+
+crates/browser/tests/corpus_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpus_discovery-d08729a9be34abaa.d: crates/browser/tests/corpus_discovery.rs
+
+/root/repo/target/release/deps/corpus_discovery-d08729a9be34abaa: crates/browser/tests/corpus_discovery.rs
+
+crates/browser/tests/corpus_discovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ewb_bench-6123314a7dc470a3.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/release/deps/libewb_bench-6123314a7dc470a3.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/release/deps/libewb_bench-6123314a7dc470a3.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:

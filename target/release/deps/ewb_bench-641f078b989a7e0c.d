@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ewb_bench-641f078b989a7e0c.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/release/deps/libewb_bench-641f078b989a7e0c.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/release/deps/libewb_bench-641f078b989a7e0c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:

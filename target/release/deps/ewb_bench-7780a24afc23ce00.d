@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ewb_bench-7780a24afc23ce00.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_bench-7780a24afc23ce00.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ewb_bench-c237e6529831d222.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/release/deps/ewb_bench-c237e6529831d222: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ewb_bench-f04328f99cfe7032.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+/root/repo/target/release/deps/ewb_bench-f04328f99cfe7032: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/reports.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/reports.rs:

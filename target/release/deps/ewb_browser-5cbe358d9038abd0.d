@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/ewb_browser-5cbe358d9038abd0.d: crates/browser/src/lib.rs crates/browser/src/cache.rs crates/browser/src/css/mod.rs crates/browser/src/css/parser.rs crates/browser/src/css/scan.rs crates/browser/src/css/selector.rs crates/browser/src/css/style.rs crates/browser/src/dom.rs crates/browser/src/fetch.rs crates/browser/src/html/mod.rs crates/browser/src/html/parser.rs crates/browser/src/html/tokenizer.rs crates/browser/src/js/mod.rs crates/browser/src/js/ast.rs crates/browser/src/js/interp.rs crates/browser/src/js/lexer.rs crates/browser/src/layout.rs crates/browser/src/pipeline.rs crates/browser/src/cost.rs
+
+/root/repo/target/release/deps/libewb_browser-5cbe358d9038abd0.rlib: crates/browser/src/lib.rs crates/browser/src/cache.rs crates/browser/src/css/mod.rs crates/browser/src/css/parser.rs crates/browser/src/css/scan.rs crates/browser/src/css/selector.rs crates/browser/src/css/style.rs crates/browser/src/dom.rs crates/browser/src/fetch.rs crates/browser/src/html/mod.rs crates/browser/src/html/parser.rs crates/browser/src/html/tokenizer.rs crates/browser/src/js/mod.rs crates/browser/src/js/ast.rs crates/browser/src/js/interp.rs crates/browser/src/js/lexer.rs crates/browser/src/layout.rs crates/browser/src/pipeline.rs crates/browser/src/cost.rs
+
+/root/repo/target/release/deps/libewb_browser-5cbe358d9038abd0.rmeta: crates/browser/src/lib.rs crates/browser/src/cache.rs crates/browser/src/css/mod.rs crates/browser/src/css/parser.rs crates/browser/src/css/scan.rs crates/browser/src/css/selector.rs crates/browser/src/css/style.rs crates/browser/src/dom.rs crates/browser/src/fetch.rs crates/browser/src/html/mod.rs crates/browser/src/html/parser.rs crates/browser/src/html/tokenizer.rs crates/browser/src/js/mod.rs crates/browser/src/js/ast.rs crates/browser/src/js/interp.rs crates/browser/src/js/lexer.rs crates/browser/src/layout.rs crates/browser/src/pipeline.rs crates/browser/src/cost.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/cache.rs:
+crates/browser/src/css/mod.rs:
+crates/browser/src/css/parser.rs:
+crates/browser/src/css/scan.rs:
+crates/browser/src/css/selector.rs:
+crates/browser/src/css/style.rs:
+crates/browser/src/dom.rs:
+crates/browser/src/fetch.rs:
+crates/browser/src/html/mod.rs:
+crates/browser/src/html/parser.rs:
+crates/browser/src/html/tokenizer.rs:
+crates/browser/src/js/mod.rs:
+crates/browser/src/js/ast.rs:
+crates/browser/src/js/interp.rs:
+crates/browser/src/js/lexer.rs:
+crates/browser/src/layout.rs:
+crates/browser/src/pipeline.rs:
+crates/browser/src/cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ewb_capacity-6e02b7985c4ba2fc.d: crates/capacity/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_capacity-6e02b7985c4ba2fc.rmeta: crates/capacity/src/lib.rs Cargo.toml
+
+crates/capacity/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

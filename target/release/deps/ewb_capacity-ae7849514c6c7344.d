@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ewb_capacity-ae7849514c6c7344.d: crates/capacity/src/lib.rs
+
+/root/repo/target/release/deps/libewb_capacity-ae7849514c6c7344.rlib: crates/capacity/src/lib.rs
+
+/root/repo/target/release/deps/libewb_capacity-ae7849514c6c7344.rmeta: crates/capacity/src/lib.rs
+
+crates/capacity/src/lib.rs:

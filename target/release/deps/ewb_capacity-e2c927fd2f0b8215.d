@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ewb_capacity-e2c927fd2f0b8215.d: crates/capacity/src/lib.rs
+
+/root/repo/target/release/deps/ewb_capacity-e2c927fd2f0b8215: crates/capacity/src/lib.rs
+
+crates/capacity/src/lib.rs:

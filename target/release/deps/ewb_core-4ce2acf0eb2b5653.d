@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ewb_core-4ce2acf0eb2b5653.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cases.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/capacity_exp.rs crates/core/src/experiments/cases16.rs crates/core/src/experiments/display.rs crates/core/src/experiments/energy.rs crates/core/src/experiments/loadtime.rs crates/core/src/experiments/power_trace.rs crates/core/src/experiments/traffic.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libewb_core-4ce2acf0eb2b5653.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cases.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/capacity_exp.rs crates/core/src/experiments/cases16.rs crates/core/src/experiments/display.rs crates/core/src/experiments/energy.rs crates/core/src/experiments/loadtime.rs crates/core/src/experiments/power_trace.rs crates/core/src/experiments/traffic.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libewb_core-4ce2acf0eb2b5653.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cases.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/capacity_exp.rs crates/core/src/experiments/cases16.rs crates/core/src/experiments/display.rs crates/core/src/experiments/energy.rs crates/core/src/experiments/loadtime.rs crates/core/src/experiments/power_trace.rs crates/core/src/experiments/traffic.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/cases.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/capacity_exp.rs:
+crates/core/src/experiments/cases16.rs:
+crates/core/src/experiments/display.rs:
+crates/core/src/experiments/energy.rs:
+crates/core/src/experiments/loadtime.rs:
+crates/core/src/experiments/power_trace.rs:
+crates/core/src/experiments/traffic.rs:
+crates/core/src/session.rs:

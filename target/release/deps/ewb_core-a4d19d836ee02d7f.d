@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/ewb_core-a4d19d836ee02d7f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cases.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/capacity_exp.rs crates/core/src/experiments/cases16.rs crates/core/src/experiments/display.rs crates/core/src/experiments/energy.rs crates/core/src/experiments/loadtime.rs crates/core/src/experiments/power_trace.rs crates/core/src/experiments/traffic.rs crates/core/src/session.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_core-a4d19d836ee02d7f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cases.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/capacity_exp.rs crates/core/src/experiments/cases16.rs crates/core/src/experiments/display.rs crates/core/src/experiments/energy.rs crates/core/src/experiments/loadtime.rs crates/core/src/experiments/power_trace.rs crates/core/src/experiments/traffic.rs crates/core/src/session.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/cases.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/capacity_exp.rs:
+crates/core/src/experiments/cases16.rs:
+crates/core/src/experiments/display.rs:
+crates/core/src/experiments/energy.rs:
+crates/core/src/experiments/loadtime.rs:
+crates/core/src/experiments/power_trace.rs:
+crates/core/src/experiments/traffic.rs:
+crates/core/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ewb_gbrt-0f5a07b1f396a220.d: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/release/deps/ewb_gbrt-0f5a07b1f396a220: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs
+
+crates/gbrt/src/lib.rs:
+crates/gbrt/src/boost.rs:
+crates/gbrt/src/data.rs:
+crates/gbrt/src/eval.rs:
+crates/gbrt/src/flat.rs:
+crates/gbrt/src/importance.rs:
+crates/gbrt/src/loss.rs:
+crates/gbrt/src/reference.rs:
+crates/gbrt/src/splitter.rs:
+crates/gbrt/src/tree.rs:

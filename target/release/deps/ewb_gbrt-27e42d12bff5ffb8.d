@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ewb_gbrt-27e42d12bff5ffb8.d: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/release/deps/ewb_gbrt-27e42d12bff5ffb8: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/tree.rs
+
+crates/gbrt/src/lib.rs:
+crates/gbrt/src/boost.rs:
+crates/gbrt/src/data.rs:
+crates/gbrt/src/eval.rs:
+crates/gbrt/src/importance.rs:
+crates/gbrt/src/loss.rs:
+crates/gbrt/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ewb_gbrt-3f777e38182f75fc.d: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/release/deps/libewb_gbrt-3f777e38182f75fc.rlib: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/tree.rs
+
+/root/repo/target/release/deps/libewb_gbrt-3f777e38182f75fc.rmeta: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/tree.rs
+
+crates/gbrt/src/lib.rs:
+crates/gbrt/src/boost.rs:
+crates/gbrt/src/data.rs:
+crates/gbrt/src/eval.rs:
+crates/gbrt/src/importance.rs:
+crates/gbrt/src/loss.rs:
+crates/gbrt/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ewb_gbrt-5bcd39dfc9697108.d: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_gbrt-5bcd39dfc9697108.rmeta: crates/gbrt/src/lib.rs crates/gbrt/src/boost.rs crates/gbrt/src/data.rs crates/gbrt/src/eval.rs crates/gbrt/src/flat.rs crates/gbrt/src/importance.rs crates/gbrt/src/loss.rs crates/gbrt/src/reference.rs crates/gbrt/src/splitter.rs crates/gbrt/src/tree.rs Cargo.toml
+
+crates/gbrt/src/lib.rs:
+crates/gbrt/src/boost.rs:
+crates/gbrt/src/data.rs:
+crates/gbrt/src/eval.rs:
+crates/gbrt/src/flat.rs:
+crates/gbrt/src/importance.rs:
+crates/gbrt/src/loss.rs:
+crates/gbrt/src/reference.rs:
+crates/gbrt/src/splitter.rs:
+crates/gbrt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ewb_net-2bfe31cd5874e122.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_net-2bfe31cd5874e122.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/fetcher.rs:
+crates/net/src/download.rs:
+crates/net/src/proxy.rs:
+crates/net/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

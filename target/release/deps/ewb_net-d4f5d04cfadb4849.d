@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ewb_net-d4f5d04cfadb4849.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+/root/repo/target/release/deps/ewb_net-d4f5d04cfadb4849: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/fetcher.rs:
+crates/net/src/download.rs:
+crates/net/src/proxy.rs:
+crates/net/src/replay.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ewb_net-f00d7f99ff1295f8.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+/root/repo/target/release/deps/libewb_net-f00d7f99ff1295f8.rlib: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+/root/repo/target/release/deps/libewb_net-f00d7f99ff1295f8.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/fetcher.rs crates/net/src/download.rs crates/net/src/proxy.rs crates/net/src/replay.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/fetcher.rs:
+crates/net/src/download.rs:
+crates/net/src/proxy.rs:
+crates/net/src/replay.rs:

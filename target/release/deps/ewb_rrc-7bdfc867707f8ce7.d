@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ewb_rrc-7bdfc867707f8ce7.d: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_rrc-7bdfc867707f8ce7.rmeta: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs Cargo.toml
+
+crates/rrc/src/lib.rs:
+crates/rrc/src/config.rs:
+crates/rrc/src/machine.rs:
+crates/rrc/src/power.rs:
+crates/rrc/src/state.rs:
+crates/rrc/src/intuitive.rs:
+crates/rrc/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

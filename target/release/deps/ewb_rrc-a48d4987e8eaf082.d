@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ewb_rrc-a48d4987e8eaf082.d: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+/root/repo/target/release/deps/libewb_rrc-a48d4987e8eaf082.rlib: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+/root/repo/target/release/deps/libewb_rrc-a48d4987e8eaf082.rmeta: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+crates/rrc/src/lib.rs:
+crates/rrc/src/config.rs:
+crates/rrc/src/machine.rs:
+crates/rrc/src/power.rs:
+crates/rrc/src/state.rs:
+crates/rrc/src/intuitive.rs:
+crates/rrc/src/scenario.rs:

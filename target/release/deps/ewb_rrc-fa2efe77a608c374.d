@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ewb_rrc-fa2efe77a608c374.d: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+/root/repo/target/release/deps/ewb_rrc-fa2efe77a608c374: crates/rrc/src/lib.rs crates/rrc/src/config.rs crates/rrc/src/machine.rs crates/rrc/src/power.rs crates/rrc/src/state.rs crates/rrc/src/intuitive.rs crates/rrc/src/scenario.rs
+
+crates/rrc/src/lib.rs:
+crates/rrc/src/config.rs:
+crates/rrc/src/machine.rs:
+crates/rrc/src/power.rs:
+crates/rrc/src/state.rs:
+crates/rrc/src/intuitive.rs:
+crates/rrc/src/scenario.rs:

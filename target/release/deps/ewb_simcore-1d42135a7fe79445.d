@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ewb_simcore-1d42135a7fe79445.d: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+/root/repo/target/release/deps/libewb_simcore-1d42135a7fe79445.rlib: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+/root/repo/target/release/deps/libewb_simcore-1d42135a7fe79445.rmeta: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/energy.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ewb_simcore-58eb3138bcb37579.d: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+/root/repo/target/release/deps/ewb_simcore-58eb3138bcb37579: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/energy.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/stats.rs:

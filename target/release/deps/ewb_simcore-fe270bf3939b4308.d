@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ewb_simcore-fe270bf3939b4308.d: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_simcore-fe270bf3939b4308.rmeta: crates/simcore/src/lib.rs crates/simcore/src/energy.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/time.rs crates/simcore/src/dist.rs crates/simcore/src/stats.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/energy.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ewb_traces-7b028577d0f44529.d: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+/root/repo/target/release/deps/libewb_traces-7b028577d0f44529.rlib: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+/root/repo/target/release/deps/libewb_traces-7b028577d0f44529.rmeta: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/dataset.rs:
+crates/traces/src/eval.rs:
+crates/traces/src/features.rs:
+crates/traces/src/predictor.rs:
+crates/traces/src/synth.rs:
+crates/traces/src/user.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ewb_traces-8296dbef2759483f.d: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_traces-8296dbef2759483f.rmeta: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs Cargo.toml
+
+crates/traces/src/lib.rs:
+crates/traces/src/dataset.rs:
+crates/traces/src/eval.rs:
+crates/traces/src/features.rs:
+crates/traces/src/predictor.rs:
+crates/traces/src/synth.rs:
+crates/traces/src/user.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ewb_traces-f1a57f74434744ca.d: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+/root/repo/target/release/deps/ewb_traces-f1a57f74434744ca: crates/traces/src/lib.rs crates/traces/src/dataset.rs crates/traces/src/eval.rs crates/traces/src/features.rs crates/traces/src/predictor.rs crates/traces/src/synth.rs crates/traces/src/user.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/dataset.rs:
+crates/traces/src/eval.rs:
+crates/traces/src/features.rs:
+crates/traces/src/predictor.rs:
+crates/traces/src/synth.rs:
+crates/traces/src/user.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ewb_webpage-1a0fc6a4085c744d.d: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+/root/repo/target/release/deps/libewb_webpage-1a0fc6a4085c744d.rlib: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+/root/repo/target/release/deps/libewb_webpage-1a0fc6a4085c744d.rmeta: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+crates/webpage/src/lib.rs:
+crates/webpage/src/corpus.rs:
+crates/webpage/src/gen.rs:
+crates/webpage/src/object.rs:
+crates/webpage/src/page.rs:
+crates/webpage/src/server.rs:
+crates/webpage/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ewb_webpage-33f13b2ef4eb0303.d: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+/root/repo/target/release/deps/ewb_webpage-33f13b2ef4eb0303: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs
+
+crates/webpage/src/lib.rs:
+crates/webpage/src/corpus.rs:
+crates/webpage/src/gen.rs:
+crates/webpage/src/object.rs:
+crates/webpage/src/page.rs:
+crates/webpage/src/server.rs:
+crates/webpage/src/spec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ewb_webpage-45b55c77106276f5.d: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs Cargo.toml
+
+/root/repo/target/release/deps/libewb_webpage-45b55c77106276f5.rmeta: crates/webpage/src/lib.rs crates/webpage/src/corpus.rs crates/webpage/src/gen.rs crates/webpage/src/object.rs crates/webpage/src/page.rs crates/webpage/src/server.rs crates/webpage/src/spec.rs Cargo.toml
+
+crates/webpage/src/lib.rs:
+crates/webpage/src/corpus.rs:
+crates/webpage/src/gen.rs:
+crates/webpage/src/object.rs:
+crates/webpage/src/page.rs:
+crates/webpage/src/server.rs:
+crates/webpage/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig01_power_states-4b8508003cb79d4c.d: crates/bench/src/bin/fig01_power_states.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig01_power_states-4b8508003cb79d4c.rmeta: crates/bench/src/bin/fig01_power_states.rs Cargo.toml
+
+crates/bench/src/bin/fig01_power_states.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

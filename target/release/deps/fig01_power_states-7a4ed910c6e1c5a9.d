@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_power_states-7a4ed910c6e1c5a9.d: crates/bench/src/bin/fig01_power_states.rs
+
+/root/repo/target/release/deps/fig01_power_states-7a4ed910c6e1c5a9: crates/bench/src/bin/fig01_power_states.rs
+
+crates/bench/src/bin/fig01_power_states.rs:

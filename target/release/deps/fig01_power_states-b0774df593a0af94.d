@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig01_power_states-b0774df593a0af94.d: crates/bench/src/bin/fig01_power_states.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig01_power_states-b0774df593a0af94.rmeta: crates/bench/src/bin/fig01_power_states.rs Cargo.toml
+
+crates/bench/src/bin/fig01_power_states.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_power_states-c664e676f0d4042c.d: crates/bench/src/bin/fig01_power_states.rs
+
+/root/repo/target/release/deps/fig01_power_states-c664e676f0d4042c: crates/bench/src/bin/fig01_power_states.rs
+
+crates/bench/src/bin/fig01_power_states.rs:

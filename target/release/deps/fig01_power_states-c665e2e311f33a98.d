@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_power_states-c665e2e311f33a98.d: crates/bench/src/bin/fig01_power_states.rs
+
+/root/repo/target/release/deps/fig01_power_states-c665e2e311f33a98: crates/bench/src/bin/fig01_power_states.rs
+
+crates/bench/src/bin/fig01_power_states.rs:

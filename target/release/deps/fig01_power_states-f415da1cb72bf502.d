@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_power_states-f415da1cb72bf502.d: crates/bench/src/bin/fig01_power_states.rs
+
+/root/repo/target/release/deps/fig01_power_states-f415da1cb72bf502: crates/bench/src/bin/fig01_power_states.rs
+
+crates/bench/src/bin/fig01_power_states.rs:

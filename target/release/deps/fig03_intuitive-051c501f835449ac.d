@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_intuitive-051c501f835449ac.d: crates/bench/src/bin/fig03_intuitive.rs
+
+/root/repo/target/release/deps/fig03_intuitive-051c501f835449ac: crates/bench/src/bin/fig03_intuitive.rs
+
+crates/bench/src/bin/fig03_intuitive.rs:

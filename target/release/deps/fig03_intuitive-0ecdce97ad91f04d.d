@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_intuitive-0ecdce97ad91f04d.d: crates/bench/src/bin/fig03_intuitive.rs
+
+/root/repo/target/release/deps/fig03_intuitive-0ecdce97ad91f04d: crates/bench/src/bin/fig03_intuitive.rs
+
+crates/bench/src/bin/fig03_intuitive.rs:

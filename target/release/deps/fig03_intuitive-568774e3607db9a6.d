@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_intuitive-568774e3607db9a6.d: crates/bench/src/bin/fig03_intuitive.rs
+
+/root/repo/target/release/deps/fig03_intuitive-568774e3607db9a6: crates/bench/src/bin/fig03_intuitive.rs
+
+crates/bench/src/bin/fig03_intuitive.rs:

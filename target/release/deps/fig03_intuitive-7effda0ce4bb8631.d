@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_intuitive-7effda0ce4bb8631.d: crates/bench/src/bin/fig03_intuitive.rs
+
+/root/repo/target/release/deps/fig03_intuitive-7effda0ce4bb8631: crates/bench/src/bin/fig03_intuitive.rs
+
+crates/bench/src/bin/fig03_intuitive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig03_intuitive-d712b1337b11e8d9.d: crates/bench/src/bin/fig03_intuitive.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig03_intuitive-d712b1337b11e8d9.rmeta: crates/bench/src/bin/fig03_intuitive.rs Cargo.toml
+
+crates/bench/src/bin/fig03_intuitive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig03_intuitive-f590c9adaa7a66b1.d: crates/bench/src/bin/fig03_intuitive.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig03_intuitive-f590c9adaa7a66b1.rmeta: crates/bench/src/bin/fig03_intuitive.rs Cargo.toml
+
+crates/bench/src/bin/fig03_intuitive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_traffic-1808b1f6d14b29f4.d: crates/bench/src/bin/fig04_traffic.rs
+
+/root/repo/target/release/deps/fig04_traffic-1808b1f6d14b29f4: crates/bench/src/bin/fig04_traffic.rs
+
+crates/bench/src/bin/fig04_traffic.rs:

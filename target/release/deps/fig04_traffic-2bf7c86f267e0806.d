@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_traffic-2bf7c86f267e0806.d: crates/bench/src/bin/fig04_traffic.rs
+
+/root/repo/target/release/deps/fig04_traffic-2bf7c86f267e0806: crates/bench/src/bin/fig04_traffic.rs
+
+crates/bench/src/bin/fig04_traffic.rs:

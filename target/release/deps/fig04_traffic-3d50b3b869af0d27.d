@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_traffic-3d50b3b869af0d27.d: crates/bench/src/bin/fig04_traffic.rs
+
+/root/repo/target/release/deps/fig04_traffic-3d50b3b869af0d27: crates/bench/src/bin/fig04_traffic.rs
+
+crates/bench/src/bin/fig04_traffic.rs:

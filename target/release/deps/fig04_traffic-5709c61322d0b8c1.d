@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig04_traffic-5709c61322d0b8c1.d: crates/bench/src/bin/fig04_traffic.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig04_traffic-5709c61322d0b8c1.rmeta: crates/bench/src/bin/fig04_traffic.rs Cargo.toml
+
+crates/bench/src/bin/fig04_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_traffic-e5e4cbf6e2033b7b.d: crates/bench/src/bin/fig04_traffic.rs
+
+/root/repo/target/release/deps/fig04_traffic-e5e4cbf6e2033b7b: crates/bench/src/bin/fig04_traffic.rs
+
+crates/bench/src/bin/fig04_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05_sequence-388e52a5bdb333b7.d: crates/bench/src/bin/fig05_sequence.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05_sequence-388e52a5bdb333b7.rmeta: crates/bench/src/bin/fig05_sequence.rs Cargo.toml
+
+crates/bench/src/bin/fig05_sequence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_sequence-52dff7b3caeb4773.d: crates/bench/src/bin/fig05_sequence.rs
+
+/root/repo/target/release/deps/fig05_sequence-52dff7b3caeb4773: crates/bench/src/bin/fig05_sequence.rs
+
+crates/bench/src/bin/fig05_sequence.rs:

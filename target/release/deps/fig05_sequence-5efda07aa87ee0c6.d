@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_sequence-5efda07aa87ee0c6.d: crates/bench/src/bin/fig05_sequence.rs
+
+/root/repo/target/release/deps/fig05_sequence-5efda07aa87ee0c6: crates/bench/src/bin/fig05_sequence.rs
+
+crates/bench/src/bin/fig05_sequence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_sequence-6701e5aec1ebe953.d: crates/bench/src/bin/fig05_sequence.rs
+
+/root/repo/target/release/deps/fig05_sequence-6701e5aec1ebe953: crates/bench/src/bin/fig05_sequence.rs
+
+crates/bench/src/bin/fig05_sequence.rs:

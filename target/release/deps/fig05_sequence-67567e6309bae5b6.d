@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05_sequence-67567e6309bae5b6.d: crates/bench/src/bin/fig05_sequence.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05_sequence-67567e6309bae5b6.rmeta: crates/bench/src/bin/fig05_sequence.rs Cargo.toml
+
+crates/bench/src/bin/fig05_sequence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

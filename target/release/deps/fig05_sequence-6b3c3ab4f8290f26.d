@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_sequence-6b3c3ab4f8290f26.d: crates/bench/src/bin/fig05_sequence.rs
+
+/root/repo/target/release/deps/fig05_sequence-6b3c3ab4f8290f26: crates/bench/src/bin/fig05_sequence.rs
+
+crates/bench/src/bin/fig05_sequence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_reading_cdf-116da34abc659425.d: crates/bench/src/bin/fig07_reading_cdf.rs
+
+/root/repo/target/release/deps/fig07_reading_cdf-116da34abc659425: crates/bench/src/bin/fig07_reading_cdf.rs
+
+crates/bench/src/bin/fig07_reading_cdf.rs:

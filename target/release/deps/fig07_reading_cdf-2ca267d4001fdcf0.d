@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07_reading_cdf-2ca267d4001fdcf0.d: crates/bench/src/bin/fig07_reading_cdf.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07_reading_cdf-2ca267d4001fdcf0.rmeta: crates/bench/src/bin/fig07_reading_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig07_reading_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

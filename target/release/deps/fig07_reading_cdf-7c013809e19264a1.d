@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_reading_cdf-7c013809e19264a1.d: crates/bench/src/bin/fig07_reading_cdf.rs
+
+/root/repo/target/release/deps/fig07_reading_cdf-7c013809e19264a1: crates/bench/src/bin/fig07_reading_cdf.rs
+
+crates/bench/src/bin/fig07_reading_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_reading_cdf-86aa4b56a9994453.d: crates/bench/src/bin/fig07_reading_cdf.rs
+
+/root/repo/target/release/deps/fig07_reading_cdf-86aa4b56a9994453: crates/bench/src/bin/fig07_reading_cdf.rs
+
+crates/bench/src/bin/fig07_reading_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_reading_cdf-91021b6a5ef01ab7.d: crates/bench/src/bin/fig07_reading_cdf.rs
+
+/root/repo/target/release/deps/fig07_reading_cdf-91021b6a5ef01ab7: crates/bench/src/bin/fig07_reading_cdf.rs
+
+crates/bench/src/bin/fig07_reading_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07_reading_cdf-f5649e8eaa386d11.d: crates/bench/src/bin/fig07_reading_cdf.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07_reading_cdf-f5649e8eaa386d11.rmeta: crates/bench/src/bin/fig07_reading_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig07_reading_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_transmission-3130e65281d70b03.d: crates/bench/src/bin/fig08_transmission.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_transmission-3130e65281d70b03.rmeta: crates/bench/src/bin/fig08_transmission.rs Cargo.toml
+
+crates/bench/src/bin/fig08_transmission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

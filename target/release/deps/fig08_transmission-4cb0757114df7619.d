@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_transmission-4cb0757114df7619.d: crates/bench/src/bin/fig08_transmission.rs
+
+/root/repo/target/release/deps/fig08_transmission-4cb0757114df7619: crates/bench/src/bin/fig08_transmission.rs
+
+crates/bench/src/bin/fig08_transmission.rs:

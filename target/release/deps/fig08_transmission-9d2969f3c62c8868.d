@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_transmission-9d2969f3c62c8868.d: crates/bench/src/bin/fig08_transmission.rs
+
+/root/repo/target/release/deps/fig08_transmission-9d2969f3c62c8868: crates/bench/src/bin/fig08_transmission.rs
+
+crates/bench/src/bin/fig08_transmission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_transmission-bbb23e58fb5e3ee1.d: crates/bench/src/bin/fig08_transmission.rs
+
+/root/repo/target/release/deps/fig08_transmission-bbb23e58fb5e3ee1: crates/bench/src/bin/fig08_transmission.rs
+
+crates/bench/src/bin/fig08_transmission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_transmission-f31ad76fa3570eef.d: crates/bench/src/bin/fig08_transmission.rs
+
+/root/repo/target/release/deps/fig08_transmission-f31ad76fa3570eef: crates/bench/src/bin/fig08_transmission.rs
+
+crates/bench/src/bin/fig08_transmission.rs:

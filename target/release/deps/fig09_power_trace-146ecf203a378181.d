@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_power_trace-146ecf203a378181.d: crates/bench/src/bin/fig09_power_trace.rs
+
+/root/repo/target/release/deps/fig09_power_trace-146ecf203a378181: crates/bench/src/bin/fig09_power_trace.rs
+
+crates/bench/src/bin/fig09_power_trace.rs:

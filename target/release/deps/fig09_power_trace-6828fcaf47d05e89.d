@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_power_trace-6828fcaf47d05e89.d: crates/bench/src/bin/fig09_power_trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_power_trace-6828fcaf47d05e89.rmeta: crates/bench/src/bin/fig09_power_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig09_power_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_power_trace-d74181971a6ac160.d: crates/bench/src/bin/fig09_power_trace.rs
+
+/root/repo/target/release/deps/fig09_power_trace-d74181971a6ac160: crates/bench/src/bin/fig09_power_trace.rs
+
+crates/bench/src/bin/fig09_power_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_power_trace-f5518b8a6739620a.d: crates/bench/src/bin/fig09_power_trace.rs
+
+/root/repo/target/release/deps/fig09_power_trace-f5518b8a6739620a: crates/bench/src/bin/fig09_power_trace.rs
+
+crates/bench/src/bin/fig09_power_trace.rs:

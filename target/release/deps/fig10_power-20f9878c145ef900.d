@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_power-20f9878c145ef900.d: crates/bench/src/bin/fig10_power.rs
+
+/root/repo/target/release/deps/fig10_power-20f9878c145ef900: crates/bench/src/bin/fig10_power.rs
+
+crates/bench/src/bin/fig10_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_power-3ba26840b7d2a6f6.d: crates/bench/src/bin/fig10_power.rs
+
+/root/repo/target/release/deps/fig10_power-3ba26840b7d2a6f6: crates/bench/src/bin/fig10_power.rs
+
+crates/bench/src/bin/fig10_power.rs:

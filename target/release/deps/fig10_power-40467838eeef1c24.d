@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_power-40467838eeef1c24.d: crates/bench/src/bin/fig10_power.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_power-40467838eeef1c24.rmeta: crates/bench/src/bin/fig10_power.rs Cargo.toml
+
+crates/bench/src/bin/fig10_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_power-590bff7c657f1ebb.d: crates/bench/src/bin/fig10_power.rs
+
+/root/repo/target/release/deps/fig10_power-590bff7c657f1ebb: crates/bench/src/bin/fig10_power.rs
+
+crates/bench/src/bin/fig10_power.rs:

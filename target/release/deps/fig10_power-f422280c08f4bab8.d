@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_power-f422280c08f4bab8.d: crates/bench/src/bin/fig10_power.rs
+
+/root/repo/target/release/deps/fig10_power-f422280c08f4bab8: crates/bench/src/bin/fig10_power.rs
+
+crates/bench/src/bin/fig10_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_capacity-12c020fd93a93a2e.d: crates/bench/src/bin/fig11_capacity.rs
+
+/root/repo/target/release/deps/fig11_capacity-12c020fd93a93a2e: crates/bench/src/bin/fig11_capacity.rs
+
+crates/bench/src/bin/fig11_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_capacity-4145a720aaa19acd.d: crates/bench/src/bin/fig11_capacity.rs
+
+/root/repo/target/release/deps/fig11_capacity-4145a720aaa19acd: crates/bench/src/bin/fig11_capacity.rs
+
+crates/bench/src/bin/fig11_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_capacity-43461a183bbc9e22.d: crates/bench/src/bin/fig11_capacity.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_capacity-43461a183bbc9e22.rmeta: crates/bench/src/bin/fig11_capacity.rs Cargo.toml
+
+crates/bench/src/bin/fig11_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_capacity-463157cf3b052da8.d: crates/bench/src/bin/fig11_capacity.rs
+
+/root/repo/target/release/deps/fig11_capacity-463157cf3b052da8: crates/bench/src/bin/fig11_capacity.rs
+
+crates/bench/src/bin/fig11_capacity.rs:

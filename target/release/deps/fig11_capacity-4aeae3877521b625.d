@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_capacity-4aeae3877521b625.d: crates/bench/src/bin/fig11_capacity.rs
+
+/root/repo/target/release/deps/fig11_capacity-4aeae3877521b625: crates/bench/src/bin/fig11_capacity.rs
+
+crates/bench/src/bin/fig11_capacity.rs:

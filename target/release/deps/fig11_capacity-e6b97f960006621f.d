@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_capacity-e6b97f960006621f.d: crates/bench/src/bin/fig11_capacity.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_capacity-e6b97f960006621f.rmeta: crates/bench/src/bin/fig11_capacity.rs Cargo.toml
+
+crates/bench/src/bin/fig11_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

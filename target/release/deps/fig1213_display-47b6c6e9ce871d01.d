@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1213_display-47b6c6e9ce871d01.d: crates/bench/src/bin/fig1213_display.rs
+
+/root/repo/target/release/deps/fig1213_display-47b6c6e9ce871d01: crates/bench/src/bin/fig1213_display.rs
+
+crates/bench/src/bin/fig1213_display.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1213_display-491a6ac170b9440f.d: crates/bench/src/bin/fig1213_display.rs
+
+/root/repo/target/release/deps/fig1213_display-491a6ac170b9440f: crates/bench/src/bin/fig1213_display.rs
+
+crates/bench/src/bin/fig1213_display.rs:

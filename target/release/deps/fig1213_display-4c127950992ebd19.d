@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1213_display-4c127950992ebd19.d: crates/bench/src/bin/fig1213_display.rs
+
+/root/repo/target/release/deps/fig1213_display-4c127950992ebd19: crates/bench/src/bin/fig1213_display.rs
+
+crates/bench/src/bin/fig1213_display.rs:

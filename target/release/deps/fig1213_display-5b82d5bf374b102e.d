@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1213_display-5b82d5bf374b102e.d: crates/bench/src/bin/fig1213_display.rs
+
+/root/repo/target/release/deps/fig1213_display-5b82d5bf374b102e: crates/bench/src/bin/fig1213_display.rs
+
+crates/bench/src/bin/fig1213_display.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1213_display-c9ba65ec67f684f6.d: crates/bench/src/bin/fig1213_display.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1213_display-c9ba65ec67f684f6.rmeta: crates/bench/src/bin/fig1213_display.rs Cargo.toml
+
+crates/bench/src/bin/fig1213_display.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

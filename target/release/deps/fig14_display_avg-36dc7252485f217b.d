@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14_display_avg-36dc7252485f217b.d: crates/bench/src/bin/fig14_display_avg.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14_display_avg-36dc7252485f217b.rmeta: crates/bench/src/bin/fig14_display_avg.rs Cargo.toml
+
+crates/bench/src/bin/fig14_display_avg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_display_avg-54c2ee5d86c1c5da.d: crates/bench/src/bin/fig14_display_avg.rs
+
+/root/repo/target/release/deps/fig14_display_avg-54c2ee5d86c1c5da: crates/bench/src/bin/fig14_display_avg.rs
+
+crates/bench/src/bin/fig14_display_avg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_display_avg-5a8701a13b32e97f.d: crates/bench/src/bin/fig14_display_avg.rs
+
+/root/repo/target/release/deps/fig14_display_avg-5a8701a13b32e97f: crates/bench/src/bin/fig14_display_avg.rs
+
+crates/bench/src/bin/fig14_display_avg.rs:

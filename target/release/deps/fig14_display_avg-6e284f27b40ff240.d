@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_display_avg-6e284f27b40ff240.d: crates/bench/src/bin/fig14_display_avg.rs
+
+/root/repo/target/release/deps/fig14_display_avg-6e284f27b40ff240: crates/bench/src/bin/fig14_display_avg.rs
+
+crates/bench/src/bin/fig14_display_avg.rs:

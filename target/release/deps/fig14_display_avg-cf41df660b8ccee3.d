@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_display_avg-cf41df660b8ccee3.d: crates/bench/src/bin/fig14_display_avg.rs
+
+/root/repo/target/release/deps/fig14_display_avg-cf41df660b8ccee3: crates/bench/src/bin/fig14_display_avg.rs
+
+crates/bench/src/bin/fig14_display_avg.rs:

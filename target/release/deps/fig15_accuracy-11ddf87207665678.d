@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_accuracy-11ddf87207665678.d: crates/bench/src/bin/fig15_accuracy.rs
+
+/root/repo/target/release/deps/fig15_accuracy-11ddf87207665678: crates/bench/src/bin/fig15_accuracy.rs
+
+crates/bench/src/bin/fig15_accuracy.rs:

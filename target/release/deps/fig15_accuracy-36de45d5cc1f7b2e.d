@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_accuracy-36de45d5cc1f7b2e.d: crates/bench/src/bin/fig15_accuracy.rs
+
+/root/repo/target/release/deps/fig15_accuracy-36de45d5cc1f7b2e: crates/bench/src/bin/fig15_accuracy.rs
+
+crates/bench/src/bin/fig15_accuracy.rs:

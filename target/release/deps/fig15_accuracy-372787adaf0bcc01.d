@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15_accuracy-372787adaf0bcc01.d: crates/bench/src/bin/fig15_accuracy.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15_accuracy-372787adaf0bcc01.rmeta: crates/bench/src/bin/fig15_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig15_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

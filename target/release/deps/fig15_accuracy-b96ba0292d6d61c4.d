@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_accuracy-b96ba0292d6d61c4.d: crates/bench/src/bin/fig15_accuracy.rs
+
+/root/repo/target/release/deps/fig15_accuracy-b96ba0292d6d61c4: crates/bench/src/bin/fig15_accuracy.rs
+
+crates/bench/src/bin/fig15_accuracy.rs:

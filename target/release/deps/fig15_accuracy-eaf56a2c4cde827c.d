@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_accuracy-eaf56a2c4cde827c.d: crates/bench/src/bin/fig15_accuracy.rs
+
+/root/repo/target/release/deps/fig15_accuracy-eaf56a2c4cde827c: crates/bench/src/bin/fig15_accuracy.rs
+
+crates/bench/src/bin/fig15_accuracy.rs:

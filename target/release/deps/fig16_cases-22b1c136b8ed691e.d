@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_cases-22b1c136b8ed691e.d: crates/bench/src/bin/fig16_cases.rs
+
+/root/repo/target/release/deps/fig16_cases-22b1c136b8ed691e: crates/bench/src/bin/fig16_cases.rs
+
+crates/bench/src/bin/fig16_cases.rs:

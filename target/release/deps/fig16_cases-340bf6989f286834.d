@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16_cases-340bf6989f286834.d: crates/bench/src/bin/fig16_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16_cases-340bf6989f286834.rmeta: crates/bench/src/bin/fig16_cases.rs Cargo.toml
+
+crates/bench/src/bin/fig16_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

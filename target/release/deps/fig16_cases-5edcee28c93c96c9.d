@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_cases-5edcee28c93c96c9.d: crates/bench/src/bin/fig16_cases.rs
+
+/root/repo/target/release/deps/fig16_cases-5edcee28c93c96c9: crates/bench/src/bin/fig16_cases.rs
+
+crates/bench/src/bin/fig16_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_cases-75fce9cb7cd822f6.d: crates/bench/src/bin/fig16_cases.rs
+
+/root/repo/target/release/deps/fig16_cases-75fce9cb7cd822f6: crates/bench/src/bin/fig16_cases.rs
+
+crates/bench/src/bin/fig16_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16_cases-e93a5897c4a65d8a.d: crates/bench/src/bin/fig16_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16_cases-e93a5897c4a65d8a.rmeta: crates/bench/src/bin/fig16_cases.rs Cargo.toml
+
+crates/bench/src/bin/fig16_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_cases-edeb64945840d305.d: crates/bench/src/bin/fig16_cases.rs
+
+/root/repo/target/release/deps/fig16_cases-edeb64945840d305: crates/bench/src/bin/fig16_cases.rs
+
+crates/bench/src/bin/fig16_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gbrt_predict-992358710bcf83da.d: crates/bench/benches/gbrt_predict.rs Cargo.toml
+
+/root/repo/target/release/deps/libgbrt_predict-992358710bcf83da.rmeta: crates/bench/benches/gbrt_predict.rs Cargo.toml
+
+crates/bench/benches/gbrt_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

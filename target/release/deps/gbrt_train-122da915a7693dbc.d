@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gbrt_train-122da915a7693dbc.d: crates/bench/benches/gbrt_train.rs Cargo.toml
+
+/root/repo/target/release/deps/libgbrt_train-122da915a7693dbc.rmeta: crates/bench/benches/gbrt_train.rs Cargo.toml
+
+crates/bench/benches/gbrt_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/golden-3d44e76a9b66fa98.d: crates/traces/tests/golden.rs Cargo.toml
+
+/root/repo/target/release/deps/libgolden-3d44e76a9b66fa98.rmeta: crates/traces/tests/golden.rs Cargo.toml
+
+crates/traces/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

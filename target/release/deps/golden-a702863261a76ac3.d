@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden-a702863261a76ac3.d: crates/gbrt/tests/golden.rs
+
+/root/repo/target/release/deps/golden-a702863261a76ac3: crates/gbrt/tests/golden.rs
+
+crates/gbrt/tests/golden.rs:

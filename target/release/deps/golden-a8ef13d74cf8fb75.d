@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/golden-a8ef13d74cf8fb75.d: crates/gbrt/tests/golden.rs Cargo.toml
+
+/root/repo/target/release/deps/libgolden-a8ef13d74cf8fb75.rmeta: crates/gbrt/tests/golden.rs Cargo.toml
+
+crates/gbrt/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

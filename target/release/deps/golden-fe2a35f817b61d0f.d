@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden-fe2a35f817b61d0f.d: crates/traces/tests/golden.rs
+
+/root/repo/target/release/deps/golden-fe2a35f817b61d0f: crates/traces/tests/golden.rs
+
+crates/traces/tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_browser_net-0d10620ff9f912a5.d: crates/core/../../tests/integration_browser_net.rs
+
+/root/repo/target/release/deps/integration_browser_net-0d10620ff9f912a5: crates/core/../../tests/integration_browser_net.rs
+
+crates/core/../../tests/integration_browser_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_browser_net-10c82afe8128bbd3.d: crates/core/../../tests/integration_browser_net.rs
+
+/root/repo/target/release/deps/integration_browser_net-10c82afe8128bbd3: crates/core/../../tests/integration_browser_net.rs
+
+crates/core/../../tests/integration_browser_net.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_browser_net-aeec59e7e7b9a1ae.d: crates/core/../../tests/integration_browser_net.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_browser_net-aeec59e7e7b9a1ae.rmeta: crates/core/../../tests/integration_browser_net.rs Cargo.toml
+
+crates/core/../../tests/integration_browser_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

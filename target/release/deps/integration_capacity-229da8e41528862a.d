@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_capacity-229da8e41528862a.d: crates/core/../../tests/integration_capacity.rs
+
+/root/repo/target/release/deps/integration_capacity-229da8e41528862a: crates/core/../../tests/integration_capacity.rs
+
+crates/core/../../tests/integration_capacity.rs:

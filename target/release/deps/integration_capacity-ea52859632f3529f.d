@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_capacity-ea52859632f3529f.d: crates/core/../../tests/integration_capacity.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_capacity-ea52859632f3529f.rmeta: crates/core/../../tests/integration_capacity.rs Cargo.toml
+
+crates/core/../../tests/integration_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_capacity-ffb3a49fddf72860.d: crates/core/../../tests/integration_capacity.rs
+
+/root/repo/target/release/deps/integration_capacity-ffb3a49fddf72860: crates/core/../../tests/integration_capacity.rs
+
+crates/core/../../tests/integration_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_energy-8901f6ba4b13ff88.d: crates/core/../../tests/integration_energy.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_energy-8901f6ba4b13ff88.rmeta: crates/core/../../tests/integration_energy.rs Cargo.toml
+
+crates/core/../../tests/integration_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_energy-cea06b434139d6b8.d: crates/core/../../tests/integration_energy.rs
+
+/root/repo/target/release/deps/integration_energy-cea06b434139d6b8: crates/core/../../tests/integration_energy.rs
+
+crates/core/../../tests/integration_energy.rs:

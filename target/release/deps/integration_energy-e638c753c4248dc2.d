@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_energy-e638c753c4248dc2.d: crates/core/../../tests/integration_energy.rs
+
+/root/repo/target/release/deps/integration_energy-e638c753c4248dc2: crates/core/../../tests/integration_energy.rs
+
+crates/core/../../tests/integration_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_paper_claims-1394026da50ab31d.d: crates/core/../../tests/integration_paper_claims.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_paper_claims-1394026da50ab31d.rmeta: crates/core/../../tests/integration_paper_claims.rs Cargo.toml
+
+crates/core/../../tests/integration_paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

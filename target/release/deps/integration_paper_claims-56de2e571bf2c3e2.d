@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_paper_claims-56de2e571bf2c3e2.d: crates/core/../../tests/integration_paper_claims.rs
+
+/root/repo/target/release/deps/integration_paper_claims-56de2e571bf2c3e2: crates/core/../../tests/integration_paper_claims.rs
+
+crates/core/../../tests/integration_paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_paper_claims-caecc2ef67bf03c8.d: crates/core/../../tests/integration_paper_claims.rs
+
+/root/repo/target/release/deps/integration_paper_claims-caecc2ef67bf03c8: crates/core/../../tests/integration_paper_claims.rs
+
+crates/core/../../tests/integration_paper_claims.rs:

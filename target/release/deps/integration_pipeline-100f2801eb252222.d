@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_pipeline-100f2801eb252222.d: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_pipeline-100f2801eb252222.rmeta: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+crates/core/../../tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

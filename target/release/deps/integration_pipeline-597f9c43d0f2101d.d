@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-597f9c43d0f2101d.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-597f9c43d0f2101d: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

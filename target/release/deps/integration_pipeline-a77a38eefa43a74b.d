@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-a77a38eefa43a74b.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-a77a38eefa43a74b: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_prediction-71b7da5702f223c8.d: crates/core/../../tests/integration_prediction.rs
+
+/root/repo/target/release/deps/integration_prediction-71b7da5702f223c8: crates/core/../../tests/integration_prediction.rs
+
+crates/core/../../tests/integration_prediction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_prediction-7c90372b76725e8c.d: crates/core/../../tests/integration_prediction.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_prediction-7c90372b76725e8c.rmeta: crates/core/../../tests/integration_prediction.rs Cargo.toml
+
+crates/core/../../tests/integration_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

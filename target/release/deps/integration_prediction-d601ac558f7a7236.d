@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_prediction-d601ac558f7a7236.d: crates/core/../../tests/integration_prediction.rs
+
+/root/repo/target/release/deps/integration_prediction-d601ac558f7a7236: crates/core/../../tests/integration_prediction.rs
+
+crates/core/../../tests/integration_prediction.rs:

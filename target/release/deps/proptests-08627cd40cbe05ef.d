@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-08627cd40cbe05ef.d: crates/gbrt/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-08627cd40cbe05ef: crates/gbrt/tests/proptests.rs
+
+crates/gbrt/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0bdadc8bf0d14785.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0bdadc8bf0d14785: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

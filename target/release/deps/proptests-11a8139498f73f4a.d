@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-11a8139498f73f4a.d: crates/capacity/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-11a8139498f73f4a.rmeta: crates/capacity/tests/proptests.rs Cargo.toml
+
+crates/capacity/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-2f25c1288f6ca85d.d: crates/rrc/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-2f25c1288f6ca85d: crates/rrc/tests/proptests.rs
+
+crates/rrc/tests/proptests.rs:

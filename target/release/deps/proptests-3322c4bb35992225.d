@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-3322c4bb35992225.d: crates/net/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-3322c4bb35992225.rmeta: crates/net/tests/proptests.rs Cargo.toml
+
+crates/net/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

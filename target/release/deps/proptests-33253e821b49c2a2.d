@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-33253e821b49c2a2.d: crates/gbrt/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-33253e821b49c2a2.rmeta: crates/gbrt/tests/proptests.rs Cargo.toml
+
+crates/gbrt/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-47b8487bd467ac90.d: crates/webpage/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-47b8487bd467ac90: crates/webpage/tests/proptests.rs
+
+crates/webpage/tests/proptests.rs:

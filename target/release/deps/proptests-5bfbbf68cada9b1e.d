@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-5bfbbf68cada9b1e.d: crates/traces/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-5bfbbf68cada9b1e.rmeta: crates/traces/tests/proptests.rs Cargo.toml
+
+crates/traces/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

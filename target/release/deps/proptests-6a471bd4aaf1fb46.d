@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-6a471bd4aaf1fb46.d: crates/simcore/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-6a471bd4aaf1fb46.rmeta: crates/simcore/tests/proptests.rs Cargo.toml
+
+crates/simcore/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

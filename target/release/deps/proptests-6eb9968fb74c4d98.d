@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-6eb9968fb74c4d98.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-6eb9968fb74c4d98: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-6f1916b05dd7e5c8.d: crates/webpage/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-6f1916b05dd7e5c8.rmeta: crates/webpage/tests/proptests.rs Cargo.toml
+
+crates/webpage/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-767c1e8ebae00103.d: crates/net/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-767c1e8ebae00103: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

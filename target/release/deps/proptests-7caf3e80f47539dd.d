@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-7caf3e80f47539dd.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-7caf3e80f47539dd.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8f7be2bec8ef9fd1.d: crates/gbrt/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8f7be2bec8ef9fd1: crates/gbrt/tests/proptests.rs
+
+crates/gbrt/tests/proptests.rs:

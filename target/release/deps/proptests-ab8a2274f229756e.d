@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ab8a2274f229756e.d: crates/browser/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ab8a2274f229756e: crates/browser/tests/proptests.rs
+
+crates/browser/tests/proptests.rs:

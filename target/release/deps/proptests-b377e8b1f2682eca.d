@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b377e8b1f2682eca.d: crates/capacity/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b377e8b1f2682eca: crates/capacity/tests/proptests.rs
+
+crates/capacity/tests/proptests.rs:

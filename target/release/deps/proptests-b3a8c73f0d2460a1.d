@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-b3a8c73f0d2460a1.d: crates/browser/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-b3a8c73f0d2460a1.rmeta: crates/browser/tests/proptests.rs Cargo.toml
+
+crates/browser/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

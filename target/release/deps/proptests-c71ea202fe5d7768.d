@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-c71ea202fe5d7768.d: crates/traces/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-c71ea202fe5d7768: crates/traces/tests/proptests.rs
+
+crates/traces/tests/proptests.rs:

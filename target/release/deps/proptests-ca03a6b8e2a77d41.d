@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ca03a6b8e2a77d41.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ca03a6b8e2a77d41: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

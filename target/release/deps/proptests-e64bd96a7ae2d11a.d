@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-e64bd96a7ae2d11a.d: crates/rrc/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-e64bd96a7ae2d11a.rmeta: crates/rrc/tests/proptests.rs Cargo.toml
+
+crates/rrc/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

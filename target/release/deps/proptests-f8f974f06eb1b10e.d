@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f8f974f06eb1b10e.d: crates/traces/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f8f974f06eb1b10e: crates/traces/tests/proptests.rs
+
+crates/traces/tests/proptests.rs:

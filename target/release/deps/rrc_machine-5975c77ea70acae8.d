@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rrc_machine-5975c77ea70acae8.d: crates/bench/benches/rrc_machine.rs Cargo.toml
+
+/root/repo/target/release/deps/librrc_machine-5975c77ea70acae8.rmeta: crates/bench/benches/rrc_machine.rs Cargo.toml
+
+crates/bench/benches/rrc_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

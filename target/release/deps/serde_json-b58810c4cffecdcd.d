@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-b58810c4cffecdcd.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-b58810c4cffecdcd: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

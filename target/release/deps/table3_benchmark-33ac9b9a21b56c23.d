@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_benchmark-33ac9b9a21b56c23.d: crates/bench/src/bin/table3_benchmark.rs
+
+/root/repo/target/release/deps/table3_benchmark-33ac9b9a21b56c23: crates/bench/src/bin/table3_benchmark.rs
+
+crates/bench/src/bin/table3_benchmark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_benchmark-39f13845922ffc2f.d: crates/bench/src/bin/table3_benchmark.rs
+
+/root/repo/target/release/deps/table3_benchmark-39f13845922ffc2f: crates/bench/src/bin/table3_benchmark.rs
+
+crates/bench/src/bin/table3_benchmark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_benchmark-57b0898caa01db20.d: crates/bench/src/bin/table3_benchmark.rs
+
+/root/repo/target/release/deps/table3_benchmark-57b0898caa01db20: crates/bench/src/bin/table3_benchmark.rs
+
+crates/bench/src/bin/table3_benchmark.rs:

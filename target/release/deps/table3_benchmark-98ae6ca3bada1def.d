@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3_benchmark-98ae6ca3bada1def.d: crates/bench/src/bin/table3_benchmark.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3_benchmark-98ae6ca3bada1def.rmeta: crates/bench/src/bin/table3_benchmark.rs Cargo.toml
+
+crates/bench/src/bin/table3_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

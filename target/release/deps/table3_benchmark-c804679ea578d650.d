@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_benchmark-c804679ea578d650.d: crates/bench/src/bin/table3_benchmark.rs
+
+/root/repo/target/release/deps/table3_benchmark-c804679ea578d650: crates/bench/src/bin/table3_benchmark.rs
+
+crates/bench/src/bin/table3_benchmark.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4_pearson-1ea6d775de7fcb64.d: crates/bench/src/bin/table4_pearson.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4_pearson-1ea6d775de7fcb64.rmeta: crates/bench/src/bin/table4_pearson.rs Cargo.toml
+
+crates/bench/src/bin/table4_pearson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

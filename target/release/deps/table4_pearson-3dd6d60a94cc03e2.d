@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_pearson-3dd6d60a94cc03e2.d: crates/bench/src/bin/table4_pearson.rs
+
+/root/repo/target/release/deps/table4_pearson-3dd6d60a94cc03e2: crates/bench/src/bin/table4_pearson.rs
+
+crates/bench/src/bin/table4_pearson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_pearson-696af794f8964817.d: crates/bench/src/bin/table4_pearson.rs
+
+/root/repo/target/release/deps/table4_pearson-696af794f8964817: crates/bench/src/bin/table4_pearson.rs
+
+crates/bench/src/bin/table4_pearson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_pearson-88149277bf4d3c1a.d: crates/bench/src/bin/table4_pearson.rs
+
+/root/repo/target/release/deps/table4_pearson-88149277bf4d3c1a: crates/bench/src/bin/table4_pearson.rs
+
+crates/bench/src/bin/table4_pearson.rs:

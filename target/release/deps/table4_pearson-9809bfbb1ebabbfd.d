@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_pearson-9809bfbb1ebabbfd.d: crates/bench/src/bin/table4_pearson.rs
+
+/root/repo/target/release/deps/table4_pearson-9809bfbb1ebabbfd: crates/bench/src/bin/table4_pearson.rs
+
+crates/bench/src/bin/table4_pearson.rs:

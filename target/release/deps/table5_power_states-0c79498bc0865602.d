@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_power_states-0c79498bc0865602.d: crates/bench/src/bin/table5_power_states.rs
+
+/root/repo/target/release/deps/table5_power_states-0c79498bc0865602: crates/bench/src/bin/table5_power_states.rs
+
+crates/bench/src/bin/table5_power_states.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_power_states-5bb9323d3985f49b.d: crates/bench/src/bin/table5_power_states.rs
+
+/root/repo/target/release/deps/table5_power_states-5bb9323d3985f49b: crates/bench/src/bin/table5_power_states.rs
+
+crates/bench/src/bin/table5_power_states.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table5_power_states-657fa796e2d35318.d: crates/bench/src/bin/table5_power_states.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable5_power_states-657fa796e2d35318.rmeta: crates/bench/src/bin/table5_power_states.rs Cargo.toml
+
+crates/bench/src/bin/table5_power_states.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

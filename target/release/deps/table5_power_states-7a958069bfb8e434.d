@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_power_states-7a958069bfb8e434.d: crates/bench/src/bin/table5_power_states.rs
+
+/root/repo/target/release/deps/table5_power_states-7a958069bfb8e434: crates/bench/src/bin/table5_power_states.rs
+
+crates/bench/src/bin/table5_power_states.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_power_states-ea6527bf02020490.d: crates/bench/src/bin/table5_power_states.rs
+
+/root/repo/target/release/deps/table5_power_states-ea6527bf02020490: crates/bench/src/bin/table5_power_states.rs
+
+crates/bench/src/bin/table5_power_states.rs:

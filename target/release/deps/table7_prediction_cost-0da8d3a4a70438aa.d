@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table7_prediction_cost-0da8d3a4a70438aa.d: crates/bench/src/bin/table7_prediction_cost.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable7_prediction_cost-0da8d3a4a70438aa.rmeta: crates/bench/src/bin/table7_prediction_cost.rs Cargo.toml
+
+crates/bench/src/bin/table7_prediction_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

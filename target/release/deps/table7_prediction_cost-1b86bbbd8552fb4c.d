@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_prediction_cost-1b86bbbd8552fb4c.d: crates/bench/src/bin/table7_prediction_cost.rs
+
+/root/repo/target/release/deps/table7_prediction_cost-1b86bbbd8552fb4c: crates/bench/src/bin/table7_prediction_cost.rs
+
+crates/bench/src/bin/table7_prediction_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_prediction_cost-7f2b1f57139682c3.d: crates/bench/src/bin/table7_prediction_cost.rs
+
+/root/repo/target/release/deps/table7_prediction_cost-7f2b1f57139682c3: crates/bench/src/bin/table7_prediction_cost.rs
+
+crates/bench/src/bin/table7_prediction_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_prediction_cost-bec357007100616e.d: crates/bench/src/bin/table7_prediction_cost.rs
+
+/root/repo/target/release/deps/table7_prediction_cost-bec357007100616e: crates/bench/src/bin/table7_prediction_cost.rs
+
+crates/bench/src/bin/table7_prediction_cost.rs:

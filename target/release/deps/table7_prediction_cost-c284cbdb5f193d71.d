@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_prediction_cost-c284cbdb5f193d71.d: crates/bench/src/bin/table7_prediction_cost.rs
+
+/root/repo/target/release/deps/table7_prediction_cost-c284cbdb5f193d71: crates/bench/src/bin/table7_prediction_cost.rs
+
+crates/bench/src/bin/table7_prediction_cost.rs:

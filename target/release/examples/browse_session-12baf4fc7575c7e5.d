@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/browse_session-12baf4fc7575c7e5.d: crates/core/../../examples/browse_session.rs
+
+/root/repo/target/release/examples/browse_session-12baf4fc7575c7e5: crates/core/../../examples/browse_session.rs
+
+crates/core/../../examples/browse_session.rs:

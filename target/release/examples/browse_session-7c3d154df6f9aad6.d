@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/browse_session-7c3d154df6f9aad6.d: crates/core/../../examples/browse_session.rs Cargo.toml
+
+/root/repo/target/release/examples/libbrowse_session-7c3d154df6f9aad6.rmeta: crates/core/../../examples/browse_session.rs Cargo.toml
+
+crates/core/../../examples/browse_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

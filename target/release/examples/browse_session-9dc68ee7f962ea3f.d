@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/browse_session-9dc68ee7f962ea3f.d: crates/core/../../examples/browse_session.rs
+
+/root/repo/target/release/examples/browse_session-9dc68ee7f962ea3f: crates/core/../../examples/browse_session.rs
+
+crates/core/../../examples/browse_session.rs:

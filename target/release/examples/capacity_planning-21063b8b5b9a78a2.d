@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/capacity_planning-21063b8b5b9a78a2.d: crates/core/../../examples/capacity_planning.rs Cargo.toml
+
+/root/repo/target/release/examples/libcapacity_planning-21063b8b5b9a78a2.rmeta: crates/core/../../examples/capacity_planning.rs Cargo.toml
+
+crates/core/../../examples/capacity_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

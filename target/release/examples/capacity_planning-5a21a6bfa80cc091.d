@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-5a21a6bfa80cc091.d: crates/core/../../examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-5a21a6bfa80cc091: crates/core/../../examples/capacity_planning.rs
+
+crates/core/../../examples/capacity_planning.rs:

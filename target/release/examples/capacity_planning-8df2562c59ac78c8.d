@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-8df2562c59ac78c8.d: crates/core/../../examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-8df2562c59ac78c8: crates/core/../../examples/capacity_planning.rs
+
+crates/core/../../examples/capacity_planning.rs:

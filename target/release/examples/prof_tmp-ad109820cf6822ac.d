@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/prof_tmp-ad109820cf6822ac.d: crates/gbrt/examples/prof_tmp.rs
+
+/root/repo/target/release/examples/prof_tmp-ad109820cf6822ac: crates/gbrt/examples/prof_tmp.rs
+
+crates/gbrt/examples/prof_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2b6ce6f8c85b9a4d.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2b6ce6f8c85b9a4d: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7d4abd6203893a5f.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7d4abd6203893a5f: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-b36567167d67814a.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-b36567167d67814a.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_predictor-3f57c88719df6327.d: crates/core/../../examples/train_predictor.rs
+
+/root/repo/target/release/examples/train_predictor-3f57c88719df6327: crates/core/../../examples/train_predictor.rs
+
+crates/core/../../examples/train_predictor.rs:

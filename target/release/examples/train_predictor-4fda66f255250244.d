@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/train_predictor-4fda66f255250244.d: crates/core/../../examples/train_predictor.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrain_predictor-4fda66f255250244.rmeta: crates/core/../../examples/train_predictor.rs Cargo.toml
+
+crates/core/../../examples/train_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_predictor-92c75966953f50f7.d: crates/core/../../examples/train_predictor.rs
+
+/root/repo/target/release/examples/train_predictor-92c75966953f50f7: crates/core/../../examples/train_predictor.rs
+
+crates/core/../../examples/train_predictor.rs:

@@ -82,7 +82,12 @@ fn cpu_replay_adds_exactly_the_browser_compute_energy() {
     );
     let transfers = fetcher.transfers().to_vec();
     let end = metrics.final_display_at;
-    let without = replay(cfg.rrc.clone(), SimTime::ZERO, events_of_load(&transfers, &[]), end);
+    let without = replay(
+        cfg.rrc.clone(),
+        SimTime::ZERO,
+        events_of_load(&transfers, &[]),
+        end,
+    );
     let with = replay(
         cfg.rrc.clone(),
         SimTime::ZERO,

@@ -20,10 +20,7 @@ fn measured_service_times_produce_the_capacity_gain() {
         0.02,
         20_000.0,
     );
-    assert!(
-        cmp.energy_aware_capacity > cmp.original_capacity,
-        "{cmp:?}"
-    );
+    assert!(cmp.energy_aware_capacity > cmp.original_capacity, "{cmp:?}");
     let gain = cmp.capacity_gain();
     assert!((0.05..0.80).contains(&gain), "gain {gain}");
 }
@@ -59,10 +56,22 @@ fn mobile_pages_allow_far_more_users_than_full_pages() {
     let server = OriginServer::from_corpus(&corpus);
     let cfg = CoreConfig::paper();
     let mobile = capacity_exp::compare_capacity(
-        &corpus, &server, &cfg, PageVersion::Mobile, &[500], 0.02, 20_000.0,
+        &corpus,
+        &server,
+        &cfg,
+        PageVersion::Mobile,
+        &[500],
+        0.02,
+        20_000.0,
     );
     let full = capacity_exp::compare_capacity(
-        &corpus, &server, &cfg, PageVersion::Full, &[250], 0.02, 20_000.0,
+        &corpus,
+        &server,
+        &cfg,
+        PageVersion::Full,
+        &[250],
+        0.02,
+        20_000.0,
     );
     assert!(
         mobile.original_capacity > 2 * full.original_capacity,

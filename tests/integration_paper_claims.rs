@@ -103,8 +103,14 @@ fn claim_display_appears_earlier() {
     let (corpus, server, cfg) = setup();
     let rows = display::benchmark_display_times(&corpus, &server, &cfg, PageVersion::Full);
     let (first_saving, final_saving) = display::fig14_savings(&rows);
-    assert!(first_saving > 0.30, "first-display saving {first_saving:.3} (paper 0.455)");
-    assert!(final_saving > 0.05, "final-display saving {final_saving:.3} (paper 0.168)");
+    assert!(
+        first_saving > 0.30,
+        "first-display saving {first_saving:.3} (paper 0.455)"
+    );
+    assert!(
+        final_saving > 0.05,
+        "final-display saving {final_saving:.3} (paper 0.168)"
+    );
 }
 
 /// Table 4: "there is no notable correlation between the reading time and

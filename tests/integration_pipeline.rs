@@ -8,7 +8,14 @@ use ewb_core::simcore::SimTime;
 use ewb_core::webpage::{benchmark_corpus, ObjectKind, OriginServer, PageVersion};
 use ewb_core::CoreConfig;
 
-fn run(mode: PipelineMode, key: &str, version: PageVersion) -> (ewb_core::browser::pipeline::LoadMetrics, ewb_core::rrc::RrcMachine) {
+fn run(
+    mode: PipelineMode,
+    key: &str,
+    version: PageVersion,
+) -> (
+    ewb_core::browser::pipeline::LoadMetrics,
+    ewb_core::rrc::RrcMachine,
+) {
     let corpus = benchmark_corpus(99);
     let server = OriginServer::from_corpus(&corpus);
     let page = corpus.page(key, version).unwrap();

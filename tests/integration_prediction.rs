@@ -3,9 +3,7 @@
 
 use ewb_core::cases::Case;
 use ewb_core::experiments::cases16;
-use ewb_core::traces::{
-    reading_time_params, ReadingTimePredictor, TraceConfig, TraceDataset,
-};
+use ewb_core::traces::{reading_time_params, ReadingTimePredictor, TraceConfig, TraceDataset};
 use ewb_core::webpage::{benchmark_corpus, OriginServer};
 use ewb_core::CoreConfig;
 
@@ -25,12 +23,30 @@ fn predicted_policy_tracks_the_oracle() {
     let sessions = cases16::select_sessions(&trace, 2, 4);
     assert!(!sessions.is_empty());
 
-    let (oracle_j, oracle_s) =
-        cases16::run_case(&corpus, &server, &cfg, &sessions, Case::Accurate20, &predictor);
-    let (pred_j, pred_s) =
-        cases16::run_case(&corpus, &server, &cfg, &sessions, Case::Predict20, &predictor);
-    let (base_j, base_s) =
-        cases16::run_case(&corpus, &server, &cfg, &sessions, Case::Original, &predictor);
+    let (oracle_j, oracle_s) = cases16::run_case(
+        &corpus,
+        &server,
+        &cfg,
+        &sessions,
+        Case::Accurate20,
+        &predictor,
+    );
+    let (pred_j, pred_s) = cases16::run_case(
+        &corpus,
+        &server,
+        &cfg,
+        &sessions,
+        Case::Predict20,
+        &predictor,
+    );
+    let (base_j, base_s) = cases16::run_case(
+        &corpus,
+        &server,
+        &cfg,
+        &sessions,
+        Case::Original,
+        &predictor,
+    );
 
     // The predicted policy should capture most of the oracle's saving.
     let oracle_saving = 1.0 - oracle_j / base_j;

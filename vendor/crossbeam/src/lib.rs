@@ -1,0 +1,106 @@
+//! Offline stand-in for `crossbeam`, exposing the `thread::scope` /
+//! `Scope::spawn` / `ScopedJoinHandle::join` surface this workspace
+//! uses, implemented on top of `std::thread::scope` (stable since Rust
+//! 1.63). The offline build container cannot fetch the real crate.
+//!
+//! Semantics match the uses in this repo: every spawned handle is
+//! joined inside the scope, so the outer `Result` is always `Ok` and
+//! worker panics surface through `join()` exactly as with crossbeam.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (the `crossbeam::thread` module surface).
+pub mod thread {
+    use std::any::Any;
+
+    /// The result type crossbeam's scope APIs return.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope (crossbeam's signature) so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing `'env` data can be
+    /// spawned; all are joined before the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam this implementation never returns `Err`: a
+    /// panic in an unjoined child propagates out of `scope` directly
+    /// (the workspace always joins every handle, where behavior is
+    /// identical).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_via_join() {
+        let r = crate::thread::scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(r.unwrap().is_err());
+    }
+}
