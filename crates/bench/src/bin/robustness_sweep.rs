@@ -1,0 +1,22 @@
+//! Robustness loss sweep (fault profile × loss rate, both browsers).
+//! `--write-golden` refreshes the golden summary the CI robustness job
+//! pins (`crates/core/tests/golden/robustness.json`).
+fn main() {
+    let ctx = ewb_bench::Context::new();
+    print!("{}", ewb_bench::reports::robustness_report(&ctx));
+    if std::env::args().any(|a| a == "--write-golden") {
+        let rows = ewb_core::experiments::robustness::sweep(
+            &ctx.corpus,
+            &ctx.server,
+            &ctx.cfg,
+            ewb_bench::REPORT_SEED,
+        );
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../core/tests/golden/robustness.json"
+        );
+        std::fs::write(path, ewb_core::experiments::robustness::summary_json(&rows))
+            .expect("write golden summary");
+        eprintln!("wrote {path}");
+    }
+}

@@ -5,7 +5,7 @@ use ewb_core::browser::pipeline::{load_page, PipelineConfig, PipelineMode};
 use ewb_core::capacity::erlang_b;
 use ewb_core::cases::Case;
 use ewb_core::experiments::{
-    capacity_exp, cases16, display, energy, loadtime, power_trace, traffic,
+    capacity_exp, cases16, display, energy, loadtime, power_trace, robustness, traffic,
 };
 use ewb_core::gbrt::GbrtParams;
 use ewb_core::net::ThreeGFetcher;
@@ -707,5 +707,39 @@ pub fn table7() -> String {
          faster than the 2009 handset, so compare scaling (linear in trees),\n\
          not absolute times"
     );
+    out
+}
+
+/// Robustness — the loss sweep: fault profile × loss rate, both browsers.
+pub fn robustness_report(ctx: &Context) -> String {
+    let mut out = header(
+        "Robustness — energy-aware browsing on a faulty 3G link",
+        "not in the paper: fault-injection extension (loss sweep, fixed seed)",
+    );
+    let rows = robustness::sweep(&ctx.corpus, &ctx.server, &ctx.cfg, REPORT_SEED);
+    let _ = writeln!(
+        out,
+        "mobile benchmark, 20 s reading, seed {REPORT_SEED}; means across sites\n"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>5} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "profile", "loss", "orig load", "orig J", "ea load", "ea J", "saving", "degraded", "failed"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>4.0}% {:>10.2}s {:>10.1}J {:>10.2}s {:>10.1}J {:>9} {:>9} {:>9}",
+            r.profile.name(),
+            r.loss * 100.0,
+            r.orig_load_s,
+            r.orig_energy_j,
+            r.ea_load_s,
+            r.ea_energy_j,
+            pct(r.saving()),
+            r.orig_degraded + r.ea_degraded,
+            r.orig_failed_objects + r.ea_failed_objects,
+        );
+    }
     out
 }

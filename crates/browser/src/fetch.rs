@@ -15,10 +15,38 @@ use std::collections::VecDeque;
 pub struct FetchCompletion {
     /// The requested URL.
     pub url: String,
-    /// When the last byte arrived (or when the 404 was known).
+    /// When the last byte arrived (or when the 404/failure was known).
     pub at: SimTime,
-    /// The object, or `None` for a 404.
+    /// The object, or `None` for a 404 or a failed transfer.
     pub object: Option<WebObject>,
+    /// `true` when the transfer errored out (retries/deadline exhausted on
+    /// a faulty link) rather than receiving a definitive 404. The
+    /// pipelines degrade gracefully on failed completions instead of
+    /// treating them as missing resources.
+    pub failed: bool,
+}
+
+impl FetchCompletion {
+    /// A completion that delivered a definitive response (`object` for a
+    /// 200, `None` for a 404).
+    pub fn delivered(url: String, at: SimTime, object: Option<WebObject>) -> Self {
+        FetchCompletion {
+            url,
+            at,
+            object,
+            failed: false,
+        }
+    }
+
+    /// A completion for a transfer that errored out after retries.
+    pub fn errored(url: String, at: SimTime) -> Self {
+        FetchCompletion {
+            url,
+            at,
+            object: None,
+            failed: true,
+        }
+    }
 }
 
 /// A source of web objects with simulated timing.
@@ -109,7 +137,7 @@ impl ResourceFetcher for FixedRateFetcher {
                 at
             }
         };
-        Some(FetchCompletion { url, at, object })
+        Some(FetchCompletion::delivered(url, at, object))
     }
 }
 

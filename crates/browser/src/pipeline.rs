@@ -168,6 +168,13 @@ pub struct LoadMetrics {
     pub image_bytes: u64,
     /// Requests that 404ed.
     pub fetch_failures: usize,
+    /// Requests whose transfers errored out (retries/deadline exhausted on
+    /// a faulty link) or were abandoned by the fetcher. The page still
+    /// renders with whatever arrived.
+    pub failed_objects: usize,
+    /// `true` when at least one object failed: the displayed page is a
+    /// partial (degraded) render, not the complete page.
+    pub degraded: bool,
     /// Per-completion traffic: `(arrival, bytes)` — the Fig. 4 series.
     pub traffic: TimeSeries,
     /// `<a href>` count (Table 1's "Second URL").
@@ -270,6 +277,8 @@ fn load_page_inner<F: ResourceFetcher + ?Sized>(
             image_objects: 0,
             image_bytes: 0,
             fetch_failures: 0,
+            failed_objects: 0,
+            degraded: false,
             traffic: TimeSeries::new(),
             secondary_urls: 0,
             page_height: 0.0,
@@ -330,14 +339,23 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
     fn run(&mut self, root_url: &str) {
         self.request(root_url);
         while self.in_flight > 0 {
-            let c = self
-                .fetcher
-                .next_completion()
-                .expect("fetcher owes a completion for every request");
+            // A fetcher that loses track of outstanding requests would
+            // wedge the load forever; degrade to a partial page instead.
+            let Some(c) = self.fetcher.next_completion() else {
+                self.m.failed_objects += self.in_flight + self.queue.len();
+                self.in_flight = 0;
+                self.queue.clear();
+                break;
+            };
             self.in_flight -= 1;
             self.t = self.t.max(c.at);
             let Some(obj) = c.object else {
-                self.m.fetch_failures += 1;
+                if c.failed {
+                    self.m.failed_objects += 1;
+                } else {
+                    self.m.fetch_failures += 1;
+                }
+                self.pump();
                 continue;
             };
             self.m.traffic.record(c.at, obj.bytes as f64);
@@ -356,6 +374,9 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             self.pump();
         }
         self.m.data_transmission_end = self.t;
+        // Graceful degradation: a load with failed objects still renders
+        // whatever arrived, but is flagged partial.
+        self.m.degraded = self.m.failed_objects > 0;
         self.layout_phase();
     }
 
@@ -853,7 +874,7 @@ mod inline_style_pipeline_tests {
             } else {
                 None
             };
-            Some(FetchCompletion { url, at: t, object })
+            Some(FetchCompletion::delivered(url, t, object))
         }
     }
 

@@ -143,6 +143,7 @@ proptest! {
                     object: self.map.get(&url).cloned(),
                     url,
                     at: t,
+                    failed: false,
                 })
             }
         }

@@ -8,6 +8,7 @@ pub mod display;
 pub mod energy;
 pub mod loadtime;
 pub mod power_trace;
+pub mod robustness;
 pub mod traffic;
 
 use crate::cases::Case;

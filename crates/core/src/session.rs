@@ -19,9 +19,9 @@ use crate::config::CoreConfig;
 use ewb_browser::pipeline::{load_page, PipelineConfig};
 use ewb_browser::CpuWork;
 use ewb_net::replay::{events_of_load, replay, RadioEvent};
-use ewb_net::ThreeGFetcher;
+use ewb_net::{FaultConfig, RetryPolicy, ThreeGFetcher};
 use ewb_rrc::{RrcCounters, RrcMachine};
-use ewb_simcore::{SimDuration, SimTime};
+use ewb_simcore::{SimDuration, SimTime, SplitMix64};
 use ewb_traces::{FeatureVector, ReadingTimePredictor};
 use ewb_webpage::{OriginServer, Page, PageVersion};
 
@@ -37,6 +37,32 @@ pub struct Visit<'a> {
     pub reading_s: f64,
     /// Prediction input override (e.g. the trace's features).
     pub features: Option<FeatureVector>,
+}
+
+/// Fault injection applied to every visit of a session.
+///
+/// Each visit gets its own deterministic fault stream, seeded from
+/// `seed` mixed with the visit index, so inserting a visit does not
+/// shift the fault pattern of the visits before it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionFaults {
+    /// The fault model for the radio link.
+    pub faults: FaultConfig,
+    /// Base seed of the session's fault streams.
+    pub seed: u64,
+    /// The fetcher's retry/timeout/backoff policy under faults.
+    pub retry: RetryPolicy,
+}
+
+impl SessionFaults {
+    /// A fault setup with the standard retry policy.
+    pub fn new(faults: FaultConfig, seed: u64) -> Self {
+        SessionFaults {
+            faults,
+            seed,
+            retry: RetryPolicy::standard(),
+        }
+    }
 }
 
 /// Everything measured for one visit.
@@ -70,6 +96,11 @@ pub struct PageRecord {
     pub bytes: u64,
     /// Objects fetched.
     pub objects: usize,
+    /// Objects whose transfers errored out (retries/deadline exhausted on
+    /// a faulty link); 0 on a clean link.
+    pub failed_objects: usize,
+    /// Whether the page rendered without some of its objects.
+    pub degraded: bool,
 }
 
 impl PageRecord {
@@ -107,6 +138,18 @@ pub struct SessionOutcome {
     pub radio: RrcMachine,
 }
 
+impl SessionOutcome {
+    /// Visits that rendered without some of their objects (faulty link).
+    pub fn degraded_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.degraded).count()
+    }
+
+    /// Objects that errored out across the session (faulty link).
+    pub fn failed_objects(&self) -> usize {
+        self.pages.iter().map(|p| p.failed_objects).sum()
+    }
+}
+
 /// Simulates a session under `case`.
 ///
 /// # Panics
@@ -119,6 +162,28 @@ pub fn simulate_session(
     case: Case,
     cfg: &CoreConfig,
     predictor: Option<&ReadingTimePredictor>,
+) -> SessionOutcome {
+    simulate_session_faulted(server, visits, case, cfg, predictor, None)
+}
+
+/// Simulates a session under `case` on a (possibly) faulty radio link.
+///
+/// With `faults: None` this is exactly [`simulate_session`]. With faults,
+/// failed objects degrade pages instead of wedging the load, every retry
+/// attempt's radio time rides into the energy replay, and the per-page
+/// records report `failed_objects`/`degraded`.
+///
+/// # Panics
+///
+/// Panics as [`simulate_session`] does, or if the fault configuration or
+/// retry policy is invalid.
+pub fn simulate_session_faulted(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
 ) -> SessionOutcome {
     assert!(!visits.is_empty(), "a session needs at least one visit");
     if let Err(e) = cfg.validate() {
@@ -136,7 +201,7 @@ pub fn simulate_session(
     let mut partial: Vec<PageRecord> = Vec::new();
     let mut t = start;
 
-    for visit in visits {
+    for (visit_idx, visit) in visits.iter().enumerate() {
         assert!(
             visit.reading_s.is_finite() && visit.reading_s >= 0.0,
             "reading time must be non-negative"
@@ -147,6 +212,17 @@ pub fn simulate_session(
             pipe_cfg.draw_intermediate = false;
         }
         let mut fetcher = ThreeGFetcher::with_machine(cfg.net, machine, server);
+        if let Some(sf) = faults {
+            fetcher = fetcher
+                .try_with_faults(
+                    sf.faults,
+                    SplitMix64::mix(
+                        sf.seed ^ (visit_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ),
+                    sf.retry,
+                )
+                .unwrap_or_else(|e| panic!("invalid SessionFaults: {e}"));
+        }
         let metrics = load_page(&mut fetcher, visit.page.root_url(), t, &pipe_cfg, &cfg.cost);
         let transfers = fetcher.transfers().to_vec();
         machine = fetcher.into_machine();
@@ -205,6 +281,8 @@ pub fn simulate_session(
             work: metrics.work,
             bytes: metrics.bytes_fetched,
             objects: metrics.objects_fetched,
+            failed_objects: metrics.failed_objects,
+            degraded: metrics.degraded,
         });
         t = next_start;
     }
@@ -360,6 +438,52 @@ mod tests {
         let visits = vec![visit(&corpus, "cnn", PageVersion::Mobile, 1.0)];
         let out = simulate_session(&server, &visits, Case::Accurate9, &cfg, None);
         assert!(out.pages[0].released_at.is_none());
+    }
+
+    #[test]
+    fn zero_fault_session_is_bit_identical_to_plain() {
+        let (corpus, server, cfg) = setup();
+        let visits = vec![
+            visit(&corpus, "espn", PageVersion::Full, 20.0),
+            visit(&corpus, "cnn", PageVersion::Mobile, 5.0),
+        ];
+        let sf = SessionFaults::new(FaultConfig::none(), 42);
+        for case in [Case::Original, Case::Accurate9] {
+            let plain = simulate_session(&server, &visits, case, &cfg, None);
+            let faulted = simulate_session_faulted(&server, &visits, case, &cfg, None, Some(&sf));
+            assert_eq!(
+                plain.total_joules.to_bits(),
+                faulted.total_joules.to_bits(),
+                "case {case}: energy must match to the last bit"
+            );
+            assert_eq!(plain.total_load_time_s, faulted.total_load_time_s);
+            assert_eq!(plain.counters, faulted.counters);
+            assert_eq!(faulted.degraded_pages(), 0);
+            assert_eq!(faulted.failed_objects(), 0);
+        }
+    }
+
+    #[test]
+    fn lossy_sessions_complete_in_both_modes() {
+        let (corpus, server, cfg) = setup();
+        let visits = vec![
+            visit(&corpus, "cnn", PageVersion::Mobile, 10.0),
+            visit(&corpus, "bbc", PageVersion::Mobile, 10.0),
+        ];
+        let sf = SessionFaults::new(FaultConfig::lossy(0.3), 2013);
+        for case in [Case::Original, Case::Accurate9] {
+            let clean = simulate_session(&server, &visits, case, &cfg, None);
+            let out = simulate_session_faulted(&server, &visits, case, &cfg, None, Some(&sf));
+            assert_eq!(out.pages.len(), 2, "case {case}: both visits complete");
+            assert!(
+                out.total_joules >= clean.total_joules,
+                "case {case}: retries cannot make the session cheaper"
+            );
+            // Determinism: the same seed replays the same session.
+            let again = simulate_session_faulted(&server, &visits, case, &cfg, None, Some(&sf));
+            assert_eq!(out.total_joules.to_bits(), again.total_joules.to_bits());
+            assert_eq!(out.failed_objects(), again.failed_objects());
+        }
     }
 
     #[test]

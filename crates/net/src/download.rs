@@ -27,19 +27,23 @@ pub const TRAFFIC_BUCKET: SimDuration = SimDuration::from_millis(500);
 /// Downloads `bytes` as one continuous stream starting at `start` from a
 /// cold (IDLE) radio.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bytes` is zero or a configuration is invalid.
-pub fn bulk_download(
+/// Returns an error if `bytes` is zero or a configuration is invalid.
+pub fn try_bulk_download(
     cfg: &NetConfig,
     rrc_cfg: &RrcConfig,
     bytes: u64,
     start: SimTime,
-) -> BulkDownload {
-    assert!(bytes > 0, "cannot download zero bytes");
-    if let Err(e) = cfg.validate() {
-        panic!("invalid NetConfig: {e}");
+) -> Result<BulkDownload, String> {
+    if bytes == 0 {
+        return Err("cannot download zero bytes".to_string());
     }
+    cfg.validate()
+        .map_err(|e| format!("invalid NetConfig: {e}"))?;
+    rrc_cfg
+        .validate()
+        .map_err(|e| format!("invalid RrcConfig: {e}"))?;
     let mut machine = RrcMachine::new(rrc_cfg.clone(), start);
     let data_start = machine.begin_transfer(start, true);
     let stream_start = data_start + cfg.rtt;
@@ -56,11 +60,32 @@ pub fn bulk_download(
         t = next;
     }
 
-    BulkDownload {
+    Ok(BulkDownload {
         duration: end - start,
         energy_j: machine.energy_j(),
         traffic,
         machine,
+    })
+}
+
+/// Downloads `bytes` as one continuous stream starting at `start` from a
+/// cold (IDLE) radio.
+///
+/// Thin wrapper over [`try_bulk_download`] for call sites that cannot
+/// propagate errors.
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero or a configuration is invalid.
+pub fn bulk_download(
+    cfg: &NetConfig,
+    rrc_cfg: &RrcConfig,
+    bytes: u64,
+    start: SimTime,
+) -> BulkDownload {
+    match try_bulk_download(cfg, rrc_cfg, bytes, start) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -114,5 +139,22 @@ mod tests {
     #[should_panic(expected = "zero bytes")]
     fn rejects_zero_bytes() {
         bulk_download(&NetConfig::paper(), &RrcConfig::paper(), 0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn try_variant_returns_errors_instead_of_panicking() {
+        assert!(
+            try_bulk_download(&NetConfig::paper(), &RrcConfig::paper(), 0, SimTime::ZERO).is_err()
+        );
+        let mut bad = NetConfig::paper();
+        bad.dch_bytes_per_sec = f64::NAN;
+        assert!(try_bulk_download(&bad, &RrcConfig::paper(), 1024, SimTime::ZERO).is_err());
+        assert!(try_bulk_download(
+            &NetConfig::paper(),
+            &RrcConfig::paper(),
+            1024,
+            SimTime::ZERO
+        )
+        .is_ok());
     }
 }

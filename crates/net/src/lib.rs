@@ -14,7 +14,12 @@
 //!   line);
 //! * [`replay`] — re-integrates a session's radio events together with the
 //!   browser's CPU-busy intervals on a fresh machine, producing the exact
-//!   handset energy of the session.
+//!   handset energy of the session;
+//! * [`faults`] — deterministic, seeded fault injection (loss/stalls, RTT
+//!   jitter, truncated responses, RRC promotion failures, signal-fade
+//!   windows) threaded through the fetcher's [`RetryPolicy`]-governed
+//!   retry machinery. With [`FaultConfig::none`] the fetcher stays
+//!   byte-identical to a fault-free one.
 //!
 //! # Example
 //!
@@ -50,8 +55,10 @@ mod config;
 mod fetcher;
 
 pub mod download;
+pub mod faults;
 pub mod proxy;
 pub mod replay;
 
 pub use config::NetConfig;
-pub use fetcher::{ThreeGFetcher, TransferRecord};
+pub use faults::{AttemptPlan, FadeWindows, FaultConfig, FaultStream};
+pub use fetcher::{RetryPolicy, ThreeGFetcher, TransferRecord};

@@ -20,6 +20,9 @@ pub enum RadioEvent {
         at: SimTime,
         /// Whether dedicated channels are needed.
         needs_dch: bool,
+        /// Failed promotion attempts charged to this transfer's promotion
+        /// (fault injection); 0 on a clean link.
+        promotion_retries: u32,
     },
     /// A transfer ends (last byte).
     EndTransfer {
@@ -64,6 +67,7 @@ pub fn events_of_load(
         events.push(RadioEvent::BeginTransfer {
             at: t.requested_at,
             needs_dch: t.needs_dch,
+            promotion_retries: t.promotion_retries,
         });
         events.push(RadioEvent::EndTransfer { at: t.end });
     }
@@ -105,8 +109,13 @@ pub fn replay(
     let mut machine = RrcMachine::new(rrc_cfg, start);
     for e in events {
         match e {
-            RadioEvent::BeginTransfer { at, needs_dch } => {
-                let _ = machine.begin_transfer(at, needs_dch);
+            RadioEvent::BeginTransfer {
+                at,
+                needs_dch,
+                promotion_retries,
+            } => {
+                let _ =
+                    machine.begin_transfer_with_promotion_retries(at, needs_dch, promotion_retries);
             }
             RadioEvent::EndTransfer { at } => machine.end_transfer(at),
             RadioEvent::Release { at } => {
@@ -164,6 +173,8 @@ mod tests {
             end: SimTime::from_secs(4),
             bytes: 100_000,
             needs_dch: true,
+            promotion_retries: 0,
+            completed: true,
         }];
         let no_cpu = replay(
             RrcConfig::paper(),
@@ -190,6 +201,8 @@ mod tests {
             end: SimTime::from_secs(4),
             bytes: 100_000,
             needs_dch: true,
+            promotion_retries: 0,
+            completed: true,
         }];
         let mut events = events_of_load(&transfers, &[]);
         events.push(RadioEvent::Release {
@@ -220,6 +233,8 @@ mod tests {
             end: SimTime::from_secs(b),
             bytes: 10_000,
             needs_dch: true,
+            promotion_retries: 0,
+            completed: true,
         };
         let transfers = [t(0, 5), t(5, 9)];
         let m = replay(
@@ -232,6 +247,50 @@ mod tests {
         assert!(!m.is_transferring());
         // T1 armed from the second end only.
         assert_eq!(m.counters().t1_expirations, 1);
+    }
+
+    /// Replay fidelity under faults: a lossy session's records — including
+    /// stalled attempts and promotion retries — replay to the exact radio
+    /// energy the live fetcher accumulated.
+    #[test]
+    fn replay_matches_faulted_fetcher_energy() {
+        use crate::faults::FaultConfig;
+        use crate::fetcher::RetryPolicy;
+        let corpus = benchmark_corpus(3);
+        let server = OriginServer::from_corpus(&corpus);
+        let espn = corpus.page("espn", PageVersion::Full).unwrap();
+        let mut cfg = FaultConfig::jittery(0.3);
+        cfg.promotion_failure_prob = 0.5;
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        )
+        .try_with_faults(cfg, 99, RetryPolicy::standard())
+        .unwrap();
+        for o in espn.objects() {
+            f.request(&o.url, SimTime::ZERO);
+        }
+        while f.next_completion().is_some() {}
+        assert!(
+            f.failed_attempts() > 0 || f.transfers().iter().any(|t| t.promotion_retries > 0),
+            "seed 99 should exercise at least one fault"
+        );
+        let end = f.machine().now();
+        let original_energy = f.machine().energy_j();
+        let events = events_of_load(f.transfers(), &[]);
+        let replayed = replay(RrcConfig::paper(), SimTime::ZERO, events, end);
+        assert!(
+            (replayed.energy_j() - original_energy).abs() < 1e-6,
+            "replayed {} vs original {original_energy}",
+            replayed.energy_j()
+        );
+        assert_eq!(replayed.residency(), f.machine().residency());
+        assert_eq!(
+            replayed.counters().promotion_retries,
+            f.machine().counters().promotion_retries
+        );
     }
 
     #[test]

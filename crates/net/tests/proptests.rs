@@ -2,7 +2,7 @@
 
 use ewb_browser::fetch::ResourceFetcher;
 use ewb_net::replay::{events_of_load, replay};
-use ewb_net::{NetConfig, ThreeGFetcher};
+use ewb_net::{FaultConfig, NetConfig, RetryPolicy, ThreeGFetcher};
 use ewb_rrc::RrcConfig;
 use ewb_simcore::{SimDuration, SimTime};
 use ewb_webpage::{OriginServer, Page, PageSpec, PageVersion};
@@ -126,5 +126,130 @@ proptest! {
             replayed.counters().fach_to_dch,
             machine.counters().fach_to_dch
         );
+    }
+}
+
+/// One of the three named fault profiles at a sampled loss rate.
+fn profile(kind: u8, loss: f64) -> FaultConfig {
+    match kind % 3 {
+        0 => FaultConfig::lossy(loss),
+        1 => FaultConfig::jittery(loss),
+        _ => FaultConfig::fading(loss),
+    }
+}
+
+/// Drives a faulted fetcher over the fixture with the given request
+/// gaps, draining after every request, and returns the serialized
+/// transfer records plus the exact radio energy bits.
+fn run_faulted(cfg: FaultConfig, seed: u64, gaps: &[u64]) -> (String, u64) {
+    let (server, urls) = fixture();
+    let mut fetcher = ThreeGFetcher::new(
+        NetConfig::paper(),
+        RrcConfig::paper(),
+        &server,
+        SimTime::ZERO,
+    )
+    .try_with_faults(cfg, seed, RetryPolicy::standard())
+    .expect("valid fault setup");
+    let mut t = SimTime::ZERO;
+    for (i, gap) in gaps.iter().enumerate() {
+        t += SimDuration::from_micros(*gap);
+        fetcher.request(&urls[i % urls.len()], t);
+        let c = fetcher.next_completion().expect("owed a completion");
+        t = t.max(c.at);
+    }
+    let json = serde_json::to_string(&fetcher.transfers().to_vec()).expect("serializable");
+    (json, fetcher.machine().energy_j().to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fault-injection determinism: the same (seed, config, request
+    /// pattern) produces byte-identical transfer records and the exact
+    /// same energy, every time.
+    #[test]
+    fn faulted_runs_replay_byte_identically(
+        seed in any::<u64>(),
+        kind in 0u8..3,
+        loss in 0.0f64..0.5,
+        gaps in proptest::collection::vec(0u64..10_000_000, 1..12),
+    ) {
+        let cfg = profile(kind, loss);
+        let (json_a, energy_a) = run_faulted(cfg, seed, &gaps);
+        let (json_b, energy_b) = run_faulted(cfg, seed, &gaps);
+        prop_assert_eq!(json_a, json_b, "transfer records diverged");
+        prop_assert_eq!(energy_a, energy_b, "energy bits diverged");
+    }
+
+    /// A zero-probability fault stream is byte-identical to no fault
+    /// layer at all, for any request pattern.
+    #[test]
+    fn zero_faults_match_the_plain_fetcher(
+        seed in any::<u64>(),
+        gaps in proptest::collection::vec(0u64..10_000_000, 1..12),
+    ) {
+        let (server, urls) = fixture();
+        let mut plain =
+            ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += SimDuration::from_micros(*gap);
+            plain.request(&urls[i % urls.len()], t);
+            let c = plain.next_completion().expect("owed");
+            t = t.max(c.at);
+        }
+        let plain_json = serde_json::to_string(&plain.transfers().to_vec()).unwrap();
+        let (faulted_json, faulted_energy) = run_faulted(FaultConfig::none(), seed, &gaps);
+        prop_assert_eq!(plain_json, faulted_json);
+        prop_assert_eq!(plain.machine().energy_j().to_bits(), faulted_energy);
+    }
+
+    /// Refcount honesty under faults: every attempt's begin is matched by
+    /// an end, the radio always drains, and failed attempts carry no
+    /// payload bytes.
+    #[test]
+    fn faulted_refcounts_always_drain(
+        seed in any::<u64>(),
+        kind in 0u8..3,
+        loss in 0.0f64..0.9,
+        gaps in proptest::collection::vec(0u64..10_000_000, 1..12),
+    ) {
+        let (server, urls) = fixture();
+        let cfg = profile(kind, loss);
+        let mut fetcher =
+            ThreeGFetcher::new(NetConfig::paper(), RrcConfig::paper(), &server, SimTime::ZERO)
+                .try_with_faults(cfg, seed, RetryPolicy::standard())
+                .expect("valid fault setup");
+        let mut t = SimTime::ZERO;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += SimDuration::from_micros(*gap);
+            fetcher.request(&urls[i % urls.len()], t);
+        }
+        while fetcher.next_completion().is_some() {}
+        prop_assert!(!fetcher.machine().is_transferring(), "refcount leaked");
+        prop_assert_eq!(
+            fetcher.machine().counters().transfers,
+            fetcher.transfers().len() as u64,
+            "every attempt must begin and end exactly once"
+        );
+        for r in fetcher.transfers() {
+            prop_assert!(r.requested_at <= r.data_start);
+            prop_assert!(r.data_start <= r.end);
+            if !r.completed {
+                prop_assert!(r.bytes == 0 || r.end > r.data_start, "failed attempts spend time");
+            }
+        }
+        // Replay fidelity holds under faults too.
+        let transfers = fetcher.transfers().to_vec();
+        let machine = fetcher.into_machine();
+        let replayed = replay(
+            RrcConfig::paper(),
+            SimTime::ZERO,
+            events_of_load(&transfers, &[]),
+            machine.now(),
+        );
+        prop_assert!((replayed.energy_j() - machine.energy_j()).abs() < 1e-6);
+        prop_assert_eq!(replayed.residency(), machine.residency());
     }
 }

@@ -75,6 +75,10 @@ pub struct RrcCounters {
     pub t2_expirations: u64,
     /// Application-initiated fast-dormancy releases.
     pub fast_dormancy_releases: u64,
+    /// Failed promotion attempts that were retried by the signaling layer
+    /// (fault injection); each costs one extra promotion window of
+    /// latency and promotion-level power.
+    pub promotion_retries: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,22 +243,44 @@ impl RrcMachine {
     ///
     /// Panics if `t` is in the machine's past.
     pub fn begin_transfer(&mut self, t: SimTime, needs_dch: bool) -> SimTime {
+        self.begin_transfer_with_promotion_retries(t, needs_dch, 0)
+    }
+
+    /// Like [`RrcMachine::begin_transfer`], but if this request triggers
+    /// (or extends) a promotion, the signaling fails `retries` times
+    /// first: each failed attempt costs one more full promotion window at
+    /// the promotion power level before the promotion succeeds. With
+    /// `retries == 0` this is exactly `begin_transfer`. When the radio is
+    /// already in a capable state (no promotion needed), `retries` has no
+    /// effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the machine's past.
+    pub fn begin_transfer_with_promotion_retries(
+        &mut self,
+        t: SimTime,
+        needs_dch: bool,
+        retries: u32,
+    ) -> SimTime {
         self.advance_to(t);
         self.counters.transfers += 1;
         // Any data activity cancels the inactivity timers.
         self.t1_deadline = None;
         self.t2_deadline = None;
         self.active_transfers += 1;
+        let attempts = u64::from(retries) + 1;
         match self.state {
             RrcState::Dch => t,
             RrcState::Fach => {
                 if needs_dch {
                     self.counters.fach_to_dch += 1;
+                    self.counters.promotion_retries += u64::from(retries);
                     self.start_promotion(
                         t,
                         RrcState::Dch,
                         RrcState::Fach,
-                        self.cfg.fach_to_dch_latency,
+                        self.cfg.fach_to_dch_latency * attempts,
                     )
                 } else {
                     t
@@ -263,19 +289,21 @@ impl RrcMachine {
             RrcState::Idle => {
                 if needs_dch {
                     self.counters.idle_to_dch += 1;
+                    self.counters.promotion_retries += u64::from(retries);
                     self.start_promotion(
                         t,
                         RrcState::Dch,
                         RrcState::Idle,
-                        self.cfg.idle_to_dch_latency,
+                        self.cfg.idle_to_dch_latency * attempts,
                     )
                 } else {
                     self.counters.idle_to_fach += 1;
+                    self.counters.promotion_retries += u64::from(retries);
                     self.start_promotion(
                         t,
                         RrcState::Fach,
                         RrcState::Idle,
-                        self.cfg.idle_to_fach_latency,
+                        self.cfg.idle_to_fach_latency * attempts,
                     )
                 }
             }
@@ -284,9 +312,10 @@ impl RrcMachine {
                 if needs_dch && target == RrcState::Fach {
                     // Upgrade: finish the FACH promotion, then allocate
                     // dedicated channels on the fresh signaling connection.
-                    let new_end = end + self.cfg.fach_to_dch_latency;
+                    let new_end = end + self.cfg.fach_to_dch_latency * attempts;
                     self.promotion = Some((new_end, RrcState::Dch, from));
                     self.counters.fach_to_dch += 1;
+                    self.counters.promotion_retries += u64::from(retries);
                     new_end
                 } else {
                     end
@@ -718,6 +747,54 @@ mod tests {
         let mut m = machine();
         m.advance_to(secs(5.0));
         m.advance_to(secs(4.0));
+    }
+
+    #[test]
+    fn promotion_retries_extend_latency_and_energy() {
+        let mut clean = machine();
+        let mut faulty = machine();
+        let s_clean = clean.begin_transfer(SimTime::ZERO, true);
+        let s_faulty = faulty.begin_transfer_with_promotion_retries(SimTime::ZERO, true, 2);
+        // Each failed attempt costs one more full promotion window.
+        assert_eq!(s_clean, secs(1.75));
+        assert_eq!(s_faulty, secs(3.0 * 1.75));
+        clean.end_transfer(s_clean + SimDuration::from_secs(1));
+        faulty.end_transfer(s_faulty + SimDuration::from_secs(1));
+        // Extra energy = 2 extra windows at promotion power (4 W avg → 7 J
+        // per 1.75 s window in the paper calibration).
+        let delta = faulty.energy_j() - clean.energy_j();
+        assert!((delta - 2.0 * 7.0).abs() < 1e-6, "delta {delta}");
+        assert_eq!(faulty.counters().promotion_retries, 2);
+        assert_eq!(clean.counters().promotion_retries, 0);
+    }
+
+    #[test]
+    fn zero_retries_is_exactly_begin_transfer() {
+        let mut a = machine();
+        let mut b = machine();
+        let sa = a.begin_transfer(SimTime::ZERO, true);
+        let sb = b.begin_transfer_with_promotion_retries(SimTime::ZERO, true, 0);
+        assert_eq!(sa, sb);
+        a.end_transfer(sa + SimDuration::from_secs(1));
+        b.end_transfer(sb + SimDuration::from_secs(1));
+        a.advance_to(secs(30.0));
+        b.advance_to(secs(30.0));
+        assert_eq!(a.energy_j().to_bits(), b.energy_j().to_bits());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.residency(), b.residency());
+    }
+
+    #[test]
+    fn retries_in_capable_state_are_free() {
+        let mut m = machine();
+        let s = m.begin_transfer(SimTime::ZERO, true);
+        m.advance_to(s);
+        // Already in DCH: a retry plan changes nothing.
+        let s2 = m.begin_transfer_with_promotion_retries(s, true, 3);
+        assert_eq!(s2, s);
+        assert_eq!(m.counters().promotion_retries, 0);
+        m.end_transfer(s2);
+        m.end_transfer(s2);
     }
 
     #[test]
