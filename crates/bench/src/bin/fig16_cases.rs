@@ -1,7 +1,12 @@
-//! Fig. 16 — the six policy cases. Pass `--quick` for a small slice.
+//! Fig. 16 — the six policy cases. Pass `--quick` for a small slice;
+//! `--timeline PATH` additionally exports the reference session's
+//! observability timeline as JSON lines to PATH.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (users, sessions) = if quick { (2, 4) } else { (6, 10) };
     let ctx = ewb_bench::Context::new();
     print!("{}", ewb_bench::reports::fig16(&ctx, users, sessions));
+    if let Some(path) = ewb_bench::timeline_arg() {
+        ewb_bench::write_timeline(&ctx, &path);
+    }
 }

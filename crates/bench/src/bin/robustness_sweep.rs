@@ -1,9 +1,15 @@
 //! Robustness loss sweep (fault profile × loss rate, both browsers).
-//! `--write-golden` refreshes the golden summary the CI robustness job
-//! pins (`crates/core/tests/golden/robustness.json`).
+//! `--write-golden` refreshes the golden artifacts the CI jobs pin
+//! (`crates/core/tests/golden/robustness.json` and the observability
+//! timeline `crates/core/tests/golden/timeline.jsonl`);
+//! `--timeline PATH` exports the reference session's event timeline as
+//! JSON lines to PATH.
 fn main() {
     let ctx = ewb_bench::Context::new();
     print!("{}", ewb_bench::reports::robustness_report(&ctx));
+    if let Some(path) = ewb_bench::timeline_arg() {
+        ewb_bench::write_timeline(&ctx, &path);
+    }
     if std::env::args().any(|a| a == "--write-golden") {
         let rows = ewb_core::experiments::robustness::sweep(
             &ctx.corpus,
@@ -18,5 +24,10 @@ fn main() {
         std::fs::write(path, ewb_core::experiments::robustness::summary_json(&rows))
             .expect("write golden summary");
         eprintln!("wrote {path}");
+        let timeline_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../core/tests/golden/timeline.jsonl"
+        );
+        ewb_bench::write_timeline(&ctx, timeline_path);
     }
 }

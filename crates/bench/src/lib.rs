@@ -47,6 +47,48 @@ impl Default for Context {
     }
 }
 
+/// Returns the path following a `--timeline` flag on the command line,
+/// if present.
+///
+/// # Panics
+///
+/// Panics if `--timeline` is passed without a path.
+pub fn timeline_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--timeline" {
+            return Some(args.next().expect("--timeline needs a path"));
+        }
+    }
+    None
+}
+
+/// Records the reference observability timeline
+/// ([`ewb_core::experiments::timeline`]) at [`REPORT_SEED`] and writes it
+/// as JSON lines to `path`.
+///
+/// # Panics
+///
+/// Panics if `path` is not writable.
+pub fn write_timeline(ctx: &Context, path: &str) {
+    let (events, outcome) = ewb_core::experiments::timeline::record_session_timeline(
+        &ctx.corpus,
+        &ctx.server,
+        &ctx.cfg,
+        REPORT_SEED,
+    );
+    std::fs::write(
+        path,
+        ewb_core::experiments::timeline::timeline_jsonl(&events),
+    )
+    .unwrap_or_else(|e| panic!("write timeline {path}: {e}"));
+    eprintln!(
+        "wrote {path} ({} events, {:.2} J)",
+        events.len(),
+        outcome.total_joules
+    );
+}
+
 /// Formats a fraction as a signed percentage.
 pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)

@@ -30,6 +30,7 @@ use crate::fetch::ResourceFetcher;
 use crate::html;
 use crate::js;
 use crate::layout;
+use ewb_obs::{Event as ObsEvent, Layer as ObsLayer, Recorder};
 use ewb_simcore::{SimDuration, SimTime, TimeSeries};
 use ewb_webpage::ObjectKind;
 use std::collections::HashSet;
@@ -234,7 +235,31 @@ pub fn load_page<F: ResourceFetcher + ?Sized>(
     cfg: &PipelineConfig,
     cost: &CpuCostModel,
 ) -> LoadMetrics {
-    load_page_inner(fetcher, root_url, start, cfg, cost, None)
+    load_page_inner(
+        fetcher,
+        root_url,
+        start,
+        cfg,
+        cost,
+        None,
+        Recorder::disabled(),
+    )
+}
+
+/// Like [`load_page`], but each computation stage emits a
+/// [`Span`](ewb_obs::Event::Span) into `recorder`, plus phase spans
+/// (`transmission_phase`, `layout_phase`) and per-load counters once the
+/// load completes. The recorder only observes — the returned
+/// [`LoadMetrics`] are identical with it enabled or disabled.
+pub fn load_page_recorded<F: ResourceFetcher + ?Sized>(
+    fetcher: &mut F,
+    root_url: &str,
+    start: SimTime,
+    cfg: &PipelineConfig,
+    cost: &CpuCostModel,
+    recorder: Recorder,
+) -> LoadMetrics {
+    load_page_inner(fetcher, root_url, start, cfg, cost, None, recorder)
 }
 
 fn load_page_inner<F: ResourceFetcher + ?Sized>(
@@ -244,6 +269,7 @@ fn load_page_inner<F: ResourceFetcher + ?Sized>(
     cfg: &PipelineConfig,
     cost: &CpuCostModel,
     cache: Option<&mut LayoutCache>,
+    recorder: Recorder,
 ) -> LoadMetrics {
     let mut loader = Loader {
         fetcher,
@@ -285,9 +311,38 @@ fn load_page_inner<F: ResourceFetcher + ?Sized>(
             page_width: 0.0,
             dom_nodes: 0,
         },
+        recorder,
     };
     loader.run(root_url);
-    loader.m
+    let m = loader.m;
+    let recorder = loader.recorder;
+    recorder.emit_with(|| ObsEvent::Span {
+        layer: ObsLayer::Browser,
+        name: "transmission_phase",
+        start: m.start,
+        end: m.data_transmission_end,
+    });
+    recorder.emit_with(|| ObsEvent::Span {
+        layer: ObsLayer::Browser,
+        name: "layout_phase",
+        start: m.data_transmission_end,
+        end: m.final_display_at,
+    });
+    if recorder.is_enabled() {
+        for (name, value) in [
+            ("objects_fetched", m.objects_fetched as f64),
+            ("bytes_fetched", m.bytes_fetched as f64),
+            ("failed_objects", m.failed_objects as f64),
+        ] {
+            recorder.emit(ObsEvent::Counter {
+                at: m.final_display_at,
+                layer: ObsLayer::Browser,
+                name,
+                value,
+            });
+        }
+    }
+    m
 }
 
 /// Like [`load_page`], but consults (and fills) a [`LayoutCache`]: on a
@@ -303,7 +358,15 @@ pub fn load_page_cached<F: ResourceFetcher + ?Sized>(
     cost: &CpuCostModel,
     cache: &mut LayoutCache,
 ) -> LoadMetrics {
-    load_page_inner(fetcher, root_url, start, cfg, cost, Some(cache))
+    load_page_inner(
+        fetcher,
+        root_url,
+        start,
+        cfg,
+        cost,
+        Some(cache),
+        Recorder::disabled(),
+    )
 }
 
 /// Which CPU category a busy interval belongs to.
@@ -333,6 +396,7 @@ struct Loader<'a, F: ResourceFetcher + ?Sized> {
     css_discovered: usize,
     css_processed: usize,
     since_display: usize,
+    recorder: Recorder,
 }
 
 impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
@@ -381,11 +445,18 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
     }
 
     /// CPU work: advance time, record the busy interval and category.
-    fn busy(&mut self, d: SimDuration, cat: Cat) {
+    fn busy(&mut self, d: SimDuration, cat: Cat, stage: &'static str) {
         if d.is_zero() {
             return;
         }
         self.m.cpu_busy.push((self.t, self.t + d));
+        let start = self.t;
+        self.recorder.emit_with(|| ObsEvent::Span {
+            layer: ObsLayer::Browser,
+            name: stage,
+            start,
+            end: start + d,
+        });
         self.t += d;
         match cat {
             Cat::Dtc => self.m.work.dtc += d,
@@ -419,7 +490,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
         self.m.text_bytes_fetched += bytes;
         let parsed = html::parse(body);
         let d = self.cost.html_parse(parsed.bytes, parsed.document.len());
-        self.busy(d, Cat::Dtc);
+        self.busy(d, Cat::Dtc, "html_parse");
         self.m.secondary_urls += parsed.secondary_urls.len();
         for r in &parsed.resources {
             if r.kind == ObjectKind::Css {
@@ -446,7 +517,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             let doc = self.doc.as_ref().expect("root doc just set");
             let lr = layout::layout(doc, None, self.cfg.viewport_px);
             let d = self.cost.layout(lr.boxes) + self.cost.paint(lr.boxes);
-            self.busy(d, Cat::Layout);
+            self.busy(d, Cat::Layout, "intermediate_display");
             self.m.first_display_at = Some(self.t);
         }
     }
@@ -459,7 +530,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 // Full parse now (rule extraction on the critical path).
                 let parsed = css::parse(body);
                 let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
-                self.busy(d, Cat::Layout);
+                self.busy(d, Cat::Layout, "css_parse");
                 for u in parsed.urls.iter().chain(&parsed.sheet.imports) {
                     if u.ends_with(".css") {
                         self.css_discovered += 1;
@@ -472,7 +543,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 // Cheap scan only; parsing waits for the layout phase.
                 let scan = css::scan_urls(body);
                 let d = self.cost.css_scan(scan.bytes);
-                self.busy(d, Cat::Dtc);
+                self.busy(d, Cat::Dtc, "css_scan");
                 for u in scan.urls.iter().chain(&scan.imports) {
                     self.request(&u.clone());
                 }
@@ -491,7 +562,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             PipelineMode::Original => {
                 let parsed = css::parse(body);
                 let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
-                self.busy(d, Cat::Layout);
+                self.busy(d, Cat::Layout, "css_parse");
                 for u in parsed.urls.iter().chain(&parsed.sheet.imports) {
                     if u.ends_with(".css") {
                         self.css_discovered += 1;
@@ -503,7 +574,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             PipelineMode::EnergyAware => {
                 let scan = css::scan_urls(body);
                 let d = self.cost.css_scan(scan.bytes);
-                self.busy(d, Cat::Dtc);
+                self.busy(d, Cat::Dtc, "css_scan");
                 for u in scan.urls.iter().chain(&scan.imports) {
                     self.request(&u.clone());
                 }
@@ -521,7 +592,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
     fn run_script(&mut self, source: &str) {
         let out = js::execute(source, Some(self.cfg.js_gas));
         let d = self.cost.js_run(out.bytes, out.ops);
-        self.busy(d, Cat::Dtc);
+        self.busy(d, Cat::Dtc, "js_run");
         self.m.work.js += d;
         for effect in out.effects {
             match effect {
@@ -529,7 +600,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 js::JsEffect::DocumentWrite(fragment) => {
                     let parsed = html::parse(&fragment);
                     let d = self.cost.html_parse(parsed.bytes, parsed.document.len());
-                    self.busy(d, Cat::Dtc);
+                    self.busy(d, Cat::Dtc, "html_parse");
                     self.m.secondary_urls += parsed.secondary_urls.len();
                     for r in &parsed.resources {
                         if r.kind == ObjectKind::Css {
@@ -557,7 +628,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 // Decode immediately — layout computation on the critical
                 // path of the transmission schedule.
                 let d = self.cost.image_decode(bytes);
-                self.busy(d, Cat::Layout);
+                self.busy(d, Cat::Layout, "image_decode");
             }
             PipelineMode::EnergyAware => {
                 // "Image files ... can be saved in memory instead of being
@@ -597,7 +668,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             .style(styles.match_attempts, styles.declarations_applied)
             + self.cost.layout(lr.boxes)
             + self.cost.paint(lr.boxes);
-        self.busy(d, Cat::RedrawReflow);
+        self.busy(d, Cat::RedrawReflow, "redraw_reflow");
         if self.m.first_display_at.is_none() {
             self.m.first_display_at = Some(self.t);
         }
@@ -615,10 +686,10 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             if let Some(hit) = cache.lookup(&self.root_url, fingerprint) {
                 if self.cfg.mode == PipelineMode::EnergyAware {
                     let d = self.cost.image_decode(self.undecoded_image_bytes);
-                    self.busy(d, Cat::Layout);
+                    self.busy(d, Cat::Layout, "image_decode");
                 }
                 let d = self.cost.paint(hit.boxes);
-                self.busy(d, Cat::Layout);
+                self.busy(d, Cat::Layout, "paint_cached");
                 let doc = self.doc.take().unwrap_or_default();
                 self.m.final_display_at = self.t;
                 self.m.page_height = hit.page_height;
@@ -632,11 +703,11 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             for body in &bodies {
                 let parsed = css::parse(body);
                 let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
-                self.busy(d, Cat::Layout);
+                self.busy(d, Cat::Layout, "css_parse");
                 self.sheets.push(parsed.sheet);
             }
             let d = self.cost.image_decode(self.undecoded_image_bytes);
-            self.busy(d, Cat::Layout);
+            self.busy(d, Cat::Layout, "image_decode");
         }
         let doc = self.doc.take().unwrap_or_default();
         let sheet_refs: Vec<&css::Stylesheet> = self.sheets.iter().collect();
@@ -647,7 +718,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             .style(styles.match_attempts, styles.declarations_applied)
             + self.cost.layout(lr.boxes)
             + self.cost.paint(lr.boxes);
-        self.busy(d, Cat::Layout);
+        self.busy(d, Cat::Layout, "style_layout_paint");
         self.m.final_display_at = self.t;
         self.m.page_height = lr.page_height;
         self.m.page_width = lr.page_width;

@@ -9,6 +9,7 @@ pub mod energy;
 pub mod loadtime;
 pub mod power_trace;
 pub mod robustness;
+pub mod timeline;
 pub mod traffic;
 
 use crate::cases::Case;

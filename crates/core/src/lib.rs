@@ -55,6 +55,7 @@ pub use ewb_browser as browser;
 pub use ewb_capacity as capacity;
 pub use ewb_gbrt as gbrt;
 pub use ewb_net as net;
+pub use ewb_obs as obs;
 pub use ewb_rrc as rrc;
 pub use ewb_simcore as simcore;
 pub use ewb_traces as traces;

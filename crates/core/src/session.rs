@@ -16,10 +16,11 @@
 
 use crate::cases::{Case, ReleasePolicy};
 use crate::config::CoreConfig;
-use ewb_browser::pipeline::{load_page, PipelineConfig};
+use ewb_browser::pipeline::{load_page_recorded, PipelineConfig};
 use ewb_browser::CpuWork;
-use ewb_net::replay::{events_of_load, replay, RadioEvent};
+use ewb_net::replay::{events_of_load, replay_recorded, RadioEvent};
 use ewb_net::{FaultConfig, RetryPolicy, ThreeGFetcher};
+use ewb_obs::{Event as ObsEvent, Recorder};
 use ewb_rrc::{RrcCounters, RrcMachine};
 use ewb_simcore::{SimDuration, SimTime, SplitMix64};
 use ewb_traces::{FeatureVector, ReadingTimePredictor};
@@ -185,6 +186,37 @@ pub fn simulate_session_faulted(
     predictor: Option<&ReadingTimePredictor>,
     faults: Option<&SessionFaults>,
 ) -> SessionOutcome {
+    simulate_session_recorded(
+        server,
+        visits,
+        case,
+        cfg,
+        predictor,
+        faults,
+        &Recorder::disabled(),
+    )
+}
+
+/// Simulates a session under `case`, mirroring the full cross-layer event
+/// stream into `recorder`: one [`PageVisit`](ewb_obs::Event::PageVisit)
+/// per visit, transfer events from the fetcher, per-stage browser spans,
+/// and — from the energy replay — the RRC transitions, timers, and the
+/// energy ledger. The ledger folds to the outcome's `total_joules`
+/// bit-for-bit. The recorder only observes: the returned
+/// [`SessionOutcome`] is identical with it enabled or disabled.
+///
+/// # Panics
+///
+/// Panics as [`simulate_session_faulted`] does.
+pub fn simulate_session_recorded(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
+    recorder: &Recorder,
+) -> SessionOutcome {
     assert!(!visits.is_empty(), "a session needs at least one visit");
     if let Err(e) = cfg.validate() {
         panic!("invalid CoreConfig: {e}");
@@ -211,7 +243,8 @@ pub fn simulate_session_faulted(
             // §4.2: mobile pages get no intermediate display.
             pipe_cfg.draw_intermediate = false;
         }
-        let mut fetcher = ThreeGFetcher::with_machine(cfg.net, machine, server);
+        let mut fetcher =
+            ThreeGFetcher::with_machine(cfg.net, machine, server).with_recorder(recorder.clone());
         if let Some(sf) = faults {
             fetcher = fetcher
                 .try_with_faults(
@@ -223,7 +256,14 @@ pub fn simulate_session_faulted(
                 )
                 .unwrap_or_else(|e| panic!("invalid SessionFaults: {e}"));
         }
-        let metrics = load_page(&mut fetcher, visit.page.root_url(), t, &pipe_cfg, &cfg.cost);
+        let metrics = load_page_recorded(
+            &mut fetcher,
+            visit.page.root_url(),
+            t,
+            &pipe_cfg,
+            &cfg.cost,
+            recorder.clone(),
+        );
         let transfers = fetcher.transfers().to_vec();
         machine = fetcher.into_machine();
         events.extend(events_of_load(&transfers, &metrics.cpu_busy));
@@ -265,6 +305,14 @@ pub fn simulate_session_faulted(
         }
         machine.advance_to(next_start);
 
+        recorder.emit_with(|| ObsEvent::PageVisit {
+            at: t,
+            index: visit_idx as u32,
+            url: visit.page.root_url().to_string(),
+            opened,
+            end: next_start,
+            released_at,
+        });
         boundaries.push((t, opened));
         partial.push(PageRecord {
             url: visit.page.root_url().to_string(),
@@ -287,8 +335,10 @@ pub fn simulate_session_faulted(
         t = next_start;
     }
 
-    // Exact energy: replay radio + CPU events on a fresh machine.
-    let radio = replay(cfg.rrc.clone(), start, events, t);
+    // Exact energy: replay radio + CPU events on a fresh machine. The
+    // recorder rides on the *replay* machine — the one whose energy is
+    // reported — so the emitted ledger folds to `total_joules` exactly.
+    let radio = replay_recorded(cfg.rrc.clone(), start, events, t, recorder.clone());
     let meter = radio.meter();
     for (i, record) in partial.iter_mut().enumerate() {
         let (page_start, opened) = boundaries[i];

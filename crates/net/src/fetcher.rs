@@ -4,6 +4,7 @@
 use crate::config::NetConfig;
 use crate::faults::{AttemptPlan, FaultConfig, FaultStream};
 use ewb_browser::fetch::{FetchCompletion, ResourceFetcher};
+use ewb_obs::{Event as ObsEvent, FaultKind, Recorder};
 use ewb_rrc::{RrcConfig, RrcMachine, RrcState};
 use ewb_simcore::{SimDuration, SimTime};
 use ewb_webpage::OriginServer;
@@ -130,6 +131,8 @@ pub struct ThreeGFetcher<'a> {
     transfers: Vec<TransferRecord>,
     faults: Option<FaultStream>,
     retry: RetryPolicy,
+    recorder: Recorder,
+    next_request_id: u64,
 }
 
 impl<'a> ThreeGFetcher<'a> {
@@ -158,6 +161,8 @@ impl<'a> ThreeGFetcher<'a> {
             transfers: Vec::new(),
             faults: None,
             retry: RetryPolicy::standard(),
+            recorder: Recorder::disabled(),
+            next_request_id: 0,
         })
     }
 
@@ -194,7 +199,18 @@ impl<'a> ThreeGFetcher<'a> {
             transfers: Vec::new(),
             faults: None,
             retry: RetryPolicy::standard(),
+            recorder: Recorder::disabled(),
+            next_request_id: 0,
         }
+    }
+
+    /// Attaches a recorder: each transfer attempt emits begin/end events,
+    /// and injected faults and retry scheduling are surfaced. The
+    /// recorder only observes — completions, records, and radio energy
+    /// are identical with it enabled or disabled.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Attaches a seeded fault stream and a retry policy. With
@@ -280,6 +296,8 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
 
     fn next_completion(&mut self) -> Option<FetchCompletion> {
         let (url, requested_at) = self.queue.pop_front()?;
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
         let object = self.server.fetch(&url).cloned();
         let bytes = object.as_ref().map_or(0, |o| o.bytes);
         // Uplink request: even a 404 exchanges a little data. Whether the
@@ -305,6 +323,15 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
                 plan.promotion_retries,
             );
             let promotion = data_start - begin_at;
+            self.recorder.emit_with(|| ObsEvent::TransferBegin {
+                at: begin_at,
+                id: request_id,
+                url: url.clone(),
+                needs_dch,
+                attempt,
+                promotion_retries: plan.promotion_retries,
+                data_start,
+            });
             if plan.lost {
                 // The response never arrives: the radio holds the channel
                 // until the stall timeout abandons the attempt.
@@ -324,8 +351,25 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
                     promotion_retries: plan.promotion_retries,
                     completed: false,
                 });
+                self.recorder.emit_with(|| ObsEvent::TransferFault {
+                    at: fail_at,
+                    id: request_id,
+                    kind: FaultKind::Lost,
+                });
+                self.recorder.emit_with(|| ObsEvent::TransferEnd {
+                    at: fail_at,
+                    id: request_id,
+                    bytes: 0,
+                    completed: false,
+                });
                 match self.next_attempt_start(fail_at, attempt, deadline) {
                     Some(next) => {
+                        self.recorder.emit_with(|| ObsEvent::TransferRetry {
+                            at: fail_at,
+                            id: request_id,
+                            attempt,
+                            retry_at: next,
+                        });
                         t = next;
                         continue;
                     }
@@ -365,14 +409,37 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
             });
             if plan.truncated {
                 // Time and energy were spent, but the payload is unusable.
+                self.recorder.emit_with(|| ObsEvent::TransferFault {
+                    at: end,
+                    id: request_id,
+                    kind: FaultKind::Truncated,
+                });
+                self.recorder.emit_with(|| ObsEvent::TransferEnd {
+                    at: end,
+                    id: request_id,
+                    bytes,
+                    completed: false,
+                });
                 match self.next_attempt_start(end, attempt, deadline) {
                     Some(next) => {
+                        self.recorder.emit_with(|| ObsEvent::TransferRetry {
+                            at: end,
+                            id: request_id,
+                            attempt,
+                            retry_at: next,
+                        });
                         t = next;
                         continue;
                     }
                     None => return Some(FetchCompletion::errored(url, end)),
                 }
             }
+            self.recorder.emit_with(|| ObsEvent::TransferEnd {
+                at: end,
+                id: request_id,
+                bytes,
+                completed: true,
+            });
             return Some(FetchCompletion::delivered(url, end, object));
         }
     }

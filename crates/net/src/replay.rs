@@ -8,6 +8,7 @@
 //! the CPU intervals interleaved.
 
 use crate::fetcher::TransferRecord;
+use ewb_obs::Recorder;
 use ewb_rrc::{RrcConfig, RrcMachine};
 use ewb_simcore::SimTime;
 
@@ -89,8 +90,26 @@ pub fn events_of_load(
 pub fn replay(
     rrc_cfg: RrcConfig,
     start: SimTime,
+    events: Vec<RadioEvent>,
+    until: SimTime,
+) -> RrcMachine {
+    replay_recorded(rrc_cfg, start, events, until, Recorder::disabled())
+}
+
+/// Like [`replay`], but the fresh machine carries `recorder`, so the
+/// replay emits the session's full RRC event stream — state transitions,
+/// timers, promotions, and the energy ledger whose fold is bit-identical
+/// to the returned machine's `energy_j()`.
+///
+/// # Panics
+///
+/// Panics if the event sequence is inconsistent (see [`replay`]).
+pub fn replay_recorded(
+    rrc_cfg: RrcConfig,
+    start: SimTime,
     mut events: Vec<RadioEvent>,
     until: SimTime,
+    recorder: Recorder,
 ) -> RrcMachine {
     // Stable sort by time; rank breaks exact-time ties: CPU changes first
     // (they never interact with refcounts), then transfer ends, then
@@ -106,7 +125,7 @@ pub fn replay(
     }
     events.sort_by(|a, b| a.at().cmp(&b.at()).then(rank(a).cmp(&rank(b))));
 
-    let mut machine = RrcMachine::new(rrc_cfg, start);
+    let mut machine = RrcMachine::with_recorder(rrc_cfg, start, recorder);
     for e in events {
         match e {
             RadioEvent::BeginTransfer {

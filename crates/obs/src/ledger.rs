@@ -1,0 +1,211 @@
+//! The energy ledger: auditing per-state energy attribution.
+//!
+//! Every time the instrumented `RrcMachine` advances its energy meter it
+//! also emits an [`Event::EnergySegment`] computed with the *same*
+//! arithmetic on the *same* operands (`watts × duration.as_secs_f64()`).
+//! Folding those entries in emission order therefore reproduces the
+//! machine's reported total energy bit-for-bit — a second, independent
+//! path to every headline joule figure that tests can assert exactly.
+
+use crate::event::{Event, RadioState};
+use ewb_simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// One ledger entry, extracted from an [`Event::EnergySegment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerEntry {
+    /// Segment start.
+    pub start: SimTime,
+    /// Segment end (exclusive).
+    pub end: SimTime,
+    /// The radio state over the segment.
+    pub state: RadioState,
+    /// Constant power over the segment, watts.
+    pub watts: f64,
+    /// Energy of the segment, joules.
+    pub joules: f64,
+}
+
+/// The ledger entries of an event stream, in emission order.
+pub fn entries(events: &[Event]) -> Vec<LedgerEntry> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::EnergySegment {
+                start,
+                end,
+                state,
+                watts,
+                joules,
+            } => Some(LedgerEntry {
+                start: *start,
+                end: *end,
+                state: *state,
+                watts: *watts,
+                joules: *joules,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Total ledger energy, folded in entry order. On a stream emitted by a
+/// single machine this is bit-identical to the machine's
+/// `energy().total_joules()`.
+pub fn total(entries: &[LedgerEntry]) -> f64 {
+    let mut joules = 0.0;
+    for e in entries {
+        joules += e.joules;
+    }
+    joules
+}
+
+/// Ledger energy attributed to each radio state, folded in entry order.
+pub fn by_state(entries: &[LedgerEntry]) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for e in entries {
+        *map.entry(e.state.to_string()).or_insert(0.0) += e.joules;
+    }
+    map
+}
+
+/// Ledger energy within `[from, to)`, splitting entries at the
+/// boundaries — the ledger-side mirror of `EnergyMeter::joules_between`.
+pub fn joules_between(entries: &[LedgerEntry], from: SimTime, to: SimTime) -> f64 {
+    assert!(from <= to, "joules_between: from after to");
+    let mut total = 0.0;
+    for e in entries {
+        let lo = e.start.max(from);
+        let hi = e.end.min(to);
+        if lo < hi {
+            total += e.watts * (hi - lo).as_secs_f64();
+        }
+    }
+    total
+}
+
+/// A defect found by [`audit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// An entry's `joules` is not bit-identical to `watts × duration`.
+    Inconsistent {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// An entry has non-finite or negative power, or `end < start`.
+    Malformed {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// Consecutive entries are not contiguous in time (gap or overlap).
+    Discontiguous {
+        /// Index of the entry that does not start where its
+        /// predecessor ended.
+        index: usize,
+    },
+}
+
+/// Check structural soundness of a ledger: every entry recomputes to its
+/// own `joules` bit-for-bit, powers are finite and non-negative, time
+/// never runs backwards, and consecutive entries tile the timeline with
+/// no gap or overlap. Returns all defects found (empty = clean).
+pub fn audit(entries: &[LedgerEntry]) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        if !e.watts.is_finite() || e.watts < 0.0 || e.end < e.start {
+            errors.push(AuditError::Malformed { index: i });
+            continue;
+        }
+        let recomputed = e.watts * (e.end - e.start).as_secs_f64();
+        if recomputed.to_bits() != e.joules.to_bits() {
+            errors.push(AuditError::Inconsistent { index: i });
+        }
+        if i > 0 && entries[i - 1].end != e.start {
+            errors.push(AuditError::Discontiguous { index: i });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(s: u64, t: u64, state: RadioState, watts: f64) -> LedgerEntry {
+        let start = SimTime::from_secs(s);
+        let end = SimTime::from_secs(t);
+        LedgerEntry {
+            start,
+            end,
+            state,
+            watts,
+            joules: watts * (end - start).as_secs_f64(),
+        }
+    }
+
+    #[test]
+    fn total_and_by_state_fold_in_order() {
+        let es = vec![
+            entry(0, 2, RadioState::Promoting, 1.25),
+            entry(2, 6, RadioState::Dch, 1.15),
+            entry(6, 21, RadioState::Fach, 0.63),
+        ];
+        let expected = 2.0 * 1.25 + 4.0 * 1.15 + 15.0 * 0.63;
+        assert!((total(&es) - expected).abs() < 1e-12);
+        let by = by_state(&es);
+        assert!((by["DCH"] - 4.6).abs() < 1e-12);
+        assert!((by["FACH"] - 9.45).abs() < 1e-12);
+        assert!(audit(&es).is_empty());
+    }
+
+    #[test]
+    fn joules_between_splits_entries() {
+        let es = vec![
+            entry(0, 10, RadioState::Dch, 2.0),
+            entry(10, 20, RadioState::Fach, 1.0),
+        ];
+        let j = joules_between(&es, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((j - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_flags_inconsistent_joules() {
+        let mut e = entry(0, 2, RadioState::Dch, 1.0);
+        e.joules += 1e-9;
+        assert_eq!(audit(&[e]), vec![AuditError::Inconsistent { index: 0 }]);
+    }
+
+    #[test]
+    fn audit_flags_gaps() {
+        let es = vec![
+            entry(0, 2, RadioState::Dch, 1.0),
+            entry(3, 4, RadioState::Fach, 1.0),
+        ];
+        assert_eq!(audit(&es), vec![AuditError::Discontiguous { index: 1 }]);
+    }
+
+    #[test]
+    fn audit_flags_malformed_power() {
+        let mut e = entry(0, 2, RadioState::Dch, 1.0);
+        e.watts = f64::NAN;
+        assert_eq!(audit(&[e]), vec![AuditError::Malformed { index: 0 }]);
+    }
+
+    #[test]
+    fn entries_extracts_only_segments() {
+        let evs = vec![
+            Event::EnergySegment {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(1),
+                state: RadioState::Idle,
+                watts: 0.0,
+                joules: 0.0,
+            },
+            Event::TimerExpired {
+                at: SimTime::from_secs(1),
+                timer: crate::event::Timer::T1,
+            },
+        ];
+        assert_eq!(entries(&evs).len(), 1);
+    }
+}

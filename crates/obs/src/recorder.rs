@@ -1,0 +1,266 @@
+//! The recorder handle and its pluggable sinks.
+//!
+//! A [`Recorder`] is cheap to clone and thread through every layer. The
+//! disabled recorder is a `None` — emitting through it is a single branch
+//! and [`Recorder::emit_with`] never even constructs the event, so
+//! instrumentation has zero overhead (and zero observable effect) when
+//! tracing is off.
+
+use crate::event::Event;
+use crate::summary::Summary;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Where recorded events go. Sinks run under the recorder's lock, so a
+/// sink only needs `&mut self`.
+pub trait Sink {
+    /// Accept one event.
+    fn record(&mut self, event: &Event);
+    /// The events the sink retained, oldest first. Sinks that only
+    /// aggregate (e.g. [`SummarySink`]) return an empty vec.
+    fn events(&self) -> Vec<Event>;
+    /// The running summary, if this sink aggregates one.
+    fn summary(&self) -> Option<Summary> {
+        None
+    }
+}
+
+/// Retains every event, unbounded. The right sink for tests and for
+/// timeline export.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<Event>,
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+
+    fn events(&self) -> Vec<Event> {
+        self.events.clone()
+    }
+}
+
+/// Retains only the most recent `capacity` events; older ones are
+/// dropped (counted in `dropped`). The right sink for long sweeps where
+/// only the tail matters.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+
+    fn events(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+/// Retains nothing; folds every event into a running [`Summary`]. The
+/// right sink when only aggregates are wanted (constant memory).
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    summary: Summary,
+}
+
+impl Sink for SummarySink {
+    fn record(&mut self, event: &Event) {
+        self.summary.fold(event);
+    }
+
+    fn events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    fn summary(&self) -> Option<Summary> {
+        Some(self.summary.clone())
+    }
+}
+
+type SinkBox = Box<dyn Sink + Send>;
+
+/// A cloneable handle to an event sink — or to nothing at all.
+///
+/// Layers store one of these and call [`emit`](Recorder::emit) /
+/// [`emit_with`](Recorder::emit_with) at interesting points. Clones
+/// share the same sink, so a recorder can fan through fetchers,
+/// machines, and pipelines and still collect one stream.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<SinkBox>>>,
+}
+
+impl Recorder {
+    /// The no-op recorder: every emit is a single `None` check.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder retaining every event in memory.
+    pub fn memory() -> Self {
+        Recorder::custom(Box::new(MemorySink::default()))
+    }
+
+    /// A recorder retaining only the last `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Recorder::custom(Box::new(RingSink::new(capacity)))
+    }
+
+    /// A recorder folding events into a running [`Summary`] only.
+    pub fn summarizing() -> Self {
+        Recorder::custom(Box::new(SummarySink::default()))
+    }
+
+    /// A recorder backed by a caller-provided sink.
+    pub fn custom(sink: SinkBox) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(sink))),
+        }
+    }
+
+    /// Whether emits reach a sink. Use to skip expensive event
+    /// construction; [`emit_with`](Recorder::emit_with) does this for you.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn emit(&self, event: Event) {
+        if let Some(sink) = &self.inner {
+            sink.lock().unwrap().record(&event);
+        }
+    }
+
+    /// Record the event built by `f`, which runs only when enabled — the
+    /// disabled path pays nothing for allocation-heavy events.
+    pub fn emit_with<F: FnOnce() -> Event>(&self, f: F) {
+        if let Some(sink) = &self.inner {
+            sink.lock().unwrap().record(&f());
+        }
+    }
+
+    /// The events retained by the sink, in emission order. Empty when
+    /// disabled or when the sink aggregates only.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(sink) => sink.lock().unwrap().events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The sink's running summary: the one it keeps if it aggregates,
+    /// otherwise one folded on the fly from its retained events.
+    pub fn summary(&self) -> Summary {
+        match &self.inner {
+            Some(sink) => {
+                let sink = sink.lock().unwrap();
+                sink.summary().unwrap_or_else(|| {
+                    let mut s = Summary::default();
+                    for e in sink.events() {
+                        s.fold(&e);
+                    }
+                    s
+                })
+            }
+            None => Summary::default(),
+        }
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Timer;
+    use ewb_simcore::SimTime;
+
+    fn timer_event(secs: u64) -> Event {
+        Event::TimerExpired {
+            at: SimTime::from_secs(secs),
+            timer: Timer::T1,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_never_runs_the_closure() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.emit_with(|| unreachable!("closure must not run when disabled"));
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn memory_recorder_retains_in_emission_order() {
+        let r = Recorder::memory();
+        r.emit(timer_event(1));
+        r.emit(timer_event(2));
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at(), SimTime::from_secs(1));
+        assert_eq!(evs[1].at(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let r = Recorder::memory();
+        let r2 = r.clone();
+        r.emit(timer_event(1));
+        r2.emit(timer_event(2));
+        assert_eq!(r.events().len(), 2);
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let r = Recorder::ring(2);
+        for s in 1..=5 {
+            r.emit(timer_event(s));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at(), SimTime::from_secs(4));
+        assert_eq!(evs[1].at(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn summarizing_recorder_counts_without_retaining() {
+        let r = Recorder::summarizing();
+        r.emit(timer_event(1));
+        r.emit(timer_event(2));
+        assert!(r.events().is_empty());
+        assert_eq!(r.summary().events_total, 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Timeline ordering and JSON-lines export.
+
+use crate::event::Event;
+
+/// The events sorted by [`Event::at`], stably — ties keep emission
+/// order, so the result is deterministic for a deterministic run.
+pub fn sorted(events: &[Event]) -> Vec<Event> {
+    let mut out = events.to_vec();
+    out.sort_by_key(|e| e.at());
+    out
+}
+
+/// Serialize a timeline as JSON lines: one event per line, sorted by
+/// [`Event::at`], with a trailing newline. Deterministic for a
+/// deterministic run — suitable for golden files and external tooling.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in sorted(events) {
+        out.push_str(&serde_json::to_string(&e).expect("event serialization is infallible"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Timer;
+    use ewb_simcore::SimTime;
+
+    fn timer(secs: u64, timer: Timer) -> Event {
+        Event::TimerExpired {
+            at: SimTime::from_secs(secs),
+            timer,
+        }
+    }
+
+    #[test]
+    fn sorted_orders_by_time_stably() {
+        let evs = vec![
+            timer(5, Timer::T2),
+            timer(1, Timer::T1),
+            timer(5, Timer::T1),
+        ];
+        let s = sorted(&evs);
+        assert_eq!(s[0].at(), SimTime::from_secs(1));
+        // Stable: the two t=5 events keep emission order (T2 then T1).
+        assert!(matches!(
+            s[1],
+            Event::TimerExpired {
+                timer: Timer::T2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            s[2],
+            Event::TimerExpired {
+                timer: Timer::T1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event_with_trailing_newline() {
+        let evs = vec![timer(2, Timer::T1), timer(1, Timer::T2)];
+        let text = to_jsonl(&evs);
+        assert!(text.ends_with('\n'));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"T2\""));
+        assert!(lines[1].contains("\"T1\""));
+    }
+}

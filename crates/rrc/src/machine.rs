@@ -15,8 +15,18 @@
 
 use crate::config::RrcConfig;
 use crate::state::RrcState;
+use ewb_obs::{Event as ObsEvent, RadioState as ObsState, Recorder, Timer as ObsTimer};
 use ewb_simcore::{EnergyMeter, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+fn obs_state(s: RrcState) -> ObsState {
+    match s {
+        RrcState::Idle => ObsState::Idle,
+        RrcState::Promoting => ObsState::Promoting,
+        RrcState::Fach => ObsState::Fach,
+        RrcState::Dch => ObsState::Dch,
+    }
+}
 
 /// One recorded state change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,6 +115,7 @@ pub struct RrcMachine {
     residency: StateResidency,
     transitions: Vec<Transition>,
     counters: RrcCounters,
+    recorder: Recorder,
 }
 
 impl RrcMachine {
@@ -114,6 +125,19 @@ impl RrcMachine {
     ///
     /// Panics if `cfg` fails [`RrcConfig::validate`].
     pub fn new(cfg: RrcConfig, start: SimTime) -> Self {
+        Self::with_recorder(cfg, start, Recorder::disabled())
+    }
+
+    /// Like [`RrcMachine::new`], but every state transition, timer
+    /// expiry, promotion, and energy-meter advance is mirrored into
+    /// `recorder` as structured events. The recorder only observes —
+    /// machine behaviour and energy are identical with it enabled or
+    /// disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`RrcConfig::validate`].
+    pub fn with_recorder(cfg: RrcConfig, start: SimTime, recorder: Recorder) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid RrcConfig: {e}");
         }
@@ -129,7 +153,19 @@ impl RrcMachine {
             residency: StateResidency::default(),
             transitions: Vec::new(),
             counters: RrcCounters::default(),
+            recorder,
         }
+    }
+
+    /// Replaces the machine's recorder (e.g. to attach tracing to an
+    /// already-constructed machine).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The machine's recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The machine's current time (the last stimulus it processed).
@@ -281,6 +317,7 @@ impl RrcMachine {
                         RrcState::Dch,
                         RrcState::Fach,
                         self.cfg.fach_to_dch_latency * attempts,
+                        retries,
                     )
                 } else {
                     t
@@ -295,6 +332,7 @@ impl RrcMachine {
                         RrcState::Dch,
                         RrcState::Idle,
                         self.cfg.idle_to_dch_latency * attempts,
+                        retries,
                     )
                 } else {
                     self.counters.idle_to_fach += 1;
@@ -304,6 +342,7 @@ impl RrcMachine {
                         RrcState::Fach,
                         RrcState::Idle,
                         self.cfg.idle_to_fach_latency * attempts,
+                        retries,
                     )
                 }
             }
@@ -316,6 +355,13 @@ impl RrcMachine {
                     self.promotion = Some((new_end, RrcState::Dch, from));
                     self.counters.fach_to_dch += 1;
                     self.counters.promotion_retries += u64::from(retries);
+                    self.recorder.emit_with(|| ObsEvent::PromotionStart {
+                        at: t,
+                        from: obs_state(from),
+                        target: ObsState::Dch,
+                        done: new_end,
+                        retries,
+                    });
                     new_end
                 } else {
                     end
@@ -382,6 +428,8 @@ impl RrcMachine {
         self.integrate_to(done);
         self.t1_deadline = None;
         self.t2_deadline = None;
+        self.recorder
+            .emit_with(|| ObsEvent::FastDormancy { at: t, done });
         self.change_state(done, RrcState::Idle);
         self.counters.fast_dormancy_releases += 1;
         done
@@ -421,6 +469,10 @@ impl RrcMachine {
                 debug_assert_eq!(self.state, RrcState::Dch);
                 debug_assert_eq!(self.active_transfers, 0);
                 self.t1_deadline = None;
+                self.recorder.emit_with(|| ObsEvent::TimerExpired {
+                    at: te,
+                    timer: ObsTimer::T1,
+                });
                 self.change_state(te, RrcState::Fach);
                 self.t2_deadline = Some(te + self.cfg.t2);
                 self.counters.t1_expirations += 1;
@@ -429,6 +481,10 @@ impl RrcMachine {
                 debug_assert_eq!(self.state, RrcState::Fach);
                 debug_assert_eq!(self.active_transfers, 0);
                 self.t2_deadline = None;
+                self.recorder.emit_with(|| ObsEvent::TimerExpired {
+                    at: te,
+                    timer: ObsTimer::T2,
+                });
                 self.change_state(te, RrcState::Idle);
                 self.counters.t2_expirations += 1;
             }
@@ -441,9 +497,17 @@ impl RrcMachine {
         target: RrcState,
         from: RrcState,
         latency: SimDuration,
+        retries: u32,
     ) -> SimTime {
         let end = t + latency;
         self.promotion = Some((end, target, from));
+        self.recorder.emit_with(|| ObsEvent::PromotionStart {
+            at: t,
+            from: obs_state(from),
+            target: obs_state(target),
+            done: end,
+            retries,
+        });
         self.change_state(t, RrcState::Promoting);
         end
     }
@@ -454,6 +518,17 @@ impl RrcMachine {
         if t > before {
             self.residency.add(self.state, t - before);
             self.meter.advance_to(t, watts);
+            // Energy-ledger entry: same arithmetic, same operands as the
+            // meter's addend, so folding the ledger in emission order is
+            // bit-identical to the meter's total.
+            let state = self.state;
+            self.recorder.emit_with(|| ObsEvent::EnergySegment {
+                start: before,
+                end: t,
+                state: obs_state(state),
+                watts,
+                joules: watts * (t - before).as_secs_f64(),
+            });
         }
     }
 
@@ -463,6 +538,12 @@ impl RrcMachine {
                 at,
                 from: self.state,
                 to,
+            });
+            let from = self.state;
+            self.recorder.emit_with(|| ObsEvent::StateTransition {
+                at,
+                from: obs_state(from),
+                to: obs_state(to),
             });
             self.state = to;
         }
@@ -892,6 +973,41 @@ mod edge_case_tests {
         assert_eq!(m.counters().idle_to_dch, 0);
         assert_eq!(m.counters().fach_to_dch, 0);
         assert_eq!(m.state(), RrcState::Fach);
+    }
+
+    #[test]
+    fn ledger_reconciles_bit_for_bit_and_recorder_is_invisible() {
+        let recorder = ewb_obs::Recorder::memory();
+        let mut traced =
+            RrcMachine::with_recorder(RrcConfig::paper(), SimTime::ZERO, recorder.clone());
+        let mut plain = machine();
+        for m in [&mut traced, &mut plain] {
+            let s = m.begin_transfer_with_promotion_retries(SimTime::ZERO, true, 1);
+            m.end_transfer(s + SimDuration::from_secs(2));
+            let s2 = m.begin_transfer(s + SimDuration::from_secs(8), false);
+            m.end_transfer(s2 + SimDuration::from_millis(300));
+            let rel = s2 + SimDuration::from_secs(3);
+            m.release_to_idle(rel);
+            m.advance_to(rel + SimDuration::from_secs(10));
+        }
+        // Observer effect = 0: tracing changes nothing observable.
+        assert_eq!(traced.energy_j().to_bits(), plain.energy_j().to_bits());
+        assert_eq!(traced.counters(), plain.counters());
+        assert_eq!(traced.transitions(), plain.transitions());
+        // The ledger folds back to the reported energy exactly.
+        let events = recorder.events();
+        let entries = ewb_obs::ledger::entries(&events);
+        assert!(ewb_obs::ledger::audit(&entries).is_empty());
+        assert_eq!(
+            ewb_obs::ledger::total(&entries).to_bits(),
+            traced.energy_j().to_bits()
+        );
+        // Transitions, timers, promotions, and the release all surfaced.
+        let summary = recorder.summary();
+        assert_eq!(summary.transitions, traced.transitions().len() as u64);
+        assert_eq!(summary.events_by_kind["fast_dormancy"], 1);
+        assert_eq!(summary.events_by_kind["promotion_start"], 1);
+        assert_eq!(summary.events_by_kind["timer_expired"], 1);
     }
 
     #[test]
