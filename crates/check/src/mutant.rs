@@ -1,0 +1,94 @@
+//! Deliberately seeded defects, used to prove the harness has teeth.
+//!
+//! A mutant doctors the *system under test* (the [`ewb_rrc::RrcMachine`]
+//! the driver builds) while the reference interpreter keeps the true
+//! configuration. A sound harness must catch every mutant with a short,
+//! shrunk counterexample; a harness that passes a mutant is asserting
+//! nothing. `check_all` re-verifies this on every CI run.
+
+use ewb_rrc::RrcConfig;
+
+/// A seeded defect in the system under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// No defect: the SUT uses the true configuration.
+    None,
+    /// T1 and T2 wiring swapped: the DCH→FACH demotion waits T2 (15 s)
+    /// and the FACH→IDLE release waits T1 (4 s) — the classic
+    /// transposed-constant bug.
+    SwappedTimers,
+    /// Fast dormancy silently dropped: `release_to_idle` requests are
+    /// ignored by the radio firmware, so the tail timers keep burning.
+    IgnoredDormancy,
+    /// The IDLE→DCH promotion completes in half the calibrated latency,
+    /// under-billing every cold start's time and energy.
+    EagerPromotion,
+}
+
+impl Mutant {
+    /// The faulty mutants, in severity order.
+    pub const ALL_FAULTY: [Mutant; 3] = [
+        Mutant::SwappedTimers,
+        Mutant::IgnoredDormancy,
+        Mutant::EagerPromotion,
+    ];
+
+    /// The configuration the SUT is built from (the reference always
+    /// gets the undoctored `cfg`).
+    pub fn doctor(self, cfg: &RrcConfig) -> RrcConfig {
+        let mut c = cfg.clone();
+        match self {
+            Mutant::None | Mutant::IgnoredDormancy => {}
+            Mutant::SwappedTimers => {
+                std::mem::swap(&mut c.t1, &mut c.t2);
+            }
+            Mutant::EagerPromotion => {
+                c.idle_to_dch_latency = c.idle_to_dch_latency / 2;
+            }
+        }
+        c
+    }
+
+    /// Whether the SUT silently drops `release_to_idle` requests.
+    pub fn drops_release(self) -> bool {
+        matches!(self, Mutant::IgnoredDormancy)
+    }
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mutant::None => "none",
+            Mutant::SwappedTimers => "swapped-timers",
+            Mutant::IgnoredDormancy => "ignored-dormancy",
+            Mutant::EagerPromotion => "eager-promotion",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doctored_configs_still_validate() {
+        let cfg = RrcConfig::paper();
+        let mut all = vec![Mutant::None];
+        all.extend(Mutant::ALL_FAULTY);
+        for m in all {
+            let d = m.doctor(&cfg);
+            assert!(
+                d.validate().is_ok(),
+                "{}: doctored config invalid",
+                m.label()
+            );
+        }
+    }
+
+    #[test]
+    fn swapped_timers_actually_swaps() {
+        let cfg = RrcConfig::paper();
+        let d = Mutant::SwappedTimers.doctor(&cfg);
+        assert_eq!(d.t1, cfg.t2);
+        assert_eq!(d.t2, cfg.t1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Differential oracles over the page-load pipeline stack.
+//!
+//! Two cross-checks, both end-to-end through `browser` × `net` × `rrc`:
+//!
+//! * **Mode agreement** — the Original and energy-aware schedules
+//!   reorder *when* objects are fetched, never *what*: both modes must
+//!   deliver the same object set (by URL), the same byte total, and the
+//!   same parse results (DOM size, page geometry, secondary URLs).
+//! * **Zero-fault identity** — a fetcher wired with
+//!   [`FaultConfig::none`] must be bit-identical to one with no fault
+//!   stream at all: same metrics, same transfer log, same radio energy
+//!   to the last f64 bit. Fault plumbing may not perturb the clean
+//!   path.
+//!
+//! The radio invariants of [`crate::run`] are also re-checked here on
+//! the fetcher-driven machines, so a pipeline-level schedule change
+//! that breaks an RRC invariant is caught at this layer too.
+
+use crate::run::{check_machine_invariants, Violation};
+use ewb_browser::pipeline::{load_page, LoadMetrics, PipelineConfig, PipelineMode};
+use ewb_browser::CpuCostModel;
+use ewb_net::{FaultConfig, NetConfig, RetryPolicy, ThreeGFetcher};
+use ewb_obs::{Event, Recorder};
+use ewb_rrc::{RrcConfig, RrcMachine};
+use ewb_simcore::SimTime;
+use ewb_webpage::{benchmark_corpus, Corpus, OriginServer, PageVersion};
+use std::collections::BTreeSet;
+
+/// One pipeline load, instrumented enough to diff.
+struct InstrumentedLoad {
+    metrics: LoadMetrics,
+    /// URLs that began a transfer over the radio.
+    urls: BTreeSet<String>,
+}
+
+fn load_instrumented(
+    corpus: &Corpus,
+    server: &OriginServer,
+    site: &str,
+    version: PageVersion,
+    mode: PipelineMode,
+    violations: &mut Vec<Violation>,
+) -> InstrumentedLoad {
+    let page = corpus
+        .page(site, version)
+        .unwrap_or_else(|| panic!("unknown site {site}"));
+    let recorder = Recorder::memory();
+    // The recorder must ride on the *machine*, not just the fetcher, so
+    // the event stream carries the energy ledger the invariants audit.
+    let machine = RrcMachine::with_recorder(RrcConfig::paper(), SimTime::ZERO, recorder.clone());
+    let mut fetcher = ThreeGFetcher::with_machine(NetConfig::paper(), machine, server)
+        .with_recorder(recorder.clone());
+    let metrics = load_page(
+        &mut fetcher,
+        page.root_url(),
+        SimTime::ZERO,
+        &PipelineConfig::new(mode),
+        &CpuCostModel::smartphone(),
+    );
+
+    let events = recorder.events();
+    let urls: BTreeSet<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::TransferBegin { url, .. } => Some(url.clone()),
+            _ => None,
+        })
+        .collect();
+
+    // Re-check the radio invariants on this fetcher-driven machine.
+    let windows: Vec<(SimTime, SimTime)> = fetcher
+        .transfers()
+        .iter()
+        .map(|t| (t.data_start, t.end))
+        .collect();
+    let label = format!("{site}/{version:?}/{mode:?}");
+    check_machine_invariants(fetcher.machine(), &events, &windows, &mut |inv, d| {
+        violations.push(Violation {
+            invariant: inv,
+            detail: format!("{label}: {d}"),
+        });
+    });
+
+    InstrumentedLoad { metrics, urls }
+}
+
+/// Checks that both pipeline modes agree on *what* was loaded for one
+/// site/version, and that each mode's radio satisfies the RRC
+/// invariants. Returns all violations found (empty = agreement).
+pub fn check_mode_agreement(seed: u64, site: &str, version: PageVersion) -> Vec<Violation> {
+    let corpus = benchmark_corpus(seed);
+    let server = OriginServer::from_corpus(&corpus);
+    let mut violations = Vec::new();
+    let a = load_instrumented(
+        &corpus,
+        &server,
+        site,
+        version,
+        PipelineMode::Original,
+        &mut violations,
+    );
+    let b = load_instrumented(
+        &corpus,
+        &server,
+        site,
+        version,
+        PipelineMode::EnergyAware,
+        &mut violations,
+    );
+
+    let label = format!("{site}/{version:?}");
+    let mut diff = |field: &str, x: String, y: String| {
+        if x != y {
+            violations.push(Violation {
+                invariant: "pipeline-mode-agreement",
+                detail: format!("{label}: {field} differs: Original={x}, EnergyAware={y}"),
+            });
+        }
+    };
+    let (ma, mb) = (&a.metrics, &b.metrics);
+    diff(
+        "bytes_fetched",
+        ma.bytes_fetched.to_string(),
+        mb.bytes_fetched.to_string(),
+    );
+    diff(
+        "objects_fetched",
+        ma.objects_fetched.to_string(),
+        mb.objects_fetched.to_string(),
+    );
+    diff(
+        "failed_objects",
+        ma.failed_objects.to_string(),
+        mb.failed_objects.to_string(),
+    );
+    diff(
+        "image_bytes",
+        ma.image_bytes.to_string(),
+        mb.image_bytes.to_string(),
+    );
+    diff(
+        "dom_nodes",
+        ma.dom_nodes.to_string(),
+        mb.dom_nodes.to_string(),
+    );
+    diff(
+        "secondary_urls",
+        ma.secondary_urls.to_string(),
+        mb.secondary_urls.to_string(),
+    );
+    diff(
+        "page_geometry",
+        format!("{}x{}", ma.page_width, ma.page_height),
+        format!("{}x{}", mb.page_width, mb.page_height),
+    );
+    if a.urls != b.urls {
+        let only_a: Vec<_> = a.urls.difference(&b.urls).cloned().collect();
+        let only_b: Vec<_> = b.urls.difference(&a.urls).cloned().collect();
+        violations.push(Violation {
+            invariant: "pipeline-mode-agreement",
+            detail: format!(
+                "{label}: object sets differ: only Original={only_a:?}, \
+                 only EnergyAware={only_b:?}"
+            ),
+        });
+    }
+    violations
+}
+
+/// Checks that a loss-free fault stream is bit-identical to no fault
+/// stream at all over a full page load. Returns violations (empty =
+/// identical).
+pub fn check_zero_fault_identity(seed: u64, site: &str, version: PageVersion) -> Vec<Violation> {
+    let corpus = benchmark_corpus(seed);
+    let server = OriginServer::from_corpus(&corpus);
+    let page = corpus
+        .page(site, version)
+        .unwrap_or_else(|| panic!("unknown site {site}"));
+    let cfg = PipelineConfig::new(PipelineMode::EnergyAware);
+    let cost = CpuCostModel::smartphone();
+
+    let mut plain = ThreeGFetcher::new(
+        NetConfig::paper(),
+        RrcConfig::paper(),
+        &server,
+        SimTime::ZERO,
+    );
+    let m_plain = load_page(&mut plain, page.root_url(), SimTime::ZERO, &cfg, &cost);
+
+    let mut faulted = ThreeGFetcher::new(
+        NetConfig::paper(),
+        RrcConfig::paper(),
+        &server,
+        SimTime::ZERO,
+    )
+    .try_with_faults(
+        FaultConfig::none(),
+        seed ^ 0xD15EA5E,
+        RetryPolicy::standard(),
+    )
+    .expect("FaultConfig::none() always validates");
+    let m_faulted = load_page(&mut faulted, page.root_url(), SimTime::ZERO, &cfg, &cost);
+
+    let mut violations = Vec::new();
+    let label = format!("{site}/{version:?}");
+    let mut diff = |field: &str, x: String, y: String| {
+        if x != y {
+            violations.push(Violation {
+                invariant: "zero-fault-identity",
+                detail: format!("{label}: {field}: clean={x}, faulted(loss=0)={y}"),
+            });
+        }
+    };
+    diff(
+        "final_display_at",
+        format!("{}", m_plain.final_display_at),
+        format!("{}", m_faulted.final_display_at),
+    );
+    diff(
+        "bytes_fetched",
+        m_plain.bytes_fetched.to_string(),
+        m_faulted.bytes_fetched.to_string(),
+    );
+    diff(
+        "objects_fetched",
+        m_plain.objects_fetched.to_string(),
+        m_faulted.objects_fetched.to_string(),
+    );
+    diff(
+        "failed_objects",
+        m_plain.failed_objects.to_string(),
+        m_faulted.failed_objects.to_string(),
+    );
+    diff(
+        "energy_bits",
+        format!("{:016x}", plain.machine().energy_j().to_bits()),
+        format!("{:016x}", faulted.machine().energy_j().to_bits()),
+    );
+    if plain.transfers() != faulted.transfers() {
+        violations.push(Violation {
+            invariant: "zero-fault-identity",
+            detail: format!("{label}: transfer logs differ"),
+        });
+    }
+    violations
+}
+
+/// Runs both pipeline oracles over every site of the benchmark corpus
+/// in both versions. The full Table 3 sweep — `check_all`'s pipeline
+/// stage.
+pub fn check_all_sites(seed: u64) -> Vec<Violation> {
+    let corpus = benchmark_corpus(seed);
+    let mut violations = Vec::new();
+    for site in corpus.sites() {
+        for version in [PageVersion::Mobile, PageVersion::Full] {
+            violations.extend(check_mode_agreement(seed, &site.key, version));
+            violations.extend(check_zero_fault_identity(seed, &site.key, version));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_site() -> String {
+        benchmark_corpus(7).sites()[0].key.clone()
+    }
+
+    #[test]
+    fn modes_agree_on_the_first_site() {
+        let site = first_site();
+        for version in [PageVersion::Mobile, PageVersion::Full] {
+            let v = check_mode_agreement(7, &site, version);
+            assert!(v.is_empty(), "{version:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn zero_fault_stream_is_invisible() {
+        let site = first_site();
+        let v = check_zero_fault_identity(7, &site, PageVersion::Mobile);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn full_corpus_sweep_is_clean() {
+        let v = check_all_sites(7);
+        assert!(v.is_empty(), "{} violations, first: {}", v.len(), v[0]);
+    }
+}

@@ -1,0 +1,520 @@
+//! The scenario driver: runs one [`Scenario`] through the real
+//! [`RrcMachine`] and the [`ReferenceRrc`] interpreter in lock-step,
+//! then checks the declarative invariant set over the machine's recorded
+//! event stream and diffs the two implementations' observable surfaces.
+//!
+//! The invariants are the harness's ground truth:
+//!
+//! 1. **legal-transitions** — every state change is an edge of the
+//!    Fig. 2 transition matrix;
+//! 2. **timer-arming** — T1 fires only in DCH, T2 only in FACH (checked
+//!    against the energy segment that precedes the expiry);
+//! 3. **energy-monotone** — reported energy never decreases and no
+//!    ledger segment carries negative power or joules;
+//! 4. **ledger-bit-identity** — folding the emitted energy ledger in
+//!    order reproduces `energy_j()` bit-for-bit, and the ledger passes
+//!    the structural audit;
+//! 5. **transfer-connected** — no data flows while the radio is outside
+//!    FACH/DCH;
+//! 6. **residency-accounts-time** — per-state residency sums to elapsed
+//!    time.
+//!
+//! The differential layer then compares state, clock, transition log,
+//! counters, residency, per-transfer `data_start`, and total energy
+//! (exact for integers, 1 nJ/J relative tolerance for the f64 energy,
+//! whose summation order legitimately differs).
+
+use crate::mutant::Mutant;
+use crate::scenario::{Scenario, Step};
+use ewb_obs::{ledger, Event, RadioState, Recorder, Timer};
+use ewb_rrc::intuitive::ReferenceRrc;
+use ewb_rrc::{RrcConfig, RrcMachine, RrcState};
+use ewb_simcore::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Relative tolerance for comparing the two implementations' energies.
+/// Everything else is integer-exact; energy alone is an f64 sum whose
+/// association order differs between the two interpreters.
+pub const ENERGY_REL_TOL: f64 = 1e-9;
+
+/// Cap on violations collected per run (the first one is what matters;
+/// the rest are context).
+const MAX_VIOLATIONS: usize = 8;
+
+/// One invariant or differential failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant (stable kebab-case key).
+    pub invariant: &'static str,
+    /// Human-readable detail: where and how it failed.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// The outcome of driving one scenario.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// All violations found (empty = clean run).
+    pub violations: Vec<Violation>,
+    /// Behavioural coverage keys the run exercised (states entered,
+    /// transitions taken, counters bumped) — the fuzzer's guidance
+    /// signal.
+    pub coverage: BTreeSet<String>,
+    /// The machine's total energy at the end of the run, joules.
+    pub energy_j: f64,
+    /// The machine's final clock.
+    pub end: SimTime,
+}
+
+impl RunReport {
+    /// Whether the run was violation-free.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The legal edges of the Fig. 2 RRC transition matrix, as enforced by
+/// invariant 1. `Promoting→Idle` is deliberately absent: a promotion
+/// cannot be abandoned.
+pub const LEGAL_TRANSITIONS: [(RrcState, RrcState); 7] = [
+    (RrcState::Idle, RrcState::Promoting),
+    (RrcState::Promoting, RrcState::Fach),
+    (RrcState::Promoting, RrcState::Dch),
+    (RrcState::Fach, RrcState::Promoting),
+    (RrcState::Dch, RrcState::Fach),
+    (RrcState::Fach, RrcState::Idle),
+    (RrcState::Dch, RrcState::Idle),
+];
+
+/// Runs `scenario` against a machine built from `mutant.doctor(cfg)`
+/// and the reference interpreter built from the true `cfg`, returning
+/// every invariant/differential violation found.
+pub fn check_scenario(cfg: &RrcConfig, scenario: &Scenario, mutant: Mutant) -> RunReport {
+    let recorder = Recorder::memory();
+    let mut m = RrcMachine::with_recorder(mutant.doctor(cfg), SimTime::ZERO, recorder.clone());
+    let mut r = ReferenceRrc::new(cfg.clone(), SimTime::ZERO);
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut coverage: BTreeSet<String> = BTreeSet::new();
+    let mut transfer_windows: Vec<(SimTime, SimTime)> = Vec::new();
+    let mut last_energy = 0.0_f64;
+
+    let push = |violations: &mut Vec<Violation>, invariant: &'static str, detail: String| {
+        if violations.len() < MAX_VIOLATIONS {
+            violations.push(Violation { invariant, detail });
+        }
+    };
+
+    for (i, step) in scenario.steps.iter().enumerate() {
+        let step_no = i + 1;
+        match step {
+            Step::Wait { micros } => {
+                let d = SimDuration::from_micros(*micros);
+                m.advance_to(m.now() + d);
+                r.wait(d);
+            }
+            Step::Transfer {
+                needs_dch,
+                micros,
+                retries,
+            } => {
+                let ds = m.begin_transfer_with_promotion_retries(m.now(), *needs_dch, *retries);
+                let end = ds + SimDuration::from_micros(*micros);
+                m.end_transfer(end);
+                transfer_windows.push((ds, end));
+                let ds_ref = r.transfer(*needs_dch, SimDuration::from_micros(*micros), *retries);
+                if ds != ds_ref {
+                    push(
+                        &mut violations,
+                        "differential-data-start",
+                        format!(
+                            "step {step_no} ({step}): machine data_start {ds}, reference {ds_ref}"
+                        ),
+                    );
+                }
+                coverage.insert(format!(
+                    "transfer:{}{}",
+                    if *needs_dch { "dch" } else { "fach" },
+                    if *micros == 0 { ":zero" } else { "" }
+                ));
+                if *retries > 0 {
+                    coverage.insert("transfer:retries".to_string());
+                }
+            }
+            Step::Release => {
+                if m.state() == RrcState::Idle {
+                    coverage.insert("release:noop".to_string());
+                }
+                if !mutant.drops_release() {
+                    m.release_to_idle(m.now());
+                }
+                r.release();
+            }
+            Step::CpuLoad { load } => {
+                m.set_cpu_load(m.now(), *load);
+                r.set_cpu_load(*load);
+                coverage.insert("cpu_load".to_string());
+            }
+        }
+
+        // Per-step differential surface.
+        if m.state() != r.state() {
+            push(
+                &mut violations,
+                "differential-state",
+                format!(
+                    "step {step_no} ({step}): machine in {}, reference in {}",
+                    m.state(),
+                    r.state()
+                ),
+            );
+        }
+        if m.now() != r.now() {
+            push(
+                &mut violations,
+                "differential-clock",
+                format!(
+                    "step {step_no} ({step}): machine at {}, reference at {}",
+                    m.now(),
+                    r.now()
+                ),
+            );
+        }
+        // Invariant 3 (driver half): energy never decreases.
+        if m.energy_j() < last_energy {
+            push(
+                &mut violations,
+                "energy-monotone",
+                format!(
+                    "step {step_no} ({step}): energy fell from {last_energy} to {}",
+                    m.energy_j()
+                ),
+            );
+        }
+        last_energy = m.energy_j();
+    }
+
+    // ---- differential: whole-run observables --------------------------
+    let me = m.energy_j();
+    let re = r.energy_j();
+    if (me - re).abs() > ENERGY_REL_TOL * (1.0 + me.abs()) {
+        push(
+            &mut violations,
+            "differential-energy",
+            format!("machine accrued {me} J, reference {re} J"),
+        );
+    }
+    if m.counters() != r.counters() {
+        push(
+            &mut violations,
+            "differential-counters",
+            format!("machine {:?}, reference {:?}", m.counters(), r.counters()),
+        );
+    }
+    if m.residency() != r.residency() {
+        push(
+            &mut violations,
+            "differential-residency",
+            format!("machine {:?}, reference {:?}", m.residency(), r.residency()),
+        );
+    }
+    if m.transitions() != r.transitions() {
+        push(
+            &mut violations,
+            "differential-transitions",
+            format!(
+                "machine took {:?}, reference {:?}",
+                m.transitions(),
+                r.transitions()
+            ),
+        );
+    }
+
+    // ---- invariants over the machine's own record ---------------------
+    check_machine_invariants(&m, &recorder.events(), &transfer_windows, &mut |inv, d| {
+        push(&mut violations, inv, d)
+    });
+
+    // Coverage from the machine's own record.
+    coverage.insert(format!("state:{}", m.state()));
+    for t in m.transitions() {
+        coverage.insert(format!("trans:{}->{}", t.from, t.to));
+    }
+    let c = m.counters();
+    for (key, v) in [
+        ("ctr:t1_expirations", c.t1_expirations),
+        ("ctr:t2_expirations", c.t2_expirations),
+        ("ctr:idle_to_dch", c.idle_to_dch),
+        ("ctr:idle_to_fach", c.idle_to_fach),
+        ("ctr:fach_to_dch", c.fach_to_dch),
+        ("ctr:fast_dormancy_releases", c.fast_dormancy_releases),
+        ("ctr:promotion_retries", c.promotion_retries),
+    ] {
+        if v > 0 {
+            coverage.insert(key.to_string());
+        }
+    }
+
+    RunReport {
+        scenario: scenario.clone(),
+        violations,
+        coverage,
+        energy_j: me,
+        end: m.now(),
+    }
+}
+
+/// Invariants 1–6 over a finished machine, its event stream, and the
+/// transfer windows the driver observed. Factored out so the pipeline
+/// oracle can reuse it on fetcher-driven machines.
+pub fn check_machine_invariants(
+    m: &RrcMachine,
+    events: &[Event],
+    transfer_windows: &[(SimTime, SimTime)],
+    push: &mut dyn FnMut(&'static str, String),
+) {
+    // 1. Legal-transition matrix, continuity, and time ordering.
+    for (i, t) in m.transitions().iter().enumerate() {
+        if !LEGAL_TRANSITIONS.contains(&(t.from, t.to)) {
+            push(
+                "legal-transitions",
+                format!(
+                    "illegal transition #{i}: {} -> {} at {}",
+                    t.from, t.to, t.at
+                ),
+            );
+        }
+    }
+    for (i, w) in m.transitions().windows(2).enumerate() {
+        if w[0].to != w[1].from {
+            push(
+                "legal-transitions",
+                format!(
+                    "discontinuous transition chain at #{}: ... -> {} then {} -> ...",
+                    i + 1,
+                    w[0].to,
+                    w[1].from
+                ),
+            );
+        }
+        if w[0].at > w[1].at {
+            push(
+                "legal-transitions",
+                format!("transitions out of order at #{}", i + 1),
+            );
+        }
+    }
+
+    // 2. Timers fire only in their arming state. The energy segment
+    // ending at the expiry instant shows the state the radio was in
+    // while the timer ran down.
+    let mut last_segment: Option<(SimTime, SimTime, RadioState)> = None;
+    for e in events {
+        match e {
+            Event::EnergySegment {
+                start, end, state, ..
+            } => {
+                last_segment = Some((*start, *end, *state));
+            }
+            Event::TimerExpired { at, timer } => {
+                let expected = match timer {
+                    Timer::T1 => RadioState::Dch,
+                    Timer::T2 => RadioState::Fach,
+                };
+                match last_segment {
+                    Some((_, end, state)) if end == *at && state == expected => {}
+                    other => push(
+                        "timer-arming",
+                        format!(
+                            "{timer:?} fired at {at} but the radio was not in \
+                             {expected:?} up to that instant (last segment: {other:?})"
+                        ),
+                    ),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 3. (stream half) No ledger segment carries negative power/energy.
+    let entries = ledger::entries(events);
+    for (i, e) in entries.iter().enumerate() {
+        if e.joules < 0.0 || e.watts < 0.0 {
+            push(
+                "energy-monotone",
+                format!("ledger entry #{i} has negative power/energy: {e:?}"),
+            );
+        }
+    }
+
+    // 4. Ledger audit + bit-identical fold.
+    for err in ledger::audit(&entries) {
+        push("ledger-bit-identity", format!("ledger audit: {err:?}"));
+    }
+    let folded = ledger::total(&entries);
+    if folded.to_bits() != m.energy_j().to_bits() {
+        push(
+            "ledger-bit-identity",
+            format!(
+                "ledger folds to {folded} but the machine reports {} \
+                 (bit patterns differ)",
+                m.energy_j()
+            ),
+        );
+    }
+
+    // 5. No transfer outside FACH/DCH.
+    for (i, &(ds, end)) in transfer_windows.iter().enumerate() {
+        for e in &entries {
+            let lo = e.start.max(ds);
+            let hi = e.end.min(end);
+            if lo < hi && !matches!(e.state, RadioState::Fach | RadioState::Dch) {
+                push(
+                    "transfer-connected",
+                    format!(
+                        "transfer #{i} ({ds}..{end}) overlaps a {:?} segment \
+                         ({}..{})",
+                        e.state, e.start, e.end
+                    ),
+                );
+            }
+        }
+    }
+
+    // 6. Residency accounts for all elapsed time.
+    let elapsed = m.now() - SimTime::ZERO;
+    if m.residency().total() != elapsed {
+        push(
+            "residency-accounts-time",
+            format!(
+                "residency sums to {} but {} elapsed",
+                m.residency().total(),
+                elapsed
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::default_alphabet;
+
+    fn cfg() -> RrcConfig {
+        RrcConfig::paper()
+    }
+
+    #[test]
+    fn clean_machine_passes_every_alphabet_symbol() {
+        for (i, step) in default_alphabet().into_iter().enumerate() {
+            let s = Scenario::new(format!("sym-{i}"), vec![step]);
+            let r = check_scenario(&cfg(), &s, Mutant::None);
+            assert!(r.ok(), "symbol {i} failed: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn canonical_cascade_is_clean_and_covered() {
+        let s = Scenario::new(
+            "cascade",
+            vec![
+                Step::Transfer {
+                    needs_dch: true,
+                    micros: 500_000,
+                    retries: 0,
+                },
+                Step::Wait { micros: 19_500_000 },
+            ],
+        );
+        let r = check_scenario(&cfg(), &s, Mutant::None);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert!(r.coverage.contains("ctr:t1_expirations"));
+        assert!(r.coverage.contains("ctr:t2_expirations"));
+        assert!(r.coverage.contains("trans:DCH->FACH"));
+        assert!(r.coverage.contains("state:IDLE"));
+        assert!(r.energy_j > 0.0);
+    }
+
+    #[test]
+    fn swapped_timers_mutant_is_caught_by_state_diff() {
+        // Transfer then wait past the true T1: the real semantics demote
+        // to FACH, the mutant (T1=15 s) is still holding DCH.
+        let s = Scenario::new(
+            "t1-straddle",
+            vec![
+                Step::Transfer {
+                    needs_dch: true,
+                    micros: 500_000,
+                    retries: 0,
+                },
+                Step::Wait { micros: 4_500_000 },
+            ],
+        );
+        let r = check_scenario(&cfg(), &s, Mutant::SwappedTimers);
+        assert!(!r.ok(), "mutant must be caught");
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.invariant.starts_with("differential")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn ignored_dormancy_mutant_is_caught() {
+        let s = Scenario::new(
+            "dormancy",
+            vec![
+                Step::Transfer {
+                    needs_dch: true,
+                    micros: 500_000,
+                    retries: 0,
+                },
+                Step::Release,
+            ],
+        );
+        let r = check_scenario(&cfg(), &s, Mutant::IgnoredDormancy);
+        assert!(!r.ok(), "mutant must be caught");
+    }
+
+    #[test]
+    fn eager_promotion_mutant_is_caught_on_one_step() {
+        let s = Scenario::new(
+            "cold-start",
+            vec![Step::Transfer {
+                needs_dch: true,
+                micros: 0,
+                retries: 0,
+            }],
+        );
+        let r = check_scenario(&cfg(), &s, Mutant::EagerPromotion);
+        assert!(!r.ok(), "mutant must be caught");
+        assert_eq!(r.violations[0].invariant, "differential-data-start");
+    }
+
+    #[test]
+    fn violations_are_capped() {
+        // A long scenario against a gross mutant must not collect
+        // unbounded violation text.
+        let steps: Vec<Step> = (0..50)
+            .map(|_| Step::Transfer {
+                needs_dch: true,
+                micros: 100_000,
+                retries: 0,
+            })
+            .collect();
+        let s = Scenario::new("flood", steps);
+        let r = check_scenario(&cfg(), &s, Mutant::EagerPromotion);
+        assert!(!r.ok());
+        assert!(r.violations.len() <= 8, "{}", r.violations.len());
+    }
+}

@@ -1,0 +1,208 @@
+//! Replayable RRC stimulus scenarios and the discretized step alphabets
+//! the model checker enumerates.
+//!
+//! A [`Scenario`] is a finite, *sequential* stimulus program: each step
+//! completes before the next begins, so every syntactically valid step
+//! sequence is a legal driving of [`ewb_rrc::RrcMachine`] (no
+//! mid-promotion releases, no overlapping transfers). That closure
+//! property is what makes exhaustive enumeration and greedy shrinking
+//! sound: any subsequence of a scenario is itself a scenario.
+//!
+//! Scenarios serialize to single-line JSON so a corpus file is plain
+//! JSONL — one regression per line, diffable and greppable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One sequential stimulus applied to the radio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Let `micros` of inactivity pass (timers may fire inside).
+    Wait {
+        /// Duration of the gap, microseconds.
+        micros: u64,
+    },
+    /// Run one complete transfer: request now, promote if needed, move
+    /// data for `micros`, release interest (arming the inactivity timer).
+    Transfer {
+        /// Whether the transfer exceeds the FACH shared-channel capacity.
+        needs_dch: bool,
+        /// Data-flow duration, microseconds (0 is legal: a ping).
+        micros: u64,
+        /// Failed signaling attempts charged to the promotion, if one
+        /// happens (fault injection).
+        retries: u32,
+    },
+    /// Fast dormancy: application-initiated release to IDLE (a no-op when
+    /// already in IDLE).
+    Release,
+    /// Set the simulated CPU load, effective immediately.
+    CpuLoad {
+        /// Load in `[0, 1]`.
+        load: f64,
+    },
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Wait { micros } => write!(f, "wait {:.3}s", *micros as f64 / 1e6),
+            Step::Transfer {
+                needs_dch,
+                micros,
+                retries,
+            } => {
+                let ch = if *needs_dch { "DCH" } else { "FACH" };
+                write!(f, "transfer[{ch}] {:.3}s", *micros as f64 / 1e6)?;
+                if *retries > 0 {
+                    write!(f, " retries={retries}")?;
+                }
+                Ok(())
+            }
+            Step::Release => write!(f, "release"),
+            Step::CpuLoad { load } => write!(f, "cpu_load {load}"),
+        }
+    }
+}
+
+/// A named, replayable stimulus program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Stable name (corpus key / counterexample label).
+    pub name: String,
+    /// The steps, applied in order from an IDLE machine at t = 0.
+    pub steps: Vec<Step>,
+}
+
+impl Scenario {
+    /// Builds a scenario from parts.
+    pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Self {
+        Scenario {
+            name: name.into(),
+            steps,
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("scenario serialization cannot fail")
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error as a string.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad scenario line: {e}"))
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario `{}` ({} steps):", self.name, self.steps.len())?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>2}. {s}", i + 1)?;
+        }
+        write!(f, "  replay: {}", self.to_json_line())
+    }
+}
+
+/// The default discretized alphabet for exhaustive enumeration: seven
+/// symbols chosen to straddle every paper timing boundary — a sub-T1 gap,
+/// a gap that crosses T1 (4 s), a gap that crosses the whole T1+T2 tail
+/// (19 s), large/small/zero-length transfers, and fast dormancy.
+pub fn default_alphabet() -> Vec<Step> {
+    vec![
+        Step::Wait { micros: 500_000 },
+        Step::Wait { micros: 4_500_000 },
+        Step::Wait { micros: 19_500_000 },
+        Step::Transfer {
+            needs_dch: true,
+            micros: 500_000,
+            retries: 0,
+        },
+        Step::Transfer {
+            needs_dch: false,
+            micros: 300_000,
+            retries: 0,
+        },
+        Step::Transfer {
+            needs_dch: true,
+            micros: 0,
+            retries: 0,
+        },
+        Step::Release,
+    ]
+}
+
+/// A wider alphabet for randomized/boundary runs: adds gaps that land
+/// exactly on the T1 and T2 deadlines, a promotion with a retried
+/// signaling attempt, and a CPU-load change.
+pub fn extended_alphabet() -> Vec<Step> {
+    let mut a = default_alphabet();
+    a.push(Step::Wait { micros: 4_000_000 });
+    a.push(Step::Wait { micros: 15_000_000 });
+    a.push(Step::Transfer {
+        needs_dch: true,
+        micros: 250_000,
+        retries: 1,
+    });
+    a.push(Step::CpuLoad { load: 1.0 });
+    a.push(Step::CpuLoad { load: 0.0 });
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_every_step_kind() {
+        let s = Scenario::new(
+            "roundtrip",
+            vec![
+                Step::Wait { micros: 4_500_000 },
+                Step::Transfer {
+                    needs_dch: true,
+                    micros: 500_000,
+                    retries: 2,
+                },
+                Step::Release,
+                Step::CpuLoad { load: 0.75 },
+            ],
+        );
+        let line = s.to_json_line();
+        assert!(!line.contains('\n'), "must be a single JSONL line");
+        let back = Scenario::from_json_line(&line).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn bad_lines_are_reported_not_panicked() {
+        assert!(Scenario::from_json_line("{not json").is_err());
+        assert!(Scenario::from_json_line(r#"{"name":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn alphabets_are_nonempty_and_distinct() {
+        let d = default_alphabet();
+        let e = extended_alphabet();
+        assert_eq!(d.len(), 7);
+        assert!(e.len() > d.len());
+        for (i, a) in d.iter().enumerate() {
+            for b in &d[i + 1..] {
+                assert_ne!(a, b, "alphabet symbols must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_replayable() {
+        let s = Scenario::new("disp", vec![Step::Release]);
+        let text = s.to_string();
+        assert!(text.contains("replay:"));
+        let line = text.split("replay: ").nth(1).unwrap();
+        assert_eq!(Scenario::from_json_line(line).unwrap(), s);
+    }
+}

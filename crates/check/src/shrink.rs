@@ -1,0 +1,179 @@
+//! Deterministic greedy shrinking of failing scenarios.
+//!
+//! The vendored proptest stand-in generates but does not shrink, so the
+//! harness carries its own minimizer. Because any subsequence of a
+//! scenario is itself a valid scenario (see [`crate::scenario`]), greedy
+//! step deletion is sound; after deletion reaches a fixpoint, individual
+//! steps are simplified (durations halved toward zero, retries dropped,
+//! CPU load zeroed). The result is the canonical small counterexample
+//! that gets printed and checked into the corpus.
+
+use crate::scenario::{Scenario, Step};
+
+/// Shrinks `scenario` while `fails` keeps returning `true`, to a local
+/// minimum: no single step deletion or step simplification preserves
+/// the failure. Deterministic: same input and predicate, same output.
+///
+/// `fails(scenario)` must be true on entry; the returned scenario also
+/// fails.
+pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(scenario: &Scenario, mut fails: F) -> Scenario {
+    let mut best = scenario.clone();
+    debug_assert!(fails(&best), "shrink_scenario called on a passing scenario");
+    loop {
+        let mut improved = false;
+
+        // Phase 1: drop whole steps, front to back. After a successful
+        // deletion the same index is retried (the next step shifted in).
+        let mut i = 0;
+        while i < best.steps.len() && best.steps.len() > 1 {
+            let mut cand = best.clone();
+            cand.steps.remove(i);
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Phase 2: simplify steps in place.
+        for i in 0..best.steps.len() {
+            for simpler in simpler_steps(&best.steps[i]) {
+                let mut cand = best.clone();
+                cand.steps[i] = simpler;
+                if fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    best.name = format!("{}.shrunk", scenario.name);
+    best
+}
+
+/// Strictly-simpler variants of one step, most aggressive first.
+fn simpler_steps(step: &Step) -> Vec<Step> {
+    let mut out = Vec::new();
+    match *step {
+        Step::Wait { micros } => {
+            if micros > 0 {
+                out.push(Step::Wait { micros: micros / 2 });
+                out.push(Step::Wait {
+                    micros: micros - micros / 4,
+                });
+            }
+        }
+        Step::Transfer {
+            needs_dch,
+            micros,
+            retries,
+        } => {
+            if retries > 0 {
+                out.push(Step::Transfer {
+                    needs_dch,
+                    micros,
+                    retries: 0,
+                });
+            }
+            if micros > 0 {
+                out.push(Step::Transfer {
+                    needs_dch,
+                    micros: micros / 2,
+                    retries,
+                });
+            }
+        }
+        Step::Release => {}
+        Step::CpuLoad { load } => {
+            if load > 0.0 {
+                out.push(Step::CpuLoad { load: 0.0 });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait(micros: u64) -> Step {
+        Step::Wait { micros }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_step() {
+        // Failure = "contains a wait of at least 1 s".
+        let s = Scenario::new(
+            "noisy",
+            vec![wait(100), Step::Release, wait(5_000_000), Step::Release],
+        );
+        let min = shrink_scenario(&s, |c| {
+            c.steps
+                .iter()
+                .any(|st| matches!(st, Step::Wait { micros } if *micros >= 1_000_000))
+        });
+        // Greedy halving bottoms out at 1.25 s: both 625 ms (half) and
+        // 937.5 ms (three-quarters) fall below the 1 s predicate floor.
+        assert_eq!(min.steps, vec![wait(1_250_000)]);
+        assert_eq!(min.name, "noisy.shrunk");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let s = Scenario::new(
+            "det",
+            vec![
+                wait(3_000_000),
+                Step::Transfer {
+                    needs_dch: true,
+                    micros: 800_000,
+                    retries: 2,
+                },
+                wait(7_000_000),
+            ],
+        );
+        let pred = |c: &Scenario| c.steps.len() >= 2;
+        let a = shrink_scenario(&s, pred);
+        let b = shrink_scenario(&s, pred);
+        assert_eq!(a, b);
+        assert_eq!(a.steps.len(), 2, "cannot drop below the predicate floor");
+    }
+
+    #[test]
+    fn retries_and_durations_are_minimized() {
+        let s = Scenario::new(
+            "fat",
+            vec![Step::Transfer {
+                needs_dch: true,
+                micros: 4_000_000,
+                retries: 3,
+            }],
+        );
+        let min = shrink_scenario(&s, |c| {
+            c.steps.iter().any(|st| {
+                matches!(
+                    st,
+                    Step::Transfer {
+                        needs_dch: true,
+                        ..
+                    }
+                )
+            })
+        });
+        assert_eq!(
+            min.steps,
+            vec![Step::Transfer {
+                needs_dch: true,
+                micros: 0,
+                retries: 0,
+            }]
+        );
+    }
+}

@@ -76,6 +76,51 @@ mod tests {
     }
 
     #[test]
+    fn fast_and_reference_engines_agree_on_importance() {
+        // The optimized trainer must make the *same splits* as the naive
+        // reference, so total-gain importance is identical bit for bit.
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.f64(), rng.f64(), rng.f64(), rng.f64()])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0 + r[2]).collect();
+        let data = Dataset::new(rows, y).unwrap();
+        let params = GbrtParams {
+            n_trees: 15,
+            ..GbrtParams::default()
+        };
+        let fast = feature_importance(&Gbrt::fit(&data, &params));
+        let reference = feature_importance(&Gbrt::fit_reference(&data, &params));
+        assert_eq!(fast.len(), reference.len());
+        for (f, r) in fast.iter().zip(&reference) {
+            assert_eq!(
+                f.to_bits(),
+                r.to_bits(),
+                "fast {fast:?} vs ref {reference:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unused_feature_gets_zero_importance() {
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        // Feature 1 is constant — no split can ever use it.
+        let rows: Vec<Vec<f64>> = (0..150).map(|_| vec![rng.f64(), 0.5]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| (r[0] * 6.0).floor()).collect();
+        let data = Dataset::new(rows, y).unwrap();
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 10,
+                ..GbrtParams::default()
+            },
+        );
+        let imp = feature_importance(&model);
+        assert_eq!(imp[1], 0.0, "constant feature must never be split on");
+        assert!((imp[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn constant_target_gives_zero_importance() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let data = Dataset::new(rows, vec![1.0; 20]).unwrap();

@@ -157,4 +157,26 @@ mod tests {
         )
         .is_ok());
     }
+
+    #[test]
+    fn try_errors_name_the_offending_config() {
+        // Zero-capacity link.
+        let mut zero_cap = NetConfig::paper();
+        zero_cap.dch_bytes_per_sec = 0.0;
+        let e = try_bulk_download(&zero_cap, &RrcConfig::paper(), 1024, SimTime::ZERO).unwrap_err();
+        assert!(e.contains("invalid NetConfig"), "{e}");
+        assert!(e.contains("dch rate"), "{e}");
+
+        // Inconsistent capacity ordering.
+        let mut inverted = NetConfig::paper();
+        inverted.fach_bytes_per_sec = inverted.dch_bytes_per_sec * 2.0;
+        let e = try_bulk_download(&inverted, &RrcConfig::paper(), 1024, SimTime::ZERO).unwrap_err();
+        assert!(e.contains("FACH cannot be faster than DCH"), "{e}");
+
+        // Malformed radio config.
+        let mut bad_rrc = RrcConfig::paper();
+        bad_rrc.t1 = ewb_simcore::SimDuration::ZERO;
+        let e = try_bulk_download(&NetConfig::paper(), &bad_rrc, 1024, SimTime::ZERO).unwrap_err();
+        assert!(e.contains("invalid RrcConfig"), "{e}");
+    }
 }

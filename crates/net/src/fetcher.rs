@@ -596,6 +596,140 @@ mod tests {
     }
 
     #[test]
+    fn try_new_errors_name_the_offending_config() {
+        let (server, _) = setup();
+        // Zero-capacity link: the error must say which config and why.
+        let mut zero_cap = NetConfig::paper();
+        zero_cap.dch_bytes_per_sec = 0.0;
+        let e = ThreeGFetcher::try_new(zero_cap, RrcConfig::paper(), &server, SimTime::ZERO)
+            .unwrap_err();
+        assert!(e.contains("invalid NetConfig"), "{e}");
+        assert!(e.contains("dch rate"), "{e}");
+
+        // FACH outrunning DCH is inconsistent even with both positive.
+        let mut inverted = NetConfig::paper();
+        inverted.fach_bytes_per_sec = inverted.dch_bytes_per_sec * 2.0;
+        let e = ThreeGFetcher::try_new(inverted, RrcConfig::paper(), &server, SimTime::ZERO)
+            .unwrap_err();
+        assert!(e.contains("FACH cannot be faster than DCH"), "{e}");
+
+        let mut bad_rrc = RrcConfig::paper();
+        bad_rrc.t2 = SimDuration::ZERO;
+        let e = ThreeGFetcher::try_new(NetConfig::paper(), bad_rrc, &server, SimTime::ZERO)
+            .unwrap_err();
+        assert!(e.contains("invalid RrcConfig"), "{e}");
+    }
+
+    #[test]
+    fn try_with_faults_rejects_malformed_fault_configs() {
+        let (server, _) = setup();
+        let make = || {
+            ThreeGFetcher::new(
+                NetConfig::paper(),
+                RrcConfig::paper(),
+                &server,
+                SimTime::ZERO,
+            )
+        };
+        let mut over_unit = FaultConfig::none();
+        over_unit.loss_prob = 1.5;
+        let e = make()
+            .try_with_faults(over_unit, 1, RetryPolicy::standard())
+            .unwrap_err();
+        assert!(e.contains("loss_prob"), "{e}");
+
+        let mut nan = FaultConfig::none();
+        nan.truncation_prob = f64::NAN;
+        assert!(make()
+            .try_with_faults(nan, 1, RetryPolicy::standard())
+            .is_err());
+
+        // Loss with no stall budget would divide time by zero semantics.
+        let mut no_stall = FaultConfig::lossy(0.5);
+        no_stall.stall_timeout = SimDuration::ZERO;
+        let e = make()
+            .try_with_faults(no_stall, 1, RetryPolicy::standard())
+            .unwrap_err();
+        assert!(e.contains("stall_timeout"), "{e}");
+
+        let mut jitterless = FaultConfig::none();
+        jitterless.jitter_prob = 0.2;
+        jitterless.jitter_max = SimDuration::ZERO;
+        assert!(make()
+            .try_with_faults(jitterless, 1, RetryPolicy::standard())
+            .is_err());
+    }
+
+    #[test]
+    fn try_with_faults_rejects_malformed_retry_policies() {
+        let (server, _) = setup();
+        let mut no_attempts = RetryPolicy::standard();
+        no_attempts.max_attempts = 0;
+        let e = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        )
+        .try_with_faults(FaultConfig::none(), 1, no_attempts)
+        .unwrap_err();
+        assert!(e.contains("max_attempts"), "{e}");
+
+        let mut shrinking = RetryPolicy::standard();
+        shrinking.backoff_multiplier = 0.5;
+        assert!(ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        )
+        .try_with_faults(FaultConfig::none(), 1, shrinking)
+        .is_err());
+    }
+
+    /// Mid-transfer exhaustion by *deadline* rather than attempt count: a
+    /// certain-loss link whose per-request deadline expires before the
+    /// retry budget does must abandon early, record the attempts it made,
+    /// and leave the radio drained and the fetcher usable.
+    #[test]
+    fn deadline_abandons_retries_mid_transfer() {
+        let (server, root) = setup();
+        let mut cfg = FaultConfig::lossy(1.0);
+        cfg.truncation_prob = 0.0;
+        let tight = RetryPolicy {
+            // Stalls burn 3 s each; a 4 s deadline allows the first
+            // attempt and at most one retry before abandonment.
+            deadline: SimDuration::from_secs(4),
+            ..RetryPolicy::standard()
+        };
+        let mut f = ThreeGFetcher::new(
+            NetConfig::paper(),
+            RrcConfig::paper(),
+            &server,
+            SimTime::ZERO,
+        )
+        .try_with_faults(cfg, 7, tight)
+        .unwrap();
+        f.request(&root, SimTime::ZERO);
+        let c = f.next_completion().unwrap();
+        assert!(c.failed);
+        assert!(c.object.is_none());
+        let attempts = f.transfers().len() as u32;
+        assert!(
+            attempts < RetryPolicy::standard().max_attempts,
+            "deadline must cut the retry budget short, made {attempts} attempts"
+        );
+        assert!(!f.machine().is_transferring(), "refcount must drain");
+        // The fetcher survives: a later request still produces a
+        // completion (failed again under certain loss, but no panic and
+        // the timeline stays chronological).
+        let resume = f.machine().now();
+        f.request(&root, resume);
+        let c2 = f.next_completion().unwrap();
+        assert!(c2.at >= c.at);
+    }
+
+    #[test]
     fn retry_policy_validation_and_backoff() {
         let p = RetryPolicy::standard();
         assert!(p.validate().is_ok());

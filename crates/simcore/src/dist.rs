@@ -444,6 +444,70 @@ mod tests {
     }
 
     #[test]
+    fn samplers_are_deterministic_per_seed() {
+        // The whole experiment pipeline leans on this: a distribution is a
+        // pure function of (parameters, RNG stream).
+        fn replay<D: Distribution>(d: &D) {
+            let mut a = Xoshiro256::seed_from_u64(77);
+            let mut b = Xoshiro256::seed_from_u64(77);
+            for _ in 0..200 {
+                assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+            }
+        }
+        replay(&Uniform::new(0.0, 1.0));
+        replay(&Exponential::with_mean(25.0));
+        replay(&Weibull::new(0.6, 8.0));
+        replay(&Normal::new(5.0, 2.0));
+        replay(&LogNormal::with_median(50.0, 0.5));
+        replay(&Pareto::new(3.0, 2.5));
+        replay(&Bernoulli::new(0.3));
+    }
+
+    #[test]
+    fn positive_supports_stay_positive() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let w = Weibull::new(0.6, 8.0);
+        let ln = LogNormal::with_median(50.0, 1.0);
+        for _ in 0..10_000 {
+            assert!(w.sample(&mut rng) >= 0.0);
+            assert!(ln.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_with_zero_spread_is_constant() {
+        let d = Normal::new(3.25, 0.0);
+        let mut rng = Xoshiro256::seed_from_u64(14);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.25);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let d = LogNormal::new(1.0, 0.4);
+        assert!((sample_mean(&d, 400_000, 15) - d.mean()).abs() / d.mean() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn uniform_rejects_inverted_bounds() {
+        Uniform::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean must be positive")]
+    fn exponential_rejects_nonpositive_mean() {
+        Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Weibull parameters")]
+    fn weibull_rejects_nonpositive_shape() {
+        Weibull::new(0.0, 1.0);
+    }
+
+    #[test]
     fn gamma_known_values() {
         assert!((gamma(1.0) - 1.0).abs() < 1e-10);
         assert!((gamma(2.0) - 1.0).abs() < 1e-10);

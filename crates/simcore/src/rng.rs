@@ -304,6 +304,82 @@ mod tests {
     }
 
     #[test]
+    fn fork_does_not_perturb_the_parent() {
+        // fork() takes &self: deriving sub-streams must never advance the
+        // parent, or component order would change every downstream draw.
+        let mut parent = Xoshiro256::seed_from_u64(31);
+        let mut untouched = parent.clone();
+        let _ = parent.fork(1);
+        let _ = parent.fork(2);
+        for _ in 0..100 {
+            assert_eq!(parent.next_u64(), untouched.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_statistically_independent() {
+        // Pearson correlation between paired draws of two sibling streams
+        // should be near zero — the stream-split property the session and
+        // capacity models rely on.
+        let base = Xoshiro256::seed_from_u64(1234);
+        let mut a = base.fork(1);
+        let mut b = base.fork(2);
+        let n = 50_000;
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = a.f64();
+            let y = b.f64();
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        let n = n as f64;
+        let cov = sxy / n - (sx / n) * (sy / n);
+        let vx = sxx / n - (sx / n) * (sx / n);
+        let vy = syy / n - (sy / n) * (sy / n);
+        let r = cov / (vx * vy).sqrt();
+        assert!(r.abs() < 0.02, "sibling streams correlate: r = {r}");
+    }
+
+    #[test]
+    fn grandchild_streams_are_distinct() {
+        let base = Xoshiro256::seed_from_u64(6);
+        let child = base.fork(1);
+        let mut g1 = child.fork(1);
+        let mut g2 = child.fork(2);
+        let mut c = child.clone();
+        let (x1, x2, xc) = (g1.next_u64(), g2.next_u64(), c.next_u64());
+        assert_ne!(x1, x2);
+        assert_ne!(x1, xc);
+        assert_ne!(x2, xc);
+    }
+
+    #[test]
+    fn u64_below_one_is_always_zero() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert_eq!(rng.u64_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_inside_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let x = rng.f64_range(-3.0, 2.5);
+            assert!((-3.0..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid f64 range")]
+    fn f64_range_rejects_inverted_bounds() {
+        Xoshiro256::seed_from_u64(1).f64_range(2.0, 1.0);
+    }
+
+    #[test]
     fn choose_returns_member() {
         let mut rng = Xoshiro256::seed_from_u64(2);
         let items = [1, 2, 3];
