@@ -7,7 +7,7 @@
 //! off-radio anyway).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A cached layout result for one page.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,7 +39,9 @@ pub struct CachedLayout {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LayoutCache {
-    entries: HashMap<String, CachedLayout>,
+    // Sorted so a serialized cache is byte-deterministic (hash order
+    // leaked before ewb-lint).
+    entries: BTreeMap<String, CachedLayout>,
     hits: u64,
     misses: u64,
 }

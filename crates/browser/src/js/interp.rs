@@ -47,6 +47,7 @@ enum Value {
 impl Value {
     fn truthy(&self) -> bool {
         match self {
+            // lint:allow(api/float-eq) ECMA ToBoolean: only exact +/-0 and NaN are falsy
             Value::Num(n) => *n != 0.0 && !n.is_nan(),
             Value::Str(s) => !s.is_empty(),
             Value::Bool(b) => *b,
@@ -71,6 +72,7 @@ impl fmt::Display for Value {
             // JS-style number printing: integers without a decimal point,
             // which is what makes `base + i + ".jpg"` produce "dyn0.jpg".
             Value::Num(n) => {
+                // lint:allow(api/float-eq) fract() of a mathematical integer is exactly 0.0
                 if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
                     write!(f, "{}", *n as i64)
                 } else {

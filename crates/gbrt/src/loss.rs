@@ -57,6 +57,7 @@ impl Loss {
                 // zero residual must be 0.
                 .map(|(&y, &f)| {
                     let r = y - f;
+                    // lint:allow(api/float-eq) subgradient branch: x - x is exactly 0.0 in IEEE 754
                     if r == 0.0 {
                         0.0
                     } else {

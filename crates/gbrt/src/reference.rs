@@ -18,7 +18,7 @@ use crate::data::Dataset;
 use crate::tree::{Node, RegressionTree, TreeParams};
 use crate::{GbrtModel, GbrtParams};
 use ewb_simcore::Xoshiro256;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 struct BestSplit {
     feature: usize,
@@ -170,7 +170,7 @@ fn best_split(
 }
 
 /// The original boosting loop: re-derives every sample's leaf region
-/// twice per iteration (once through a `HashMap` for the γ fit, once for
+/// twice per iteration (once through a `BTreeMap` for the γ fit, once for
 /// the prediction update) and clones the full index list each round.
 pub(crate) fn fit_boosted(data: &Dataset, params: &GbrtParams) -> (GbrtModel, Vec<f64>) {
     if let Err(e) = params.validate() {
@@ -209,7 +209,10 @@ pub(crate) fn fit_boosted(data: &Dataset, params: &GbrtParams) -> (GbrtModel, Ve
         // Loss-optimal leaf values γ_jm over the *training* samples in
         // each region (all samples, not just the subsample — the
         // regions partition the whole space).
-        let mut regions: HashMap<usize, Vec<usize>> = HashMap::new();
+        // Sorted by leaf id: per-leaf γ fits are independent, but the
+        // trained model is serialized, so even visit order stays
+        // deterministic by construction.
+        let mut regions: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &i in &all_indices {
             regions
                 .entry(tree.leaf_id(data.row(i)))

@@ -1,0 +1,6 @@
+// Fixture: exact equality against a float literal in library code with
+// no allow justification — rounding makes this a latent heisenbug.
+
+pub fn is_idle(power_w: f64) -> bool {
+    power_w == 0.0
+}

@@ -1,0 +1,11 @@
+// Fixture: single-precision arithmetic in an energy/time crate (linted
+// as crates/simcore/src/fixture.rs, which the policy names). Both the
+// type position and the literal suffix fire.
+
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+pub fn half() -> f32 {
+    0.5f32
+}

@@ -1,0 +1,10 @@
+// Fixture: the compliant shape — f64 end to end, matching the ledger's
+// bit-identity requirements.
+
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+pub fn half() -> f64 {
+    0.5
+}

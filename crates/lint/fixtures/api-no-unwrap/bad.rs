@@ -1,0 +1,22 @@
+// Fixture: every panic shape the rule forbids in library code — bare
+// unwrap, an empty expect message, a panic that only echoes a value,
+// and unfinished-code markers.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u64]) -> u64 {
+    *xs.last().expect("")
+}
+
+pub fn parse(s: &str) -> u64 {
+    match s.parse() {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+pub fn later() -> u64 {
+    todo!()
+}

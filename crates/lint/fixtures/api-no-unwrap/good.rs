@@ -1,0 +1,26 @@
+// Fixture: the compliant shapes — a justified expect, a contextful
+// panic, propagation via Result, and unreachable! (which documents an
+// impossibility rather than deferring error handling).
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}
+
+pub fn parse(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("not a count: {e}"))
+}
+
+pub fn classify(bucket: u8) -> &'static str {
+    match bucket {
+        0 => "idle",
+        1 => "busy",
+        _ => unreachable!("bucket is always 0 or 1 by construction"),
+    }
+}
+
+pub fn strict(s: &str) -> u64 {
+    match s.parse() {
+        Ok(v) => v,
+        Err(e) => panic!("config count field must be an integer: {e}"),
+    }
+}

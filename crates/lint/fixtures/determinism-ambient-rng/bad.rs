@@ -1,0 +1,7 @@
+// Fixture: draws thread-local randomness — two runs of the same seed
+// diverge. Both the `rand::` path and the bare `thread_rng` name fire.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

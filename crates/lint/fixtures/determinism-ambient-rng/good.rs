@@ -1,0 +1,6 @@
+// Fixture: the compliant shape — randomness derives from an explicit
+// seed threaded through the call, never from the environment.
+
+pub fn jitter(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+}

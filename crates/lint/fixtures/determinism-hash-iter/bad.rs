@@ -1,0 +1,20 @@
+// Fixture: hash order reaching serialized output, both ways the rule
+// catches it: a `#[derive(Serialize)]` type holding a `HashMap` (serde
+// walks it in hash order), and a serialization-tainted function
+// iterating a hash-typed field.
+
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Debug, Serialize)]
+pub struct Snapshot {
+    pub counts: HashMap<String, u64>,
+}
+
+pub fn emit(snapshot: &Snapshot) -> String {
+    let mut lines = Vec::new();
+    for (name, count) in snapshot.counts.iter() {
+        lines.push(format!("{name}={count}"));
+    }
+    serde_json::to_string(&lines).expect("a vec of strings always serializes")
+}

@@ -1,0 +1,18 @@
+// Fixture: the compliant shape — sorted containers end to end, so the
+// serialized bytes are a pure function of the value.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Serialize)]
+pub struct Snapshot {
+    pub counts: BTreeMap<String, u64>,
+}
+
+pub fn emit(snapshot: &Snapshot) -> String {
+    let mut lines = Vec::new();
+    for (name, count) in snapshot.counts.iter() {
+        lines.push(format!("{name}={count}"));
+    }
+    serde_json::to_string(&lines).expect("a vec of strings always serializes")
+}

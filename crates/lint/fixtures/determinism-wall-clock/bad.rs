@@ -1,0 +1,8 @@
+// Fixture: reads the host clock from simulation code.
+// Linted as crates/core/src/fixture.rs (core is not a wall-clock-allowed
+// crate), so both `std::time` and `Instant` must fire.
+
+pub fn stamp() -> bool {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() > 0
+}

@@ -1,0 +1,6 @@
+// Fixture: the compliant shape — time flows in from the simulated
+// clock as a parameter; nothing touches the host clock.
+
+pub fn stamp(now_ticks: u64, deadline_ticks: u64) -> bool {
+    now_ticks >= deadline_ticks
+}

@@ -1,0 +1,7 @@
+// Fixture: relabels a seconds value as milliseconds with no arithmetic
+// at all — the silent factor-of-1000 bug.
+
+pub fn relabel(elapsed_s: f64) -> f64 {
+    let total_ms = elapsed_s;
+    total_ms
+}

@@ -1,0 +1,12 @@
+// Fixture: the compliant shapes — an explicit conversion factor, or an
+// assignment that stays inside one vocabulary.
+
+pub fn convert(elapsed_s: f64) -> f64 {
+    let total_ms = elapsed_s * 1000.0;
+    total_ms
+}
+
+pub fn carry(elapsed_s: f64) -> f64 {
+    let dwell_s = elapsed_s;
+    dwell_s
+}

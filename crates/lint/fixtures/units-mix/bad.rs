@@ -1,0 +1,6 @@
+// Fixture: adds joules to seconds — the sum has no physical meaning,
+// but every quantity is an f64 so only the names can tell.
+
+pub fn total(energy_j: f64, elapsed_s: f64) -> f64 {
+    energy_j + elapsed_s
+}

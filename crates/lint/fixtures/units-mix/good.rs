@@ -1,0 +1,19 @@
+// Fixture: compliant unit arithmetic. Same-vocabulary addition is
+// fine; multiplication legitimately combines vocabularies (W x s = J);
+// a conversion call breaks the bare-path pattern and silences the rule.
+
+pub fn total(energy_j: f64, extra_j: f64) -> f64 {
+    energy_j + extra_j
+}
+
+pub fn tail_energy(idle_w: f64, dwell_s: f64) -> f64 {
+    idle_w * dwell_s
+}
+
+pub fn to_joules(ws: f64) -> f64 {
+    ws
+}
+
+pub fn combined(energy_j: f64, tail_ws: f64) -> f64 {
+    energy_j + to_joules(tail_ws)
+}

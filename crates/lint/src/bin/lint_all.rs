@@ -1,0 +1,101 @@
+//! `lint_all` — run the ewb-lint pass over the workspace.
+//!
+//! ```text
+//! cargo run -p ewb-lint --release -- [--deny-all] [--json] [--root PATH] [--rule ID]
+//! ```
+//!
+//! * `--deny-all`  exit nonzero if *any* diagnostic survives (CI mode)
+//! * `--json`      emit a JSON report (machine-readable; uploaded as a CI
+//!   artifact) instead of human-readable lines
+//! * `--root PATH` workspace root (default: auto-detected from the crate's
+//!   manifest directory, falling back to the current directory)
+//! * `--rule ID`   only report diagnostics for one rule id
+
+use ewb_lint::engine;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Serialize)]
+struct Report {
+    files_scanned: usize,
+    findings: usize,
+    diagnostics: Vec<ewb_lint::Diagnostic>,
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut only_rule: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--rule" => only_rule = args.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: lint_all [--deny-all] [--json] [--root PATH] [--rule ID]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let mut outcome = match engine::lint_root(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint_all: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(rule) = &only_rule {
+        outcome.diagnostics.retain(|d| &d.rule == rule);
+    }
+
+    if json {
+        let report = Report {
+            files_scanned: outcome.files_scanned,
+            findings: outcome.diagnostics.len(),
+            diagnostics: outcome.diagnostics.clone(),
+        };
+        match serde_json::to_string(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("lint_all: serializing report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &outcome.diagnostics {
+            println!("{}", d.render());
+        }
+        eprintln!(
+            "lint_all: {} file(s) scanned, {} finding(s)",
+            outcome.files_scanned,
+            outcome.diagnostics.len()
+        );
+    }
+
+    if deny_all && !outcome.diagnostics.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,196 @@
+//! A crate-level call-graph approximation for serialization taint.
+//!
+//! The hash-iteration rule needs to know which functions *feed
+//! serialization*: goldens, JSON reports, and `Recorder` events are where
+//! a nondeterministic iteration order becomes a nondeterministic artifact.
+//! Without full name resolution we approximate:
+//!
+//! * an edge `F → g` exists when the body of `F` contains the identifier
+//!   `g` immediately followed by `(` (free/method call) — a *name-level*
+//!   graph, blind to which `g` among same-named functions is meant;
+//! * a function is a **taint seed** when its body mentions a
+//!   serialization token (`serde_json`, `Serialize`, `serialize`,
+//!   `to_writer`, `Recorder`, `emit`, `emit_with`, `write_golden`, …), its
+//!   own name looks sink-like (`golden`/`export`/`to_json`/`write_json`),
+//!   or it names a same-crate `#[derive(Serialize)]` type (constructing a
+//!   serializable value counts as feeding serialization);
+//! * taint propagates from callees to callers to a fixed point: if `F`
+//!   calls a tainted `g`, `F` is tainted.
+//!
+//! Known false negatives (documented in DESIGN.md): taint does **not**
+//! flow from callers to callees, so a helper that returns a hash-ordered
+//! `Vec` consumed by a serializing caller escapes the transitive check —
+//! the derive-field check catches the common container case instead; and
+//! cross-crate edges are invisible (each crate is analyzed alone).
+
+use crate::items::FileModel;
+use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Body tokens that mark a function as directly feeding serialization.
+const SINK_TOKENS: &[&str] = &[
+    "serde_json",
+    "Serialize",
+    "Serializer",
+    "serialize",
+    "to_writer",
+    "write_golden",
+    "Recorder",
+    "emit",
+    "emit_with",
+    "to_json",
+    "write_json",
+];
+
+/// Function-name substrings that mark sinks regardless of body content.
+const SINK_NAME_PARTS: &[&str] = &["golden", "export", "to_json", "write_json", "serialize"];
+
+/// The taint result for one crate.
+#[derive(Debug, Default)]
+pub struct Taint {
+    tainted: BTreeSet<String>,
+}
+
+impl Taint {
+    /// Whether the named function transitively feeds serialization.
+    pub fn is_tainted(&self, fn_name: &str) -> bool {
+        self.tainted.contains(fn_name)
+    }
+
+    /// Number of tainted functions (diagnostic/telemetry use).
+    pub fn len(&self) -> usize {
+        self.tainted.len()
+    }
+
+    /// Whether no function is tainted.
+    pub fn is_empty(&self) -> bool {
+        self.tainted.is_empty()
+    }
+}
+
+/// Builds the taint set for one crate from its analyzed files.
+///
+/// `files` pairs each file's source with its model; all files of the
+/// crate must be passed together so the name-level graph spans modules.
+pub fn taint_for_crate(files: &[(&str, &FileModel)]) -> Taint {
+    // Serializable type names declared anywhere in the crate.
+    let mut serde_types: BTreeSet<&str> = BTreeSet::new();
+    for (_, model) in files {
+        for ty in &model.types {
+            if ty
+                .derives
+                .iter()
+                .any(|d| d == "Serialize" || d == "Deserialize")
+            {
+                serde_types.insert(&ty.name);
+            }
+        }
+    }
+
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+
+    for (src, model) in files {
+        for f in &model.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((body_start, body_end)) = f.body else {
+                continue;
+            };
+            let mut callees = BTreeSet::new();
+            let mut seed = SINK_NAME_PARTS.iter().any(|p| f.name.contains(p));
+            for ci in body_start..body_end {
+                let ti = model.code[ci];
+                let tok = &model.tokens[ti];
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let text = tok.text(src);
+                if SINK_TOKENS.contains(&text) || serde_types.contains(text) {
+                    seed = true;
+                }
+                // Call edge: ident directly followed by `(`.
+                if let Some(&next) = model.code.get(ci + 1) {
+                    let nt = &model.tokens[next];
+                    if nt.kind == TokenKind::Punct && nt.text(src) == "(" {
+                        callees.insert(text.to_string());
+                    }
+                }
+            }
+            if seed {
+                tainted.insert(f.name.clone());
+            }
+            calls.entry(f.name.clone()).or_default().extend(callees);
+        }
+    }
+
+    // Propagate callee taint to callers to a fixed point.
+    loop {
+        let mut grew = false;
+        for (caller, callees) in &calls {
+            if tainted.contains(caller) {
+                continue;
+            }
+            if callees.iter().any(|c| tainted.contains(c)) {
+                tainted.insert(caller.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    Taint { tainted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::analyze;
+
+    #[test]
+    fn direct_sink_and_transitive_caller_are_tainted() {
+        let src = "\
+fn emit_report(x: &X) { serde_json::to_string(x); }\n\
+fn mid(x: &X) { emit_report(x); }\n\
+fn top(x: &X) { mid(x); }\n\
+fn unrelated() { let v = 1 + 1; }\n";
+        let m = analyze(src);
+        let t = taint_for_crate(&[(src, &m)]);
+        assert!(t.is_tainted("emit_report"));
+        assert!(t.is_tainted("mid"));
+        assert!(t.is_tainted("top"));
+        assert!(!t.is_tainted("unrelated"));
+    }
+
+    #[test]
+    fn constructing_a_serialize_type_taints() {
+        let src = "\
+#[derive(Serialize)]\nstruct Report { n: u32 }\n\
+fn build() -> Report { Report { n: 1 } }\n\
+fn plain() -> u32 { 2 }\n";
+        let m = analyze(src);
+        let t = taint_for_crate(&[(src, &m)]);
+        assert!(t.is_tainted("build"));
+        assert!(!t.is_tainted("plain"));
+    }
+
+    #[test]
+    fn sinky_names_are_seeds() {
+        let src = "fn write_golden_summary() { }\nfn helper() { write_golden_summary(); }\n";
+        let m = analyze(src);
+        let t = taint_for_crate(&[(src, &m)]);
+        assert!(t.is_tainted("write_golden_summary"));
+        assert!(t.is_tainted("helper"));
+    }
+
+    #[test]
+    fn test_fns_do_not_participate() {
+        let src = "#[test]\nfn check() { serde_json::to_string(&1); }\n";
+        let m = analyze(src);
+        let t = taint_for_crate(&[(src, &m)]);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use serde::Serialize;
+
+/// One finding, anchored to an exact source position.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (bytes).
+    pub col: u32,
+    /// Rule identifier, e.g. `determinism/hash-iter`.
+    pub rule: String,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col [rule] message (fix: hint)` — one line, greppable.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {} (fix: {})",
+            self.file, self.line, self.col, self.rule, self.message, self.hint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_line() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "api/no-unwrap".into(),
+            message: "bare `unwrap()` in library code".into(),
+            hint: "use `expect(\"…\")` or return Result".into(),
+        };
+        let r = d.render();
+        assert!(r.starts_with("crates/x/src/lib.rs:3:9 [api/no-unwrap]"));
+        assert!(!r.contains('\n'));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let d = Diagnostic {
+            file: "f.rs".into(),
+            line: 1,
+            col: 1,
+            rule: "r".into(),
+            message: "m".into(),
+            hint: "h".into(),
+        };
+        let json = serde_json::to_string(&d).expect("diagnostic serializes");
+        assert!(json.contains("\"rule\""));
+    }
+}

@@ -1,0 +1,242 @@
+//! The driver: walk the workspace, analyze, run rules, apply allowlists.
+//!
+//! Everything is deterministic: files are discovered in sorted order,
+//! diagnostics are sorted by `(file, line, col, rule)`, and duplicate
+//! `(file, line, rule)` reports collapse to the first. The linter is held
+//! to the same standard it enforces.
+
+use crate::allow;
+use crate::callgraph::{self, Taint};
+use crate::config::Policy;
+use crate::diag::Diagnostic;
+use crate::items::{self, FileModel};
+use crate::rules::{self, FileKind, RuleCtx, ALL_RULES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One file handed to the engine.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// The lint result.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All surviving diagnostics, sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+/// Lints a set of in-memory files (the testable core — fixtures and the
+/// workspace walk both funnel through here).
+pub fn lint_files(files: &[SourceFile], policy: &Policy) -> Outcome {
+    // Group files by crate for the taint analysis.
+    let mut models: Vec<(usize, FileModel)> = Vec::new();
+    let mut by_crate: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in files.iter().enumerate() {
+        models.push((i, items::analyze(&f.text)));
+        by_crate
+            .entry(crate_of(&f.rel_path).to_string())
+            .or_default()
+            .push(i);
+    }
+
+    let mut taints: BTreeMap<String, Taint> = BTreeMap::new();
+    for (krate, idxs) in &by_crate {
+        let pairs: Vec<(&str, &FileModel)> = idxs
+            .iter()
+            .map(|&i| (files[i].text.as_str(), &models[i].1))
+            .collect();
+        taints.insert(krate.clone(), callgraph::taint_for_crate(&pairs));
+    }
+
+    let mut diags = Vec::new();
+    for (i, model) in &models {
+        let f = &files[*i];
+        let krate = crate_of(&f.rel_path);
+        let ctx = RuleCtx {
+            src: &f.text,
+            model,
+            file: &f.rel_path,
+            crate_name: krate,
+            kind: kind_of(&f.rel_path),
+            policy,
+            taint: &taints[krate],
+        };
+        let mut file_diags = Vec::new();
+        rules::run_all(&ctx, &mut file_diags);
+        let (allows, bad_allows) = allow::parse(&f.text, model, &f.rel_path, ALL_RULES);
+        file_diags.retain(|d| !allow::suppressed(&allows, &d.rule, d.line));
+        diags.extend(bad_allows);
+        diags.extend(file_diags);
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    diags.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+
+    Outcome {
+        diagnostics: diags,
+        files_scanned: files.len(),
+    }
+}
+
+/// Lints the workspace rooted at `root`, honoring `root/lint.toml` when
+/// present (falling back to the built-in policy).
+pub fn lint_root(root: &Path) -> Result<Outcome, String> {
+    let policy = load_policy(root)?;
+    let mut files = Vec::new();
+    let excludes = policy.list("paths.exclude");
+    let mut paths = Vec::new();
+    collect_rs(root, root, &excludes, &mut paths)?;
+    paths.sort();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .map_err(|e| format!("path {}: {e}", p.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        files.push(SourceFile {
+            rel_path: rel,
+            text,
+        });
+    }
+    Ok(lint_files(&files, &policy))
+}
+
+/// Loads `root/lint.toml`, or the built-in policy when absent.
+pub fn load_policy(root: &Path) -> Result<Policy, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Policy::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) => Ok(Policy::builtin()),
+    }
+}
+
+/// Directories never worth descending into, regardless of policy.
+const HARD_SKIPS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    excludes: &[String],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("{e}"))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if HARD_SKIPS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            if excludes
+                .iter()
+                .any(|e| rel == *e || rel.starts_with(&format!("{e}/")))
+            {
+                continue;
+            }
+            collect_rs(root, &path, excludes, out)?;
+        } else if name.ends_with(".rs")
+            && !excludes
+                .iter()
+                .any(|e| rel == *e || rel.starts_with(&format!("{e}/")))
+        {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crate a workspace-relative path belongs to (`crates/net/…` →
+/// `net`); anything else is `workspace`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("workspace")
+}
+
+/// File classification from its path.
+fn kind_of(rel: &str) -> FileKind {
+    if rel.contains("/tests/") || rel.starts_with("tests/") {
+        FileKind::Test
+    } else if rel.contains("/src/bin/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/")
+        || rel.contains("/benches/")
+    {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, text: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile {
+            rel_path: path.into(),
+            text: text.into(),
+        }];
+        lint_files(&files, &Policy::builtin()).diagnostics
+    }
+
+    #[test]
+    fn clean_file_produces_no_diagnostics() {
+        let d = lint_one(
+            "crates/core/src/x.rs",
+            "pub fn add(a: f64, b: f64) -> f64 { a + b }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_bench_only() {
+        let src = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+        assert!(!lint_one("crates/core/src/x.rs", src).is_empty());
+        assert!(lint_one("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_exempt_in_bins_and_tests() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(!lint_one("crates/core/src/x.rs", src).is_empty());
+        assert!(lint_one("crates/bench/src/bin/x.rs", src).is_empty());
+        assert!(lint_one("crates/core/tests/x.rs", src).is_empty());
+        assert!(lint_one("tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_and_bad_allow_reports() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(api/no-unwrap) caller guarantees Some\n";
+        assert!(lint_one("crates/core/src/x.rs", src).is_empty());
+        let src = "pub fn f() {} // lint:allow(api/bogus) nope\n";
+        let d = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lint/bad-allow");
+    }
+
+    #[test]
+    fn diagnostics_collapse_to_one_per_line_per_rule() {
+        let src = "pub fn a(x: Option<u32>, y: Option<u32>) -> u32 { x.unwrap() + y.unwrap() }\n";
+        let d = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1, "one report per (line, rule): {d:?}");
+        let src = "pub fn a(x: Option<u32>) -> u32 { x.unwrap() }\npub fn b(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 2, "separate lines report separately");
+        assert!(d[0].line < d[1].line);
+    }
+}

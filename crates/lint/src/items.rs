@@ -1,0 +1,486 @@
+//! Item-level analysis over the raw token stream.
+//!
+//! No full parse — a single left-to-right walk with a brace-depth counter
+//! recovers everything the rules need:
+//!
+//! * **test regions** — `#[cfg(test)] mod … { … }` bodies and `#[test]`
+//!   functions, so API-hygiene rules can exempt test code;
+//! * **functions** — name, signature span, body token range, and whether
+//!   the function sits in a test region (the call-graph approximation is
+//!   built from these);
+//! * **structs/enums** — derive lists and field type tokens, so the
+//!   hash-iteration rule can flag `#[derive(Serialize)]` containers with
+//!   `HashMap`/`HashSet` fields (serde iterates them in hash order).
+
+use crate::lexer::{Token, TokenKind};
+
+/// A function found in the file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body, *inside* the braces: `(open+1, close)`.
+    /// `None` for bodyless functions (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+    /// Whether the function is inside `#[cfg(test)]` or marked `#[test]`.
+    pub in_test: bool,
+}
+
+/// A struct or enum found in the file.
+#[derive(Debug, Clone)]
+pub struct TypeItem {
+    /// Type name.
+    pub name: String,
+    /// Names listed in `#[derive(…)]` attributes on the item.
+    pub derives: Vec<String>,
+    /// `(field_line, field_col, field_name, type_text)` for each named
+    /// field whose type mentions a hash container.
+    pub hash_fields: Vec<(u32, u32, String, String)>,
+    /// Whether the type is inside a test region.
+    pub in_test: bool,
+}
+
+/// The analyzed file: token stream plus recovered structure.
+#[derive(Debug)]
+pub struct FileModel {
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Brace depth *before* each token in `tokens`.
+    pub depth: Vec<u32>,
+    /// Byte ranges of test regions (`#[cfg(test)] mod` bodies incl. braces).
+    pub test_regions: Vec<(usize, usize)>,
+    /// Functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Structs and enums, in source order.
+    pub types: Vec<TypeItem>,
+}
+
+impl FileModel {
+    /// Whether byte offset `pos` falls inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, pos: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+}
+
+/// Analyzes one file's source.
+pub fn analyze(src: &str) -> FileModel {
+    let tokens = crate::lexer::lex(src);
+    let mut depth = Vec::with_capacity(tokens.len());
+    let mut d = 0u32;
+    for t in &tokens {
+        depth.push(d);
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                "{" => d += 1,
+                "}" => d = d.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment() && t.kind != TokenKind::Shebang)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut model = FileModel {
+        tokens,
+        code,
+        depth,
+        test_regions: Vec::new(),
+        fns: Vec::new(),
+        types: Vec::new(),
+    };
+    find_test_regions(src, &mut model);
+    find_fns(src, &mut model);
+    find_types(src, &mut model);
+    model
+}
+
+/// Text of the code token at position `ci` in the `code` index list.
+fn ctext<'a>(src: &'a str, m: &FileModel, ci: usize) -> Option<&'a str> {
+    m.code.get(ci).map(|&i| m.tokens[i].text(src))
+}
+
+/// Finds the matching close brace for the open brace at code index `ci`
+/// (which must be `{`). Returns the code index of the `}`.
+fn matching_brace(src: &str, m: &FileModel, ci: usize) -> Option<usize> {
+    let mut level = 0i64;
+    for j in ci..m.code.len() {
+        match ctext(src, m, j) {
+            Some("{") => level += 1,
+            Some("}") => {
+                level -= 1;
+                if level == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Detects whether the attribute starting at code index `ci` (`#`) is
+/// `#[cfg(test)]` or `#[test]`, and returns the code index just past it.
+fn attr_scan(src: &str, m: &FileModel, ci: usize) -> Option<(bool, usize)> {
+    if ctext(src, m, ci) != Some("#") || ctext(src, m, ci + 1) != Some("[") {
+        return None;
+    }
+    let mut level = 0i64;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    let mut j = ci + 1;
+    while j < m.code.len() {
+        match ctext(src, m, j) {
+            Some("[") | Some("(") => level += 1,
+            Some("]") | Some(")") => {
+                level -= 1;
+                if level == 0 {
+                    return Some((is_test, j + 1));
+                }
+            }
+            Some("cfg") => saw_cfg = true,
+            Some("test") => {
+                // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` all
+                // mark test code for our purposes.
+                let _ = saw_cfg;
+                is_test = true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn find_test_regions(src: &str, model: &mut FileModel) {
+    let mut regions = Vec::new();
+    let mut ci = 0;
+    while ci < model.code.len() {
+        if let Some((is_test, after)) = attr_scan(src, model, ci) {
+            if is_test {
+                // Skip further attributes, then expect an item; capture its
+                // byte extent (to its matching `}` or trailing `;`).
+                let mut k = after;
+                while let Some((_, next)) = attr_scan(src, model, k) {
+                    k = next;
+                }
+                let item_start = model.code.get(k).map(|&i| model.tokens[i].start);
+                let mut level = 0i64;
+                let mut end = None;
+                for j in k..model.code.len() {
+                    match ctext(src, model, j) {
+                        Some("{") => level += 1,
+                        Some("}") => {
+                            level -= 1;
+                            if level == 0 {
+                                end = Some(model.tokens[model.code[j]].end);
+                                break;
+                            }
+                        }
+                        Some(";") if level == 0 => {
+                            end = Some(model.tokens[model.code[j]].end);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if let (Some(s), Some(e)) = (item_start, end) {
+                    regions.push((s, e));
+                }
+                ci = k;
+                continue;
+            }
+            ci = after;
+            continue;
+        }
+        ci += 1;
+    }
+    model.test_regions = regions;
+}
+
+fn find_fns(src: &str, model: &mut FileModel) {
+    let mut fns = Vec::new();
+    let mut ci = 0;
+    while ci < model.code.len() {
+        if ctext(src, model, ci) == Some("fn") {
+            // `fn` could be part of `fn()` type syntax; require an ident
+            // right after to call it a definition.
+            if let Some(name) = ctext(src, model, ci + 1) {
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    // Scan to the body `{` or a `;` at signature level.
+                    let mut level = 0i64;
+                    let mut body = None;
+                    let mut j = ci + 2;
+                    while j < model.code.len() {
+                        match ctext(src, model, j) {
+                            Some("(") | Some("[") | Some("<") => level += 1,
+                            Some(")") | Some("]") | Some(">") => level -= 1,
+                            Some(">>") => level -= 2,
+                            Some("{") if level <= 0 => {
+                                if let Some(close) = matching_brace(src, model, j) {
+                                    body = Some((j + 1, close));
+                                    break;
+                                }
+                                break;
+                            }
+                            Some(";") if level <= 0 => break,
+                            Some("fn") => break, // malformed; resync
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let fn_byte = model.tokens[model.code[ci]].start;
+                    fns.push(FnItem {
+                        name: name.to_string(),
+                        fn_tok: model.code[ci],
+                        body,
+                        in_test: model.in_test_region(fn_byte) || has_test_attr(src, model, ci),
+                    });
+                    ci += 2;
+                    continue;
+                }
+            }
+        }
+        ci += 1;
+    }
+    model.fns = fns;
+}
+
+/// Whether the tokens immediately before the `fn` at code index `ci` form a
+/// `#[test]`-ish attribute (walking back over visibility/qualifiers and any
+/// number of attributes).
+fn has_test_attr(src: &str, m: &FileModel, ci: usize) -> bool {
+    const QUALIFIERS: &[&str] = &[
+        "pub", "async", "unsafe", "const", "extern", "crate", "super", "in", "(", ")", "\"C\"",
+    ];
+    let mut j = ci;
+    // Skip qualifiers backwards.
+    while j > 0 && ctext(src, m, j - 1).is_some_and(|t| QUALIFIERS.contains(&t)) {
+        j -= 1;
+    }
+    // Walk back over consecutive `#[ … ]` attributes, newest first.
+    while j > 0 && ctext(src, m, j - 1) == Some("]") {
+        let end = j - 1;
+        let mut level = 0i64;
+        let mut start = None;
+        let mut k = end;
+        loop {
+            match ctext(src, m, k) {
+                Some("]") | Some(")") => level += 1,
+                Some("[") | Some("(") => {
+                    level -= 1;
+                    if level == 0 {
+                        start = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                break;
+            }
+            k -= 1;
+        }
+        let Some(open) = start else { return false };
+        if open == 0 || ctext(src, m, open - 1) != Some("#") {
+            return false;
+        }
+        if (open..=end).any(|i| ctext(src, m, i) == Some("test")) {
+            return true;
+        }
+        j = open - 1;
+    }
+    false
+}
+
+fn find_types(src: &str, model: &mut FileModel) {
+    let mut types = Vec::new();
+    let mut pending_derives: Vec<String> = Vec::new();
+    let mut ci = 0;
+    while ci < model.code.len() {
+        // Collect `#[derive(A, B)]`.
+        if ctext(src, model, ci) == Some("#") && ctext(src, model, ci + 1) == Some("[") {
+            if ctext(src, model, ci + 2) == Some("derive") {
+                let mut j = ci + 3;
+                let mut level = 0i64;
+                while j < model.code.len() {
+                    match ctext(src, model, j) {
+                        Some("(") => level += 1,
+                        Some(")") => {
+                            level -= 1;
+                            if level == 0 {
+                                break;
+                            }
+                        }
+                        Some(id) if level == 1 && id != "," => {
+                            pending_derives.push(id.to_string());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                ci = j;
+                continue;
+            }
+            // Other attribute: skip it but keep pending derives (multiple
+            // attributes may precede the item).
+            if let Some((_, after)) = attr_scan(src, model, ci) {
+                ci = after;
+                continue;
+            }
+        }
+        let kw = ctext(src, model, ci);
+        if kw == Some("struct") || kw == Some("enum") {
+            let name = ctext(src, model, ci + 1).unwrap_or("").to_string();
+            let byte = model.tokens[model.code[ci]].start;
+            let mut hash_fields = Vec::new();
+            // Find the `{ … }` body (tuple structs / unit structs have
+            // none we care about) and scan `name : Type ,` fields.
+            let mut j = ci + 2;
+            let mut level = 0i64;
+            while j < model.code.len() {
+                match ctext(src, model, j) {
+                    Some("<") => level += 1,
+                    Some(">") => level -= 1,
+                    Some(">>") => level -= 2,
+                    Some(";") if level <= 0 => break,
+                    Some("{") if level <= 0 => {
+                        if let Some(close) = matching_brace(src, model, j) {
+                            scan_fields(src, model, j + 1, close, &mut hash_fields);
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            types.push(TypeItem {
+                name,
+                derives: std::mem::take(&mut pending_derives),
+                hash_fields,
+                in_test: model.in_test_region(byte),
+            });
+            ci += 2;
+            continue;
+        }
+        // Any other item token invalidates pending derives.
+        if matches!(
+            kw,
+            Some("fn") | Some("impl") | Some("mod") | Some("trait") | Some("use") | Some("type")
+        ) {
+            pending_derives.clear();
+        }
+        ci += 1;
+    }
+    model.types = types;
+}
+
+/// Scans struct-body code tokens `[open, close)` for fields whose type
+/// mentions `HashMap`/`HashSet`, recording the field-name position.
+fn scan_fields(
+    src: &str,
+    m: &FileModel,
+    open: usize,
+    close: usize,
+    out: &mut Vec<(u32, u32, String, String)>,
+) {
+    let mut j = open;
+    while j < close {
+        // Field pattern: ident `:` … `,` (at depth 1 inside the body).
+        if ctext(src, m, j + 1) == Some(":") {
+            let name_tok = m.tokens[m.code[j]];
+            // Collect the type tokens to the field-separating comma.
+            let mut level = 0i64;
+            let mut k = j + 2;
+            let mut ty = String::new();
+            while k < close {
+                match ctext(src, m, k) {
+                    Some("<") | Some("(") | Some("[") => level += 1,
+                    Some(">") | Some(")") | Some("]") => level -= 1,
+                    Some(">>") => level -= 2,
+                    Some(",") if level <= 0 => break,
+                    _ => {}
+                }
+                if let Some(t) = ctext(src, m, k) {
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(t);
+                }
+                k += 1;
+            }
+            if ty.contains("HashMap") || ty.contains("HashSet") {
+                let name = ctext(src, m, j).unwrap_or("").to_string();
+                out.push((name_tok.line, name_tok.col, name, ty.clone()));
+            }
+            j = k;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_bodies() {
+        let src = "pub fn alpha(x: u32) -> u32 { x + 1 }\nfn beta();\n";
+        let m = analyze(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert!(m.fns[0].body.is_some());
+        assert_eq!(m.fns[1].name, "beta");
+        assert!(m.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let m = analyze(src);
+        assert_eq!(m.fns.len(), 2);
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test, "helper is inside #[cfg(test)]");
+    }
+
+    #[test]
+    fn marks_test_attr_fns() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn lib() {}\n";
+        let m = analyze(src);
+        assert!(m.fns[0].in_test);
+        assert!(!m.fns[1].in_test);
+    }
+
+    #[test]
+    fn captures_derives_and_hash_fields() {
+        let src = "#[derive(Debug, Serialize)]\npub struct S {\n    pub m: HashMap<String, u32>,\n    n: u32,\n}\n";
+        let m = analyze(src);
+        assert_eq!(m.types.len(), 1);
+        let t = &m.types[0];
+        assert_eq!(t.name, "S");
+        assert!(t.derives.iter().any(|d| d == "Serialize"));
+        assert_eq!(t.hash_fields.len(), 1);
+        assert_eq!(t.hash_fields[0].0, 3, "field line");
+    }
+
+    #[test]
+    fn generic_fn_with_angle_brackets_gets_right_body() {
+        let src = "fn g<T: Into<String>>(t: T) -> String { t.into() }";
+        let m = analyze(src);
+        assert_eq!(m.fns.len(), 1);
+        let (s, e) = m.fns[0].body.expect("has body");
+        assert!(s < e);
+    }
+}

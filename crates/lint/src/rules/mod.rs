@@ -1,0 +1,138 @@
+//! The rule catalog and the shared per-file rule context.
+//!
+//! Three families, eight rules:
+//!
+//! | id | family | what it forbids |
+//! |----|--------|-----------------|
+//! | `determinism/wall-clock`  | determinism | `Instant::now` / `SystemTime` / `std::time` outside crates the policy allows (`bench`) |
+//! | `determinism/hash-iter`   | determinism | iterating `HashMap`/`HashSet` in functions that transitively feed serialization, goldens, or `Recorder` events; serializable structs with hash-ordered fields |
+//! | `determinism/ambient-rng` | determinism | `thread_rng` / `rand::` / OS entropy outside `simcore::rng` |
+//! | `units/mix`          | units | `+ - < <= > >= == !=` between identifiers from different unit vocabularies (J vs s vs ms vs W vs bytes) with no conversion call |
+//! | `units/cross-assign` | units | bare assignment of a value from one unit vocabulary to a name from another |
+//! | `api/no-unwrap` | hygiene | bare `unwrap()`, message-less or context-free `panic!`, `todo!`, `unimplemented!`, empty `expect("")` in non-test library code |
+//! | `api/no-f32`    | hygiene | `f32` (type or literal suffix) in energy/time crates |
+//! | `api/float-eq`  | hygiene | `==`/`!=` against float literals outside approved epsilon helpers |
+
+pub mod determinism;
+pub mod hygiene;
+pub mod units;
+
+use crate::callgraph::Taint;
+use crate::config::Policy;
+use crate::diag::Diagnostic;
+use crate::items::FileModel;
+use crate::lexer::{Token, TokenKind};
+
+/// Every rule id the engine knows (used to validate `lint:allow`).
+pub const ALL_RULES: &[&str] = &[
+    "determinism/wall-clock",
+    "determinism/hash-iter",
+    "determinism/ambient-rng",
+    "units/mix",
+    "units/cross-assign",
+    "api/no-unwrap",
+    "api/no-f32",
+    "api/float-eq",
+];
+
+/// How a file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**` outside `src/bin`).
+    Lib,
+    /// Binary or example source — exempt from API-hygiene rules.
+    Bin,
+    /// Integration-test source — exempt from hygiene and units rules.
+    Test,
+}
+
+/// Everything a rule sees for one file.
+pub struct RuleCtx<'a> {
+    /// File source text.
+    pub src: &'a str,
+    /// Analyzed structure.
+    pub model: &'a FileModel,
+    /// Workspace-relative path.
+    pub file: &'a str,
+    /// Crate name (`net`, `obs`, …; `workspace` for top-level tests).
+    pub crate_name: &'a str,
+    /// File class.
+    pub kind: FileKind,
+    /// Parsed `lint.toml`.
+    pub policy: &'a Policy,
+    /// Crate-level serialization taint.
+    pub taint: &'a Taint,
+}
+
+impl<'a> RuleCtx<'a> {
+    /// Text of the code token at code index `ci`.
+    pub fn ctext(&self, ci: usize) -> Option<&'a str> {
+        self.model
+            .code
+            .get(ci)
+            .map(|&i| self.model.tokens[i].text(self.src))
+    }
+
+    /// The token at code index `ci`.
+    pub fn ctok(&self, ci: usize) -> Option<&Token> {
+        self.model.code.get(ci).map(|&i| &self.model.tokens[i])
+    }
+
+    /// Whether the code token at `ci` is inside test code (test file,
+    /// `#[cfg(test)]` region, or `#[test]` function).
+    pub fn in_test(&self, ci: usize) -> bool {
+        if self.kind == FileKind::Test {
+            return true;
+        }
+        let Some(tok) = self.ctok(ci) else {
+            return false;
+        };
+        if self.model.in_test_region(tok.start) {
+            return true;
+        }
+        self.enclosing_fn(ci).is_some_and(|f| f.in_test)
+    }
+
+    /// The function whose body contains code index `ci`, if any.
+    pub fn enclosing_fn(&self, ci: usize) -> Option<&crate::items::FnItem> {
+        self.model
+            .fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| ci >= s && ci < e))
+            .min_by_key(|f| {
+                let (s, e) = f.body.expect("filtered on body");
+                e - s
+            })
+    }
+
+    /// Emits a diagnostic anchored at code index `ci`.
+    pub fn diag(&self, ci: usize, rule: &str, message: String, hint: &str) -> Diagnostic {
+        let tok = self.ctok(ci).copied().unwrap_or(Token {
+            kind: TokenKind::Unknown,
+            start: 0,
+            end: 0,
+            line: 1,
+            col: 1,
+        });
+        Diagnostic {
+            file: self.file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule: rule.to_string(),
+            message,
+            hint: hint.to_string(),
+        }
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    determinism::wall_clock(ctx, out);
+    determinism::hash_iter(ctx, out);
+    determinism::ambient_rng(ctx, out);
+    units::mix(ctx, out);
+    units::cross_assign(ctx, out);
+    hygiene::no_unwrap(ctx, out);
+    hygiene::no_f32(ctx, out);
+    hygiene::float_eq(ctx, out);
+}

@@ -1,0 +1,209 @@
+//! Units family: no silent mixing of physical-quantity vocabularies.
+//!
+//! The workspace encodes units in names — `energy_j`, `dwell_s`,
+//! `timeout_ms`, `idle_w`, `total_bytes` — because every quantity is an
+//! `f64`. The type system can't catch `dwell_s + timeout_ms`, so these
+//! rules do, at the token level:
+//!
+//! * [`mix`] flags additive/comparison operators whose two operands are
+//!   bare identifier paths from *different* vocabularies. Multiplication
+//!   and division are exempt (W × s = J is how units legitimately
+//!   combine), and any conversion call breaks the bare-path pattern, so
+//!   `x_ms / 1000.0 + y_s` and `x.as_secs() + y_s` stay silent.
+//! * [`cross_assign`] flags `let a_ms = b_s;`-style bare re-labelings
+//!   (including `const A_MS: f64 = B_S;`), where a value crosses
+//!   vocabularies with no arithmetic at all.
+
+use super::{Diagnostic, FileKind, RuleCtx};
+use crate::lexer::TokenKind;
+
+/// A unit vocabulary, recovered from an identifier's suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vocab {
+    /// Joules: `_j`, `joules`.
+    Energy,
+    /// Seconds: `_s`, `_secs`, `seconds`.
+    TimeS,
+    /// Milliseconds: `_ms`, `millis`.
+    TimeMs,
+    /// Watts: `_w`, `watts`.
+    Power,
+    /// Bytes: `_bytes`, `bytes`, `_kb`, `_mb`.
+    Bytes,
+}
+
+impl Vocab {
+    fn name(self) -> &'static str {
+        match self {
+            Vocab::Energy => "joules",
+            Vocab::TimeS => "seconds",
+            Vocab::TimeMs => "milliseconds",
+            Vocab::Power => "watts",
+            Vocab::Bytes => "bytes",
+        }
+    }
+}
+
+/// The vocabulary an identifier belongs to, from its last `_` segment
+/// (`total_energy_j` → joules). Single-segment whole-word matches
+/// (`joules`, `bytes`, …) count too; everything else has no vocabulary.
+pub fn vocab_of(ident: &str) -> Option<Vocab> {
+    let last = ident.rsplit('_').next().unwrap_or(ident);
+    let l = last.to_ascii_lowercase();
+    match l.as_str() {
+        "j" | "joule" | "joules" => Some(Vocab::Energy),
+        "s" | "sec" | "secs" | "second" | "seconds" => Some(Vocab::TimeS),
+        "ms" | "milli" | "millis" | "millisecond" | "milliseconds" => Some(Vocab::TimeMs),
+        "w" | "watt" | "watts" => Some(Vocab::Power),
+        "byte" | "bytes" | "kb" | "mb" => Some(Vocab::Bytes),
+        _ => None,
+    }
+}
+
+/// Operators where mixing vocabularies is meaningless.
+const MIX_OPS: &[&str] = &["+", "-", "<", "<=", ">", ">=", "==", "!="];
+
+/// `units/mix` — see module docs.
+pub fn mix(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.kind == FileKind::Test {
+        return;
+    }
+    for ci in 0..ctx.model.code.len() {
+        let Some(tok) = ctx.ctok(ci) else { continue };
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        let op = ctx.ctext(ci).unwrap_or("");
+        if !MIX_OPS.contains(&op) {
+            continue;
+        }
+        if ctx.in_test(ci) {
+            continue;
+        }
+        let Some(lhs) = operand_before(ctx, ci) else {
+            continue;
+        };
+        let Some(rhs) = operand_after(ctx, ci) else {
+            continue;
+        };
+        let (Some(va), Some(vb)) = (vocab_of(&lhs), vocab_of(&rhs)) else {
+            continue;
+        };
+        if va != vb {
+            out.push(ctx.diag(
+                ci,
+                "units/mix",
+                format!(
+                    "`{lhs} {op} {rhs}` mixes {} with {} without a conversion",
+                    va.name(),
+                    vb.name()
+                ),
+                "convert one side explicitly (e.g. `* 1000.0` with a renamed binding) or fix the name",
+            ));
+        }
+    }
+}
+
+/// `units/cross-assign` — see module docs.
+pub fn cross_assign(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.kind == FileKind::Test {
+        return;
+    }
+    for ci in 0..ctx.model.code.len() {
+        let Some(tok) = ctx.ctok(ci) else { continue };
+        if tok.kind != TokenKind::Punct || ctx.ctext(ci) != Some("=") {
+            continue;
+        }
+        if ctx.in_test(ci) {
+            continue;
+        }
+        // LHS name: ident just before `=`; if that position is a type in
+        // `let name : Ty =` / `const NAME : Ty =`, walk back past the `:`.
+        let Some(mut lhs_ci) = ci.checked_sub(1) else {
+            continue;
+        };
+        if !matches!(ctx.ctok(lhs_ci).map(|t| t.kind), Some(TokenKind::Ident)) {
+            continue;
+        }
+        if ctx.ctext(lhs_ci.wrapping_sub(1)) == Some(":") && lhs_ci >= 2 {
+            lhs_ci -= 2;
+            if !matches!(ctx.ctok(lhs_ci).map(|t| t.kind), Some(TokenKind::Ident)) {
+                continue;
+            }
+        }
+        let lhs = ctx.ctext(lhs_ci).unwrap_or("");
+        // RHS must be a bare path terminated by `;` — any call or
+        // arithmetic is treated as an intentional conversion.
+        let Some((rhs, end)) = bare_path_after(ctx, ci) else {
+            continue;
+        };
+        if ctx.ctext(end) != Some(";") {
+            continue;
+        }
+        let (Some(va), Some(vb)) = (vocab_of(lhs), vocab_of(&rhs)) else {
+            continue;
+        };
+        if va != vb {
+            out.push(ctx.diag(
+                ci,
+                "units/cross-assign",
+                format!(
+                    "`{lhs}` ({}) is assigned from `{rhs}` ({}) with no conversion",
+                    va.name(),
+                    vb.name()
+                ),
+                "convert explicitly or rename so both sides share a vocabulary",
+            ));
+        }
+    }
+}
+
+/// The last identifier of the bare path ending at `ci - 1`
+/// (`self.cfg.t1_s` → `t1_s`). `None` when the token before the operator
+/// is not an identifier (a call, a literal, a closing paren: treated as a
+/// conversion/expression and skipped).
+fn operand_before(ctx: &RuleCtx<'_>, ci: usize) -> Option<String> {
+    let prev = ci.checked_sub(1)?;
+    let tok = ctx.ctok(prev)?;
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    Some(ctx.ctext(prev)?.to_string())
+}
+
+/// The last identifier of the bare path starting at `ci + 1`; `None` if
+/// the path is followed by `(` (a call — conversion) or starts with
+/// anything but an identifier (after an optional `&`/`*`).
+fn operand_after(ctx: &RuleCtx<'_>, ci: usize) -> Option<String> {
+    let (last, _) = bare_path_after(ctx, ci)?;
+    Some(last)
+}
+
+/// Walks the bare path after position `ci`: `[& or *] ident ((. | ::)
+/// ident)*`. Returns the last path ident and the code index just past the
+/// path. `None` if the shape doesn't match or the path is a call.
+fn bare_path_after(ctx: &RuleCtx<'_>, ci: usize) -> Option<(String, usize)> {
+    let mut j = ci + 1;
+    while matches!(ctx.ctext(j), Some("&") | Some("*") | Some("mut")) {
+        j += 1;
+    }
+    let first = ctx.ctok(j)?;
+    if first.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut last = ctx.ctext(j)?.to_string();
+    j += 1;
+    while matches!(ctx.ctext(j), Some(".") | Some("::")) {
+        let seg = ctx.ctok(j + 1)?;
+        if seg.kind != TokenKind::Ident {
+            // `tuple.0` — treat the int field as opaque.
+            return None;
+        }
+        last = ctx.ctext(j + 1)?.to_string();
+        j += 2;
+    }
+    if ctx.ctext(j) == Some("(") {
+        return None; // call — an explicit conversion
+    }
+    Some((last, j))
+}

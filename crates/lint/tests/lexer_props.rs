@@ -1,0 +1,232 @@
+//! Lexer torture tests: pathological-but-legal Rust, plus property tests
+//! that the lexer is *total* — it never panics on any input — and that
+//! token spans are a faithful, ordered, non-overlapping cover of the
+//! source (whitespace-only gaps), so diagnostics always point at real
+//! text.
+
+use ewb_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Spans must be ordered, non-overlapping, in-bounds, on char
+/// boundaries, and the inter-token gaps must be pure whitespace — i.e.
+/// concatenating tokens + gaps reconstructs the source exactly.
+fn assert_spans_cover(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    let mut rebuilt = String::new();
+    for t in &tokens {
+        assert!(
+            t.start >= cursor,
+            "overlapping/unordered span at {}",
+            t.start
+        );
+        assert!(t.end >= t.start && t.end <= src.len(), "span out of bounds");
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        let gap = &src[cursor..t.start];
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "non-whitespace gap {gap:?} before span {}..{}",
+            t.start,
+            t.end
+        );
+        rebuilt.push_str(gap);
+        rebuilt.push_str(&src[t.start..t.end]);
+        cursor = t.end;
+    }
+    let tail = &src[cursor..];
+    assert!(
+        tail.chars().all(char::is_whitespace),
+        "trailing junk {tail:?}"
+    );
+    rebuilt.push_str(tail);
+    assert_eq!(rebuilt, src, "tokens + gaps must reconstruct the source");
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* a /* b /* c */ d */ e */ fn f() {}";
+    let toks = lex(src);
+    assert!(matches!(toks[0].kind, TokenKind::BlockComment { .. }));
+    assert_eq!(toks[0].text(src), "/* a /* b /* c */ d */ e */");
+    assert_eq!(toks[1].text(src), "fn");
+    assert_spans_cover(src);
+}
+
+#[test]
+fn raw_strings_with_hashes_swallow_quotes_and_comments() {
+    let src =
+        r####"let x = r#"not a "comment": /* nope */ "#; let y = r##"a"# still inside"##;"####;
+    let toks = lex(src);
+    let raws: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawStr)
+        .collect();
+    assert_eq!(raws.len(), 2, "{toks:?}");
+    assert!(raws[0].text(src).contains("/* nope */"));
+    assert!(raws[1].text(src).contains(r##"a"#"##));
+    assert_spans_cover(src);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let nl = '\\n'; x }";
+    let toks = lex(src);
+    let lifetimes = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .count();
+    let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+    assert_eq!(lifetimes, 3, "{toks:?}");
+    assert_eq!(chars, 2, "{toks:?}");
+    assert_spans_cover(src);
+}
+
+#[test]
+fn shebang_is_one_token_but_inner_attr_is_not() {
+    let src = "#!/usr/bin/env rust\nfn main() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::Shebang);
+    // `#![…]` must lex as attribute punctuation, not a shebang.
+    let src2 = "#![allow(dead_code)]\nfn main() {}";
+    let toks2 = lex(src2);
+    assert_ne!(toks2[0].kind, TokenKind::Shebang, "{toks2:?}");
+    assert_eq!(toks2[0].text(src2), "#");
+    assert_spans_cover(src);
+    assert_spans_cover(src2);
+}
+
+#[test]
+fn doc_comments_vs_rulers_vs_plain() {
+    let src = "/// doc\n//// ruler, not doc\n//! inner doc\n// plain\nfn f() {}";
+    let kinds: Vec<_> = lex(src)
+        .iter()
+        .filter_map(|t| match t.kind {
+            TokenKind::LineComment { doc } => Some(doc),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(kinds, vec![true, false, true, false]);
+    assert_spans_cover(src);
+}
+
+#[test]
+fn unterminated_everything_reaches_eof_without_panic() {
+    for src in [
+        "let s = \"never closed",
+        "let s = r#\"never closed",
+        "/* never closed /* nested",
+        "let c = '",
+        "let b = b\"open",
+        "let b = br##\"open",
+    ] {
+        let toks = lex(src);
+        assert!(!toks.is_empty());
+        assert_spans_cover(src);
+    }
+}
+
+#[test]
+fn tuple_field_chains_and_method_calls_on_ints() {
+    // `t.0.1` lexes the `0.1` as a float (as rustc does); `1.max(2)`
+    // keeps `1` an integer because the dot starts a method call.
+    let src = "let a = t.0.1; let b = 1.max(2);";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == (TokenKind::Num { float: true }) && t.text(src) == "0.1"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == (TokenKind::Num { float: false }) && t.text(src) == "1"));
+    assert_spans_cover(src);
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_raw_strings() {
+    let src = "fn r#fn(r#type: u32) -> u32 { r#type }";
+    let toks = lex(src);
+    assert!(toks.iter().all(|t| t.kind != TokenKind::RawStr), "{toks:?}");
+    assert!(toks.iter().any(|t| t.text(src) == "r#fn"));
+    assert_spans_cover(src);
+}
+
+/// Fragments chosen to collide: comment openers inside strings, hash
+/// fences, lone quotes, half-open operators, multibyte chars.
+const ATOMS: &[&str] = &[
+    "fn",
+    "r#fn",
+    "'a",
+    "'a'",
+    "b'x'",
+    "\"s\"",
+    "r#\"x\"#",
+    "br#\"y\"#",
+    "\"/*\"",
+    "0.1",
+    "1.",
+    "1.max",
+    "0x_ff",
+    "1e9",
+    "1e",
+    "<<=",
+    ">>",
+    "..=",
+    "::",
+    "->",
+    "=>",
+    "#!",
+    "#![a]",
+    "// c\n",
+    "/// d\n",
+    "/* x */",
+    "/* /* y */ */",
+    "/*",
+    "\"",
+    "r#\"",
+    "'",
+    "μ",
+    "\u{1F600}",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    "r",
+    "#",
+    "b",
+    "br",
+    "_",
+    "__x",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexing_never_panics_and_spans_round_trip_on_fragment_soup(
+        picks in proptest::collection::vec(0usize..37, 0..24)
+    ) {
+        let src: String = picks
+            .iter()
+            .map(|&i| ATOMS[i % ATOMS.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_spans_cover(&src);
+    }
+
+    #[test]
+    fn lexing_never_panics_on_arbitrary_low_ascii_and_multibyte(
+        codes in proptest::collection::vec(1u32..0x2000, 0..64)
+    ) {
+        let src: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        // Totality only: arbitrary bytes may contain non-whitespace the
+        // lexer classifies as Unknown, which spans still must cover.
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            assert!(t.start >= cursor && t.end <= src.len());
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            cursor = t.end;
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The self-check ISSUE tier-5 gates on: the workspace must lint clean
+//! under deny-all semantics. Any regression — a new bare unwrap, a hash
+//! container leaking into a serialized path, a unit mix-up — fails this
+//! test locally before CI ever sees it.
+
+use ewb_lint::lint_root;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+#[test]
+fn workspace_lints_clean_under_deny_all() {
+    let outcome = lint_root(&workspace_root()).expect("workspace walk succeeds");
+    assert!(
+        outcome.files_scanned > 100,
+        "suspiciously few files scanned ({}) — did the walk miss the crates?",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.diagnostics.is_empty(),
+        "workspace has {} lint finding(s) — fix them or add a justified \
+         `lint:allow`:\n{}",
+        outcome.diagnostics.len(),
+        outcome
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_policy_file_parses_and_is_used() {
+    // lint.toml at the root must parse; a syntax error would silently
+    // fall back to the builtin policy and mask policy drift.
+    let path = workspace_root().join("lint.toml");
+    let text = std::fs::read_to_string(&path).expect("workspace lint.toml exists");
+    let policy = ewb_lint::Policy::parse(&text).expect("lint.toml parses");
+    assert!(
+        policy
+            .list("rules.wall-clock.allowed_crates")
+            .iter()
+            .any(|c| c == "bench"),
+        "bench must stay wall-clock-exempt (benchmarks measure real time by design)"
+    );
+    assert!(
+        policy
+            .list("paths.exclude")
+            .iter()
+            .any(|p| p == "crates/lint/fixtures"),
+        "fixtures are deliberate violations and must stay excluded from the walk"
+    );
+}

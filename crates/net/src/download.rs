@@ -85,7 +85,7 @@ pub fn bulk_download(
 ) -> BulkDownload {
     match try_bulk_download(cfg, rrc_cfg, bytes, start) {
         Ok(d) => d,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("invalid bulk-download request: {e}"),
     }
 }
 

@@ -215,6 +215,7 @@ impl FaultConfig {
 
     /// Whether every fault channel is disabled.
     pub fn is_none(&self) -> bool {
+        // lint:allow(api/float-eq) disabled-channel sentinel: probabilities are set to literal 0.0, never computed
         self.loss_prob == 0.0
             && self.jitter_prob == 0.0
             && self.truncation_prob == 0.0

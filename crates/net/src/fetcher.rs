@@ -182,7 +182,7 @@ impl<'a> ThreeGFetcher<'a> {
     ) -> Self {
         match ThreeGFetcher::try_new(cfg, rrc_cfg, server, start) {
             Ok(f) => f,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("invalid fetcher configuration: {e}"),
         }
     }
 

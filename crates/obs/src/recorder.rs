@@ -154,7 +154,9 @@ impl Recorder {
     /// Record one event (no-op when disabled).
     pub fn emit(&self, event: Event) {
         if let Some(sink) = &self.inner {
-            sink.lock().unwrap().record(&event);
+            sink.lock()
+                .expect("recorder sink mutex poisoned")
+                .record(&event);
         }
     }
 
@@ -162,7 +164,9 @@ impl Recorder {
     /// disabled path pays nothing for allocation-heavy events.
     pub fn emit_with<F: FnOnce() -> Event>(&self, f: F) {
         if let Some(sink) = &self.inner {
-            sink.lock().unwrap().record(&f());
+            sink.lock()
+                .expect("recorder sink mutex poisoned")
+                .record(&f());
         }
     }
 
@@ -170,7 +174,7 @@ impl Recorder {
     /// disabled or when the sink aggregates only.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
-            Some(sink) => sink.lock().unwrap().events(),
+            Some(sink) => sink.lock().expect("recorder sink mutex poisoned").events(),
             None => Vec::new(),
         }
     }
@@ -180,7 +184,7 @@ impl Recorder {
     pub fn summary(&self) -> Summary {
         match &self.inner {
             Some(sink) => {
-                let sink = sink.lock().unwrap();
+                let sink = sink.lock().expect("recorder sink mutex poisoned");
                 sink.summary().unwrap_or_else(|| {
                     let mut s = Summary::default();
                     for e in sink.events() {

@@ -204,6 +204,7 @@ impl Ecdf {
             (0.0..=1.0).contains(&q),
             "quantile must be in [0,1], got {q}"
         );
+        // lint:allow(api/float-eq) exact-zero quantile maps to the minimum by definition
         if q == 0.0 {
             return self.sorted[0];
         }
@@ -279,6 +280,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         sxx += dx * dx;
         syy += dy * dy;
     }
+    // lint:allow(api/float-eq) degenerate-variance guard before division; exact zero only for constant series
     if sxx == 0.0 || syy == 0.0 {
         return 0.0;
     }

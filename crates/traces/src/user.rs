@@ -16,7 +16,7 @@
 use crate::synth::VisitLatents;
 use ewb_simcore::Xoshiro256;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Weibull shape for engaged dwell, fitted to the paper's Fig. 7 anchors
 /// (P(<9 s | engaged) = 0.33, P(<20 s | engaged) = 0.54).
@@ -33,8 +33,9 @@ pub const MAX_DWELL_S: f64 = 600.0;
 pub struct UserProfile {
     /// User id.
     pub id: u32,
-    /// Interest per site key, in `[0, 1]`.
-    interests: HashMap<String, f64>,
+    /// Interest per site key, in `[0, 1]`. Sorted so serializing a
+    /// profile is byte-deterministic (hash order leaked before ewb-lint).
+    interests: BTreeMap<String, f64>,
 }
 
 impl UserProfile {

@@ -5,7 +5,7 @@
 
 use crate::object::WebObject;
 use crate::page::Page;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An in-memory origin server.
 ///
@@ -22,14 +22,17 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct OriginServer {
-    objects: HashMap<String, WebObject>,
+    // Sorted store: lookups are by exact URL today, but any future
+    // iteration (batch prefetch, store dumps) must not inherit hash
+    // order.
+    objects: BTreeMap<String, WebObject>,
 }
 
 impl OriginServer {
     /// Creates an empty server.
     pub fn new() -> Self {
         OriginServer {
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
         }
     }
 
