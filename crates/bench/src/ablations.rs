@@ -246,7 +246,7 @@ pub fn layout_cache(ctx: &Context) -> String {
         let mut cache = LayoutCache::new();
         let run = |cache: &mut LayoutCache| {
             let mut fetcher =
-                ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc.clone(), &ctx.server, SimTime::ZERO);
+                ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc, &ctx.server, SimTime::ZERO);
             load_page_cached(
                 &mut fetcher,
                 page.root_url(),
@@ -295,8 +295,7 @@ pub fn connection_pool(ctx: &Context) -> String {
     for pool in [1usize, 2, 3, 4, 6, 8] {
         let mut cfg = PipelineConfig::new(PipelineMode::EnergyAware);
         cfg.max_parallel = pool;
-        let mut fetcher =
-            ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc.clone(), &ctx.server, SimTime::ZERO);
+        let mut fetcher = ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc, &ctx.server, SimTime::ZERO);
         let m = load_page(
             &mut fetcher,
             espn.root_url(),

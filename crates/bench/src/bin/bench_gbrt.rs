@@ -81,6 +81,35 @@ fn main() {
     let ns_per_tree = |s: f64| s * 1e9 / forest_params.n_trees as f64;
     let predict_speedup = enum_s / flat_s;
 
+    // -- Batched prediction: the fleet simulator's entry point. --------
+    // predict_batch walks all rows level-synchronously through each
+    // tree (SoA, blocked), bit-identical to the per-row walk.
+    let n_batch = 512;
+    let n_features = data.row(0).len();
+    let rows: Vec<f64> = (0..n_batch)
+        .flat_map(|i| data.row(i % data.len()).to_vec())
+        .collect();
+    let mut batch_out = vec![0.0; n_batch];
+    flat.predict_batch(&rows, &mut batch_out);
+    for (i, &y) in batch_out.iter().enumerate() {
+        let single = flat.predict(&rows[i * n_features..(i + 1) * n_features]);
+        assert_eq!(y.to_bits(), single.to_bits(), "batch row {i}");
+    }
+    let single_rows_s = time_min(5, || {
+        let mut acc = 0.0;
+        for i in 0..n_batch {
+            acc += flat.predict(black_box(&rows[i * n_features..(i + 1) * n_features]));
+        }
+        acc
+    });
+    let batch_rows_s = time_min(5, || {
+        flat.predict_batch(black_box(&rows), &mut batch_out);
+        batch_out[0]
+    });
+    let single_rows_per_s = n_batch as f64 / single_rows_s;
+    let batch_rows_per_s = n_batch as f64 / batch_rows_s;
+    let batch_speedup = single_rows_s / batch_rows_s;
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"train\": {{");
@@ -113,6 +142,13 @@ fn main() {
         ns_per_tree(flat_s)
     );
     let _ = writeln!(json, "    \"speedup\": {predict_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"predict_batch\": {{");
+    let _ = writeln!(json, "    \"rows\": {n_batch},");
+    let _ = writeln!(json, "    \"n_trees\": {},", forest_params.n_trees);
+    let _ = writeln!(json, "    \"single_rows_per_s\": {single_rows_per_s:.0},");
+    let _ = writeln!(json, "    \"batch_rows_per_s\": {batch_rows_per_s:.0},");
+    let _ = writeln!(json, "    \"speedup\": {batch_speedup:.2}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
@@ -126,6 +162,11 @@ fn main() {
         forest_params.n_trees,
         ns_per_tree(enum_s),
         ns_per_tree(flat_s)
+    );
+    println!(
+        "batch   ({} trees, {n_batch} rows): {single_rows_per_s:.0} rows/s per-row, \
+         {batch_rows_per_s:.0} rows/s batched  = {batch_speedup:.2}x",
+        forest_params.n_trees
     );
     std::fs::write("BENCH_gbrt.json", &json).expect("write BENCH_gbrt.json");
     println!("wrote BENCH_gbrt.json");

@@ -1,0 +1,243 @@
+//! Fleet-scale population benchmark: throughput and scaling of the
+//! sharded work-stealing simulator in `ewb-fleet`, plus the population
+//! distributions it produces. Prints a summary and writes
+//! `BENCH_fleet.json` for tracking.
+//!
+//! Usage: `fleet_bench [--smoke] [--users N] [--shards N]`
+//!
+//! `--smoke` selects the CI population (2 000 users × 4 shards) and is
+//! what the fleet-smoke CI job runs; the default is a 100 000-user
+//! population with 64 shards. Either way the binary asserts the
+//! scheduling-invariance grid (shards {1, 2, 7, 64} × threads {1, 8})
+//! before timing anything, so a red determinism bit can never ship
+//! inside a green benchmark.
+
+use ewb_fleet::{run_fleet, FleetConfig, FleetEnv, FleetSummary};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum of `reps` timed runs, seconds.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Args {
+    users: u64,
+    shards: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 100_000,
+        shards: 64,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.users = 2_000;
+                args.shards = 4;
+            }
+            "--users" => {
+                let v = it.next().expect("--users needs a value");
+                args.users = v.parse().expect("--users must be an integer");
+            }
+            "--shards" => {
+                let v = it.next().expect("--shards needs a value");
+                args.shards = v.parse().expect("--shards must be an integer");
+            }
+            other => panic!("unknown argument {other:?} (try --smoke / --users N / --shards N)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let threads_grid = [1usize, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let prep_start = Instant::now();
+    let env = FleetEnv::prepare();
+    let prepare_s = prep_start.elapsed().as_secs_f64();
+    println!(
+        "prepared fleet environment ({} load profiles) in {prepare_s:.2} s",
+        120
+    );
+
+    // -- Determinism grid (the ISSUE acceptance grid). -----------------
+    // A small population keeps the 8 extra runs cheap; scheduling
+    // invariance does not depend on the population size (the proptest
+    // suite covers random shapes).
+    let grid_users = args.users.min(2_000);
+    let reference = run_fleet(
+        &env,
+        &FleetConfig {
+            shards: 1,
+            threads: 1,
+            ..FleetConfig::paper(grid_users)
+        },
+    );
+    for shards in [1usize, 2, 7, 64] {
+        for threads in [1usize, 8] {
+            let summary = run_fleet(
+                &env,
+                &FleetConfig {
+                    shards,
+                    threads,
+                    ..FleetConfig::paper(grid_users)
+                },
+            );
+            assert_eq!(
+                summary, reference,
+                "merged summary must be bit-identical (shards {shards}, threads {threads})"
+            );
+        }
+    }
+    println!(
+        "determinism: merged summary bit-identical across shards {{1,2,7,64}} x threads {{1,8}} \
+         ({grid_users} users)"
+    );
+
+    // -- Throughput scaling at 1/2/4/8 threads. ------------------------
+    let reps = if args.smoke { 3 } else { 1 };
+    let mut walls = Vec::new();
+    let mut summary: Option<FleetSummary> = None;
+    for &threads in &threads_grid {
+        let cfg = FleetConfig {
+            shards: args.shards,
+            threads,
+            ..FleetConfig::paper(args.users)
+        };
+        let wall_s = time_min(reps, || {
+            let s = run_fleet(&env, &cfg);
+            if summary.is_none() {
+                summary = Some(s.clone());
+            }
+            s.sessions
+        });
+        walls.push(wall_s);
+        let sessions = 2 * args.users;
+        println!(
+            "threads {threads}: {wall_s:.3} s, {:.0} sessions/s, {:.0} users/core-s",
+            sessions as f64 / wall_s,
+            args.users as f64 / (wall_s * threads.min(cores) as f64),
+        );
+    }
+    let summary = summary.expect("at least one timed run");
+    let t1 = walls[0];
+
+    // The container may expose fewer cores than the 8-thread grid point;
+    // `efficiency` divides by the thread count (the classical figure),
+    // `efficiency_vs_cores` divides by the cores the threads can actually
+    // occupy, which is the honest ceiling on this machine.
+    let efficiency = |i: usize| (t1 / walls[i]) / threads_grid[i] as f64;
+    let efficiency_vs_cores = |i: usize| (t1 / walls[i]) / threads_grid[i].min(cores) as f64;
+
+    // -- Population distributions (from the timed summary). ------------
+    let saved_mean = summary.saved_mean_j();
+    let saved_p50 = summary.saved_quantile_j(0.5);
+    let res_base = summary.residency_fractions(false);
+    let res_opt = summary.residency_fractions(true);
+    println!(
+        "population: saved {saved_mean:.1} J/user/day mean ({:.1}% of baseline), p50 {saved_p50:.1} J",
+        100.0 * summary.saved_fraction()
+    );
+    println!(
+        "load time p50/p95/p99: baseline {:.2}/{:.2}/{:.2} s, optimized {:.2}/{:.2}/{:.2} s",
+        summary.load_quantile_s(false, 0.50),
+        summary.load_quantile_s(false, 0.95),
+        summary.load_quantile_s(false, 0.99),
+        summary.load_quantile_s(true, 0.50),
+        summary.load_quantile_s(true, 0.95),
+        summary.load_quantile_s(true, 0.99),
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"users\": {},", args.users);
+    let _ = writeln!(json, "  \"sessions\": {},", summary.sessions);
+    let _ = writeln!(json, "  \"visits\": {},", summary.visits);
+    let _ = writeln!(json, "  \"shards\": {},", args.shards);
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"prepare_s\": {prepare_s:.3},");
+    let _ = writeln!(json, "  \"determinism_grid_ok\": true,");
+    let _ = writeln!(json, "  \"scaling\": [");
+    for (i, &threads) in threads_grid.iter().enumerate() {
+        let sessions_per_s = 2.0 * args.users as f64 / walls[i];
+        let users_per_core_s = args.users as f64 / (walls[i] * threads.min(cores) as f64);
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"threads\": {threads},");
+        let _ = writeln!(json, "      \"wall_s\": {:.4},", walls[i]);
+        let _ = writeln!(json, "      \"sessions_per_s\": {sessions_per_s:.0},");
+        let _ = writeln!(json, "      \"users_per_core_s\": {users_per_core_s:.0},");
+        let _ = writeln!(json, "      \"efficiency\": {:.3},", efficiency(i));
+        let _ = writeln!(
+            json,
+            "      \"efficiency_vs_cores\": {:.3}",
+            efficiency_vs_cores(i)
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < threads_grid.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"population\": {{");
+    let _ = writeln!(json, "    \"saved_mean_j\": {saved_mean:.3},");
+    let _ = writeln!(json, "    \"saved_p50_j\": {saved_p50:.3},");
+    let _ = writeln!(
+        json,
+        "    \"saved_fraction\": {:.4},",
+        summary.saved_fraction()
+    );
+    let _ = writeln!(json, "    \"releases\": {},", summary.releases);
+    for (label, optimized) in [("baseline", false), ("optimized", true)] {
+        let _ = writeln!(json, "    \"{label}_load_s\": {{");
+        let _ = writeln!(
+            json,
+            "      \"mean\": {:.4},",
+            summary.load_mean_s(optimized)
+        );
+        let _ = writeln!(
+            json,
+            "      \"p50\": {:.4},",
+            summary.load_quantile_s(optimized, 0.50)
+        );
+        let _ = writeln!(
+            json,
+            "      \"p95\": {:.4},",
+            summary.load_quantile_s(optimized, 0.95)
+        );
+        let _ = writeln!(
+            json,
+            "      \"p99\": {:.4}",
+            summary.load_quantile_s(optimized, 0.99)
+        );
+        let _ = writeln!(json, "    }},");
+    }
+    for (label, res) in [("baseline", res_base), ("optimized", res_opt)] {
+        let _ = writeln!(json, "    \"{label}_residency\": {{");
+        let _ = writeln!(json, "      \"idle\": {:.4},", res[0]);
+        let _ = writeln!(json, "      \"promoting\": {:.4},", res[1]);
+        let _ = writeln!(json, "      \"fach\": {:.4},", res[2]);
+        let _ = writeln!(json, "      \"dch\": {:.4}", res[3]);
+        let _ = writeln!(json, "    }}{}", if label == "baseline" { "," } else { "" });
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

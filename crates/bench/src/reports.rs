@@ -120,8 +120,7 @@ pub fn fig05(ctx: &Context) -> String {
     );
     let espn = ctx.corpus.page("espn", PageVersion::Full).expect("espn");
     for mode in [PipelineMode::Original, PipelineMode::EnergyAware] {
-        let mut fetcher =
-            ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc.clone(), &ctx.server, SimTime::ZERO);
+        let mut fetcher = ThreeGFetcher::new(ctx.cfg.net, ctx.cfg.rrc, &ctx.server, SimTime::ZERO);
         let m = load_page(
             &mut fetcher,
             espn.root_url(),

@@ -36,7 +36,7 @@ impl Mutant {
     /// The configuration the SUT is built from (the reference always
     /// gets the undoctored `cfg`).
     pub fn doctor(self, cfg: &RrcConfig) -> RrcConfig {
-        let mut c = cfg.clone();
+        let mut c = *cfg;
         match self {
             Mutant::None | Mutant::IgnoredDormancy => {}
             Mutant::SwappedTimers => {

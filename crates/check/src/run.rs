@@ -100,7 +100,7 @@ pub const LEGAL_TRANSITIONS: [(RrcState, RrcState); 7] = [
 pub fn check_scenario(cfg: &RrcConfig, scenario: &Scenario, mutant: Mutant) -> RunReport {
     let recorder = Recorder::memory();
     let mut m = RrcMachine::with_recorder(mutant.doctor(cfg), SimTime::ZERO, recorder.clone());
-    let mut r = ReferenceRrc::new(cfg.clone(), SimTime::ZERO);
+    let mut r = ReferenceRrc::new(*cfg, SimTime::ZERO);
 
     let mut violations: Vec<Violation> = Vec::new();
     let mut coverage: BTreeSet<String> = BTreeSet::new();

@@ -43,7 +43,7 @@ pub fn compare(
     // The browser-paced traffic: rebuild the per-completion series from
     // the replayed radio's transfer activity is equivalent to the load's
     // own traffic series; use a fresh pipeline run for the series.
-    let mut fetcher = ewb_net::ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), server, SimTime::ZERO);
+    let mut fetcher = ewb_net::ThreeGFetcher::new(cfg.net, cfg.rrc, server, SimTime::ZERO);
     let metrics = ewb_browser::pipeline::load_page(
         &mut fetcher,
         page.root_url(),

@@ -46,6 +46,7 @@ mod config;
 
 pub mod cases;
 pub mod experiments;
+pub mod profile;
 pub mod session;
 
 pub use config::{AlgorithmMode, AlgorithmParams, CoreConfig};

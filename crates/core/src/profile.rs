@@ -1,0 +1,577 @@
+//! Memoized page-load profiles: the fleet simulator's fast session path.
+//!
+//! On a clean link, the radio events of one page load are a pure function
+//! of three things: the page, the case's pipeline schedule, and the RRC
+//! state at the click. Everything else the machine carries at the click —
+//! pending inactivity deadlines, past history — cannot influence the load,
+//! because the load's first event is a `BeginTransfer` at the click
+//! instant itself, which cancels any pending timer before it could fire.
+//! (Clicks always find the radio in IDLE, FACH, or DCH: promotion windows
+//! only exist inside loads, and every load's transfers finish before the
+//! page opens.)
+//!
+//! [`ProfileTable::capture`] therefore runs the full browser pipeline once
+//! per (page, mode, click-state) — 120 loads for the benchmark corpus —
+//! and stores each load's radio events shifted to a click-relative clock.
+//! [`run_profiled_session`] replays whole sessions by time-shifting those
+//! profiles onto one incremental [`RrcMachine`], making the per-visit cost
+//! O(events) with zero allocation: the hot path of `ewb-fleet`.
+//!
+//! The replayed session is **bit-identical** to
+//! [`simulate_session`](crate::session::simulate_session): both paths
+//! issue the same machine calls at the same instants (the canonical
+//! [`sort_radio_events`] order), so the energy meter integrates the same
+//! segments in the same order.
+
+use crate::cases::Case;
+use crate::config::CoreConfig;
+use crate::session::release_decision;
+use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+use ewb_net::replay::{events_of_load, sort_radio_events, RadioEvent};
+use ewb_net::ThreeGFetcher;
+use ewb_rrc::{RrcCounters, RrcMachine, RrcState, StateResidency};
+use ewb_simcore::{SimDuration, SimTime};
+use ewb_traces::FeatureVector;
+use ewb_webpage::{Corpus, OriginServer, PageVersion};
+
+/// One captured page load, on a click-relative clock (the click is
+/// [`SimTime::ZERO`]).
+#[derive(Debug, Clone)]
+pub struct LoadProfile {
+    /// Radio and CPU events of the load, in canonical replay order
+    /// ([`sort_radio_events`]), relative to the click.
+    pub events: Vec<RadioEvent>,
+    /// Click → final display (the page-load duration).
+    pub opened: SimDuration,
+    /// Click → end of the data-transmission phase.
+    pub tx_end: SimDuration,
+    /// The feature vector the browser measured during this load — what a
+    /// Predict-N case's predictor sees when no per-visit override is
+    /// supplied.
+    pub features: FeatureVector,
+    /// Bytes fetched by the load.
+    pub bytes: u64,
+}
+
+impl LoadProfile {
+    /// Page-load duration in seconds.
+    pub fn load_time_s(&self) -> f64 {
+        self.opened.as_secs_f64()
+    }
+}
+
+/// The RRC states a click can find the radio in.
+const CLICK_STATES: [RrcState; 3] = [RrcState::Idle, RrcState::Fach, RrcState::Dch];
+/// Both pipeline schedules, in index order.
+const MODES: [PipelineMode; 2] = [PipelineMode::Original, PipelineMode::EnergyAware];
+
+fn state_index(state: RrcState) -> usize {
+    match state {
+        RrcState::Idle => 0,
+        RrcState::Fach => 1,
+        RrcState::Dch => 2,
+        RrcState::Promoting => panic!(
+            "a click cannot find the radio in the Promoting state: promotion windows \
+             only exist inside page loads"
+        ),
+    }
+}
+
+fn mode_index(mode: PipelineMode) -> usize {
+    match mode {
+        PipelineMode::Original => 0,
+        PipelineMode::EnergyAware => 1,
+    }
+}
+
+/// Every load profile of a corpus: one per (page, pipeline mode, RRC
+/// state at the click).
+///
+/// Pages are indexed in the [`VisitSynthesizer`](ewb_traces) base order —
+/// Table 3 site order, mobile before full within a site — so a
+/// synthesizer's base index is directly a `ProfileTable` page index.
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    profiles: Vec<LoadProfile>,
+    n_pages: usize,
+}
+
+impl ProfileTable {
+    /// Runs the full browser pipeline over every (page, mode, click-state)
+    /// combination and captures the resulting load profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, or if a captured load
+    /// violates a memoization precondition (an event before the click, or
+    /// a first transfer that is not at the click instant) — either would
+    /// indicate the purity argument above no longer holds.
+    pub fn capture(corpus: &Corpus, server: &OriginServer, cfg: &CoreConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CoreConfig: {e}");
+        }
+        let mut profiles = Vec::with_capacity(corpus.sites().len() * 2 * MODES.len() * 3);
+        for site in corpus.sites() {
+            for version in [PageVersion::Mobile, PageVersion::Full] {
+                let page = match version {
+                    PageVersion::Mobile => &site.mobile,
+                    PageVersion::Full => &site.full,
+                };
+                for mode in MODES {
+                    let mut pipe_cfg = PipelineConfig::new(mode);
+                    if version == PageVersion::Mobile {
+                        // §4.2: mobile pages get no intermediate display.
+                        pipe_cfg.draw_intermediate = false;
+                    }
+                    for state in CLICK_STATES {
+                        let (machine, t0) = machine_in_state(cfg, state);
+                        let mut fetcher = ThreeGFetcher::with_machine(cfg.net, machine, server);
+                        let metrics =
+                            load_page(&mut fetcher, page.root_url(), t0, &pipe_cfg, &cfg.cost);
+                        let mut events = events_of_load(fetcher.transfers(), &metrics.cpu_busy);
+                        sort_radio_events(&mut events);
+                        let events: Vec<RadioEvent> = events
+                            .iter()
+                            .map(|e| {
+                                assert!(
+                                    e.at() >= t0,
+                                    "captured event before the click: {e:?} (click {t0:?})"
+                                );
+                                shift_back(e, t0)
+                            })
+                            .collect();
+                        let first_begin = events
+                            .iter()
+                            .find(|e| matches!(e, RadioEvent::BeginTransfer { .. }))
+                            .expect("a page load has at least one transfer");
+                        assert!(
+                            matches!(
+                                first_begin,
+                                RadioEvent::BeginTransfer {
+                                    at: SimTime::ZERO,
+                                    promotion_retries: 0,
+                                    ..
+                                }
+                            ),
+                            "the first transfer must begin at the click on a clean link \
+                             (it is what makes click-state a sufficient memoization key), \
+                             got {first_begin:?}"
+                        );
+                        assert_eq!(
+                            metrics.failed_objects, 0,
+                            "profiles are clean-link only; faulty sessions use the full path"
+                        );
+                        profiles.push(LoadProfile {
+                            events,
+                            opened: metrics.final_display_at - t0,
+                            tx_end: metrics.data_transmission_end - t0,
+                            features: FeatureVector::from_slice(&metrics.features().to_vec()),
+                            bytes: metrics.bytes_fetched,
+                        });
+                    }
+                }
+            }
+        }
+        ProfileTable {
+            profiles,
+            n_pages: corpus.sites().len() * 2,
+        }
+    }
+
+    /// Number of pages covered (2 per site).
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// The profile of `page_idx` under `mode` when the click finds the
+    /// radio in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` is out of range or `state` is `Promoting`.
+    pub fn profile(&self, page_idx: usize, mode: PipelineMode, state: RrcState) -> &LoadProfile {
+        assert!(
+            page_idx < self.n_pages,
+            "page index {page_idx} out of range ({} pages)",
+            self.n_pages
+        );
+        &self.profiles
+            [(page_idx * MODES.len() + mode_index(mode)) * CLICK_STATES.len() + state_index(state)]
+    }
+}
+
+/// A machine advanced to a click instant in the requested state, plus
+/// that instant. The pre-drive uses plain transfers, so any pending
+/// inactivity deadline it leaves behind is exactly the kind a real
+/// session leaves — and is cancelled by the load's first transfer.
+fn machine_in_state(cfg: &CoreConfig, state: RrcState) -> (RrcMachine, SimTime) {
+    let mut machine = RrcMachine::new(cfg.rrc, SimTime::ZERO);
+    let t0 = match state {
+        RrcState::Idle => SimTime::ZERO,
+        RrcState::Fach | RrcState::Dch => {
+            let data_start = machine.begin_transfer(SimTime::ZERO, state == RrcState::Dch);
+            let end = data_start + SimDuration::from_millis(100);
+            machine.end_transfer(end);
+            end + SimDuration::from_secs(1)
+        }
+        RrcState::Promoting => {
+            let _ = state_index(state); // panics with the shared message
+            unreachable!()
+        }
+    };
+    machine.advance_to(t0);
+    assert_eq!(machine.state(), state, "pre-drive must land in {state:?}");
+    (machine, t0)
+}
+
+/// Rebuilds `e` with its time shifted from an absolute clock (click at
+/// `t0`) to the click-relative clock.
+fn shift_back(e: &RadioEvent, t0: SimTime) -> RadioEvent {
+    let rel = |at: SimTime| SimTime::ZERO + (at - t0);
+    match *e {
+        RadioEvent::BeginTransfer {
+            at,
+            needs_dch,
+            promotion_retries,
+        } => RadioEvent::BeginTransfer {
+            at: rel(at),
+            needs_dch,
+            promotion_retries,
+        },
+        RadioEvent::EndTransfer { at } => RadioEvent::EndTransfer { at: rel(at) },
+        RadioEvent::Release { at } => RadioEvent::Release { at: rel(at) },
+        RadioEvent::CpuLoad { at, load } => RadioEvent::CpuLoad { at: rel(at), load },
+    }
+}
+
+/// One visit of a profiled session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfiledVisit {
+    /// Page index in [`ProfileTable`] order (synthesizer base order).
+    pub page_idx: usize,
+    /// Actual reading time after the page opens, seconds.
+    pub reading_s: f64,
+    /// Predicted reading time for this visit, when the case needs one.
+    /// The fleet computes these in feature-batches up front
+    /// ([`predict_rows`](ewb_traces::ReadingTimePredictor::predict_rows));
+    /// the value is only consulted for engaged visits under a predicted
+    /// policy.
+    pub predicted_s: Option<f64>,
+}
+
+/// What [`run_profiled_session`] reports for one visit, through the
+/// `on_visit` callback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfiledVisitOutcome {
+    /// Page index of the visit.
+    pub page_idx: usize,
+    /// Page-load duration (click → final display).
+    pub load: SimDuration,
+    /// Whether Algorithm 2 released the radio during the reading period.
+    pub released: bool,
+    /// The predicted reading time, when the policy consulted one.
+    pub predicted_s: Option<f64>,
+}
+
+/// Aggregates of one profiled session — the fields the fleet folds into
+/// its population summary. Matches the corresponding
+/// [`SessionOutcome`](crate::session::SessionOutcome) fields bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfiledOutcome {
+    /// Total handset energy over the session, joules.
+    pub total_joules: f64,
+    /// Sum of page-load durations, seconds.
+    pub total_load_time_s: f64,
+    /// Session duration.
+    pub duration: SimDuration,
+    /// Radio event counters.
+    pub counters: RrcCounters,
+    /// Time per radio state.
+    pub residency: StateResidency,
+}
+
+/// Simulates a session by time-shifting memoized load profiles onto one
+/// incremental radio machine. Allocation-free after the table is built.
+///
+/// `on_visit` fires once per visit in order — the fleet's histogram hook.
+///
+/// # Panics
+///
+/// Panics if `visits` is empty, the configuration is invalid, a page
+/// index is out of range, a reading time is negative, or the case's
+/// policy needs a prediction a visit does not carry.
+pub fn run_profiled_session(
+    table: &ProfileTable,
+    cfg: &CoreConfig,
+    case: Case,
+    visits: &[ProfiledVisit],
+    mut on_visit: impl FnMut(ProfiledVisitOutcome),
+) -> ProfiledOutcome {
+    assert!(!visits.is_empty(), "a session needs at least one visit");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid CoreConfig: {e}");
+    }
+
+    let start = SimTime::ZERO;
+    let mut machine = RrcMachine::new(cfg.rrc, start);
+    let mut t = start;
+    let mut total_load_time_s = 0.0;
+
+    for visit in visits {
+        assert!(
+            visit.reading_s.is_finite() && visit.reading_s >= 0.0,
+            "reading time must be non-negative"
+        );
+        let profile = table.profile(visit.page_idx, case.pipeline_mode(), machine.state());
+        let dt = t - start;
+        for e in &profile.events {
+            match *e {
+                RadioEvent::BeginTransfer {
+                    at,
+                    needs_dch,
+                    promotion_retries,
+                } => {
+                    let _ = machine.begin_transfer_with_promotion_retries(
+                        at + dt,
+                        needs_dch,
+                        promotion_retries,
+                    );
+                }
+                RadioEvent::EndTransfer { at } => machine.end_transfer(at + dt),
+                RadioEvent::Release { at } => {
+                    let _ = machine.release_to_idle(at + dt);
+                }
+                RadioEvent::CpuLoad { at, load } => machine.set_cpu_load(at + dt, load),
+            }
+        }
+
+        let opened = t + profile.opened;
+        let next_start = opened + SimDuration::from_secs_f64(visit.reading_s);
+        let (decision, predicted_s) = release_decision(
+            case.release_policy(),
+            cfg.alg.alpha_s,
+            opened,
+            visit.reading_s,
+            || {
+                visit.predicted_s.unwrap_or_else(|| {
+                    panic!("case {case} needs a predicted reading time on every engaged visit")
+                })
+            },
+        );
+        let released_at = decision.filter(|&at| at + cfg.rrc.release_latency <= next_start);
+        if let Some(at) = released_at {
+            machine.release_to_idle(at);
+        }
+        machine.advance_to(next_start);
+
+        total_load_time_s += profile.load_time_s();
+        on_visit(ProfiledVisitOutcome {
+            page_idx: visit.page_idx,
+            load: profile.opened,
+            released: released_at.is_some(),
+            predicted_s,
+        });
+        t = next_start;
+    }
+
+    ProfiledOutcome {
+        total_joules: machine.energy_j(),
+        total_load_time_s,
+        duration: t - start,
+        counters: machine.counters(),
+        residency: machine.residency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{simulate_session, Visit};
+    use ewb_webpage::benchmark_corpus;
+
+    fn setup() -> (Corpus, OriginServer, CoreConfig) {
+        let corpus = benchmark_corpus(1);
+        let server = OriginServer::from_corpus(&corpus);
+        (corpus, server, CoreConfig::paper())
+    }
+
+    /// `(site_idx, version)` → the shared page index convention.
+    fn page_idx(corpus: &Corpus, key: &str, version: PageVersion) -> usize {
+        let site = corpus
+            .sites()
+            .iter()
+            .position(|s| s.key == key)
+            .expect("known site");
+        site * 2 + usize::from(version == PageVersion::Full)
+    }
+
+    #[test]
+    fn capture_covers_every_page_mode_and_state() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        assert_eq!(table.n_pages(), 20);
+        // A cold (IDLE) click pays the promotion a warm (DCH) click skips.
+        let idx = page_idx(&corpus, "espn", PageVersion::Full);
+        let cold = table.profile(idx, PipelineMode::Original, RrcState::Idle);
+        let warm = table.profile(idx, PipelineMode::Original, RrcState::Dch);
+        assert!(
+            cold.opened > warm.opened,
+            "cold load {:?} must exceed warm load {:?}",
+            cold.opened,
+            warm.opened
+        );
+        // Every profile starts with its transfer at the click.
+        for p in &table.profiles {
+            assert_eq!(p.events.first().map(RadioEvent::at), Some(SimTime::ZERO));
+            assert!(p.tx_end <= p.opened);
+        }
+    }
+
+    /// The tentpole's correctness anchor: a profiled session is
+    /// bit-identical to the full browser-pipeline session, across
+    /// policies and across every radio state the visits drag the machine
+    /// through (DCH→FACH→IDLE between clicks).
+    #[test]
+    fn profiled_sessions_match_full_sessions_to_the_bit() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        // Reading times chosen to land the next click in DCH (2 s),
+        // FACH (6 s), and IDLE (30 s > T1+T2), plus threshold-straddling
+        // values (5/12/25 s around Tp=9 and Td=20).
+        let plan = [
+            ("espn", PageVersion::Full, 2.0),
+            ("cnn", PageVersion::Mobile, 6.0),
+            ("bbc", PageVersion::Mobile, 30.0),
+            ("msn", PageVersion::Mobile, 12.0),
+            ("aol", PageVersion::Mobile, 5.0),
+            ("ebay", PageVersion::Full, 25.0),
+        ];
+        let visits: Vec<Visit<'_>> = plan
+            .iter()
+            .map(|&(key, version, reading_s)| Visit {
+                page: corpus.page(key, version).unwrap(),
+                reading_s,
+                features: None,
+            })
+            .collect();
+        let profiled: Vec<ProfiledVisit> = plan
+            .iter()
+            .map(|&(key, version, reading_s)| ProfiledVisit {
+                page_idx: page_idx(&corpus, key, version),
+                reading_s,
+                predicted_s: None,
+            })
+            .collect();
+
+        for case in [
+            Case::Original,
+            Case::OriginalAlwaysOff,
+            Case::Accurate9,
+            Case::Accurate20,
+        ] {
+            let full = simulate_session(&server, &visits, case, &cfg, None);
+            let mut loads = Vec::new();
+            let fast = run_profiled_session(&table, &cfg, case, &profiled, |v| {
+                loads.push(v.load);
+            });
+            assert_eq!(
+                fast.total_joules.to_bits(),
+                full.total_joules.to_bits(),
+                "case {case}: energy must match to the last bit"
+            );
+            assert_eq!(
+                fast.total_load_time_s.to_bits(),
+                full.total_load_time_s.to_bits(),
+                "case {case}: load time must match to the last bit"
+            );
+            assert_eq!(fast.counters, full.counters, "case {case}");
+            assert_eq!(fast.residency, full.radio.residency(), "case {case}");
+            assert_eq!(fast.duration, full.duration, "case {case}");
+            for (got, want) in loads.iter().zip(&full.pages) {
+                assert_eq!(got.as_secs_f64().to_bits(), want.load_time_s().to_bits());
+            }
+        }
+    }
+
+    /// Predicted policies: the profiled path consumes batch predictions
+    /// and lands on the same releases and energy as the full path fed the
+    /// same feature overrides.
+    #[test]
+    fn profiled_predicted_sessions_match_full_sessions() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        let trace = ewb_traces::TraceDataset::generate(&ewb_traces::TraceConfig::small());
+        let predictor = ewb_traces::ReadingTimePredictor::train_with_interest_threshold(
+            &trace,
+            2.0,
+            &ewb_traces::reading_time_params(),
+        );
+        let synth = ewb_traces::VisitSynthesizer::from_corpus(&corpus);
+        let mut rng = ewb_simcore::Xoshiro256::seed_from_u64(7);
+        let plan: Vec<(usize, FeatureVector, f64)> = (0..8)
+            .map(|i| {
+                let (idx, f, _) = synth.sample_indexed(&mut rng);
+                (idx, f, [1.0, 4.0, 11.0, 30.0][i % 4])
+            })
+            .collect();
+        let visits: Vec<Visit<'_>> = plan
+            .iter()
+            .map(|&(idx, f, reading_s)| {
+                let (key, version) = synth.base(idx);
+                Visit {
+                    page: corpus.page(key, version).unwrap(),
+                    reading_s,
+                    features: Some(f),
+                }
+            })
+            .collect();
+        let profiled: Vec<ProfiledVisit> = plan
+            .iter()
+            .map(|&(idx, f, reading_s)| ProfiledVisit {
+                page_idx: idx,
+                reading_s,
+                predicted_s: Some(predictor.predict_seconds(&f)),
+            })
+            .collect();
+
+        for case in [Case::Predict9, Case::Predict20] {
+            let full = simulate_session(&server, &visits, case, &cfg, Some(&predictor));
+            let mut released = 0u32;
+            let fast = run_profiled_session(&table, &cfg, case, &profiled, |v| {
+                released += u32::from(v.released);
+            });
+            assert_eq!(
+                fast.total_joules.to_bits(),
+                full.total_joules.to_bits(),
+                "case {case}"
+            );
+            assert_eq!(fast.counters, full.counters, "case {case}");
+            assert_eq!(
+                u64::from(released),
+                full.counters.fast_dormancy_releases,
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Promoting")]
+    fn promoting_is_not_a_click_state() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        table.profile(0, PipelineMode::Original, RrcState::Promoting);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a predicted reading time")]
+    fn predicted_case_without_predictions_panics() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        let visits = [ProfiledVisit {
+            page_idx: 0,
+            reading_s: 10.0,
+            predicted_s: None,
+        }];
+        run_profiled_session(&table, &cfg, Case::Predict9, &visits, |_| {});
+    }
+}

@@ -151,6 +151,100 @@ impl SessionOutcome {
     }
 }
 
+/// Borrowed context for running sessions: the origin server, the
+/// configuration, and (optionally) the trained predictor. Constructing
+/// one allocates nothing — it is a bundle of references, cheap to copy
+/// into every worker of a fleet shard — and the heavyweight inputs
+/// (corpus-backed server, predictor forest) are shared read-only.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionCtx<'a> {
+    /// The origin server built from the benchmark corpus.
+    pub server: &'a OriginServer,
+    /// The paper's configuration.
+    pub cfg: &'a CoreConfig,
+    /// The trained reading-time predictor, for Predict-N cases.
+    pub predictor: Option<&'a ReadingTimePredictor>,
+}
+
+impl<'a> SessionCtx<'a> {
+    /// A context without a predictor (oracle and always-off cases).
+    pub fn new(server: &'a OriginServer, cfg: &'a CoreConfig) -> Self {
+        SessionCtx {
+            server,
+            cfg,
+            predictor: None,
+        }
+    }
+
+    /// Attaches a shared predictor for Predict-N cases.
+    pub fn with_predictor(mut self, predictor: &'a ReadingTimePredictor) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// Runs one session under `case`. See [`simulate_session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`simulate_session`] does.
+    pub fn run(&self, visits: &[Visit<'_>], case: Case) -> SessionOutcome {
+        simulate_session(self.server, visits, case, self.cfg, self.predictor)
+    }
+
+    /// Runs one session on a possibly faulty link. See
+    /// [`simulate_session_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`simulate_session_faulted`] does.
+    pub fn run_faulted(
+        &self,
+        visits: &[Visit<'_>],
+        case: Case,
+        faults: Option<&SessionFaults>,
+    ) -> SessionOutcome {
+        simulate_session_faulted(self.server, visits, case, self.cfg, self.predictor, faults)
+    }
+}
+
+/// Algorithm 2's per-visit release decision: whether (and when) to switch
+/// the radio to IDLE after a page opens, given the case's policy. Returns
+/// the proposed release instant — before the "does the release finish
+/// before the next click" filter — plus the predicted reading time when a
+/// predictor ran. `predict` is only invoked for predicted policies on
+/// engaged (`reading_s > alpha_s`) visits, so callers can defer feature
+/// assembly. Shared by the full browser-pipeline session path and the
+/// memoized fleet path so the two stay decision-identical.
+pub fn release_decision(
+    policy: ReleasePolicy,
+    alpha_s: f64,
+    opened: SimTime,
+    reading_s: f64,
+    predict: impl FnOnce() -> f64,
+) -> (Option<SimTime>, Option<f64>) {
+    match policy {
+        ReleasePolicy::Never => (None, None),
+        ReleasePolicy::AfterLoad => (Some(opened), None),
+        ReleasePolicy::OracleThreshold { threshold_s } => {
+            let at = opened + SimDuration::from_secs_f64(alpha_s);
+            (
+                (reading_s > alpha_s && reading_s > threshold_s).then_some(at),
+                None,
+            )
+        }
+        ReleasePolicy::PredictedThreshold { threshold_s } => {
+            // The user must stay past α for the prediction to run.
+            if reading_s <= alpha_s {
+                (None, None)
+            } else {
+                let tr = predict();
+                let at = opened + SimDuration::from_secs_f64(alpha_s);
+                ((tr > threshold_s).then_some(at), Some(tr))
+            }
+        }
+    }
+}
+
 /// Simulates a session under `case`.
 ///
 /// # Panics
@@ -227,7 +321,7 @@ pub fn simulate_session_recorded(
     );
 
     let start = SimTime::ZERO;
-    let mut machine = RrcMachine::new(cfg.rrc.clone(), start);
+    let mut machine = RrcMachine::new(cfg.rrc, start);
     let mut events: Vec<RadioEvent> = Vec::new();
     let mut boundaries: Vec<(SimTime, SimTime)> = Vec::new(); // (start, opened)
     let mut partial: Vec<PageRecord> = Vec::new();
@@ -264,38 +358,26 @@ pub fn simulate_session_recorded(
             &cfg.cost,
             recorder.clone(),
         );
-        let transfers = fetcher.transfers().to_vec();
+        events.extend(events_of_load(fetcher.transfers(), &metrics.cpu_busy));
         machine = fetcher.into_machine();
-        events.extend(events_of_load(&transfers, &metrics.cpu_busy));
 
         let opened = metrics.final_display_at;
         let next_start = opened + SimDuration::from_secs_f64(visit.reading_s);
 
         // Algorithm 2: decide at `opened + α` (or immediately for the
         // always-off policies) whether to switch to IDLE.
-        let mut predicted_s = None;
-        let decision: Option<SimTime> = match case.release_policy() {
-            ReleasePolicy::Never => None,
-            ReleasePolicy::AfterLoad => Some(opened),
-            ReleasePolicy::OracleThreshold { threshold_s } => {
-                let at = opened + SimDuration::from_secs_f64(cfg.alg.alpha_s);
-                (visit.reading_s > cfg.alg.alpha_s && visit.reading_s > threshold_s).then_some(at)
-            }
-            ReleasePolicy::PredictedThreshold { threshold_s } => {
-                // The user must stay past α for the prediction to run.
-                if visit.reading_s <= cfg.alg.alpha_s {
-                    None
-                } else {
-                    let features = visit
-                        .features
-                        .unwrap_or_else(|| FeatureVector::from_slice(&metrics.features().to_vec()));
-                    let tr = predictor.expect("checked above").predict_seconds(&features);
-                    predicted_s = Some(tr);
-                    let at = opened + SimDuration::from_secs_f64(cfg.alg.alpha_s);
-                    (tr > threshold_s).then_some(at)
-                }
-            }
-        };
+        let (decision, predicted_s) = release_decision(
+            case.release_policy(),
+            cfg.alg.alpha_s,
+            opened,
+            visit.reading_s,
+            || {
+                let features = visit
+                    .features
+                    .unwrap_or_else(|| FeatureVector::from_slice(&metrics.features().to_vec()));
+                predictor.expect("checked above").predict_seconds(&features)
+            },
+        );
         // Only release if the release procedure completes before the next
         // click; otherwise the user is already navigating away.
         let released_at = decision.filter(|&at| at + cfg.rrc.release_latency <= next_start);
@@ -338,7 +420,7 @@ pub fn simulate_session_recorded(
     // Exact energy: replay radio + CPU events on a fresh machine. The
     // recorder rides on the *replay* machine — the one whose energy is
     // reported — so the emitted ledger folds to `total_joules` exactly.
-    let radio = replay_recorded(cfg.rrc.clone(), start, events, t, recorder.clone());
+    let radio = replay_recorded(cfg.rrc, start, events, t, recorder.clone());
     let meter = radio.meter();
     for (i, record) in partial.iter_mut().enumerate() {
         let (page_start, opened) = boundaries[i];

@@ -1,0 +1,386 @@
+//! The fleet driver: deterministic per-user planning, shard scheduling,
+//! and the work-stealing run loop.
+//!
+//! # Determinism
+//!
+//! Every user's entire input stream derives from `fork`s of one root
+//! generator: `Xoshiro256::seed_from_u64(seed).fork(user_id)` is the
+//! user's stream, with sub-forks for interests (0) and visits (1). A
+//! user's sessions therefore depend on `(seed, user_id)` alone — not on
+//! which shard the user lands in, which thread runs the shard, or what
+//! any other user did. Combined with the integer-only
+//! [`FleetSummary`](crate::FleetSummary) merge, the population summary is
+//! bit-identical for every shard count and thread count.
+//!
+//! # Memory
+//!
+//! Workers reuse one [`WorkerScratch`] across all their users (vectors
+//! keep their capacity), and each shard folds straight into its own
+//! summary: peak heap is O(shards + threads), independent of the user
+//! count.
+
+use crate::summary::FleetSummary;
+use ewb_core::cases::Case;
+use ewb_core::profile::{run_profiled_session, ProfileTable, ProfiledVisit};
+use ewb_core::CoreConfig;
+use ewb_simcore::Xoshiro256;
+use ewb_traces::{DwellModel, FeatureVector, ReadingTimePredictor, VisitSynthesizer, N_FEATURES};
+use ewb_webpage::{benchmark_corpus, Corpus, OriginServer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Interest bounds per site, matching
+/// [`UserProfile::generate`](ewb_traces::UserProfile::generate).
+const INTEREST_LO: f64 = 0.15;
+const INTEREST_HI: f64 = 0.85;
+
+/// A fleet run's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Users to simulate (one baseline + one optimized session each).
+    pub users: u64,
+    /// Shards the users are partitioned into (contiguous, near-equal).
+    pub shards: usize,
+    /// Worker threads stealing shards from a shared queue.
+    pub threads: usize,
+    /// Root seed of every per-user stream.
+    pub seed: u64,
+    /// The baseline case (energy denominator).
+    pub baseline: Case,
+    /// The optimized case under evaluation.
+    pub optimized: Case,
+    /// Fewest visits in a user's day.
+    pub visits_min: u64,
+    /// Most visits in a user's day.
+    pub visits_max: u64,
+}
+
+impl FleetConfig {
+    /// The paper-anchored population: Original vs Predict-9 (the
+    /// power-driven deployed configuration), 5–30 page visits per user
+    /// per day.
+    pub fn paper(users: u64) -> Self {
+        FleetConfig {
+            users,
+            shards: 64,
+            threads: 1,
+            seed: 2013,
+            baseline: Case::Original,
+            optimized: Case::Predict9,
+            visits_min: 5,
+            visits_max: 30,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users == 0 {
+            return Err("a fleet needs at least one user".to_string());
+        }
+        if self.shards == 0 {
+            return Err("shard count must be positive".to_string());
+        }
+        if self.threads == 0 {
+            return Err("thread count must be positive".to_string());
+        }
+        if self.visits_min == 0 || self.visits_min > self.visits_max {
+            return Err(format!(
+                "visit range [{}, {}] must be non-empty and start at 1+",
+                self.visits_min, self.visits_max
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The shared read-only world every worker borrows: corpus, origin
+/// server, captured load profiles, visit synthesizer, and the trained
+/// predictor (flat forest pre-compiled). Built once per process; sessions
+/// themselves allocate nothing from it.
+#[derive(Debug)]
+pub struct FleetEnv {
+    /// The benchmark corpus the profiles were captured from.
+    pub corpus: Corpus,
+    /// The origin server (owns every object body).
+    pub server: OriginServer,
+    /// The paper's configuration.
+    pub cfg: CoreConfig,
+    /// Memoized load profiles: (page, mode, click-state) → radio events.
+    pub table: ProfileTable,
+    /// Per-visit feature synthesizer (base order = profile page order).
+    pub synth: VisitSynthesizer,
+    /// The trained reading-time predictor.
+    pub predictor: ReadingTimePredictor,
+}
+
+impl FleetEnv {
+    /// Builds the world: generates the corpus (seed 1, the workspace
+    /// benchmark seed), captures all 120 load profiles through the full
+    /// browser pipeline, trains the predictor, and pre-compiles its flat
+    /// forest so no worker hits the lazy-init path.
+    pub fn prepare() -> Self {
+        let cfg = CoreConfig::paper();
+        let corpus = benchmark_corpus(1);
+        let server = OriginServer::from_corpus(&corpus);
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        let synth = VisitSynthesizer::from_corpus(&corpus);
+        let trace = ewb_traces::TraceDataset::generate(&ewb_traces::TraceConfig::small());
+        let predictor = ReadingTimePredictor::train_with_interest_threshold(
+            &trace,
+            cfg.alg.alpha_s,
+            &ewb_traces::reading_time_params(),
+        );
+        let _ = predictor.flat(); // compile before workers fan out
+        FleetEnv {
+            corpus,
+            server,
+            cfg,
+            table,
+            synth,
+            predictor,
+        }
+    }
+}
+
+/// Reusable per-worker buffers. Capacities stabilize after the first few
+/// users, making the steady-state per-session heap growth zero.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    interests: Vec<f64>,
+    rows: Vec<f64>,
+    preds: Vec<f64>,
+    visits: Vec<ProfiledVisit>,
+}
+
+impl WorkerScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        WorkerScratch::default()
+    }
+}
+
+/// One planned visit of a user's day — the test-visible form of the plan
+/// (the hot path keeps the same data in [`WorkerScratch`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedVisit {
+    /// Page index in synthesizer-base / profile-table order.
+    pub page_idx: usize,
+    /// The visit's synthesized feature vector (what the predictor sees).
+    pub features: FeatureVector,
+    /// The user's actual reading time, seconds.
+    pub reading_s: f64,
+}
+
+/// Fills `scratch` with user `user_id`'s day: visit pages, feature rows,
+/// and reading times. Returns the visit count. Predictions are left
+/// `None`; [`simulate_user`] batches them when a case needs them.
+fn fill_plan(env: &FleetEnv, cfg: &FleetConfig, user_id: u64, scratch: &mut WorkerScratch) -> u64 {
+    let user_rng = Xoshiro256::seed_from_u64(cfg.seed).fork(user_id);
+
+    // Interests per site, in corpus (Table 3) order — the same
+    // distribution `UserProfile::generate` draws.
+    let mut interest_rng = user_rng.fork(0);
+    scratch.interests.clear();
+    for _ in 0..env.corpus.sites().len() {
+        scratch
+            .interests
+            .push(interest_rng.f64_range(INTEREST_LO, INTEREST_HI));
+    }
+
+    let mut visit_rng = user_rng.fork(1);
+    let n = visit_rng.u64_range_inclusive(cfg.visits_min, cfg.visits_max);
+    scratch.visits.clear();
+    scratch.rows.clear();
+    let dwell = DwellModel;
+    for _ in 0..n {
+        let (page_idx, features, latents) = env.synth.sample_indexed(&mut visit_rng);
+        let interest = scratch.interests[page_idx / 2]; // 2 versions per site
+        let reading_s = dwell.sample(latents, interest, &mut visit_rng);
+        scratch.rows.extend_from_slice(&features.0);
+        scratch.visits.push(ProfiledVisit {
+            page_idx,
+            reading_s,
+            predicted_s: None,
+        });
+    }
+    n
+}
+
+/// User `user_id`'s full day as an owned plan — what the equivalence
+/// tests replay through the full browser-pipeline session path.
+pub fn plan_user(env: &FleetEnv, cfg: &FleetConfig, user_id: u64) -> Vec<PlannedVisit> {
+    let mut scratch = WorkerScratch::new();
+    let n = fill_plan(env, cfg, user_id, &mut scratch) as usize;
+    (0..n)
+        .map(|i| PlannedVisit {
+            page_idx: scratch.visits[i].page_idx,
+            features: FeatureVector::from_slice(
+                &scratch.rows[i * N_FEATURES..(i + 1) * N_FEATURES],
+            ),
+            reading_s: scratch.visits[i].reading_s,
+        })
+        .collect()
+}
+
+/// Simulates one user's baseline and optimized sessions and folds both
+/// into `summary`. Allocation-free at steady state: the plan lives in
+/// `scratch`, predictions run as one batch, and the sessions replay
+/// memoized profiles.
+pub fn simulate_user(
+    env: &FleetEnv,
+    cfg: &FleetConfig,
+    user_id: u64,
+    scratch: &mut WorkerScratch,
+    summary: &mut FleetSummary,
+) {
+    let n = fill_plan(env, cfg, user_id, scratch) as usize;
+
+    if cfg.baseline.needs_predictor() || cfg.optimized.needs_predictor() {
+        scratch.preds.clear();
+        scratch.preds.resize(n, 0.0);
+        env.predictor
+            .predict_rows(&scratch.rows, &mut scratch.preds);
+        for (visit, &tr) in scratch.visits.iter_mut().zip(&scratch.preds) {
+            visit.predicted_s = Some(tr);
+        }
+    }
+
+    let baseline = run_profiled_session(&env.table, &env.cfg, cfg.baseline, &scratch.visits, |v| {
+        summary.fold_baseline_load(v.load)
+    });
+    let optimized =
+        run_profiled_session(&env.table, &env.cfg, cfg.optimized, &scratch.visits, |v| {
+            summary.fold_optimized_load(v.load)
+        });
+    summary.fold_user(&baseline, &optimized, n as u64);
+}
+
+/// The contiguous user range of shard `shard` (near-equal partition).
+fn shard_range(users: u64, shards: usize, shard: usize) -> std::ops::Range<u64> {
+    let users = u128::from(users);
+    let shards = shards as u128;
+    let lo = (users * shard as u128 / shards) as u64;
+    let hi = (users * (shard as u128 + 1) / shards) as u64;
+    lo..hi
+}
+
+/// Runs the whole fleet: shards on a work-stealing queue (an atomic
+/// cursor — idle threads take the next unclaimed shard), per-shard
+/// summaries merged in shard-index order. The result is bit-identical
+/// for every `shards`/`threads` combination.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a worker panics.
+pub fn run_fleet(env: &FleetEnv, cfg: &FleetConfig) -> FleetSummary {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid FleetConfig: {e}");
+    }
+    let next_shard = AtomicUsize::new(0);
+    let worker_outputs: Vec<Vec<(usize, FleetSummary)>> = crossbeam::thread::scope(|scope| {
+        let next_shard = &next_shard;
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut scratch = WorkerScratch::new();
+                    let mut mine = Vec::new();
+                    loop {
+                        let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                        if shard >= cfg.shards {
+                            break;
+                        }
+                        let mut summary = FleetSummary::default();
+                        for user_id in shard_range(cfg.users, cfg.shards, shard) {
+                            simulate_user(env, cfg, user_id, &mut scratch, &mut summary);
+                        }
+                        mine.push((shard, summary));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    // Deterministic join: place each shard in its slot, merge in index
+    // order. (The integer merge is order-independent anyway; the pinned
+    // order makes that property unnecessary rather than load-bearing.)
+    let mut slots: Vec<Option<FleetSummary>> = (0..cfg.shards).map(|_| None).collect();
+    for (shard, summary) in worker_outputs.into_iter().flatten() {
+        let previous = slots[shard].replace(summary);
+        assert!(previous.is_none(), "shard {shard} simulated twice");
+    }
+    let mut merged = FleetSummary::default();
+    for slot in slots {
+        merged.merge(&slot.expect("every shard claimed"));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_users() {
+        for (users, shards) in [(10u64, 3usize), (7, 7), (5, 8), (1_000, 64), (1, 1)] {
+            let mut covered = 0u64;
+            let mut next = 0u64;
+            for s in 0..shards {
+                let r = shard_range(users, shards, s);
+                assert_eq!(r.start, next, "contiguous at shard {s}");
+                next = r.end;
+                covered += r.end - r.start;
+            }
+            assert_eq!(next, users);
+            assert_eq!(covered, users);
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_setups() {
+        let ok = FleetConfig::paper(10);
+        assert!(ok.validate().is_ok());
+        assert!(FleetConfig { users: 0, ..ok }.validate().is_err());
+        assert!(FleetConfig { shards: 0, ..ok }.validate().is_err());
+        assert!(FleetConfig { threads: 0, ..ok }.validate().is_err());
+        assert!(FleetConfig {
+            visits_min: 9,
+            visits_max: 3,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(FleetConfig {
+            visits_min: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn plans_are_a_pure_function_of_seed_and_user() {
+        let env = crate::test_env();
+        let cfg = FleetConfig::paper(4);
+        let a = plan_user(env, &cfg, 3);
+        let b = plan_user(env, &cfg, 3);
+        assert_eq!(a, b);
+        let other_user = plan_user(env, &cfg, 2);
+        assert_ne!(a, other_user);
+        let other_seed = plan_user(env, &FleetConfig { seed: 99, ..cfg }, 3);
+        assert_ne!(a, other_seed);
+        for v in &a {
+            assert!(v.page_idx < env.table.n_pages());
+            assert!((0.0..=600.0).contains(&v.reading_s));
+        }
+        assert!(a.len() >= cfg.visits_min as usize && a.len() <= cfg.visits_max as usize);
+    }
+}

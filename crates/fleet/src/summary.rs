@@ -1,0 +1,379 @@
+//! The streaming population summary: what one shard accumulates and what
+//! shards merge into.
+//!
+//! Every field is an integer — energies in microjoules, times in
+//! microseconds, distributions as fixed-bin counted histograms — so
+//! merging shards is plain integer addition: associative, commutative,
+//! and bit-exact for every shard count, merge order, and thread
+//! interleaving. (The per-session `f64` energies the integers derive from
+//! are themselves bit-identical across shardings, because every user's
+//! session is simulated from its own forked RNG stream on its own radio
+//! machine.) Peak fleet memory is one `FleetSummary` per shard plus one
+//! worker scratch per thread: O(shards), never O(users).
+
+use ewb_core::profile::ProfiledOutcome;
+use ewb_simcore::SimDuration;
+
+/// Bins of the saved-energy-per-user-day histogram.
+pub const SAVED_BINS: usize = 128;
+/// Width of one saved-energy bin, µJ (5 J).
+pub const SAVED_BIN_UJ: i128 = 5_000_000;
+/// Left edge of the saved-energy histogram, µJ (−50 J: a user whose
+/// release decisions backfire pays promotions without the tail savings).
+pub const SAVED_OFFSET_UJ: i128 = -50_000_000;
+
+/// Bins of the page-load-latency histograms.
+pub const LOAD_BINS: usize = 1024;
+/// Width of one latency bin, µs (100 ms).
+pub const LOAD_BIN_US: u64 = 100_000;
+
+/// Bins of the per-user DCH residency-share histogram (1/64 resolution).
+pub const SHARE_BINS: usize = 64;
+
+/// Converts a session energy to integer microjoules.
+fn joules_to_uj(j: f64) -> u128 {
+    debug_assert!(j.is_finite() && j >= 0.0, "session energy {j}");
+    (j * 1e6).round() as u128
+}
+
+/// Index of the saved-energy bin holding `saved_uj`, clamped to range.
+fn saved_bin(saved_uj: i128) -> usize {
+    let raw = (saved_uj - SAVED_OFFSET_UJ).div_euclid(SAVED_BIN_UJ);
+    raw.clamp(0, SAVED_BINS as i128 - 1) as usize
+}
+
+/// Index of the latency bin holding `load_us`, clamped to range.
+fn load_bin(load_us: u64) -> usize {
+    ((load_us / LOAD_BIN_US) as usize).min(LOAD_BINS - 1)
+}
+
+/// Mergeable population aggregates over (baseline, optimized) session
+/// pairs. One per shard during a fleet run; shards merge in index order
+/// into the population summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Users simulated (one baseline + one optimized session each).
+    pub users: u64,
+    /// Sessions simulated (`2 × users`).
+    pub sessions: u64,
+    /// Page loads simulated across both cases.
+    pub visits: u64,
+    /// Fast-dormancy releases in the optimized sessions.
+    pub releases: u64,
+    /// Total baseline-session energy, µJ.
+    pub baseline_uj: u128,
+    /// Total optimized-session energy, µJ.
+    pub optimized_uj: u128,
+    /// Sum of baseline page-load durations, µs.
+    pub baseline_load_us: u128,
+    /// Sum of optimized page-load durations, µs.
+    pub optimized_load_us: u128,
+    /// Baseline radio residency, µs, as `[idle, promoting, fach, dch]`.
+    pub baseline_residency_us: [u128; 4],
+    /// Optimized radio residency, µs, as `[idle, promoting, fach, dch]`.
+    pub optimized_residency_us: [u128; 4],
+    /// Histogram of energy saved per user per day (baseline − optimized):
+    /// [`SAVED_BINS`] bins of [`SAVED_BIN_UJ`] from [`SAVED_OFFSET_UJ`].
+    pub saved_hist: Vec<u64>,
+    /// Baseline page-load latency histogram: [`LOAD_BINS`] bins of
+    /// [`LOAD_BIN_US`].
+    pub baseline_load_hist: Vec<u64>,
+    /// Optimized page-load latency histogram, same bins.
+    pub optimized_load_hist: Vec<u64>,
+    /// Per-user share of optimized session time spent in DCH, in
+    /// [`SHARE_BINS`] equal bins of `[0, 1]`.
+    pub dch_share_hist: Vec<u64>,
+}
+
+impl Default for FleetSummary {
+    fn default() -> Self {
+        FleetSummary {
+            users: 0,
+            sessions: 0,
+            visits: 0,
+            releases: 0,
+            baseline_uj: 0,
+            optimized_uj: 0,
+            baseline_load_us: 0,
+            optimized_load_us: 0,
+            baseline_residency_us: [0; 4],
+            optimized_residency_us: [0; 4],
+            saved_hist: vec![0; SAVED_BINS],
+            baseline_load_hist: vec![0; LOAD_BINS],
+            optimized_load_hist: vec![0; LOAD_BINS],
+            dch_share_hist: vec![0; SHARE_BINS],
+        }
+    }
+}
+
+fn residency_us(outcome: &ProfiledOutcome) -> [u128; 4] {
+    let r = outcome.residency;
+    [
+        u128::from(r.idle.as_micros()),
+        u128::from(r.promoting.as_micros()),
+        u128::from(r.fach.as_micros()),
+        u128::from(r.dch.as_micros()),
+    ]
+}
+
+impl FleetSummary {
+    /// Folds one baseline page load (called per visit, in session order).
+    pub fn fold_baseline_load(&mut self, load: SimDuration) {
+        let us = load.as_micros();
+        self.baseline_load_us += u128::from(us);
+        self.baseline_load_hist[load_bin(us)] += 1;
+    }
+
+    /// Folds one optimized page load.
+    pub fn fold_optimized_load(&mut self, load: SimDuration) {
+        let us = load.as_micros();
+        self.optimized_load_us += u128::from(us);
+        self.optimized_load_hist[load_bin(us)] += 1;
+    }
+
+    /// Folds one user's (baseline, optimized) session pair.
+    pub fn fold_user(
+        &mut self,
+        baseline: &ProfiledOutcome,
+        optimized: &ProfiledOutcome,
+        visits_per_session: u64,
+    ) {
+        self.users += 1;
+        self.sessions += 2;
+        self.visits += 2 * visits_per_session;
+        self.releases += optimized.counters.fast_dormancy_releases;
+
+        let base_uj = joules_to_uj(baseline.total_joules);
+        let opt_uj = joules_to_uj(optimized.total_joules);
+        self.baseline_uj += base_uj;
+        self.optimized_uj += opt_uj;
+        self.saved_hist[saved_bin(base_uj as i128 - opt_uj as i128)] += 1;
+
+        let base_res = residency_us(baseline);
+        let opt_res = residency_us(optimized);
+        for i in 0..4 {
+            self.baseline_residency_us[i] += base_res[i];
+            self.optimized_residency_us[i] += opt_res[i];
+        }
+        let total: u128 = opt_res.iter().sum();
+        if let Some(share) = (opt_res[3] * SHARE_BINS as u128).checked_div(total) {
+            let bin = share.min(SHARE_BINS as u128 - 1);
+            self.dch_share_hist[bin as usize] += 1;
+        }
+    }
+
+    /// Absorbs another shard's summary. Pure integer addition, so the
+    /// result is identical for every merge order and grouping.
+    pub fn merge(&mut self, other: &FleetSummary) {
+        self.users += other.users;
+        self.sessions += other.sessions;
+        self.visits += other.visits;
+        self.releases += other.releases;
+        self.baseline_uj += other.baseline_uj;
+        self.optimized_uj += other.optimized_uj;
+        self.baseline_load_us += other.baseline_load_us;
+        self.optimized_load_us += other.optimized_load_us;
+        for i in 0..4 {
+            self.baseline_residency_us[i] += other.baseline_residency_us[i];
+            self.optimized_residency_us[i] += other.optimized_residency_us[i];
+        }
+        for (a, b) in self.saved_hist.iter_mut().zip(&other.saved_hist) {
+            *a += b;
+        }
+        for (a, b) in self
+            .baseline_load_hist
+            .iter_mut()
+            .zip(&other.baseline_load_hist)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .optimized_load_hist
+            .iter_mut()
+            .zip(&other.optimized_load_hist)
+        {
+            *a += b;
+        }
+        for (a, b) in self.dch_share_hist.iter_mut().zip(&other.dch_share_hist) {
+            *a += b;
+        }
+    }
+
+    /// Mean energy saved per user per day, joules.
+    pub fn saved_mean_j(&self) -> f64 {
+        if self.users == 0 {
+            return 0.0;
+        }
+        (self.baseline_uj as i128 - self.optimized_uj as i128) as f64 / self.users as f64 / 1e6
+    }
+
+    /// Population fraction of baseline energy saved by the optimized case.
+    pub fn saved_fraction(&self) -> f64 {
+        if self.baseline_uj == 0 {
+            return 0.0;
+        }
+        (self.baseline_uj as i128 - self.optimized_uj as i128) as f64 / self.baseline_uj as f64
+    }
+
+    /// Quantile of the saved-energy-per-user-day distribution, joules
+    /// (upper edge of the bin holding the `q`-quantile user).
+    pub fn saved_quantile_j(&self, q: f64) -> f64 {
+        let bin = quantile_bin(&self.saved_hist, q);
+        (SAVED_OFFSET_UJ + (bin as i128 + 1) * SAVED_BIN_UJ) as f64 / 1e6
+    }
+
+    /// Quantile of a page-load latency distribution, seconds (upper edge
+    /// of the bin holding the `q`-quantile load). `optimized` selects the
+    /// case.
+    pub fn load_quantile_s(&self, optimized: bool, q: f64) -> f64 {
+        let hist = if optimized {
+            &self.optimized_load_hist
+        } else {
+            &self.baseline_load_hist
+        };
+        let bin = quantile_bin(hist, q);
+        ((bin as u64 + 1) * LOAD_BIN_US) as f64 / 1e6
+    }
+
+    /// Radio residency fractions `[idle, promoting, fach, dch]` of one
+    /// case. `optimized` selects the case.
+    pub fn residency_fractions(&self, optimized: bool) -> [f64; 4] {
+        let res = if optimized {
+            &self.optimized_residency_us
+        } else {
+            &self.baseline_residency_us
+        };
+        let total: u128 = res.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        res.map(|us| us as f64 / total as f64)
+    }
+
+    /// Mean page-load latency of one case, seconds.
+    pub fn load_mean_s(&self, optimized: bool) -> f64 {
+        let total = if optimized {
+            self.optimized_load_us
+        } else {
+            self.baseline_load_us
+        };
+        let n = self.visits / 2; // page loads per case
+        if n == 0 {
+            return 0.0;
+        }
+        total as f64 / n as f64 / 1e6
+    }
+}
+
+/// Index of the bin holding the `q`-quantile count (nearest-rank over the
+/// cumulative histogram). Returns the last nonzero bin for `q = 1`.
+fn quantile_bin(hist: &[u64], q: f64) -> usize {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in hist.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return i;
+        }
+    }
+    hist.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewb_rrc::{RrcCounters, StateResidency};
+    use ewb_simcore::SimDuration;
+
+    fn outcome(joules: f64, dch_s: u64, idle_s: u64) -> ProfiledOutcome {
+        ProfiledOutcome {
+            total_joules: joules,
+            total_load_time_s: 0.0,
+            duration: SimDuration::from_secs(dch_s + idle_s),
+            counters: RrcCounters::default(),
+            residency: StateResidency {
+                idle: SimDuration::from_secs(idle_s),
+                promoting: SimDuration::ZERO,
+                fach: SimDuration::ZERO,
+                dch: SimDuration::from_secs(dch_s),
+            },
+        }
+    }
+
+    #[test]
+    fn fold_and_derive() {
+        let mut s = FleetSummary::default();
+        s.fold_baseline_load(SimDuration::from_millis(2_500));
+        s.fold_optimized_load(SimDuration::from_millis(4_500));
+        s.fold_user(&outcome(100.0, 30, 10), &outcome(60.0, 10, 30), 1);
+        assert_eq!(s.users, 1);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.visits, 2);
+        assert_eq!(s.baseline_uj, 100_000_000);
+        assert_eq!(s.optimized_uj, 60_000_000);
+        // 40 J saved → bin covering [40, 45): upper edge 45.
+        assert!((s.saved_quantile_j(0.5) - 45.0).abs() < 1e-9);
+        assert!((s.saved_mean_j() - 40.0).abs() < 1e-9);
+        assert!((s.saved_fraction() - 0.4).abs() < 1e-9);
+        // 2.5 s load → bin [2.5, 2.6): upper edge 2.6.
+        assert!((s.load_quantile_s(false, 0.5) - 2.6).abs() < 1e-9);
+        assert!((s.load_quantile_s(true, 0.5) - 4.6).abs() < 1e-9);
+        let f = s.residency_fractions(true);
+        assert!((f[0] - 0.75).abs() < 1e-9);
+        assert!((f[3] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_integer_addition_any_order() {
+        let mut a = FleetSummary::default();
+        a.fold_user(&outcome(90.0, 20, 20), &outcome(55.5, 5, 35), 3);
+        a.fold_baseline_load(SimDuration::from_secs(50));
+        let mut b = FleetSummary::default();
+        b.fold_user(&outcome(80.0, 25, 15), &outcome(79.0, 24, 16), 4);
+        b.fold_optimized_load(SimDuration::from_secs(200)); // overflow bin
+        let mut c = FleetSummary::default();
+        c.fold_user(&outcome(70.25, 0, 40), &outcome(90.0, 0, 40), 5); // negative saving
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut c_ba = c.clone();
+        let mut ba = b.clone();
+        ba.merge(&a);
+        c_ba.merge(&ba);
+        assert_eq!(ab_c, c_ba);
+        assert_eq!(ab_c.users, 3);
+        assert_eq!(ab_c.visits, 24);
+        // The 200 s load clamps into the last latency bin.
+        assert_eq!(*ab_c.optimized_load_hist.last().unwrap(), 1);
+        // The negative saving lands below the zero bin.
+        let neg_bin = super::saved_bin(-19_750_000);
+        assert!(ab_c.saved_hist[neg_bin] == 1);
+        assert!((SAVED_OFFSET_UJ + (neg_bin as i128) * SAVED_BIN_UJ) < -19_750_000);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_upper_edges() {
+        let mut s = FleetSummary::default();
+        for i in 0..100u64 {
+            s.fold_baseline_load(SimDuration::from_millis(i * 100 + 50)); // bins 0..=99
+        }
+        s.visits = 200;
+        s.sessions = 2;
+        // p50 over 100 one-count bins: rank 50 → bin 49 → edge 5.0 s.
+        assert!((s.load_quantile_s(false, 0.5) - 5.0).abs() < 1e-9);
+        assert!((s.load_quantile_s(false, 0.99) - 9.9).abs() < 1e-9);
+        assert!((s.load_quantile_s(false, 1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_q() {
+        FleetSummary::default().saved_quantile_j(1.5);
+    }
+}

@@ -143,6 +143,72 @@ impl FlatForest {
         acc
     }
 
+    /// Predicts a batch of row-major feature rows (`rows.len() ==
+    /// out.len() * n_features`) into `out`.
+    ///
+    /// Rows are processed in fixed-size blocks; within a block each tree
+    /// descends all rows one level per pass over a stack-resident node
+    /// array, so the tree's nodes stay hot while the row data streams
+    /// through — no heap allocation, structure-of-arrays access on both
+    /// sides. Per-row results are bit-identical to [`FlatForest::predict`]:
+    /// leaf values accumulate in tree order and `init` joins last, the
+    /// same addend sequence as the single-row path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != out.len() * n_features`.
+    pub fn predict_batch(&self, rows: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            rows.len(),
+            out.len() * self.n_features,
+            "expected {} x {} row-major features, got {}",
+            out.len(),
+            self.n_features,
+            rows.len()
+        );
+        /// Rows per block: big enough to amortize the per-tree pass, small
+        /// enough that the node array lives on the stack.
+        const BLOCK: usize = 64;
+        let nf = self.n_features;
+        for a in out.iter_mut() {
+            *a = 0.0;
+        }
+        let mut nodes = [0u32; BLOCK];
+        for (block_idx, out_block) in out.chunks_mut(BLOCK).enumerate() {
+            let rows_block = &rows[block_idx * BLOCK * nf..];
+            let len = out_block.len();
+            for &root in &self.roots {
+                for n in &mut nodes[..len] {
+                    *n = root;
+                }
+                // One pass per tree level: every row still on an internal
+                // node takes one step; rows already at a leaf hold.
+                loop {
+                    let mut all_leaves = true;
+                    for (j, node) in nodes[..len].iter_mut().enumerate() {
+                        let i = *node as usize;
+                        let f = self.feature[i];
+                        if f != LEAF {
+                            let row = &rows_block[j * nf..(j + 1) * nf];
+                            let go_right = row[f as usize] > self.threshold[i];
+                            *node = self.left[i] + go_right as u32;
+                            all_leaves = false;
+                        }
+                    }
+                    if all_leaves {
+                        break;
+                    }
+                }
+                for (j, a) in out_block.iter_mut().enumerate() {
+                    *a += self.threshold[nodes[j] as usize];
+                }
+            }
+        }
+        for a in out.iter_mut() {
+            *a += self.init;
+        }
+    }
+
     /// Prediction using only the first `m` trees — the staged model
     /// `F_m`; bit-identical to [`GbrtModel::predict_staged`].
     ///
@@ -236,6 +302,67 @@ mod tests {
         for (a, b) in all.iter().zip(&reference) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn batch_matches_single_row_bitwise() {
+        // 300 rows exercises full 64-row blocks plus a ragged tail (300 =
+        // 4 * 64 + 44).
+        let data = problem(300, 9);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 60,
+                subsample: 0.8,
+                ..GbrtParams::default()
+            },
+        );
+        let flat = FlatForest::from_model(&model);
+        let mut rows = Vec::new();
+        for i in 0..data.len() {
+            rows.extend_from_slice(data.row(i));
+        }
+        let mut out = vec![f64::NAN; data.len()];
+        flat.predict_batch(&rows, &mut out);
+        for (i, &y) in out.iter().enumerate() {
+            assert_eq!(
+                y.to_bits(),
+                flat.predict(data.row(i)).to_bits(),
+                "row {i} diverged from the single-row path"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_and_single_row() {
+        let data = problem(50, 10);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 3,
+                ..GbrtParams::default()
+            },
+        );
+        let flat = FlatForest::from_model(&model);
+        flat.predict_batch(&[], &mut []);
+        let mut one = [0.0];
+        flat.predict_batch(data.row(7), &mut one);
+        assert_eq!(one[0].to_bits(), flat.predict(data.row(7)).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major")]
+    fn batch_rejects_mismatched_lengths() {
+        let data = problem(20, 11);
+        let model = Gbrt::fit(
+            &data,
+            &GbrtParams {
+                n_trees: 2,
+                ..GbrtParams::default()
+            },
+        );
+        let mut out = [0.0; 3];
+        FlatForest::from_model(&model).predict_batch(&[1.0; 7], &mut out);
     }
 
     #[test]

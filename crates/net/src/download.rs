@@ -44,7 +44,7 @@ pub fn try_bulk_download(
     rrc_cfg
         .validate()
         .map_err(|e| format!("invalid RrcConfig: {e}"))?;
-    let mut machine = RrcMachine::new(rrc_cfg.clone(), start);
+    let mut machine = RrcMachine::new(*rrc_cfg, start);
     let data_start = machine.begin_transfer(start, true);
     let stream_start = data_start + cfg.rtt;
     let end = stream_start + cfg.transfer_time(bytes, cfg.dch_bytes_per_sec);

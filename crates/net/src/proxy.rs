@@ -96,7 +96,7 @@ pub fn proxy_load(
         panic!("invalid ProxyConfig: {e}");
     }
     let bytes_shipped = ((page.total_bytes() as f64) * proxy.compression_ratio).ceil() as u64;
-    let mut machine = RrcMachine::new(rrc.clone(), start);
+    let mut machine = RrcMachine::new(*rrc, start);
     let data_start = machine.begin_transfer(start, true);
     // One round trip, the proxy's render time, then a continuous stream.
     let stream_start = data_start + net.rtt + proxy.proxy_render;

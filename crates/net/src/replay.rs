@@ -96,6 +96,24 @@ pub fn replay(
     replay_recorded(rrc_cfg, start, events, until, Recorder::disabled())
 }
 
+/// Sorts radio events into replay order: stable by time, with exact-time
+/// ties broken by kind — CPU changes first (they never interact with
+/// refcounts), then transfer ends, then begins, then releases (a release
+/// always follows the transfers that triggered the decision). This is the
+/// canonical order both [`replay`] and the memoized load profiles
+/// (`ewb-core`) apply events in, so the two paths stay bit-identical.
+pub fn sort_radio_events(events: &mut [RadioEvent]) {
+    fn rank(e: &RadioEvent) -> u8 {
+        match e {
+            RadioEvent::CpuLoad { .. } => 0,
+            RadioEvent::EndTransfer { .. } => 1,
+            RadioEvent::BeginTransfer { .. } => 2,
+            RadioEvent::Release { .. } => 3,
+        }
+    }
+    events.sort_by(|a, b| a.at().cmp(&b.at()).then(rank(a).cmp(&rank(b))));
+}
+
 /// Like [`replay`], but the fresh machine carries `recorder`, so the
 /// replay emits the session's full RRC event stream — state transitions,
 /// timers, promotions, and the energy ledger whose fold is bit-identical
@@ -111,19 +129,7 @@ pub fn replay_recorded(
     until: SimTime,
     recorder: Recorder,
 ) -> RrcMachine {
-    // Stable sort by time; rank breaks exact-time ties: CPU changes first
-    // (they never interact with refcounts), then transfer ends, then
-    // begins, then releases (a release always follows the transfers that
-    // triggered the decision).
-    fn rank(e: &RadioEvent) -> u8 {
-        match e {
-            RadioEvent::CpuLoad { .. } => 0,
-            RadioEvent::EndTransfer { .. } => 1,
-            RadioEvent::BeginTransfer { .. } => 2,
-            RadioEvent::Release { .. } => 3,
-        }
-    }
-    events.sort_by(|a, b| a.at().cmp(&b.at()).then(rank(a).cmp(&rank(b))));
+    sort_radio_events(&mut events);
 
     let mut machine = RrcMachine::with_recorder(rrc_cfg, start, recorder);
     for e in events {

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// let long_tail = RrcConfig { t1: SimDuration::from_secs(8), ..RrcConfig::default() };
 /// assert_eq!(long_tail.t1, SimDuration::from_secs(8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RrcConfig {
     /// DCH inactivity timer: dedicated channels are released (DCH→FACH)
     /// when no data has moved for this long. Paper: 4 s.

@@ -87,7 +87,7 @@ fn run_cycles(
     release_after_each: bool,
 ) -> (f64, f64) {
     const CYCLES: usize = 5;
-    let mut m = RrcMachine::new(cfg.clone(), SimTime::ZERO);
+    let mut m = RrcMachine::new(*cfg, SimTime::ZERO);
     let mut request_marks = Vec::with_capacity(CYCLES + 1);
     let mut delays = Vec::with_capacity(CYCLES);
     let mut t = SimTime::ZERO;
@@ -483,7 +483,7 @@ mod tests {
     #[test]
     fn reference_agrees_with_machine_on_a_mixed_scenario() {
         let cfg = RrcConfig::paper();
-        let mut m = RrcMachine::new(cfg.clone(), SimTime::ZERO);
+        let mut m = RrcMachine::new(cfg, SimTime::ZERO);
         let mut r = ReferenceRrc::new(cfg, SimTime::ZERO);
 
         // transfer → partial tail → small FACH transfer → dormancy → idle.

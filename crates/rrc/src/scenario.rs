@@ -22,7 +22,7 @@ pub fn state_tour(
     transfer: SimDuration,
     idle_tail: SimDuration,
 ) -> (PowerTrace, Vec<Transition>) {
-    let mut m = RrcMachine::new(cfg.clone(), SimTime::ZERO);
+    let mut m = RrcMachine::new(*cfg, SimTime::ZERO);
     let request = SimTime::ZERO + idle_lead;
     m.advance_to(request);
     let data_start = m.begin_transfer(request, true);
@@ -42,7 +42,7 @@ pub fn state_tour(
 /// `(state, mean_watts)` pairs for IDLE, FACH, DCH-without-transmission
 /// and DCH-with-transmission, plus the fully-running-CPU-at-IDLE figure.
 pub fn measured_state_powers(cfg: &RrcConfig) -> Vec<(String, f64)> {
-    let mut m = RrcMachine::new(cfg.clone(), SimTime::ZERO);
+    let mut m = RrcMachine::new(*cfg, SimTime::ZERO);
     let mut rows = Vec::new();
 
     // IDLE: [0, 10).

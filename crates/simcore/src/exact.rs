@@ -1,0 +1,252 @@
+//! Order-independent exact summation of `f64` values.
+//!
+//! Floating-point addition is not associative, so folding the same set of
+//! addends in two different orders generally produces two different
+//! results — fatal for a sharded simulation whose merged totals must be
+//! bit-identical no matter how the work was split. [`ExactSum`] keeps the
+//! running total as a Shewchuk non-overlapping expansion (the algorithm
+//! behind Python's `math.fsum`): every [`ExactSum::add`] is error-free,
+//! and [`ExactSum::value`] returns the *correctly rounded* sum of all
+//! addends. Because the exact real-number sum is order-independent and
+//! rounding is a function of that exact value alone, the reported `f64`
+//! is bit-identical for every insertion and merge order.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact running sum of finite `f64` addends.
+///
+/// # Example
+///
+/// ```
+/// use ewb_simcore::ExactSum;
+///
+/// let xs = [1e16, 1.0, -1e16, 1.0];
+/// let mut fwd = ExactSum::new();
+/// let mut rev = ExactSum::new();
+/// for &x in &xs {
+///     fwd.add(x);
+/// }
+/// for &x in xs.iter().rev() {
+///     rev.add(x);
+/// }
+/// assert_eq!(fwd.value().to_bits(), rev.value().to_bits());
+/// assert_eq!(fwd.value(), 2.0); // naive left-to-right folding loses the 1.0s
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExactSum {
+    /// Non-overlapping partials in increasing magnitude order; their exact
+    /// real sum is the exact sum of every addend so far.
+    partials: Vec<f64>,
+}
+
+impl ExactSum {
+    /// An empty sum (value 0.0).
+    pub fn new() -> Self {
+        ExactSum::default()
+    }
+
+    /// A sum holding a single addend.
+    pub fn from_value(x: f64) -> Self {
+        let mut s = ExactSum::new();
+        s.add(x);
+        s
+    }
+
+    /// Adds one addend, error-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite — an infinite or NaN addend would
+    /// poison the expansion silently.
+    pub fn add(&mut self, mut x: f64) {
+        assert!(x.is_finite(), "ExactSum addend must be finite, got {x}");
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            // Two-sum: hi + lo == x + y exactly.
+            let hi = x + y;
+            let lo = y - (hi - x);
+            // lint:allow(api/float-eq) exact-zero residual test is the fsum algorithm itself, not a tolerance check
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        self.partials.push(x);
+    }
+
+    /// Folds another exact sum in. Error-free, so merging is associative
+    /// and commutative: any merge tree over the same shards yields the
+    /// same [`ExactSum::value`].
+    pub fn absorb(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The correctly rounded sum of every addend so far.
+    ///
+    /// Depends only on the exact real-number total, so it is invariant
+    /// under reordering of `add`/`absorb` calls.
+    pub fn value(&self) -> f64 {
+        // Round the non-overlapping expansion to nearest-even (the tail of
+        // CPython's math.fsum): sum from the largest partial down, and
+        // when the first non-zero residual appears, resolve the half-ulp
+        // tie against the next partial's sign.
+        let mut n = self.partials.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = self.partials[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            n -= 1;
+            let x = hi;
+            let y = self.partials[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            // lint:allow(api/float-eq) exact residual test per the fsum rounding algorithm
+            if lo != 0.0 {
+                break;
+            }
+        }
+        if n > 0
+            && ((lo < 0.0 && self.partials[n - 1] < 0.0)
+                || (lo > 0.0 && self.partials[n - 1] > 0.0))
+        {
+            let y = lo * 2.0;
+            let x = hi + y;
+            let yr = x - hi;
+            if y == yr {
+                hi = x;
+            }
+        }
+        hi
+    }
+
+    /// Whether no addends have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.partials.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(ExactSum::new().value(), 0.0);
+        assert!(ExactSum::new().is_empty());
+    }
+
+    #[test]
+    fn single_value_roundtrips() {
+        for x in [0.0, -0.0, 1.5, -3.25e-300, 7.1e200] {
+            assert_eq!(ExactSum::from_value(x).value().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn recovers_cancellation_naive_folding_loses() {
+        let mut s = ExactSum::new();
+        for &x in &[1e16, 1.0, -1e16, 1.0] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+        let naive = ((1e16 + 1.0) + -1e16) + 1.0;
+        assert_eq!(naive, 1.0); // the bug ExactSum exists to fix
+    }
+
+    #[test]
+    fn value_is_permutation_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        // Wildly mixed magnitudes and signs.
+        let mut xs: Vec<f64> = (0..200)
+            .map(|_| {
+                let mag = rng.f64_range(-30.0, 30.0);
+                let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+                sign * rng.f64() * 10f64.powf(mag)
+            })
+            .collect();
+        let mut reference = ExactSum::new();
+        for &x in &xs {
+            reference.add(x);
+        }
+        let want = reference.value().to_bits();
+        for k in 0..20 {
+            // Deterministic shuffle.
+            for i in (1..xs.len()).rev() {
+                let j = rng.usize_below(i + 1);
+                xs.swap(i, j);
+            }
+            let mut s = ExactSum::new();
+            for &x in &xs {
+                s.add(x);
+            }
+            assert_eq!(s.value().to_bits(), want, "permutation {k}");
+        }
+    }
+
+    #[test]
+    fn absorb_matches_flat_adds_for_any_merge_tree() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let xs: Vec<f64> = (0..64).map(|_| rng.f64_range(-1e9, 1e9)).collect();
+        let mut flat = ExactSum::new();
+        for &x in &xs {
+            flat.add(x);
+        }
+        // Left-leaning merge tree over 8 shards of 8.
+        let shards: Vec<ExactSum> = xs
+            .chunks(8)
+            .map(|c| {
+                let mut s = ExactSum::new();
+                for &x in c {
+                    s.add(x);
+                }
+                s
+            })
+            .collect();
+        let mut left = ExactSum::new();
+        for s in &shards {
+            left.absorb(s);
+        }
+        // Right-leaning merge tree.
+        let mut right = ExactSum::new();
+        for s in shards.iter().rev() {
+            right.absorb(s);
+        }
+        assert_eq!(left.value().to_bits(), flat.value().to_bits());
+        assert_eq!(right.value().to_bits(), flat.value().to_bits());
+    }
+
+    #[test]
+    fn half_ulp_ties_round_to_even() {
+        // 1.0 + 2^-53 rounds to 1.0 (tie, even), but adding another tiny
+        // positive addend must push it to the next float up.
+        let ulp_half = (2f64).powi(-53);
+        let mut tie = ExactSum::new();
+        tie.add(1.0);
+        tie.add(ulp_half);
+        assert_eq!(tie.value(), 1.0);
+        let mut over = ExactSum::new();
+        over.add(1.0);
+        over.add(ulp_half);
+        over.add((2f64).powi(-106));
+        assert_eq!(over.value(), 1.0 + (2f64).powi(-52));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite() {
+        ExactSum::new().add(f64::INFINITY);
+    }
+}

@@ -38,6 +38,7 @@
 
 mod energy;
 mod events;
+mod exact;
 mod rng;
 mod series;
 mod time;
@@ -47,6 +48,7 @@ pub mod stats;
 
 pub use energy::EnergyMeter;
 pub use events::{EventEntry, EventQueue};
+pub use exact::ExactSum;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use series::{PowerTrace, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -86,6 +86,23 @@ impl ReadingTimePredictor {
         (self.flat().predict(row).exp() - 1.0).max(0.0)
     }
 
+    /// Predicted reading times for a batch of row-major feature rows —
+    /// the fleet simulator's hot-loop entry point. Runs the forest through
+    /// [`FlatForest::predict_batch`] and applies the seconds transform in
+    /// place; each result is bit-identical to
+    /// [`ReadingTimePredictor::predict_row`] on the same row. No heap
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != out.len() * 10`.
+    pub fn predict_rows(&self, rows: &[f64], out: &mut [f64]) {
+        self.flat().predict_batch(rows, out);
+        for y in out.iter_mut() {
+            *y = (y.exp() - 1.0).max(0.0);
+        }
+    }
+
     /// The underlying forest.
     pub fn model(&self) -> &GbrtModel {
         &self.model
@@ -161,6 +178,22 @@ mod tests {
             assert_eq!(via_flat.to_bits(), via_model.to_bits());
         }
         assert_eq!(p.flat().n_trees(), p.model().n_trees());
+    }
+
+    #[test]
+    fn batch_rows_match_single_rows_bitwise() {
+        let trace = TraceDataset::generate(&TraceConfig::small());
+        let p = ReadingTimePredictor::train(&trace, &reading_time_params());
+        let visits: Vec<_> = trace.visits().iter().take(150).collect();
+        let mut rows = Vec::new();
+        for v in &visits {
+            rows.extend_from_slice(&v.features.0);
+        }
+        let mut out = vec![0.0; visits.len()];
+        p.predict_rows(&rows, &mut out);
+        for (v, &y) in visits.iter().zip(&out) {
+            assert_eq!(y.to_bits(), p.predict_seconds(&v.features).to_bits());
+        }
     }
 
     #[test]

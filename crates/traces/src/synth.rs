@@ -122,13 +122,35 @@ impl VisitSynthesizer {
         self.bases.is_empty()
     }
 
+    /// The `(site_key, version)` label of base `idx` (Table 3 order,
+    /// mobile before full within a site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn base(&self, idx: usize) -> (&str, PageVersion) {
+        let (key, version, _) = &self.bases[idx];
+        (key, *version)
+    }
+
     /// Draws one visit: picks a (site, version), jitters its features,
     /// and returns the latent bits for the dwell model.
     pub fn sample(
         &self,
         rng: &mut Xoshiro256,
     ) -> (String, PageVersion, FeatureVector, VisitLatents) {
-        let (key, version, base) = rng.choose(&self.bases);
+        let (idx, f, latents) = self.sample_indexed(rng);
+        let (key, version, _) = &self.bases[idx];
+        (key.clone(), *version, f, latents)
+    }
+
+    /// Like [`VisitSynthesizer::sample`], but returns the base index
+    /// instead of cloning the site key — the allocation-free form the
+    /// fleet simulator's per-visit hot loop uses. Draws the same RNG
+    /// stream as `sample`, so the two are interchangeable mid-sequence.
+    pub fn sample_indexed(&self, rng: &mut Xoshiro256) -> (usize, FeatureVector, VisitLatents) {
+        let idx = rng.usize_below(self.bases.len());
+        let (_, _, base) = &self.bases[idx];
         let mut f = *base;
 
         // Correlated bulk jitter: bigger variants of the same page.
@@ -160,7 +182,7 @@ impl VisitSynthesizer {
             link_rich: outer_band(links, LINKS_MEDIAN, LINKS_SIGMA),
             script_heavy: outer_band(js_time, JS_TIME_MEDIAN_S, JS_TIME_SIGMA),
         };
-        (key.clone(), *version, f, latents)
+        (idx, f, latents)
     }
 }
 
@@ -222,6 +244,22 @@ mod tests {
         for p in pair {
             let agree = p[1] as f64 / n as f64;
             assert!((0.46..0.54).contains(&agree), "pair agreement {agree}");
+        }
+    }
+
+    #[test]
+    fn sample_indexed_matches_sample_stream() {
+        let s = synth();
+        let mut a = Xoshiro256::seed_from_u64(9);
+        let mut b = a.clone();
+        for _ in 0..200 {
+            let (key, version, f, l) = s.sample(&mut a);
+            let (idx, fi, li) = s.sample_indexed(&mut b);
+            let (ikey, iversion) = s.base(idx);
+            assert_eq!(key, ikey);
+            assert_eq!(version, iversion);
+            assert_eq!(f, fi);
+            assert_eq!(l, li);
         }
     }
 

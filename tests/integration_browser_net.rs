@@ -16,7 +16,7 @@ fn completions_are_monotone_under_pipeline_driving() {
     let server = OriginServer::from_corpus(&corpus);
     let cfg = CoreConfig::paper();
     let page = corpus.page("myspace", PageVersion::Full).unwrap();
-    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO);
+    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO);
     let _ = load_page(
         &mut fetcher,
         page.root_url(),
@@ -40,7 +40,7 @@ fn replayed_energy_equals_live_radio_energy_without_cpu() {
     let server = OriginServer::from_corpus(&corpus);
     let cfg = CoreConfig::paper();
     let page = corpus.page("amazon", PageVersion::Full).unwrap();
-    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO);
+    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO);
     let metrics = load_page(
         &mut fetcher,
         page.root_url(),
@@ -51,7 +51,7 @@ fn replayed_energy_equals_live_radio_energy_without_cpu() {
     let transfers = fetcher.transfers().to_vec();
     let machine = fetcher.into_machine();
     let replayed = replay(
-        cfg.rrc.clone(),
+        cfg.rrc,
         SimTime::ZERO,
         events_of_load(&transfers, &[]),
         machine.now(),
@@ -72,7 +72,7 @@ fn cpu_replay_adds_exactly_the_browser_compute_energy() {
     let server = OriginServer::from_corpus(&corpus);
     let cfg = CoreConfig::paper();
     let page = corpus.page("msn", PageVersion::Mobile).unwrap();
-    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO);
+    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO);
     let metrics = load_page(
         &mut fetcher,
         page.root_url(),
@@ -82,14 +82,9 @@ fn cpu_replay_adds_exactly_the_browser_compute_energy() {
     );
     let transfers = fetcher.transfers().to_vec();
     let end = metrics.final_display_at;
-    let without = replay(
-        cfg.rrc.clone(),
-        SimTime::ZERO,
-        events_of_load(&transfers, &[]),
-        end,
-    );
+    let without = replay(cfg.rrc, SimTime::ZERO, events_of_load(&transfers, &[]), end);
     let with = replay(
-        cfg.rrc.clone(),
+        cfg.rrc,
         SimTime::ZERO,
         events_of_load(&transfers, &metrics.cpu_busy),
         end,
@@ -108,7 +103,7 @@ fn small_objects_can_ride_fach() {
     let corpus = benchmark_corpus(31);
     let server = OriginServer::from_corpus(&corpus);
     let cfg = CoreConfig::paper();
-    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO);
+    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO);
     fetcher.request("http://nowhere/a", SimTime::ZERO);
     let c = fetcher.next_completion().unwrap();
     assert!(c.object.is_none());

@@ -26,9 +26,9 @@ fn zero_fault_page_load_is_bit_identical() {
         let page = corpus.page(site, version).unwrap();
         for mode in [PipelineMode::Original, PipelineMode::EnergyAware] {
             let pipe = PipelineConfig::new(mode);
-            let mut plain = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO);
+            let mut plain = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO);
             let m_plain = load_page(&mut plain, page.root_url(), SimTime::ZERO, &pipe, &cfg.cost);
-            let mut faulted = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO)
+            let mut faulted = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO)
                 .try_with_faults(FaultConfig::none(), 0xBAD_CE11, RetryPolicy::standard())
                 .unwrap();
             let m_faulted = load_page(

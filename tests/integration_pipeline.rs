@@ -20,7 +20,7 @@ fn run(
     let server = OriginServer::from_corpus(&corpus);
     let page = corpus.page(key, version).unwrap();
     let cfg = CoreConfig::paper();
-    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc.clone(), &server, SimTime::ZERO);
+    let mut fetcher = ThreeGFetcher::new(cfg.net, cfg.rrc, &server, SimTime::ZERO);
     let metrics = load_page(
         &mut fetcher,
         page.root_url(),
