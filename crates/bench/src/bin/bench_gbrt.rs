@@ -168,6 +168,6 @@ fn main() {
          {batch_rows_per_s:.0} rows/s batched  = {batch_speedup:.2}x",
         forest_params.n_trees
     );
-    std::fs::write("BENCH_gbrt.json", &json).expect("write BENCH_gbrt.json");
+    ewb_bench::write_atomic("BENCH_gbrt.json", &json);
     println!("wrote BENCH_gbrt.json");
 }

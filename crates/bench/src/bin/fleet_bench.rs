@@ -11,10 +11,28 @@
 //! scheduling-invariance grid (shards {1, 2, 7, 64} × threads {1, 8})
 //! before timing anything, so a red determinism bit can never ship
 //! inside a green benchmark.
+//!
+//! Crash-safety flags (any of them switches to a single supervised run
+//! instead of the benchmark grid, printing a `summary_fingerprint:` line
+//! the CI chaos job compares across clean, killed, and resumed runs):
+//!
+//! * `--supervised` — run under the supervisor with no other chaos.
+//! * `--checkpoint PATH` — commit per-shard progress to PATH (atomic
+//!   tmp+rename) as the run proceeds.
+//! * `--resume` — start from the checkpoint instead of from scratch.
+//! * `--kill-after N` — stop (exit code 3) once N users are committed:
+//!   the deterministic stand-in for `kill -9`.
+//! * `--chaos-panic SHARD:USER` — inject a worker panic when SHARD
+//!   reaches USER on its first attempt (repeatable); the supervisor must
+//!   absorb it.
 
-use ewb_fleet::{run_fleet, FleetConfig, FleetEnv, FleetSummary};
+use ewb_fleet::{
+    run_fleet, run_fleet_supervised, summary_fingerprint, ChaosConfig, FleetConfig, FleetEnv,
+    FleetError, FleetSummary, PanicPoint, SupervisorOptions,
+};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Minimum of `reps` timed runs, seconds.
@@ -32,6 +50,22 @@ struct Args {
     users: u64,
     shards: usize,
     smoke: bool,
+    supervised: bool,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    kill_after: Option<u64>,
+    chaos_panics: Vec<PanicPoint>,
+}
+
+impl Args {
+    /// Any crash-safety flag selects the single supervised run.
+    fn wants_supervised(&self) -> bool {
+        self.supervised
+            || self.checkpoint.is_some()
+            || self.resume
+            || self.kill_after.is_some()
+            || !self.chaos_panics.is_empty()
+    }
 }
 
 fn parse_args() -> Args {
@@ -39,6 +73,11 @@ fn parse_args() -> Args {
         users: 100_000,
         shards: 64,
         smoke: false,
+        supervised: false,
+        checkpoint: None,
+        resume: false,
+        kill_after: None,
+        chaos_panics: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,14 +95,103 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--shards needs a value");
                 args.shards = v.parse().expect("--shards must be an integer");
             }
-            other => panic!("unknown argument {other:?} (try --smoke / --users N / --shards N)"),
+            "--supervised" => args.supervised = true,
+            "--checkpoint" => {
+                let v = it.next().expect("--checkpoint needs a path");
+                args.checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => args.resume = true,
+            "--kill-after" => {
+                let v = it.next().expect("--kill-after needs a user count");
+                args.kill_after = Some(v.parse().expect("--kill-after must be an integer"));
+            }
+            "--chaos-panic" => {
+                let v = it.next().expect("--chaos-panic needs SHARD:USER");
+                let (shard, user) = v
+                    .split_once(':')
+                    .expect("--chaos-panic takes SHARD:USER (e.g. 2:117)");
+                args.chaos_panics.push(PanicPoint {
+                    shard: shard
+                        .parse()
+                        .expect("--chaos-panic shard must be an integer"),
+                    user_id: user.parse().expect("--chaos-panic user must be an integer"),
+                    on_attempt: 0,
+                });
+            }
+            other => panic!(
+                "unknown argument {other:?} (try --smoke / --users N / --shards N / \
+                 --supervised / --checkpoint PATH / --resume / --kill-after N / \
+                 --chaos-panic SHARD:USER)"
+            ),
         }
     }
     args
 }
 
+/// The supervised path: one run under the crash-safe runner, a
+/// `summary_fingerprint:` line for the CI chaos job to diff, exit code 3
+/// when the deterministic kill switch trips.
+fn run_supervised(args: &Args) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let prep_start = Instant::now();
+    let env = FleetEnv::prepare();
+    println!(
+        "prepared fleet environment in {:.2} s",
+        prep_start.elapsed().as_secs_f64()
+    );
+    let cfg = FleetConfig {
+        shards: args.shards,
+        threads: cores.min(8),
+        ..FleetConfig::paper(args.users)
+    };
+    let chaos = ChaosConfig {
+        panics: args.chaos_panics.clone(),
+        ..ChaosConfig::none()
+    };
+    let options = SupervisorOptions {
+        checkpoint_path: args.checkpoint.clone(),
+        resume: args.resume,
+        commit_every_users: (args.users / 64).max(1),
+        kill_after_users: args.kill_after,
+    };
+    match run_fleet_supervised(&env, &cfg, &chaos, &options) {
+        Ok(report) => {
+            println!(
+                "supervised run complete: {} users ({} resumed from checkpoint), \
+                 {} panic(s) absorbed, {} shard(s) reclaimed, {} checkpoint commit(s)",
+                report.summary.users,
+                report.users_resumed,
+                report.worker_panics,
+                report.shards_reclaimed,
+                report.checkpoint_commits,
+            );
+            println!(
+                "population: saved {:.1} J/user/day mean, optimized p95 load {:.2} s",
+                report.summary.saved_mean_j(),
+                report.summary.load_quantile_s(true, 0.95),
+            );
+            println!(
+                "summary_fingerprint: {:#010x}",
+                summary_fingerprint(&report.summary)
+            );
+        }
+        Err(e @ FleetError::Interrupted { .. }) => {
+            println!("{e}");
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.wants_supervised() {
+        run_supervised(&args);
+        return;
+    }
     let threads_grid = [1usize, 2, 4, 8];
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -238,6 +366,10 @@ fn main() {
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
-    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!(
+        "summary_fingerprint: {:#010x}",
+        summary_fingerprint(&summary)
+    );
+    ewb_bench::write_atomic("BENCH_fleet.json", &json);
     println!("wrote BENCH_fleet.json");
 }

@@ -21,8 +21,7 @@ fn main() {
             env!("CARGO_MANIFEST_DIR"),
             "/../core/tests/golden/robustness.json"
         );
-        std::fs::write(path, ewb_core::experiments::robustness::summary_json(&rows))
-            .expect("write golden summary");
+        ewb_bench::write_atomic(path, ewb_core::experiments::robustness::summary_json(&rows));
         eprintln!("wrote {path}");
         let timeline_path = concat!(
             env!("CARGO_MANIFEST_DIR"),

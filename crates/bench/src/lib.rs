@@ -63,9 +63,22 @@ pub fn timeline_arg() -> Option<String> {
     None
 }
 
+/// Writes `contents` to `path` atomically: stages into `<path>.tmp`, then
+/// renames over `path`. A crash (or a concurrent reader) never observes a
+/// torn artifact — the same discipline the fleet checkpoint uses.
+///
+/// # Panics
+///
+/// Panics if the staging write or the rename fails.
+pub fn write_atomic(path: &str, contents: impl AsRef<[u8]>) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).unwrap_or_else(|e| panic!("write {tmp}: {e}"));
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| panic!("rename {tmp} -> {path}: {e}"));
+}
+
 /// Records the reference observability timeline
 /// ([`ewb_core::experiments::timeline`]) at [`REPORT_SEED`] and writes it
-/// as JSON lines to `path`.
+/// as JSON lines to `path` (atomically, via [`write_atomic`]).
 ///
 /// # Panics
 ///
@@ -77,11 +90,10 @@ pub fn write_timeline(ctx: &Context, path: &str) {
         &ctx.cfg,
         REPORT_SEED,
     );
-    std::fs::write(
+    write_atomic(
         path,
         ewb_core::experiments::timeline::timeline_jsonl(&events),
-    )
-    .unwrap_or_else(|e| panic!("write timeline {path}: {e}"));
+    );
     eprintln!(
         "wrote {path} ({} events, {:.2} J)",
         events.len(),

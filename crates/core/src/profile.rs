@@ -22,15 +22,26 @@
 //! issue the same machine calls at the same instants (the canonical
 //! [`sort_radio_events`] order), so the energy meter integrates the same
 //! segments in the same order.
+//!
+//! The same argument extends to faulty links, one [`FaultTier`] at a
+//! time: a tier fixes a [`FaultConfig`] and one fault-stream seed per
+//! (page, mode, click-state) key, so a captured faulted load is exactly
+//! as pure a function of its key as a clean one — the fault stream is
+//! part of the key, not of the session history.
+//! [`ProfileTable::capture_tiered`] adds the tier as a fourth profile
+//! dimension (still O(pages × modes × states × tiers) captures), and the
+//! equivalence oracle is
+//! [`simulate_session_faulted_seeded`](crate::session::simulate_session_faulted_seeded)
+//! driven with the per-key capture seeds.
 
-use crate::cases::Case;
+use crate::cases::{Case, ReleasePolicy};
 use crate::config::CoreConfig;
 use crate::session::release_decision;
 use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
 use ewb_net::replay::{events_of_load, sort_radio_events, RadioEvent};
-use ewb_net::ThreeGFetcher;
+use ewb_net::{FaultConfig, RetryPolicy, ThreeGFetcher};
 use ewb_rrc::{RrcCounters, RrcMachine, RrcState, StateResidency};
-use ewb_simcore::{SimDuration, SimTime};
+use ewb_simcore::{SimDuration, SimTime, SplitMix64};
 use ewb_traces::FeatureVector;
 use ewb_webpage::{Corpus, OriginServer, PageVersion};
 
@@ -84,6 +95,91 @@ fn mode_index(mode: PipelineMode) -> usize {
     }
 }
 
+/// A population-scale link-quality tier: a named [`FaultConfig`] preset
+/// whose faulted page loads can be memoized next to the clean ones.
+///
+/// The tier (not the session) owns the fault randomness: every capture of
+/// a (page, mode, click-state) key under a tier uses the fixed
+/// [`capture_seed`](FaultTier::capture_seed) of that key, so the faulted
+/// load stays a pure function of the profile key and the memoization
+/// argument of this module carries over unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTier {
+    /// Clean link — the original PR 6 profile set.
+    Clean,
+    /// 2 % object-loss rate ([`FaultConfig::lossy`]): a healthy deployed
+    /// population.
+    Lossy2,
+    /// 10 % object-loss rate: a congested cell.
+    Lossy10,
+    /// 10 % delivery-jitter rate ([`FaultConfig::jittery`]): variable
+    /// link quality without outright loss.
+    Jittery10,
+}
+
+impl FaultTier {
+    /// Every tier, in stable [`index`](FaultTier::index) order.
+    pub const ALL: [FaultTier; 4] = [
+        FaultTier::Clean,
+        FaultTier::Lossy2,
+        FaultTier::Lossy10,
+        FaultTier::Jittery10,
+    ];
+
+    /// The tier's fault model.
+    pub fn fault_config(self) -> FaultConfig {
+        match self {
+            FaultTier::Clean => FaultConfig::none(),
+            FaultTier::Lossy2 => FaultConfig::lossy(0.02),
+            FaultTier::Lossy10 => FaultConfig::lossy(0.10),
+            FaultTier::Jittery10 => FaultConfig::jittery(0.10),
+        }
+    }
+
+    /// Human-readable tier name (report and EXPERIMENTS labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTier::Clean => "clean",
+            FaultTier::Lossy2 => "lossy-2%",
+            FaultTier::Lossy10 => "lossy-10%",
+            FaultTier::Jittery10 => "jittery-10%",
+        }
+    }
+
+    /// Stable numeric id — what fleet checkpoints persist.
+    pub fn index(self) -> u8 {
+        match self {
+            FaultTier::Clean => 0,
+            FaultTier::Lossy2 => 1,
+            FaultTier::Lossy10 => 2,
+            FaultTier::Jittery10 => 3,
+        }
+    }
+
+    /// Inverse of [`index`](FaultTier::index).
+    pub fn from_index(index: u8) -> Option<FaultTier> {
+        FaultTier::ALL.iter().copied().find(|t| t.index() == index)
+    }
+
+    /// The fixed fault-stream seed of one (page, mode, click-state)
+    /// capture under this tier. Deterministic and collision-free across
+    /// keys by construction (the key fields occupy disjoint bit ranges
+    /// before mixing).
+    pub fn capture_seed(self, page_idx: usize, mode: PipelineMode, state: RrcState) -> u64 {
+        let key = ((page_idx as u64) << 16)
+            | ((mode_index(mode) as u64) << 8)
+            | ((state_index(state) as u64) << 4)
+            | u64::from(self.index());
+        SplitMix64::mix(0x3EBF_9A7C_51D0_246E ^ key)
+    }
+}
+
+impl std::fmt::Display for FaultTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Every load profile of a corpus: one per (page, pipeline mode, RRC
 /// state at the click).
 ///
@@ -94,11 +190,13 @@ fn mode_index(mode: PipelineMode) -> usize {
 pub struct ProfileTable {
     profiles: Vec<LoadProfile>,
     n_pages: usize,
+    tiers: Vec<FaultTier>,
 }
 
 impl ProfileTable {
     /// Runs the full browser pipeline over every (page, mode, click-state)
-    /// combination and captures the resulting load profiles.
+    /// combination and captures the resulting load profiles, clean tier
+    /// only.
     ///
     /// # Panics
     ///
@@ -107,16 +205,51 @@ impl ProfileTable {
     /// a first transfer that is not at the click instant) — either would
     /// indicate the purity argument above no longer holds.
     pub fn capture(corpus: &Corpus, server: &OriginServer, cfg: &CoreConfig) -> Self {
+        Self::capture_tiered(corpus, server, cfg, &[FaultTier::Clean])
+    }
+
+    /// Runs the full browser pipeline over every
+    /// (page, mode, click-state, tier) combination. Faulted tiers run the
+    /// load under the tier's [`FaultConfig`] with the key's fixed
+    /// [`FaultTier::capture_seed`] and the standard retry policy; failed
+    /// objects are allowed (degraded pages are what a lossy tier *means*)
+    /// but the first transfer must still begin at the click — the
+    /// memoization precondition faults do not get to break.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`capture`](ProfileTable::capture) does, or if `tiers`
+    /// is empty, contains duplicates, or does not include
+    /// [`FaultTier::Clean`] (the clean tier anchors every table: it is
+    /// what [`profile`](ProfileTable::profile) serves).
+    pub fn capture_tiered(
+        corpus: &Corpus,
+        server: &OriginServer,
+        cfg: &CoreConfig,
+        tiers: &[FaultTier],
+    ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid CoreConfig: {e}");
         }
-        let mut profiles = Vec::with_capacity(corpus.sites().len() * 2 * MODES.len() * 3);
-        for site in corpus.sites() {
+        assert!(
+            tiers.contains(&FaultTier::Clean),
+            "a profile table must include the clean tier (got {tiers:?})"
+        );
+        for (i, tier) in tiers.iter().enumerate() {
+            assert!(
+                !tiers[..i].contains(tier),
+                "duplicate fault tier {tier} in {tiers:?}"
+            );
+        }
+        let mut profiles =
+            Vec::with_capacity(corpus.sites().len() * 2 * MODES.len() * 3 * tiers.len());
+        for (site_idx, site) in corpus.sites().iter().enumerate() {
             for version in [PageVersion::Mobile, PageVersion::Full] {
                 let page = match version {
                     PageVersion::Mobile => &site.mobile,
                     PageVersion::Full => &site.full,
                 };
+                let page_idx = site_idx * 2 + usize::from(version == PageVersion::Full);
                 for mode in MODES {
                     let mut pipe_cfg = PipelineConfig::new(mode);
                     if version == PageVersion::Mobile {
@@ -124,50 +257,75 @@ impl ProfileTable {
                         pipe_cfg.draw_intermediate = false;
                     }
                     for state in CLICK_STATES {
-                        let (machine, t0) = machine_in_state(cfg, state);
-                        let mut fetcher = ThreeGFetcher::with_machine(cfg.net, machine, server);
-                        let metrics =
-                            load_page(&mut fetcher, page.root_url(), t0, &pipe_cfg, &cfg.cost);
-                        let mut events = events_of_load(fetcher.transfers(), &metrics.cpu_busy);
-                        sort_radio_events(&mut events);
-                        let events: Vec<RadioEvent> = events
-                            .iter()
-                            .map(|e| {
+                        for &tier in tiers {
+                            let (machine, t0) = machine_in_state(cfg, state);
+                            let mut fetcher = ThreeGFetcher::with_machine(cfg.net, machine, server);
+                            if tier != FaultTier::Clean {
+                                fetcher = fetcher
+                                    .try_with_faults(
+                                        tier.fault_config(),
+                                        tier.capture_seed(page_idx, mode, state),
+                                        RetryPolicy::standard(),
+                                    )
+                                    .unwrap_or_else(|e| {
+                                        panic!("fault tier {tier} has an invalid config: {e}")
+                                    });
+                            }
+                            let metrics =
+                                load_page(&mut fetcher, page.root_url(), t0, &pipe_cfg, &cfg.cost);
+                            let mut events = events_of_load(fetcher.transfers(), &metrics.cpu_busy);
+                            sort_radio_events(&mut events);
+                            let events: Vec<RadioEvent> = events
+                                .iter()
+                                .map(|e| {
+                                    assert!(
+                                        e.at() >= t0,
+                                        "captured event before the click: {e:?} (click {t0:?})"
+                                    );
+                                    shift_back(e, t0)
+                                })
+                                .collect();
+                            let first_begin = events
+                                .iter()
+                                .find(|e| matches!(e, RadioEvent::BeginTransfer { .. }))
+                                .expect("a page load has at least one transfer");
+                            assert!(
+                                matches!(
+                                    first_begin,
+                                    RadioEvent::BeginTransfer {
+                                        at: SimTime::ZERO,
+                                        ..
+                                    }
+                                ),
+                                "the first transfer must begin at the click \
+                                 (it is what makes click-state a sufficient memoization key), \
+                                 got {first_begin:?} (tier {tier})"
+                            );
+                            if tier == FaultTier::Clean {
                                 assert!(
-                                    e.at() >= t0,
-                                    "captured event before the click: {e:?} (click {t0:?})"
+                                    matches!(
+                                        first_begin,
+                                        RadioEvent::BeginTransfer {
+                                            promotion_retries: 0,
+                                            ..
+                                        }
+                                    ),
+                                    "a clean-link first transfer cannot retry its promotion, \
+                                     got {first_begin:?}"
                                 );
-                                shift_back(e, t0)
-                            })
-                            .collect();
-                        let first_begin = events
-                            .iter()
-                            .find(|e| matches!(e, RadioEvent::BeginTransfer { .. }))
-                            .expect("a page load has at least one transfer");
-                        assert!(
-                            matches!(
-                                first_begin,
-                                RadioEvent::BeginTransfer {
-                                    at: SimTime::ZERO,
-                                    promotion_retries: 0,
-                                    ..
-                                }
-                            ),
-                            "the first transfer must begin at the click on a clean link \
-                             (it is what makes click-state a sufficient memoization key), \
-                             got {first_begin:?}"
-                        );
-                        assert_eq!(
-                            metrics.failed_objects, 0,
-                            "profiles are clean-link only; faulty sessions use the full path"
-                        );
-                        profiles.push(LoadProfile {
-                            events,
-                            opened: metrics.final_display_at - t0,
-                            tx_end: metrics.data_transmission_end - t0,
-                            features: FeatureVector::from_slice(&metrics.features().to_vec()),
-                            bytes: metrics.bytes_fetched,
-                        });
+                                assert_eq!(
+                                    metrics.failed_objects, 0,
+                                    "clean-tier profiles must fetch every object"
+                                );
+                            }
+                            profiles.push(LoadProfile {
+                                events,
+                                opened: metrics.final_display_at - t0,
+                                tx_end: metrics.data_transmission_end - t0,
+                                features: FeatureVector::from_slice(&metrics.features().to_vec()),
+                                bytes: metrics.bytes_fetched,
+                            });
+                        }
                     }
                 }
             }
@@ -175,6 +333,7 @@ impl ProfileTable {
         ProfileTable {
             profiles,
             n_pages: corpus.sites().len() * 2,
+            tiers: tiers.to_vec(),
         }
     }
 
@@ -183,20 +342,58 @@ impl ProfileTable {
         self.n_pages
     }
 
-    /// The profile of `page_idx` under `mode` when the click finds the
-    /// radio in `state`.
+    /// The fault tiers this table captured, in capture order.
+    pub fn tiers(&self) -> &[FaultTier] {
+        &self.tiers
+    }
+
+    /// Whether `tier` was captured into this table.
+    pub fn has_tier(&self, tier: FaultTier) -> bool {
+        self.tiers.contains(&tier)
+    }
+
+    /// The clean-tier profile of `page_idx` under `mode` when the click
+    /// finds the radio in `state`.
     ///
     /// # Panics
     ///
     /// Panics if `page_idx` is out of range or `state` is `Promoting`.
     pub fn profile(&self, page_idx: usize, mode: PipelineMode, state: RrcState) -> &LoadProfile {
+        self.profile_tiered(page_idx, mode, state, FaultTier::Clean)
+    }
+
+    /// The profile of `page_idx` under `mode` and link-quality `tier`
+    /// when the click finds the radio in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` is out of range, `state` is `Promoting`, or
+    /// `tier` was not captured into this table.
+    pub fn profile_tiered(
+        &self,
+        page_idx: usize,
+        mode: PipelineMode,
+        state: RrcState,
+        tier: FaultTier,
+    ) -> &LoadProfile {
         assert!(
             page_idx < self.n_pages,
             "page index {page_idx} out of range ({} pages)",
             self.n_pages
         );
-        &self.profiles
-            [(page_idx * MODES.len() + mode_index(mode)) * CLICK_STATES.len() + state_index(state)]
+        let slot = self
+            .tiers
+            .iter()
+            .position(|&t| t == tier)
+            .unwrap_or_else(|| {
+                panic!(
+                    "fault tier {tier} was not captured (table has {:?})",
+                    self.tiers
+                )
+            });
+        let key =
+            (page_idx * MODES.len() + mode_index(mode)) * CLICK_STATES.len() + state_index(state);
+        &self.profiles[key * self.tiers.len() + slot]
     }
 }
 
@@ -271,6 +468,13 @@ pub struct ProfiledVisitOutcome {
     pub released: bool,
     /// The predicted reading time, when the policy consulted one.
     pub predicted_s: Option<f64>,
+    /// The RRC state the click found the radio in — the profile key this
+    /// visit replayed (what the fault-tier equivalence oracle needs to
+    /// reconstruct the capture seeds).
+    pub click_state: RrcState,
+    /// Whether a predictor outage forced this visit onto the intuitive
+    /// (release-after-load) fallback policy.
+    pub degraded_policy: bool,
 }
 
 /// Aggregates of one profiled session — the fields the fleet folds into
@@ -288,6 +492,33 @@ pub struct ProfiledOutcome {
     pub counters: RrcCounters,
     /// Time per radio state.
     pub residency: StateResidency,
+    /// Visits that ran on the intuitive fallback policy because the
+    /// predictor was unavailable (always 0 without an injected outage).
+    pub degraded_policy_visits: u64,
+}
+
+/// Options of [`run_profiled_session_with`]: which link-quality tier to
+/// replay and whether the on-device predictor goes down mid-session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfiledSessionOpts {
+    /// The fault tier whose profiles the session replays. Must have been
+    /// captured into the table ([`ProfileTable::capture_tiered`]).
+    pub tier: FaultTier,
+    /// Predictor outage: from this visit index on, predicted-threshold
+    /// policies stop consulting predictions and fall back to the paper's
+    /// intuitive policy (release right after the page opens). `None`
+    /// means the predictor stays up. Oracle and fixed policies are
+    /// unaffected — they never consult a predictor.
+    pub predictor_outage_from: Option<usize>,
+}
+
+impl Default for ProfiledSessionOpts {
+    fn default() -> Self {
+        ProfiledSessionOpts {
+            tier: FaultTier::Clean,
+            predictor_outage_from: None,
+        }
+    }
 }
 
 /// Simulates a session by time-shifting memoized load profiles onto one
@@ -305,6 +536,38 @@ pub fn run_profiled_session(
     cfg: &CoreConfig,
     case: Case,
     visits: &[ProfiledVisit],
+    on_visit: impl FnMut(ProfiledVisitOutcome),
+) -> ProfiledOutcome {
+    run_profiled_session_with(
+        table,
+        cfg,
+        case,
+        ProfiledSessionOpts::default(),
+        visits,
+        on_visit,
+    )
+}
+
+/// [`run_profiled_session`] with explicit [`ProfiledSessionOpts`]: replay
+/// a faulted tier's profiles and/or inject a mid-session predictor
+/// outage. With the default options this is exactly
+/// [`run_profiled_session`].
+///
+/// During an outage, predicted-threshold visits run the intuitive
+/// release-after-load policy instead; each such visit is flagged in its
+/// [`ProfiledVisitOutcome`] and counted in
+/// [`ProfiledOutcome::degraded_policy_visits`].
+///
+/// # Panics
+///
+/// Panics as [`run_profiled_session`] does, or if `opts.tier` was not
+/// captured into `table`.
+pub fn run_profiled_session_with(
+    table: &ProfileTable,
+    cfg: &CoreConfig,
+    case: Case,
+    opts: ProfiledSessionOpts,
+    visits: &[ProfiledVisit],
     mut on_visit: impl FnMut(ProfiledVisitOutcome),
 ) -> ProfiledOutcome {
     assert!(!visits.is_empty(), "a session needs at least one visit");
@@ -316,13 +579,16 @@ pub fn run_profiled_session(
     let mut machine = RrcMachine::new(cfg.rrc, start);
     let mut t = start;
     let mut total_load_time_s = 0.0;
+    let mut degraded_policy_visits = 0u64;
 
-    for visit in visits {
+    for (visit_idx, visit) in visits.iter().enumerate() {
         assert!(
             visit.reading_s.is_finite() && visit.reading_s >= 0.0,
             "reading time must be non-negative"
         );
-        let profile = table.profile(visit.page_idx, case.pipeline_mode(), machine.state());
+        let click_state = machine.state();
+        let profile =
+            table.profile_tiered(visit.page_idx, case.pipeline_mode(), click_state, opts.tier);
         let dt = t - start;
         for e in &profile.events {
             match *e {
@@ -347,17 +613,23 @@ pub fn run_profiled_session(
 
         let opened = t + profile.opened;
         let next_start = opened + SimDuration::from_secs_f64(visit.reading_s);
-        let (decision, predicted_s) = release_decision(
-            case.release_policy(),
-            cfg.alg.alpha_s,
-            opened,
-            visit.reading_s,
-            || {
+        let policy = case.release_policy();
+        let outage = opts
+            .predictor_outage_from
+            .is_some_and(|from| visit_idx >= from);
+        let degraded_policy = outage && matches!(policy, ReleasePolicy::PredictedThreshold { .. });
+        let policy = if degraded_policy {
+            ReleasePolicy::AfterLoad
+        } else {
+            policy
+        };
+        degraded_policy_visits += u64::from(degraded_policy);
+        let (decision, predicted_s) =
+            release_decision(policy, cfg.alg.alpha_s, opened, visit.reading_s, || {
                 visit.predicted_s.unwrap_or_else(|| {
                     panic!("case {case} needs a predicted reading time on every engaged visit")
                 })
-            },
-        );
+            });
         let released_at = decision.filter(|&at| at + cfg.rrc.release_latency <= next_start);
         if let Some(at) = released_at {
             machine.release_to_idle(at);
@@ -370,6 +642,8 @@ pub fn run_profiled_session(
             load: profile.opened,
             released: released_at.is_some(),
             predicted_s,
+            click_state,
+            degraded_policy,
         });
         t = next_start;
     }
@@ -380,6 +654,7 @@ pub fn run_profiled_session(
         duration: t - start,
         counters: machine.counters(),
         residency: machine.residency(),
+        degraded_policy_visits,
     }
 }
 
@@ -573,5 +848,211 @@ mod tests {
             predicted_s: None,
         }];
         run_profiled_session(&table, &cfg, Case::Predict9, &visits, |_| {});
+    }
+
+    /// The fault-tier extension of the bit-identity anchor: replaying a
+    /// faulted tier's profiles matches a full browser-pipeline session
+    /// whose per-visit fetchers are driven with the same per-key capture
+    /// seeds ([`simulate_session_faulted_seeded`]).
+    #[test]
+    fn tiered_profiled_sessions_match_full_faulted_sessions_to_the_bit() {
+        use crate::session::{simulate_session_faulted_seeded, SessionFaults};
+        let (corpus, server, cfg) = setup();
+        let tiers = [FaultTier::Clean, FaultTier::Lossy10, FaultTier::Jittery10];
+        let table = ProfileTable::capture_tiered(&corpus, &server, &cfg, &tiers);
+        let plan = [
+            ("espn", PageVersion::Full, 2.0),
+            ("cnn", PageVersion::Mobile, 6.0),
+            ("bbc", PageVersion::Mobile, 30.0),
+            ("msn", PageVersion::Mobile, 12.0),
+            ("aol", PageVersion::Mobile, 5.0),
+            ("ebay", PageVersion::Full, 25.0),
+        ];
+        let visits: Vec<Visit<'_>> = plan
+            .iter()
+            .map(|&(key, version, reading_s)| Visit {
+                page: corpus.page(key, version).unwrap(),
+                reading_s,
+                features: None,
+            })
+            .collect();
+        let profiled: Vec<ProfiledVisit> = plan
+            .iter()
+            .map(|&(key, version, reading_s)| ProfiledVisit {
+                page_idx: page_idx(&corpus, key, version),
+                reading_s,
+                predicted_s: None,
+            })
+            .collect();
+
+        for tier in [FaultTier::Lossy10, FaultTier::Jittery10] {
+            for case in [Case::Original, Case::Accurate9] {
+                let opts = ProfiledSessionOpts {
+                    tier,
+                    ..ProfiledSessionOpts::default()
+                };
+                let mut click_states = Vec::new();
+                let fast = run_profiled_session_with(&table, &cfg, case, opts, &profiled, |v| {
+                    click_states.push(v.click_state);
+                });
+                // The oracle drives each visit's fetcher with the fixed
+                // seed of the (page, mode, click-state, tier) key the
+                // profiled path replayed.
+                let seeds: Vec<u64> = profiled
+                    .iter()
+                    .zip(&click_states)
+                    .map(|(v, &state)| tier.capture_seed(v.page_idx, case.pipeline_mode(), state))
+                    .collect();
+                let sf = SessionFaults::new(tier.fault_config(), 0);
+                let full = simulate_session_faulted_seeded(
+                    &server, &visits, case, &cfg, None, &sf, &seeds,
+                );
+                assert_eq!(
+                    fast.total_joules.to_bits(),
+                    full.total_joules.to_bits(),
+                    "tier {tier}, case {case}: energy must match to the last bit"
+                );
+                assert_eq!(
+                    fast.total_load_time_s.to_bits(),
+                    full.total_load_time_s.to_bits(),
+                    "tier {tier}, case {case}: load time must match to the last bit"
+                );
+                assert_eq!(fast.counters, full.counters, "tier {tier}, case {case}");
+                assert_eq!(
+                    fast.residency,
+                    full.radio.residency(),
+                    "tier {tier}, case {case}"
+                );
+                assert_eq!(fast.duration, full.duration, "tier {tier}, case {case}");
+            }
+        }
+    }
+
+    /// A tiered table serves the clean tier unchanged, and a lossy tier
+    /// actually changes some loads (otherwise the tier dimension would be
+    /// dead weight).
+    #[test]
+    fn tiered_capture_keeps_the_clean_tier_and_perturbs_the_lossy_one() {
+        let (corpus, server, cfg) = setup();
+        let clean_only = ProfileTable::capture(&corpus, &server, &cfg);
+        let tiered = ProfileTable::capture_tiered(
+            &corpus,
+            &server,
+            &cfg,
+            &[FaultTier::Clean, FaultTier::Lossy10],
+        );
+        assert_eq!(tiered.tiers(), &[FaultTier::Clean, FaultTier::Lossy10]);
+        assert!(tiered.has_tier(FaultTier::Lossy10));
+        assert!(!tiered.has_tier(FaultTier::Jittery10));
+
+        let mut lossy_differs = false;
+        for page_idx in 0..tiered.n_pages() {
+            for mode in MODES {
+                for state in CLICK_STATES {
+                    let a = clean_only.profile(page_idx, mode, state);
+                    let b = tiered.profile(page_idx, mode, state);
+                    assert_eq!(a.events, b.events, "clean capture must be tier-independent");
+                    assert_eq!(a.opened, b.opened);
+                    let lossy = tiered.profile_tiered(page_idx, mode, state, FaultTier::Lossy10);
+                    lossy_differs |= lossy.events != a.events || lossy.opened != a.opened;
+                }
+            }
+        }
+        assert!(
+            lossy_differs,
+            "a 10% loss tier must change at least one of the 120 loads"
+        );
+    }
+
+    /// Predictor outage: from the outage visit on, a Predict-N session is
+    /// bit-identical to the always-off (intuitive policy) case, and the
+    /// degraded visits are counted.
+    #[test]
+    fn predictor_outage_falls_back_to_the_intuitive_policy() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        let plan = [
+            ("espn", PageVersion::Full, 2.0, 15.0),
+            ("cnn", PageVersion::Mobile, 12.0, 3.0),
+            ("bbc", PageVersion::Mobile, 30.0, 25.0),
+            ("msn", PageVersion::Mobile, 6.0, 11.0),
+            ("aol", PageVersion::Mobile, 25.0, 14.0),
+        ];
+        let profiled: Vec<ProfiledVisit> = plan
+            .iter()
+            .map(|&(key, version, reading_s, predicted_s)| ProfiledVisit {
+                page_idx: page_idx(&corpus, key, version),
+                reading_s,
+                predicted_s: Some(predicted_s),
+            })
+            .collect();
+
+        // Outage from visit 0 ≡ the intuitive policy for the whole
+        // session (same EnergyAware pipeline, release after every load).
+        let opts = ProfiledSessionOpts {
+            predictor_outage_from: Some(0),
+            ..ProfiledSessionOpts::default()
+        };
+        let degraded =
+            run_profiled_session_with(&table, &cfg, Case::Predict9, opts, &profiled, |v| {
+                assert!(v.degraded_policy);
+                assert_eq!(
+                    v.predicted_s, None,
+                    "an outage visit consults no prediction"
+                );
+            });
+        let intuitive =
+            run_profiled_session(&table, &cfg, Case::EnergyAwareAlwaysOff, &profiled, |v| {
+                assert!(!v.degraded_policy, "no outage, no degraded visits");
+            });
+        assert_eq!(
+            degraded.total_joules.to_bits(),
+            intuitive.total_joules.to_bits(),
+            "full outage must equal the intuitive policy to the last bit"
+        );
+        assert_eq!(degraded.counters, intuitive.counters);
+        assert_eq!(degraded.degraded_policy_visits, plan.len() as u64);
+        assert_eq!(intuitive.degraded_policy_visits, 0);
+
+        // Partial outage: only the tail degrades.
+        let opts = ProfiledSessionOpts {
+            predictor_outage_from: Some(3),
+            ..ProfiledSessionOpts::default()
+        };
+        let mut flags = Vec::new();
+        let partial =
+            run_profiled_session_with(&table, &cfg, Case::Predict9, opts, &profiled, |v| {
+                flags.push(v.degraded_policy);
+            });
+        assert_eq!(flags, [false, false, false, true, true]);
+        assert_eq!(partial.degraded_policy_visits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not captured")]
+    fn uncaptured_tier_panics() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        table.profile_tiered(0, PipelineMode::Original, RrcState::Idle, FaultTier::Lossy2);
+    }
+
+    #[test]
+    fn fault_tier_ids_round_trip() {
+        for tier in FaultTier::ALL {
+            assert_eq!(FaultTier::from_index(tier.index()), Some(tier));
+            assert!(tier.fault_config().validate().is_ok(), "tier {tier}");
+        }
+        assert_eq!(FaultTier::from_index(200), None);
+        // Capture seeds are key-unique (no accidental stream sharing).
+        let mut seeds = std::collections::HashSet::new();
+        for tier in FaultTier::ALL {
+            for page_idx in 0..20 {
+                for mode in MODES {
+                    for state in CLICK_STATES {
+                        assert!(seeds.insert(tier.capture_seed(page_idx, mode, state)));
+                    }
+                }
+            }
+        }
     }
 }

@@ -207,6 +207,14 @@ impl<'a> SessionCtx<'a> {
     }
 }
 
+/// The fetcher fault-stream seed of visit `visit_idx` in a session whose
+/// [`SessionFaults::seed`] is `base`. Mixing the visit index in keeps the
+/// per-visit streams independent: inserting a visit does not shift the
+/// fault pattern of the visits before it.
+pub fn visit_fault_seed(base: u64, visit_idx: usize) -> u64 {
+    SplitMix64::mix(base ^ (visit_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Algorithm 2's per-visit release decision: whether (and when) to switch
 /// the radio to IDLE after a page opens, given the case's policy. Returns
 /// the proposed release instant — before the "does the release finish
@@ -311,6 +319,62 @@ pub fn simulate_session_recorded(
     faults: Option<&SessionFaults>,
     recorder: &Recorder,
 ) -> SessionOutcome {
+    simulate_session_impl(server, visits, case, cfg, predictor, faults, None, recorder)
+}
+
+/// Simulates a faulted session with an explicit fault-stream seed per
+/// visit, instead of deriving them from [`SessionFaults::seed`] via
+/// [`visit_fault_seed`].
+///
+/// This is the oracle the memoized fleet path is proven against: a
+/// fault-tier profile is captured under one fixed seed per
+/// (page, mode, click-state, tier) key, so the full-pipeline session that
+/// must match it bit-for-bit has to drive each visit's fetcher with that
+/// same per-key seed rather than the session-derived stream.
+///
+/// # Panics
+///
+/// Panics as [`simulate_session_faulted`] does, or if `visit_seeds` and
+/// `visits` have different lengths.
+pub fn simulate_session_faulted_seeded(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: &SessionFaults,
+    visit_seeds: &[u64],
+) -> SessionOutcome {
+    assert_eq!(
+        visit_seeds.len(),
+        visits.len(),
+        "one fault seed per visit ({} seeds, {} visits)",
+        visit_seeds.len(),
+        visits.len()
+    );
+    simulate_session_impl(
+        server,
+        visits,
+        case,
+        cfg,
+        predictor,
+        Some(faults),
+        Some(visit_seeds),
+        &Recorder::disabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_session_impl(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
+    visit_seeds: Option<&[u64]>,
+    recorder: &Recorder,
+) -> SessionOutcome {
     assert!(!visits.is_empty(), "a session needs at least one visit");
     if let Err(e) = cfg.validate() {
         panic!("invalid CoreConfig: {e}");
@@ -340,14 +404,12 @@ pub fn simulate_session_recorded(
         let mut fetcher =
             ThreeGFetcher::with_machine(cfg.net, machine, server).with_recorder(recorder.clone());
         if let Some(sf) = faults {
+            let seed = visit_seeds.map_or_else(
+                || visit_fault_seed(sf.seed, visit_idx),
+                |seeds| seeds[visit_idx],
+            );
             fetcher = fetcher
-                .try_with_faults(
-                    sf.faults,
-                    SplitMix64::mix(
-                        sf.seed ^ (visit_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    ),
-                    sf.retry,
-                )
+                .try_with_faults(sf.faults, seed, sf.retry)
                 .unwrap_or_else(|e| panic!("invalid SessionFaults: {e}"));
         }
         let metrics = load_page_recorded(

@@ -14,11 +14,25 @@
 //!   reading times derive from a forked RNG stream keyed by `(seed,
 //!   user_id)` alone, so results never depend on scheduling.
 //! * **Sharded work stealing** — users are partitioned into shards;
-//!   threads claim shards from an atomic cursor and fold each shard into
+//!   threads claim shards from a shared board and fold each shard into
 //!   its own [`FleetSummary`]; shard summaries (integer-only: µJ, µs,
 //!   histogram counts) merge in index order. Peak memory is O(shards),
 //!   and the merged summary is bit-identical for every shard count and
 //!   thread count.
+//! * **Crash-safe execution** — [`run_fleet_supervised`] absorbs worker
+//!   panics (surviving workers re-claim the failed shard from its last
+//!   committed state, bounded by [`ChaosConfig::max_shard_attempts`]) and
+//!   persists per-shard progress to a CRC-checked [`Checkpoint`] file via
+//!   atomic tmp+rename, so a killed run resumes to a summary bit-identical
+//!   to an uninterrupted one. Torn, corrupt, or mismatched checkpoints are
+//!   rejected with typed [`CheckpointError`]s, never silently merged.
+//! * **Population-scale chaos** — [`FleetConfig::tier`] runs every user's
+//!   sessions on a faulted network tier
+//!   ([`ewb_core::profile::FaultTier`]), and
+//!   [`FleetConfig::predictor_outage_prob`] drops the predictor
+//!   mid-session for a deterministic subset of users, falling back to the
+//!   intuitive policy ([`FleetSummary::degraded_policy_visits`] counts the
+//!   affected visits).
 //!
 //! ```no_run
 //! use ewb_fleet::{run_fleet, FleetConfig, FleetEnv};
@@ -36,11 +50,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
+mod checkpoint;
 mod sim;
 mod summary;
 
+pub use chaos::{ChaosConfig, PanicPoint};
+pub use checkpoint::{
+    crc32, summary_fingerprint, Checkpoint, CheckpointError, RunIdentity, ShardProgress,
+};
 pub use sim::{
-    plan_user, run_fleet, simulate_user, FleetConfig, FleetEnv, PlannedVisit, WorkerScratch,
+    plan_user, predictor_outage_from, run_fleet, run_fleet_supervised, shard_range, simulate_user,
+    FleetConfig, FleetEnv, FleetError, FleetReport, PlannedVisit, SupervisorOptions, WorkerScratch,
 };
 pub use summary::{
     FleetSummary, LOAD_BINS, LOAD_BIN_US, SAVED_BINS, SAVED_BIN_UJ, SAVED_OFFSET_UJ, SHARE_BINS,

@@ -60,6 +60,10 @@ pub struct FleetSummary {
     pub visits: u64,
     /// Fast-dormancy releases in the optimized sessions.
     pub releases: u64,
+    /// Visits that ran on the intuitive fallback policy because a
+    /// predictor outage hit mid-session, across both cases (0 unless the
+    /// fleet config injects outages).
+    pub degraded_policy_visits: u64,
     /// Total baseline-session energy, µJ.
     pub baseline_uj: u128,
     /// Total optimized-session energy, µJ.
@@ -92,6 +96,7 @@ impl Default for FleetSummary {
             sessions: 0,
             visits: 0,
             releases: 0,
+            degraded_policy_visits: 0,
             baseline_uj: 0,
             optimized_uj: 0,
             baseline_load_us: 0,
@@ -142,6 +147,8 @@ impl FleetSummary {
         self.sessions += 2;
         self.visits += 2 * visits_per_session;
         self.releases += optimized.counters.fast_dormancy_releases;
+        self.degraded_policy_visits +=
+            baseline.degraded_policy_visits + optimized.degraded_policy_visits;
 
         let base_uj = joules_to_uj(baseline.total_joules);
         let opt_uj = joules_to_uj(optimized.total_joules);
@@ -169,6 +176,7 @@ impl FleetSummary {
         self.sessions += other.sessions;
         self.visits += other.visits;
         self.releases += other.releases;
+        self.degraded_policy_visits += other.degraded_policy_visits;
         self.baseline_uj += other.baseline_uj;
         self.optimized_uj += other.optimized_uj;
         self.baseline_load_us += other.baseline_load_us;
@@ -302,6 +310,7 @@ mod tests {
                 fach: SimDuration::ZERO,
                 dch: SimDuration::from_secs(dch_s),
             },
+            degraded_policy_visits: 0,
         }
     }
 

@@ -95,6 +95,7 @@ fn fleet_matches_full_session_simulation_per_user() {
             duration: o.duration,
             counters: o.counters,
             residency: o.radio.residency(),
+            degraded_policy_visits: 0,
         };
         expected.fold_user(
             &as_profiled(&baseline),

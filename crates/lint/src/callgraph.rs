@@ -28,6 +28,9 @@ use crate::lexer::TokenKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Body tokens that mark a function as directly feeding serialization.
+/// `Checkpoint`/`ChaosConfig` cover the fleet's persisted crash-safety
+/// state: anything folded into a checkpoint byte stream must be as
+/// iteration-order-deterministic as a golden file.
 const SINK_TOKENS: &[&str] = &[
     "serde_json",
     "Serialize",
@@ -40,10 +43,19 @@ const SINK_TOKENS: &[&str] = &[
     "emit_with",
     "to_json",
     "write_json",
+    "ChaosConfig",
+    "Checkpoint",
 ];
 
 /// Function-name substrings that mark sinks regardless of body content.
-const SINK_NAME_PARTS: &[&str] = &["golden", "export", "to_json", "write_json", "serialize"];
+const SINK_NAME_PARTS: &[&str] = &[
+    "golden",
+    "export",
+    "to_json",
+    "write_json",
+    "serialize",
+    "checkpoint",
+];
 
 /// The taint result for one crate.
 #[derive(Debug, Default)]
@@ -184,6 +196,23 @@ fn plain() -> u32 { 2 }\n";
         let t = taint_for_crate(&[(src, &m)]);
         assert!(t.is_tainted("write_golden_summary"));
         assert!(t.is_tainted("helper"));
+    }
+
+    #[test]
+    fn checkpoint_structs_are_serialization_sinks() {
+        let src = "\
+fn save_progress(b: &Board) -> Vec<u8> { Checkpoint::of(b).to_bytes() }\n\
+fn plan_chaos() -> ChaosConfig { ChaosConfig::none() }\n\
+fn commit(b: &Board) { save_progress(b); }\n\
+fn load_checkpoint_file(p: &Path) { }\n\
+fn plain() -> u32 { 2 }\n";
+        let m = analyze(src);
+        let t = taint_for_crate(&[(src, &m)]);
+        assert!(t.is_tainted("save_progress"), "Checkpoint body token");
+        assert!(t.is_tainted("plan_chaos"), "ChaosConfig body token");
+        assert!(t.is_tainted("commit"), "transitive via save_progress");
+        assert!(t.is_tainted("load_checkpoint_file"), "sinky name");
+        assert!(!t.is_tainted("plain"));
     }
 
     #[test]

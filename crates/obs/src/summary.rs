@@ -280,7 +280,11 @@ mod tests {
             });
             s.fold(&Event::Span {
                 layer: Layer::Browser,
-                name: if x.is_multiple_of(2) { "layout" } else { "html_parse" },
+                name: if x.is_multiple_of(2) {
+                    "layout"
+                } else {
+                    "html_parse"
+                },
                 start: SimTime::from_micros(i),
                 end: SimTime::from_micros(i + 1 + (x % 7)),
             });
