@@ -75,6 +75,23 @@ pub fn exhaustive(
     max_depth: usize,
     mutant: Mutant,
 ) -> ExploreReport {
+    exhaustive_with(alphabet, max_depth, |s| check_scenario(cfg, s, mutant))
+}
+
+/// Backend-agnostic exhaustive sweep: runs every sequence over
+/// `alphabet` of length 1..=`max_depth` through an arbitrary scenario
+/// checker (`check` returns the [`RunReport`] for one scenario). This is
+/// what [`exhaustive`] uses for 3G and what
+/// [`crate::backend::check_lte_scenario`]-style checkers plug into for
+/// the ladder backends.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty or `max_depth` is 0.
+pub fn exhaustive_with<F>(alphabet: &[Step], max_depth: usize, mut check: F) -> ExploreReport
+where
+    F: FnMut(&Scenario) -> crate::run::RunReport,
+{
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
     assert!(max_depth > 0, "max_depth must be at least 1");
     let mut report = ExploreReport {
@@ -96,16 +113,14 @@ pub fn exhaustive(
                     .join(".")
             );
             let scenario = Scenario::new(name, steps);
-            let rr = check_scenario(cfg, &scenario, mutant);
+            let rr = check(&scenario);
             report.runs += 1;
             report.coverage.extend(rr.coverage);
             if !rr.violations.is_empty() {
                 report.failing_runs += 1;
                 if report.counterexample.is_none() {
-                    let shrunk = shrink_scenario(&scenario, |s| {
-                        !check_scenario(cfg, s, mutant).violations.is_empty()
-                    });
-                    let violations = check_scenario(cfg, &shrunk, mutant).violations;
+                    let shrunk = shrink_scenario(&scenario, |s| !check(s).violations.is_empty());
+                    let violations = check(&shrunk).violations;
                     report.counterexample = Some(Counterexample {
                         scenario: shrunk,
                         original: scenario,

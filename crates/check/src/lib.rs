@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod corpus;
 pub mod explore;
 pub mod fuzz;
@@ -61,7 +62,11 @@ pub mod run;
 pub mod scenario;
 pub mod shrink;
 
-pub use explore::{exhaustive, Counterexample, ExploreReport};
+pub use backend::{
+    check_five_g_scenario, check_ladder_scenario, check_lte_scenario, check_wifi_scenario,
+    ladder_alphabet, BackendMutant, BackendReference, ReferenceFiveG, ReferenceLte, ReferenceWifi,
+};
+pub use explore::{exhaustive, exhaustive_with, Counterexample, ExploreReport};
 pub use fuzz::{fuzz, FuzzReport};
 pub use mutant::Mutant;
 pub use run::{check_scenario, RunReport, Violation};

@@ -328,6 +328,16 @@ pub fn check_machine_invariants(
                 let expected = match timer {
                     Timer::T1 => RadioState::Dch,
                     Timer::T2 => RadioState::Fach,
+                    Timer::Dwell => {
+                        // Ladder-backend timer: must never fire on a 3G
+                        // machine (the backend suites have their own
+                        // generic checker).
+                        push(
+                            "timer-arming",
+                            format!("3G machine emitted a ladder Dwell expiry at {at}"),
+                        );
+                        continue;
+                    }
                 };
                 match last_segment {
                     Some((_, end, state)) if end == *at && state == expected => {}

@@ -64,9 +64,16 @@ fn simpler_steps(step: &Step) -> Vec<Step> {
         Step::Wait { micros } => {
             if micros > 0 {
                 out.push(Step::Wait { micros: micros / 2 });
-                out.push(Step::Wait {
-                    micros: micros - micros / 4,
-                });
+                // Only a *strictly* smaller variant keeps the greedy loop
+                // terminating: for micros < 4 the three-quarters point
+                // rounds back to micros itself, and a failing candidate
+                // identical to the current best would loop forever.
+                let three_quarters = micros - micros / 4;
+                if three_quarters < micros {
+                    out.push(Step::Wait {
+                        micros: three_quarters,
+                    });
+                }
             }
         }
         Step::Transfer {
@@ -144,6 +151,22 @@ mod tests {
         let b = shrink_scenario(&s, pred);
         assert_eq!(a, b);
         assert_eq!(a.steps.len(), 2, "cannot drop below the predicate floor");
+    }
+
+    #[test]
+    fn terminates_when_every_positive_wait_fails() {
+        // Regression: a predicate that keeps failing at arbitrarily small
+        // waits (the WiFi ignored-beacon mutant diverges in energy from
+        // t = 0) must still reach a fixpoint. With micros < 4 the
+        // three-quarters variant rounds back onto the input, which used
+        // to count as an "improvement" forever.
+        let s = Scenario::new("tiny", vec![wait(5_000_000)]);
+        let min = shrink_scenario(&s, |c| {
+            c.steps
+                .iter()
+                .any(|st| matches!(st, Step::Wait { micros } if *micros > 0))
+        });
+        assert_eq!(min.steps, vec![wait(1)]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! evaluation (§5). Each submodule owns one experiment; the `ewb-bench`
 //! binaries print their outputs in the paper's format.
 
+pub mod backends;
 pub mod capacity_exp;
 pub mod cases16;
 pub mod display;

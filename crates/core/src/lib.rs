@@ -47,6 +47,7 @@ mod config;
 pub mod cases;
 pub mod experiments;
 pub mod profile;
+pub mod radio_profile;
 pub mod session;
 
 pub use config::{AlgorithmMode, AlgorithmParams, CoreConfig};

@@ -88,7 +88,7 @@ fn state_index(state: RrcState) -> usize {
     }
 }
 
-fn mode_index(mode: PipelineMode) -> usize {
+pub(crate) fn mode_index(mode: PipelineMode) -> usize {
     match mode {
         PipelineMode::Original => 0,
         PipelineMode::EnergyAware => 1,
@@ -423,7 +423,7 @@ fn machine_in_state(cfg: &CoreConfig, state: RrcState) -> (RrcMachine, SimTime) 
 
 /// Rebuilds `e` with its time shifted from an absolute clock (click at
 /// `t0`) to the click-relative clock.
-fn shift_back(e: &RadioEvent, t0: SimTime) -> RadioEvent {
+pub(crate) fn shift_back(e: &RadioEvent, t0: SimTime) -> RadioEvent {
     let rel = |at: SimTime| SimTime::ZERO + (at - t0);
     match *e {
         RadioEvent::BeginTransfer {

@@ -1,0 +1,266 @@
+//! Backend-generic memoized page-load profiles.
+//!
+//! The memoization argument of [`crate::profile`] — a clean-link page
+//! load is a pure function of (page, pipeline mode, radio state at the
+//! click) — does not depend on the 3G state machine; it only needs the
+//! click to find the radio in one of a small set of *click states* and
+//! the load's first event to be a `BeginTransfer` at the click instant,
+//! which cancels any pending inactivity deadline. Every
+//! [`RadioModel`] names its click states (3G: IDLE/FACH/DCH; LTE:
+//! IDLE/LONG_DRX/SHORT_DRX/CONNECTED; WiFi: PSM/ACTIVE; 5G:
+//! IDLE/CDRX/CONNECTED), so the capture generalizes verbatim.
+//!
+//! [`RadioProfileTable`] is the backend-tagged counterpart of the 3G
+//! [`ProfileTable`](crate::profile::ProfileTable): the key gains the
+//! backend (via the table's type parameter and recorded
+//! [`RadioBackend`] tag) and the click-state axis widens to
+//! `R::click_state_count()`. The 3G table is deliberately left
+//! untouched — its bit-identity proofs against the fleet path are
+//! anchored to goldens — and a test pins the two captures equal
+//! event-for-event on 3G.
+
+use crate::config::CoreConfig;
+use crate::profile::{mode_index, shift_back, LoadProfile};
+use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
+use ewb_net::replay::{events_of_load, sort_radio_events, RadioEvent};
+use ewb_net::RadioFetcher;
+use ewb_rrc::{RadioBackend, RadioModel};
+use ewb_simcore::SimTime;
+use ewb_traces::FeatureVector;
+use ewb_webpage::{Corpus, OriginServer, PageVersion};
+
+/// Both pipeline schedules, in index order.
+const MODES: [PipelineMode; 2] = [PipelineMode::Original, PipelineMode::EnergyAware];
+
+/// Every clean-link load profile of a corpus on one radio backend: one
+/// per (page, pipeline mode, click state).
+#[derive(Debug, Clone)]
+pub struct RadioProfileTable<R: RadioModel> {
+    profiles: Vec<LoadProfile>,
+    n_pages: usize,
+    _radio: std::marker::PhantomData<R>,
+}
+
+impl<R: RadioModel> RadioProfileTable<R> {
+    /// Runs the full browser pipeline over every
+    /// (page, mode, click-state) combination of backend `R` and captures
+    /// the resulting load profiles on a clean link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configuration is invalid, or if a captured load
+    /// violates a memoization precondition (an event before the click,
+    /// or a first transfer not at the click instant).
+    pub fn capture(
+        corpus: &Corpus,
+        server: &OriginServer,
+        cfg: &CoreConfig,
+        radio_cfg: R::Config,
+    ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CoreConfig: {e}");
+        }
+        if let Err(e) = R::validate_config(&radio_cfg) {
+            panic!("invalid {} radio config: {e}", R::BACKEND);
+        }
+        let states = R::click_state_count();
+        let mut profiles = Vec::with_capacity(corpus.sites().len() * 2 * MODES.len() * states);
+        for site in corpus.sites() {
+            for version in [PageVersion::Mobile, PageVersion::Full] {
+                let page = match version {
+                    PageVersion::Mobile => &site.mobile,
+                    PageVersion::Full => &site.full,
+                };
+                for mode in MODES {
+                    let mut pipe_cfg = PipelineConfig::new(mode);
+                    if version == PageVersion::Mobile {
+                        // §4.2: mobile pages get no intermediate display.
+                        pipe_cfg.draw_intermediate = false;
+                    }
+                    for state_idx in 0..states {
+                        let (machine, t0) = R::in_click_state(radio_cfg, state_idx);
+                        let mut fetcher = RadioFetcher::with_machine(cfg.net, machine, server);
+                        let metrics =
+                            load_page(&mut fetcher, page.root_url(), t0, &pipe_cfg, &cfg.cost);
+                        let mut events = events_of_load(fetcher.transfers(), &metrics.cpu_busy);
+                        sort_radio_events(&mut events);
+                        let events: Vec<RadioEvent> = events
+                            .iter()
+                            .map(|e| {
+                                assert!(
+                                    e.at() >= t0,
+                                    "captured event before the click: {e:?} (click {t0:?})"
+                                );
+                                shift_back(e, t0)
+                            })
+                            .collect();
+                        let first_begin = events
+                            .iter()
+                            .find(|e| matches!(e, RadioEvent::BeginTransfer { .. }))
+                            .expect("a page load has at least one transfer");
+                        assert!(
+                            matches!(
+                                first_begin,
+                                RadioEvent::BeginTransfer {
+                                    at: SimTime::ZERO,
+                                    ..
+                                }
+                            ),
+                            "the first transfer must begin at the click \
+                             (it is what makes click-state a sufficient memoization key), \
+                             got {first_begin:?} ({} {})",
+                            R::BACKEND,
+                            R::click_state_name(state_idx)
+                        );
+                        profiles.push(LoadProfile {
+                            events,
+                            opened: metrics.final_display_at - t0,
+                            tx_end: metrics.data_transmission_end - t0,
+                            features: FeatureVector::from_slice(&metrics.features().to_vec()),
+                            bytes: metrics.bytes_fetched,
+                        });
+                    }
+                }
+            }
+        }
+        RadioProfileTable {
+            profiles,
+            n_pages: corpus.sites().len() * 2,
+            _radio: std::marker::PhantomData,
+        }
+    }
+
+    /// The radio technology this table was captured on.
+    pub fn backend(&self) -> RadioBackend {
+        R::BACKEND
+    }
+
+    /// Number of pages covered (2 per site).
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Number of click states per (page, mode) key.
+    pub fn n_click_states(&self) -> usize {
+        R::click_state_count()
+    }
+
+    /// The profile of `page_idx` under `mode` when the click finds the
+    /// radio in click state `state_idx` (backend-specific ordering, see
+    /// [`RadioModel::click_state_name`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` or `state_idx` is out of range.
+    pub fn profile(&self, page_idx: usize, mode: PipelineMode, state_idx: usize) -> &LoadProfile {
+        assert!(
+            page_idx < self.n_pages,
+            "page index {page_idx} out of range ({} pages)",
+            self.n_pages
+        );
+        let states = R::click_state_count();
+        assert!(
+            state_idx < states,
+            "click-state index {state_idx} out of range ({} has {states})",
+            R::BACKEND
+        );
+        &self.profiles[(page_idx * MODES.len() + mode_index(mode)) * states + state_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileTable;
+    use ewb_rrc::{LteConfig, LteMachine, RrcMachine, RrcState, WifiConfig, WifiMachine};
+    use ewb_webpage::benchmark_corpus;
+
+    fn setup() -> (Corpus, OriginServer, CoreConfig) {
+        let corpus = benchmark_corpus(1);
+        let server = OriginServer::from_corpus(&corpus);
+        (corpus, server, CoreConfig::paper())
+    }
+
+    /// On 3G the generic capture must reproduce the proven `ProfileTable`
+    /// clean-tier profiles event-for-event: same events, same timings,
+    /// same bytes. This pins the generic path to the golden-anchored one.
+    #[test]
+    fn three_g_capture_matches_the_proven_profile_table() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        let generic = RadioProfileTable::<RrcMachine>::capture(&corpus, &server, &cfg, cfg.rrc);
+        assert_eq!(generic.backend(), RadioBackend::ThreeG);
+        assert_eq!(generic.n_click_states(), 3);
+        for page_idx in 0..table.n_pages() {
+            for mode in MODES {
+                for (state_idx, state) in [RrcState::Idle, RrcState::Fach, RrcState::Dch]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let a = table.profile(page_idx, mode, state);
+                    let b = generic.profile(page_idx, mode, state_idx);
+                    assert_eq!(a.events, b.events, "page {page_idx} {mode:?} {state:?}");
+                    assert_eq!(a.opened, b.opened);
+                    assert_eq!(a.tx_end, b.tx_end);
+                    assert_eq!(a.bytes, b.bytes);
+                }
+            }
+        }
+    }
+
+    /// Ladder backends capture deterministically over their own
+    /// click-state axis, and warm clicks load strictly no slower than
+    /// cold ones (the setup latency is the difference).
+    #[test]
+    fn ladder_captures_are_deterministic_and_warm_beats_cold() {
+        let (corpus, server, cfg) = setup();
+        let lte = RadioProfileTable::<LteMachine>::capture(
+            &corpus,
+            &server,
+            &cfg,
+            LteConfig::calibrated(),
+        );
+        let again = RadioProfileTable::<LteMachine>::capture(
+            &corpus,
+            &server,
+            &cfg,
+            LteConfig::calibrated(),
+        );
+        assert_eq!(lte.backend(), RadioBackend::Lte);
+        assert_eq!(lte.n_click_states(), 4);
+        for page_idx in 0..lte.n_pages() {
+            for mode in MODES {
+                let cold = lte.profile(page_idx, mode, 0); // IDLE
+                let warm = lte.profile(page_idx, mode, 3); // CONNECTED
+                assert!(cold.opened >= warm.opened, "page {page_idx} {mode:?}");
+                assert_eq!(cold.bytes, warm.bytes);
+                for s in 0..4 {
+                    assert_eq!(
+                        lte.profile(page_idx, mode, s).events,
+                        again.profile(page_idx, mode, s).events
+                    );
+                }
+            }
+        }
+    }
+
+    /// WiFi's cheap wakeup compresses the cold/warm gap to its 50 ms
+    /// wake latency — the "promotions are cheap" end of the spectrum.
+    #[test]
+    fn wifi_cold_warm_gap_is_the_wake_latency() {
+        let (corpus, server, cfg) = setup();
+        let wifi = RadioProfileTable::<WifiMachine>::capture(
+            &corpus,
+            &server,
+            &cfg,
+            WifiConfig::calibrated(),
+        );
+        let cold = wifi.profile(0, PipelineMode::EnergyAware, 0); // PSM
+        let warm = wifi.profile(0, PipelineMode::EnergyAware, 1); // ACTIVE
+        let gap = (cold.opened - warm.opened).as_secs_f64();
+        assert!(
+            (gap - WifiConfig::calibrated().wake_latency_s).abs() < 1e-9,
+            "cold/warm gap {gap} should be the PSM wake latency"
+        );
+    }
+}

@@ -18,10 +18,10 @@ use crate::cases::{Case, ReleasePolicy};
 use crate::config::CoreConfig;
 use ewb_browser::pipeline::{load_page_recorded, PipelineConfig};
 use ewb_browser::CpuWork;
-use ewb_net::replay::{events_of_load, replay_recorded, RadioEvent};
-use ewb_net::{FaultConfig, RetryPolicy, ThreeGFetcher};
+use ewb_net::replay::{events_of_load, replay_radio_recorded, RadioEvent};
+use ewb_net::{FaultConfig, RadioFetcher, RetryPolicy};
 use ewb_obs::{Event as ObsEvent, Recorder};
-use ewb_rrc::{RrcCounters, RrcMachine};
+use ewb_rrc::{RadioModel, RrcMachine};
 use ewb_simcore::{SimDuration, SimTime, SplitMix64};
 use ewb_traces::{FeatureVector, ReadingTimePredictor};
 use ewb_webpage::{OriginServer, Page, PageVersion};
@@ -121,9 +121,9 @@ impl PageRecord {
     }
 }
 
-/// The outcome of a simulated session.
+/// The outcome of a simulated session on any radio backend.
 #[derive(Debug, Clone)]
-pub struct SessionOutcome {
+pub struct RadioSessionOutcome<R: RadioModel> {
     /// Per-visit records, in order.
     pub pages: Vec<PageRecord>,
     /// Total handset energy over the session, joules.
@@ -133,13 +133,16 @@ pub struct SessionOutcome {
     /// Session duration.
     pub duration: SimDuration,
     /// Radio event counters from the energy replay.
-    pub counters: RrcCounters,
+    pub counters: R::Counters,
     /// The replayed radio — exact power segments for trace plotting
     /// (Fig. 9).
-    pub radio: RrcMachine,
+    pub radio: R,
 }
 
-impl SessionOutcome {
+/// The paper's outcome: a session on the UMTS 3G [`RrcMachine`].
+pub type SessionOutcome = RadioSessionOutcome<RrcMachine>;
+
+impl<R: RadioModel> RadioSessionOutcome<R> {
     /// Visits that rendered without some of their objects (faulty link).
     pub fn degraded_pages(&self) -> usize {
         self.pages.iter().filter(|p| p.degraded).count()
@@ -322,6 +325,61 @@ pub fn simulate_session_recorded(
     simulate_session_impl(server, visits, case, cfg, predictor, faults, None, recorder)
 }
 
+/// Simulates a session on an arbitrary radio backend: the same browser
+/// pipelines, Algorithm 2 release policy, and energy-replay machinery as
+/// [`simulate_session`], with the radio swapped for any [`RadioModel`]
+/// (`radio_cfg` replaces `cfg.rrc`; the release gate uses the backend's
+/// own release latency). With `R = RrcMachine` and `radio_cfg = cfg.rrc`
+/// this is call-for-call [`simulate_session`].
+///
+/// # Panics
+///
+/// Panics as [`simulate_session`] does, or if `radio_cfg` is invalid.
+pub fn simulate_session_radio<R: RadioModel>(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    radio_cfg: R::Config,
+    predictor: Option<&ReadingTimePredictor>,
+) -> RadioSessionOutcome<R> {
+    simulate_session_radio_impl(
+        server,
+        visits,
+        case,
+        cfg,
+        radio_cfg,
+        predictor,
+        None,
+        None,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`simulate_session_radio`] with structured-event tracing and optional
+/// fault injection — the backend-generic superset the 3G entry points
+/// delegate to.
+///
+/// # Panics
+///
+/// Panics as [`simulate_session_radio`] does, or if the fault
+/// configuration or retry policy is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_session_radio_recorded<R: RadioModel>(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    radio_cfg: R::Config,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
+    recorder: &Recorder,
+) -> RadioSessionOutcome<R> {
+    simulate_session_radio_impl(
+        server, visits, case, cfg, radio_cfg, predictor, faults, None, recorder,
+    )
+}
+
 /// Simulates a faulted session with an explicit fault-stream seed per
 /// visit, instead of deriving them from [`SessionFaults::seed`] via
 /// [`visit_fault_seed`].
@@ -375,6 +433,31 @@ fn simulate_session_impl(
     visit_seeds: Option<&[u64]>,
     recorder: &Recorder,
 ) -> SessionOutcome {
+    simulate_session_radio_impl(
+        server,
+        visits,
+        case,
+        cfg,
+        cfg.rrc,
+        predictor,
+        faults,
+        visit_seeds,
+        recorder,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_session_radio_impl<R: RadioModel>(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    radio_cfg: R::Config,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
+    visit_seeds: Option<&[u64]>,
+    recorder: &Recorder,
+) -> RadioSessionOutcome<R> {
     assert!(!visits.is_empty(), "a session needs at least one visit");
     if let Err(e) = cfg.validate() {
         panic!("invalid CoreConfig: {e}");
@@ -385,7 +468,7 @@ fn simulate_session_impl(
     );
 
     let start = SimTime::ZERO;
-    let mut machine = RrcMachine::new(cfg.rrc, start);
+    let mut machine = R::new(radio_cfg, start);
     let mut events: Vec<RadioEvent> = Vec::new();
     let mut boundaries: Vec<(SimTime, SimTime)> = Vec::new(); // (start, opened)
     let mut partial: Vec<PageRecord> = Vec::new();
@@ -402,7 +485,7 @@ fn simulate_session_impl(
             pipe_cfg.draw_intermediate = false;
         }
         let mut fetcher =
-            ThreeGFetcher::with_machine(cfg.net, machine, server).with_recorder(recorder.clone());
+            RadioFetcher::with_machine(cfg.net, machine, server).with_recorder(recorder.clone());
         if let Some(sf) = faults {
             let seed = visit_seeds.map_or_else(
                 || visit_fault_seed(sf.seed, visit_idx),
@@ -442,7 +525,7 @@ fn simulate_session_impl(
         );
         // Only release if the release procedure completes before the next
         // click; otherwise the user is already navigating away.
-        let released_at = decision.filter(|&at| at + cfg.rrc.release_latency <= next_start);
+        let released_at = decision.filter(|&at| at + R::release_latency(&radio_cfg) <= next_start);
         if let Some(at) = released_at {
             machine.release_to_idle(at);
             events.push(RadioEvent::Release { at });
@@ -482,7 +565,7 @@ fn simulate_session_impl(
     // Exact energy: replay radio + CPU events on a fresh machine. The
     // recorder rides on the *replay* machine — the one whose energy is
     // reported — so the emitted ledger folds to `total_joules` exactly.
-    let radio = replay_recorded(cfg.rrc, start, events, t, recorder.clone());
+    let radio: R = replay_radio_recorded(radio_cfg, start, events, t, recorder.clone());
     let meter = radio.meter();
     for (i, record) in partial.iter_mut().enumerate() {
         let (page_start, opened) = boundaries[i];
@@ -491,7 +574,7 @@ fn simulate_session_impl(
         record.reading_joules = meter.joules_between(opened, next);
     }
 
-    SessionOutcome {
+    RadioSessionOutcome {
         total_joules: radio.energy_j(),
         total_load_time_s: partial.iter().map(PageRecord::load_time_s).sum(),
         duration: t - start,

@@ -4,3 +4,9 @@
 pub fn total(energy_j: f64, elapsed_s: f64) -> f64 {
     energy_j + elapsed_s
 }
+
+// Joules and millijoules are distinct vocabularies: a bare sum is off
+// by a factor of a thousand.
+pub fn with_beacon(energy_j: f64, beacon_wake_mj: f64) -> f64 {
+    energy_j + beacon_wake_mj
+}

@@ -17,3 +17,8 @@ pub fn to_joules(ws: f64) -> f64 {
 pub fn combined(energy_j: f64, tail_ws: f64) -> f64 {
     energy_j + to_joules(tail_ws)
 }
+
+pub fn with_beacon(energy_j: f64, beacon_wake_mj: f64) -> f64 {
+    let beacon_wake_j = beacon_wake_mj / 1000.0;
+    energy_j + beacon_wake_j
+}

@@ -30,7 +30,11 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Body tokens that mark a function as directly feeding serialization.
 /// `Checkpoint`/`ChaosConfig` cover the fleet's persisted crash-safety
 /// state: anything folded into a checkpoint byte stream must be as
-/// iteration-order-deterministic as a golden file.
+/// iteration-order-deterministic as a golden file. The radio backend
+/// configs (`LteConfig`/`WifiConfig`/`FiveGConfig`) and the
+/// `RadioBackend` tag are serialized into the backends golden and
+/// benchmark artifacts, so constructing them cross-crate counts too
+/// (the derive-based seed only sees types declared in the same crate).
 const SINK_TOKENS: &[&str] = &[
     "serde_json",
     "Serialize",
@@ -45,6 +49,10 @@ const SINK_TOKENS: &[&str] = &[
     "write_json",
     "ChaosConfig",
     "Checkpoint",
+    "LteConfig",
+    "WifiConfig",
+    "FiveGConfig",
+    "RadioBackend",
 ];
 
 /// Function-name substrings that mark sinks regardless of body content.
@@ -212,6 +220,21 @@ fn plain() -> u32 { 2 }\n";
         assert!(t.is_tainted("plan_chaos"), "ChaosConfig body token");
         assert!(t.is_tainted("commit"), "transitive via save_progress");
         assert!(t.is_tainted("load_checkpoint_file"), "sinky name");
+        assert!(!t.is_tainted("plain"));
+    }
+
+    #[test]
+    fn backend_configs_are_serialization_sinks() {
+        let src = "\
+fn wifi_sweep() -> Row { run(WifiConfig::calibrated()) }\n\
+fn pick_tag() -> RadioBackend { RadioBackend::Lte }\n\
+fn drive() { wifi_sweep(); }\n\
+fn plain() -> u32 { 2 }\n";
+        let m = analyze(src);
+        let t = taint_for_crate(&[(src, &m)]);
+        assert!(t.is_tainted("wifi_sweep"), "WifiConfig body token");
+        assert!(t.is_tainted("pick_tag"), "RadioBackend body token");
+        assert!(t.is_tainted("drive"), "transitive via wifi_sweep");
         assert!(!t.is_tainted("plain"));
     }
 

@@ -22,6 +22,11 @@ use crate::lexer::TokenKind;
 pub enum Vocab {
     /// Joules: `_j`, `joules`.
     Energy,
+    /// Millijoules: `_mj` (e.g. the WiFi `beacon_wake_mj` per-beacon
+    /// wakeup energy).
+    EnergyMilli,
+    /// Microjoules: `_uj` (the fleet/backends integer merge unit).
+    EnergyMicro,
     /// Seconds: `_s`, `_secs`, `seconds`.
     TimeS,
     /// Milliseconds: `_ms`, `millis`.
@@ -36,6 +41,8 @@ impl Vocab {
     fn name(self) -> &'static str {
         match self {
             Vocab::Energy => "joules",
+            Vocab::EnergyMilli => "millijoules",
+            Vocab::EnergyMicro => "microjoules",
             Vocab::TimeS => "seconds",
             Vocab::TimeMs => "milliseconds",
             Vocab::Power => "watts",
@@ -52,6 +59,8 @@ pub fn vocab_of(ident: &str) -> Option<Vocab> {
     let l = last.to_ascii_lowercase();
     match l.as_str() {
         "j" | "joule" | "joules" => Some(Vocab::Energy),
+        "mj" | "millijoule" | "millijoules" => Some(Vocab::EnergyMilli),
+        "uj" | "microjoule" | "microjoules" => Some(Vocab::EnergyMicro),
         "s" | "sec" | "secs" | "second" | "seconds" => Some(Vocab::TimeS),
         "ms" | "milli" | "millis" | "millisecond" | "milliseconds" => Some(Vocab::TimeMs),
         "w" | "watt" | "watts" => Some(Vocab::Power),

@@ -1,11 +1,16 @@
-//! The 3G resource fetcher: HTTP transactions over the RRC radio, with
+//! The resource fetcher: HTTP transactions over a simulated radio, with
 //! optional fault injection and a retry/timeout/backoff policy.
+//!
+//! The fetcher is generic over [`RadioModel`], so the same request/
+//! retry/FIFO-link machinery runs on the 3G RRC machine (the paper's
+//! radio, via the [`ThreeGFetcher`] alias) or on any of the ladder
+//! backends (LTE DRX, WiFi PSM, 5G cDRX).
 
 use crate::config::NetConfig;
 use crate::faults::{AttemptPlan, FaultConfig, FaultStream};
 use ewb_browser::fetch::{FetchCompletion, ResourceFetcher};
 use ewb_obs::{Event as ObsEvent, FaultKind, Recorder};
-use ewb_rrc::{RrcConfig, RrcMachine, RrcState};
+use ewb_rrc::{RadioModel, RrcMachine};
 use ewb_simcore::{SimDuration, SimTime};
 use ewb_webpage::OriginServer;
 use serde::{Deserialize, Serialize};
@@ -108,23 +113,23 @@ impl Default for RetryPolicy {
     }
 }
 
-/// A [`ResourceFetcher`] over a simulated UMTS radio.
+/// A [`ResourceFetcher`] over a simulated radio.
 ///
-/// Each request wakes the radio (promoting from IDLE/FACH as needed),
-/// pays the HTTP round trip, and streams the response at the state's
-/// goodput over a FIFO link. Concurrent requests keep the radio's
-/// transfer refcount up, so the inactivity timers behave exactly as the
-/// network side would.
+/// Each request wakes the radio (promoting from its sleep states as
+/// needed), pays the HTTP round trip, and streams the response at the
+/// state's goodput over a FIFO link. Concurrent requests keep the
+/// radio's transfer refcount up, so the inactivity timers behave exactly
+/// as the network side would.
 ///
-/// With a fault stream attached ([`ThreeGFetcher::try_with_faults`]),
+/// With a fault stream attached ([`RadioFetcher::try_with_faults`]),
 /// attempts can stall, jitter, truncate, or fail their promotions; the
 /// [`RetryPolicy`] then governs retries. Every attempt — successful or
-/// not — begins and ends a real transfer on the [`RrcMachine`], so
-/// refcounts, inactivity timers, and energy stay honest under loss.
+/// not — begins and ends a real transfer on the radio, so refcounts,
+/// inactivity timers, and energy stay honest under loss.
 #[derive(Debug)]
-pub struct ThreeGFetcher<'a> {
+pub struct RadioFetcher<'a, R: RadioModel> {
     cfg: NetConfig,
-    machine: RrcMachine,
+    machine: R,
     server: &'a OriginServer,
     queue: VecDeque<(String, SimTime)>,
     busy_until: SimTime,
@@ -135,26 +140,29 @@ pub struct ThreeGFetcher<'a> {
     next_request_id: u64,
 }
 
-impl<'a> ThreeGFetcher<'a> {
-    /// Creates a fetcher with a fresh radio in IDLE at `start`.
+/// The paper's fetcher: [`RadioFetcher`] over the UMTS 3G [`RrcMachine`].
+pub type ThreeGFetcher<'a> = RadioFetcher<'a, RrcMachine>;
+
+impl<'a, R: RadioModel> RadioFetcher<'a, R> {
+    /// Creates a fetcher with a fresh radio in its deepest sleep state at
+    /// `start`.
     ///
     /// # Errors
     ///
     /// Returns the first configuration validation failure.
     pub fn try_new(
         cfg: NetConfig,
-        rrc_cfg: RrcConfig,
+        radio_cfg: R::Config,
         server: &'a OriginServer,
         start: SimTime,
     ) -> Result<Self, String> {
         cfg.validate()
             .map_err(|e| format!("invalid NetConfig: {e}"))?;
-        rrc_cfg
-            .validate()
-            .map_err(|e| format!("invalid RrcConfig: {e}"))?;
-        Ok(ThreeGFetcher {
+        R::validate_config(&radio_cfg)
+            .map_err(|e| format!("invalid {} radio config: {e}", R::BACKEND))?;
+        Ok(RadioFetcher {
             cfg,
-            machine: RrcMachine::new(rrc_cfg, start),
+            machine: R::new(radio_cfg, start),
             server,
             queue: VecDeque::new(),
             busy_until: start,
@@ -166,9 +174,10 @@ impl<'a> ThreeGFetcher<'a> {
         })
     }
 
-    /// Creates a fetcher with a fresh radio in IDLE at `start`.
+    /// Creates a fetcher with a fresh radio in its deepest sleep state at
+    /// `start`.
     ///
-    /// Thin wrapper over [`ThreeGFetcher::try_new`] for call sites that
+    /// Thin wrapper over [`RadioFetcher::try_new`] for call sites that
     /// cannot propagate errors.
     ///
     /// # Panics
@@ -176,21 +185,21 @@ impl<'a> ThreeGFetcher<'a> {
     /// Panics if either configuration is invalid.
     pub fn new(
         cfg: NetConfig,
-        rrc_cfg: RrcConfig,
+        radio_cfg: R::Config,
         server: &'a OriginServer,
         start: SimTime,
     ) -> Self {
-        match ThreeGFetcher::try_new(cfg, rrc_cfg, server, start) {
+        match RadioFetcher::try_new(cfg, radio_cfg, server, start) {
             Ok(f) => f,
             Err(e) => panic!("invalid fetcher configuration: {e}"),
         }
     }
 
-    /// Wraps an existing radio (e.g. mid-session, still in FACH from the
+    /// Wraps an existing radio (e.g. mid-session, still warm from the
     /// previous page).
-    pub fn with_machine(cfg: NetConfig, machine: RrcMachine, server: &'a OriginServer) -> Self {
+    pub fn with_machine(cfg: NetConfig, machine: R, server: &'a OriginServer) -> Self {
         let busy_until = machine.now();
-        ThreeGFetcher {
+        RadioFetcher {
             cfg,
             machine,
             server,
@@ -237,18 +246,18 @@ impl<'a> ThreeGFetcher<'a> {
     }
 
     /// Read access to the radio.
-    pub fn machine(&self) -> &RrcMachine {
+    pub fn machine(&self) -> &R {
         &self.machine
     }
 
     /// Mutable access to the radio (e.g. to fast-dormancy release between
     /// page loads).
-    pub fn machine_mut(&mut self) -> &mut RrcMachine {
+    pub fn machine_mut(&mut self) -> &mut R {
         &mut self.machine
     }
 
     /// Consumes the fetcher, returning the radio.
-    pub fn into_machine(self) -> RrcMachine {
+    pub fn into_machine(self) -> R {
         self.machine
     }
 
@@ -289,7 +298,7 @@ impl<'a> ThreeGFetcher<'a> {
     }
 }
 
-impl ResourceFetcher for ThreeGFetcher<'_> {
+impl<R: RadioModel> ResourceFetcher for RadioFetcher<'_, R> {
     fn request(&mut self, url: &str, t: SimTime) {
         self.queue.push_back((url.to_string(), t));
     }
@@ -301,8 +310,9 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
         let object = self.server.fetch(&url).cloned();
         let bytes = object.as_ref().map_or(0, |o| o.bytes);
         // Uplink request: even a 404 exchanges a little data. Whether the
-        // response needs dedicated channels depends on its size.
-        let needs_dch = self.machine.config().needs_dch(bytes.max(1));
+        // response needs the full-rate state depends on its size (only 3G
+        // has a low-rate shared channel; other backends always promote).
+        let needs_dch = self.machine.needs_fast_channel(bytes.max(1));
         let deadline = requested_at + self.retry.deadline;
         let mut attempt: u32 = 0;
         let mut t = requested_at;
@@ -380,7 +390,7 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
             // (anchored at the *request* time plus any real promotion
             // wait), once the FIFO link is free; the rate depends on the
             // state serving them — and collapses inside a fade window.
-            let base_rate = if self.machine.state() == RrcState::Fach && !needs_dch {
+            let base_rate = if self.machine.uses_shared_channel_rate(needs_dch) {
                 self.cfg.fach_bytes_per_sec
             } else {
                 self.cfg.dch_bytes_per_sec
@@ -448,6 +458,7 @@ impl ResourceFetcher for ThreeGFetcher<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ewb_rrc::{RrcConfig, RrcState};
     use ewb_simcore::SimDuration;
     use ewb_webpage::{benchmark_corpus, PageVersion};
 
@@ -617,7 +628,7 @@ mod tests {
         bad_rrc.t2 = SimDuration::ZERO;
         let e = ThreeGFetcher::try_new(NetConfig::paper(), bad_rrc, &server, SimTime::ZERO)
             .unwrap_err();
-        assert!(e.contains("invalid RrcConfig"), "{e}");
+        assert!(e.contains("invalid 3g radio config"), "{e}");
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! * [`NetConfig`] — link parameters (DCH/FACH goodput, round-trip time),
 //!   calibrated so a 760 KB bulk download takes ≈8 s (the paper's Fig. 4
 //!   socket experiment);
-//! * [`ThreeGFetcher`] — implements the browser's
-//!   [`ResourceFetcher`](ewb_browser::fetch::ResourceFetcher) on top of an
-//!   [`RrcMachine`](ewb_rrc::RrcMachine): requests promote the radio,
+//! * [`RadioFetcher`] — implements the browser's
+//!   [`ResourceFetcher`](ewb_browser::fetch::ResourceFetcher) on top of
+//!   any [`RadioModel`](ewb_rrc::RadioModel): requests promote the radio,
 //!   transfers hold it, and every radio event is recorded for energy
-//!   replay;
+//!   replay. [`ThreeGFetcher`] is its alias over the paper's
+//!   [`RrcMachine`](ewb_rrc::RrcMachine); the LTE/WiFi/5G ladder machines
+//!   plug in the same way;
 //! * [`download`] — the bulk socket download model (Fig. 4's comparison
 //!   line);
 //! * [`replay`] — re-integrates a session's radio events together with the
@@ -61,4 +63,4 @@ pub mod replay;
 
 pub use config::NetConfig;
 pub use faults::{AttemptPlan, FadeWindows, FaultConfig, FaultStream};
-pub use fetcher::{RetryPolicy, ThreeGFetcher, TransferRecord};
+pub use fetcher::{RadioFetcher, RetryPolicy, ThreeGFetcher, TransferRecord};

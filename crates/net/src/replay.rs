@@ -9,7 +9,7 @@
 
 use crate::fetcher::TransferRecord;
 use ewb_obs::Recorder;
-use ewb_rrc::{RrcConfig, RrcMachine};
+use ewb_rrc::{RadioModel, RrcConfig, RrcMachine};
 use ewb_simcore::SimTime;
 
 /// One radio-relevant event of a session.
@@ -96,6 +96,21 @@ pub fn replay(
     replay_recorded(rrc_cfg, start, events, until, Recorder::disabled())
 }
 
+/// Backend-generic [`replay`]: the same canonical ordering and event
+/// application on a fresh machine of any [`RadioModel`].
+///
+/// # Panics
+///
+/// Panics if the event sequence is inconsistent (see [`replay`]).
+pub fn replay_radio<R: RadioModel>(
+    radio_cfg: R::Config,
+    start: SimTime,
+    events: Vec<RadioEvent>,
+    until: SimTime,
+) -> R {
+    replay_radio_recorded(radio_cfg, start, events, until, Recorder::disabled())
+}
+
 /// Sorts radio events into replay order: stable by time, with exact-time
 /// ties broken by kind — CPU changes first (they never interact with
 /// refcounts), then transfer ends, then begins, then releases (a release
@@ -125,13 +140,30 @@ pub fn sort_radio_events(events: &mut [RadioEvent]) {
 pub fn replay_recorded(
     rrc_cfg: RrcConfig,
     start: SimTime,
-    mut events: Vec<RadioEvent>,
+    events: Vec<RadioEvent>,
     until: SimTime,
     recorder: Recorder,
 ) -> RrcMachine {
+    replay_radio_recorded(rrc_cfg, start, events, until, recorder)
+}
+
+/// Backend-generic [`replay_recorded`]. The 3G wrapper delegates here, so
+/// every backend replays through the one code path (and the 3G path stays
+/// call-for-call what it was: the trait impl is pure delegation).
+///
+/// # Panics
+///
+/// Panics if the event sequence is inconsistent (see [`replay`]).
+pub fn replay_radio_recorded<R: RadioModel>(
+    radio_cfg: R::Config,
+    start: SimTime,
+    mut events: Vec<RadioEvent>,
+    until: SimTime,
+    recorder: Recorder,
+) -> R {
     sort_radio_events(&mut events);
 
-    let mut machine = RrcMachine::with_recorder(rrc_cfg, start, recorder);
+    let mut machine = R::with_recorder(radio_cfg, start, recorder);
     for e in events {
         match e {
             RadioEvent::BeginTransfer {

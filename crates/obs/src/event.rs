@@ -45,6 +45,17 @@ pub enum RadioState {
     Fach,
     /// Dedicated channels held.
     Dch,
+    /// Full-rate connected state of a non-3G backend (LTE CONNECTED
+    /// continuous reception, WiFi active, 5G NR connected).
+    Connected,
+    /// LTE short-DRX: connected, receiver duty-cycled on a short cycle.
+    ShortDrx,
+    /// LTE long-DRX: connected, receiver duty-cycled on a long cycle.
+    LongDrx,
+    /// WiFi 802.11 power-save mode: asleep between beacon wakeups.
+    PsmSleep,
+    /// 5G NR connected-mode DRX: duty-cycled between data bursts.
+    Cdrx,
 }
 
 impl fmt::Display for RadioState {
@@ -54,6 +65,11 @@ impl fmt::Display for RadioState {
             RadioState::Promoting => "PROMOTING",
             RadioState::Fach => "FACH",
             RadioState::Dch => "DCH",
+            RadioState::Connected => "CONNECTED",
+            RadioState::ShortDrx => "SHORT_DRX",
+            RadioState::LongDrx => "LONG_DRX",
+            RadioState::PsmSleep => "PSM",
+            RadioState::Cdrx => "CDRX",
         })
     }
 }
@@ -65,6 +81,10 @@ pub enum Timer {
     T1,
     /// FACH→IDLE inactivity timer.
     T2,
+    /// A ladder backend's per-level inactivity dwell timer (LTE DRX
+    /// descent, WiFi PSM timeout, 5G cDRX tail). Firing demotes the radio
+    /// one level toward its deepest sleep state.
+    Dwell,
 }
 
 /// What went wrong with a transfer attempt (fault injection).

@@ -206,6 +206,11 @@ fn state_key(state: RadioState) -> &'static str {
         RadioState::Promoting => "PROMOTING",
         RadioState::Fach => "FACH",
         RadioState::Dch => "DCH",
+        RadioState::Connected => "CONNECTED",
+        RadioState::ShortDrx => "SHORT_DRX",
+        RadioState::LongDrx => "LONG_DRX",
+        RadioState::PsmSleep => "PSM",
+        RadioState::Cdrx => "CDRX",
     }
 }
 

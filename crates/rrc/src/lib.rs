@@ -45,10 +45,18 @@ mod machine;
 mod power;
 mod state;
 
+pub mod backend;
 pub mod intuitive;
+pub mod ladder;
 pub mod scenario;
 
+pub use backend::{RadioBackend, RadioModel};
 pub use config::RrcConfig;
+pub use ladder::{
+    FiveG, FiveGConfig, FiveGMachine, LadderBackend, LadderCounters, LadderMachine,
+    LadderResidency, LadderSpec, LadderTransition, Lte, LteConfig, LteMachine, Wifi, WifiConfig,
+    WifiMachine,
+};
 pub use machine::{RrcCounters, RrcMachine, StateResidency, Transition};
 pub use power::PowerModel;
 pub use state::RrcState;

@@ -1,0 +1,156 @@
+//! Property-based invariants for every [`RadioModel`] implementation.
+//!
+//! The properties are written once against the trait and instantiated
+//! for all four backends (3G RRC, LTE DRX, WiFi PSM, 5G cDRX), so a new
+//! backend inherits the whole suite by implementing the trait:
+//!
+//! * residency tiles the clock — every microsecond of elapsed time is
+//!   accounted to exactly one state;
+//! * transfers happen only in transmit-capable states — at the returned
+//!   `data_start` the machine is in its full-rate (or 3G shared) state;
+//! * energy is monotone non-decreasing under arbitrary stimulus;
+//! * per-seed determinism — the same stimulus vector drives two machines
+//!   to bit-identical energy and identical counters/state/clock.
+
+use ewb_rrc::{
+    FiveGConfig, FiveGMachine, LteConfig, LteMachine, RadioModel, RrcConfig, RrcMachine,
+    WifiConfig, WifiMachine,
+};
+use ewb_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One random stimulus: idle gap, transfer duration, fast-channel flag,
+/// promotion retries, CPU load step, and whether to attempt a release.
+#[derive(Debug, Clone, Copy)]
+struct Stim {
+    gap_us: u64,
+    dur_us: u64,
+    needs_fast: bool,
+    retries: u32,
+    load_pct: u8,
+    release: bool,
+}
+
+fn stimulus() -> impl Strategy<Value = Stim> {
+    (
+        0u64..30_000_000,
+        0u64..2_000_000,
+        any::<bool>(),
+        0u32..3,
+        0u8..101,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(gap_us, dur_us, needs_fast, retries, load_pct, release)| Stim {
+                gap_us,
+                dur_us,
+                needs_fast,
+                retries,
+                load_pct,
+                release,
+            },
+        )
+}
+
+/// Drives one machine through the stimulus vector, checking the
+/// per-step invariants along the way, and returns it for whole-run
+/// comparisons.
+fn drive<R: RadioModel>(cfg: R::Config, seq: &[Stim]) -> R {
+    let mut m = R::new(cfg, SimTime::ZERO);
+    let mut last_energy = 0.0_f64;
+    for s in seq {
+        let t = m.now() + SimDuration::from_micros(s.gap_us);
+        m.advance_to(t);
+        m.set_cpu_load(t, f64::from(s.load_pct) / 100.0);
+        let ds = m.begin_transfer_with_promotion_retries(t, s.needs_fast, s.retries);
+        assert!(ds >= t, "data_start precedes the request");
+        m.advance_to(ds);
+        assert!(
+            m.transfer_capable(),
+            "{}: not transmit-capable at data_start (state {})",
+            R::BACKEND,
+            m.state_label()
+        );
+        assert!(m.is_transferring());
+        let end = ds + SimDuration::from_micros(s.dur_us);
+        m.end_transfer(end);
+        if s.release {
+            let before = m.now();
+            let done = m.release_to_idle(before);
+            assert!(done >= before, "release completed in the past");
+        }
+        // Energy is monotone across every stimulus.
+        assert!(
+            m.energy_j() >= last_energy,
+            "{}: energy fell from {last_energy} to {}",
+            R::BACKEND,
+            m.energy_j()
+        );
+        last_energy = m.energy_j();
+        // Residency tiles the clock at every step boundary.
+        assert_eq!(
+            m.residency_total(),
+            m.now() - SimTime::ZERO,
+            "{}: residency does not tile the clock",
+            R::BACKEND
+        );
+    }
+    m.advance_to(m.now() + SimDuration::from_secs(40));
+    assert_eq!(m.residency_total(), m.now() - SimTime::ZERO);
+    m
+}
+
+/// Runs the same vector twice and demands bit-identical observables.
+fn check_determinism<R: RadioModel>(cfg: R::Config, seq: &[Stim]) {
+    let a = drive::<R>(cfg, seq);
+    let b = drive::<R>(cfg, seq);
+    assert_eq!(
+        a.energy_j().to_bits(),
+        b.energy_j().to_bits(),
+        "{}: energy must be bit-identical",
+        R::BACKEND
+    );
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(a.state_label(), b.state_label());
+    assert_eq!(a.now(), b.now());
+    assert_eq!(a.residency_total(), b.residency_total());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The per-step invariant bundle (residency tiling, transfer
+    /// capability at data_start, energy monotonicity) holds on every
+    /// backend under arbitrary stimulus.
+    #[test]
+    fn invariants_hold_on_every_backend(seq in proptest::collection::vec(stimulus(), 1..12)) {
+        drive::<RrcMachine>(RrcConfig::paper(), &seq);
+        drive::<LteMachine>(LteConfig::calibrated(), &seq);
+        drive::<WifiMachine>(WifiConfig::calibrated(), &seq);
+        drive::<FiveGMachine>(FiveGConfig::calibrated(), &seq);
+    }
+
+    /// Same seed, same bits — on every backend.
+    #[test]
+    fn every_backend_is_deterministic(seq in proptest::collection::vec(stimulus(), 1..8)) {
+        check_determinism::<RrcMachine>(RrcConfig::paper(), &seq);
+        check_determinism::<LteMachine>(LteConfig::calibrated(), &seq);
+        check_determinism::<WifiMachine>(WifiConfig::calibrated(), &seq);
+        check_determinism::<FiveGMachine>(FiveGConfig::calibrated(), &seq);
+    }
+
+    /// After any stimulus vector plus a long silence, every backend
+    /// settles into its deepest sleep state (no timer can be left
+    /// pending forever) and residency still tiles the clock.
+    #[test]
+    fn every_backend_settles_to_deep_sleep(seq in proptest::collection::vec(stimulus(), 1..8)) {
+        let g = drive::<RrcMachine>(RrcConfig::paper(), &seq);
+        prop_assert_eq!(g.state_label(), "IDLE");
+        let l = drive::<LteMachine>(LteConfig::calibrated(), &seq);
+        prop_assert_eq!(l.state_label(), "IDLE");
+        let w = drive::<WifiMachine>(WifiConfig::calibrated(), &seq);
+        prop_assert_eq!(w.state_label(), "PSM");
+        let f = drive::<FiveGMachine>(FiveGConfig::calibrated(), &seq);
+        prop_assert_eq!(f.state_label(), "IDLE");
+    }
+}

@@ -165,6 +165,9 @@ fn timers_fire_in_the_state_that_armed_them() {
                             "{case}: T2 fired at {at} outside FACH"
                         );
                     }
+                    Timer::Dwell => {
+                        panic!("{case}: ladder Dwell timer fired at {at} on a 3G session")
+                    }
                 },
                 Event::StateTransition { to, .. } => state = *to,
                 _ => {}
