@@ -1,0 +1,141 @@
+//! Intra-page parallelism sweep: per-plan latency/energy over the
+//! image-heavy full benchmark pages, plus the learned controller row.
+//!
+//! Usage: `parallel_sweep [--smoke] [--write-golden]`
+//!
+//! Before printing anything the binary runs the parallel differential
+//! oracle (`ewb_check::parallel::check_parallel_all`): host-parallel vs
+//! host-sequential execution of every grid plan must be bit-identical
+//! per page and per session, under clean and lossy-10% streams, on all
+//! four radio backends. A red differential bit can never ship inside a
+//! green sweep.
+//!
+//! `--smoke` is what the parallel CI job runs (identical work — the
+//! corpus is already CI-sized). `--write-golden` refreshes
+//! `crates/core/tests/golden/parallel.json`, the summary the
+//! `golden_parallel` test pins byte-for-byte.
+
+use ewb_core::experiments::parallel::{self, PlanRow};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        assert!(
+            a == "--smoke" || a == "--write-golden",
+            "unknown argument {a:?} (try --smoke / --write-golden)"
+        );
+    }
+    let ctx = ewb_bench::Context::new();
+
+    // -- Differential oracle before any reporting. -----------------------
+    let violations = ewb_check::parallel::check_parallel_all(ewb_bench::REPORT_SEED);
+    assert!(
+        violations.is_empty(),
+        "parallel differential oracle found {} violations, first: {:?}",
+        violations.len(),
+        violations.first()
+    );
+    println!(
+        "differential: host-parallel == host-sequential to the bit across \
+         plans {{1,2,4,8}}t x {{clean,lossy10}} x {{3g,lte,wifi,5g}}"
+    );
+
+    // -- The sweep. ------------------------------------------------------
+    let rows = parallel::sweep(&ctx.corpus, &ctx.server, &ctx.cfg);
+    let table = parallel::plan_table(&ctx.corpus, &ctx.server, &ctx.cfg);
+
+    print!(
+        "{}",
+        ewb_bench::header(
+            "Intra-page parallelism (plan sweep + learned controller)",
+            "full-page benchmark, energy-aware pipeline",
+        )
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "plan", "energy (J)", "load (s)", "speedup", "power", "delay"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>8.2}x {:>9} {:>9}",
+            r.plan,
+            r.joules,
+            r.load_time_s,
+            r.pipeline_speedup,
+            ewb_bench::pct(r.energy_saving),
+            ewb_bench::pct(r.delay_saving),
+        );
+    }
+
+    let find = |id: &str| {
+        rows.iter()
+            .find(|r| r.plan == id)
+            .unwrap_or_else(|| panic!("missing {id} row"))
+    };
+    let d4 = find("d4s4o1");
+    assert!(
+        d4.pipeline_speedup >= 1.5,
+        "acceptance: 4-thread pipeline speedup must reach 1.5x, got {:.3}",
+        d4.pipeline_speedup
+    );
+    let learned = find("learned");
+    assert!(
+        learned.energy_saving >= 0.0,
+        "acceptance: the learned controller must never lose energy vs \
+         always-sequential, got {:.6}",
+        learned.energy_saving
+    );
+    let parallel_pages = table.iter().filter(|c| c.plan != "seq").count();
+    println!(
+        "\n4-thread pipeline speedup {:.2}x; learned controller saves {} \
+         (never loses), parallelizing {}/{} pages.",
+        d4.pipeline_speedup,
+        ewb_bench::pct(learned.energy_saving),
+        parallel_pages,
+        table.len(),
+    );
+
+    // -- Artifacts. ------------------------------------------------------
+    let json = bench_json(&rows, d4.pipeline_speedup, learned.energy_saving);
+    ewb_bench::write_atomic("BENCH_parallel.json", &json);
+    println!("wrote BENCH_parallel.json");
+
+    if args.iter().any(|a| a == "--write-golden") {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../core/tests/golden/parallel.json"
+        );
+        ewb_bench::write_atomic(path, parallel::summary_json(&rows, &table));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// The tracked benchmark artifact: oracle verdict, headline numbers,
+/// and every sweep cell.
+fn bench_json(rows: &[PlanRow], speedup_4t: f64, learned_saving: f64) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"differential_grid_ok\": true,");
+    let _ = writeln!(json, "  \"plans\": {},", rows.len());
+    let _ = writeln!(json, "  \"speedup_4t\": {speedup_4t:.6},");
+    let _ = writeln!(json, "  \"learned_energy_saving\": {learned_saving:.6},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"plan\": \"{}\",", r.plan);
+        let _ = writeln!(json, "      \"joules\": {:.6},", r.joules);
+        let _ = writeln!(json, "      \"load_time_s\": {:.6},", r.load_time_s);
+        let _ = writeln!(
+            json,
+            "      \"pipeline_speedup\": {:.6},",
+            r.pipeline_speedup
+        );
+        let _ = writeln!(json, "      \"energy_saving\": {:.6},", r.energy_saving);
+        let _ = writeln!(json, "      \"delay_saving\": {:.6}", r.delay_saving);
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}

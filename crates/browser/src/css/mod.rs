@@ -19,4 +19,4 @@ mod style;
 pub use parser::{parse, CssParseResult, Declaration, Rule, Selector, SimpleSelector, Stylesheet};
 pub use scan::{scan_urls, CssScanResult};
 pub use selector::matches;
-pub use style::{compute_styles, ComputedStyle, StyleResult};
+pub use style::{compute_styles, compute_styles_for, ComputedStyle, StyleResult};

@@ -59,6 +59,15 @@ pub struct StyleResult {
 /// Matches every element against every rule of every sheet and folds the
 /// winning declarations into computed styles.
 pub fn compute_styles(doc: &Document, sheets: &[&Stylesheet]) -> StyleResult {
+    compute_styles_for(doc, sheets, &doc.descendants())
+}
+
+/// [`compute_styles`] restricted to the nodes in `ids` (non-elements are
+/// skipped). Each node is styled independently, so a document's node list
+/// can be split into chunks, resolved on separate cores, and the partial
+/// results merged: the style maps are disjoint and the counters sum to
+/// exactly the whole-document totals.
+pub fn compute_styles_for(doc: &Document, sheets: &[&Stylesheet], ids: &[NodeId]) -> StyleResult {
     let mut styles = HashMap::new();
     let mut match_attempts = 0usize;
     let mut declarations_applied = 0usize;
@@ -72,7 +81,7 @@ pub fn compute_styles(doc: &Document, sheets: &[&Stylesheet]) -> StyleResult {
         }
     }
 
-    for id in doc.descendants() {
+    for &id in ids {
         if !matches!(doc.node(id).kind, NodeKind::Element { .. }) {
             continue;
         }
@@ -228,6 +237,31 @@ mod tests {
             .unwrap();
         assert_eq!(out.styles[&p], ComputedStyle::default());
         assert_eq!(out.declarations_applied, 0);
+    }
+
+    #[test]
+    fn chunked_resolution_merges_to_the_whole_document_result() {
+        let r = html::parse(
+            "<div class=\"wrap\"><p class=\"c1\">x</p><p>y</p><span class=\"c1\">z</span></div>",
+        );
+        let css = parse(".wrap p { font-size: 20px; } .c1 { padding: 3px; } p { margin: 2px; }");
+        let sheets = [&css.sheet];
+        let whole = compute_styles(&r.document, &sheets);
+        let ids = r.document.descendants();
+        for chunk_size in 1..=ids.len() {
+            let mut styles = HashMap::new();
+            let mut match_attempts = 0;
+            let mut declarations_applied = 0;
+            for chunk in ids.chunks(chunk_size) {
+                let part = compute_styles_for(&r.document, &sheets, chunk);
+                match_attempts += part.match_attempts;
+                declarations_applied += part.declarations_applied;
+                styles.extend(part.styles);
+            }
+            assert_eq!(styles, whole.styles, "chunk_size={chunk_size}");
+            assert_eq!(match_attempts, whole.match_attempts);
+            assert_eq!(declarations_applied, whole.declarations_applied);
+        }
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod fetch;
 pub mod html;
 pub mod js;
 pub mod layout;
+pub mod parallel;
 pub mod pipeline;
 
 mod cost;

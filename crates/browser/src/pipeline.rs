@@ -30,6 +30,7 @@ use crate::fetch::ResourceFetcher;
 use crate::html;
 use crate::js;
 use crate::layout;
+use crate::parallel::{self, ParallelismPlan};
 use ewb_obs::{Event as ObsEvent, Layer as ObsLayer, Recorder};
 use ewb_simcore::{SimDuration, SimTime, TimeSeries};
 use ewb_webpage::ObjectKind;
@@ -65,6 +66,15 @@ pub struct PipelineConfig {
     /// transfers can still be draining, so heavy per-object processing
     /// starves the link.
     pub max_parallel: usize,
+    /// How independent pipeline stage units fan out over the simulated
+    /// cores (see [`crate::parallel`]). [`ParallelismPlan::SEQUENTIAL`]
+    /// reproduces the legacy single-core schedule bit-for-bit.
+    pub plan: ParallelismPlan,
+    /// Whether the *host* executor may actually use threads for the
+    /// fanned-out engine work. Results are bit-identical either way
+    /// (the differential oracle in `ewb-check` proves it); `false`
+    /// forces the single-threaded reference execution.
+    pub host_parallel: bool,
 }
 
 impl PipelineConfig {
@@ -87,6 +97,8 @@ impl PipelineConfig {
                 PipelineMode::Original => 2,
                 PipelineMode::EnergyAware => 3,
             },
+            plan: ParallelismPlan::SEQUENTIAL,
+            host_parallel: true,
         }
     }
 }
@@ -150,8 +162,15 @@ pub struct LoadMetrics {
     pub first_display_at: Option<SimTime>,
     /// When the final display appeared — the end of the page load.
     pub final_display_at: SimTime,
-    /// CPU-busy intervals, for replaying CPU power onto the radio model.
+    /// CPU-busy intervals of the main core, for replaying CPU power onto
+    /// the radio model. Always disjoint and ordered.
     pub cpu_busy: Vec<(SimTime, SimTime)>,
+    /// Busy intervals of helper cores under a parallel
+    /// [`ParallelismPlan`]: these run *concurrently* with `cpu_busy`
+    /// (and each other) and add their own CPU power draw during replay
+    /// (`ewb_net::replay::events_of_load_parallel`). Empty under the
+    /// sequential plan.
+    pub aux_busy: Vec<(SimTime, SimTime)>,
     /// CPU time by category.
     pub work: CpuWork,
     /// Total bytes fetched.
@@ -186,6 +205,18 @@ pub struct LoadMetrics {
     pub page_width: f64,
     /// Final DOM size in nodes.
     pub dom_nodes: usize,
+    /// Number of image-decode units executed.
+    pub decode_jobs: usize,
+    /// Bytes decoded across those units (equals `image_bytes` on a
+    /// clean, fully decoded load).
+    pub decoded_bytes: u64,
+    /// Total CPU work of the plan-eligible stage units (deferred CSS
+    /// parse, deferred image decode, final style resolution) — what a
+    /// 1-core schedule spends on them.
+    pub parallel_work: SimDuration,
+    /// Critical-path time those units actually occupied under the plan
+    /// (fork overhead included). Equals `parallel_work` when sequential.
+    pub parallel_span: SimDuration,
 }
 
 impl LoadMetrics {
@@ -204,6 +235,17 @@ impl LoadMetrics {
     /// could drop).
     pub fn layout_phase_time(&self) -> SimDuration {
         self.final_display_at - self.data_transmission_end
+    }
+
+    /// Speedup of the plan-eligible pipeline stages vs a 1-core
+    /// schedule: `parallel_work / parallel_span` (1.0 when the page has
+    /// no eligible work).
+    pub fn pipeline_speedup(&self) -> f64 {
+        if self.parallel_span.is_zero() {
+            1.0
+        } else {
+            self.parallel_work.as_secs_f64() / self.parallel_span.as_secs_f64()
+        }
     }
 
     /// The Table 1 feature vector.
@@ -284,10 +326,11 @@ fn load_page_inner<F: ResourceFetcher + ?Sized>(
         doc: None,
         sheets: Vec::new(),
         css_bodies: Vec::new(),
-        undecoded_image_bytes: 0,
+        undecoded_images: Vec::new(),
         css_discovered: 0,
         css_processed: 0,
         since_display: 0,
+        side_end: start,
         m: LoadMetrics {
             mode: cfg.mode,
             start,
@@ -295,6 +338,7 @@ fn load_page_inner<F: ResourceFetcher + ?Sized>(
             first_display_at: None,
             final_display_at: start,
             cpu_busy: Vec::new(),
+            aux_busy: Vec::new(),
             work: CpuWork::default(),
             bytes_fetched: 0,
             text_bytes_fetched: 0,
@@ -310,6 +354,10 @@ fn load_page_inner<F: ResourceFetcher + ?Sized>(
             page_height: 0.0,
             page_width: 0.0,
             dom_nodes: 0,
+            decode_jobs: 0,
+            decoded_bytes: 0,
+            parallel_work: SimDuration::ZERO,
+            parallel_span: SimDuration::ZERO,
         },
         recorder,
     };
@@ -392,10 +440,15 @@ struct Loader<'a, F: ResourceFetcher + ?Sized> {
     doc: Option<Document>,
     sheets: Vec<css::Stylesheet>,
     css_bodies: Vec<String>,
-    undecoded_image_bytes: u64,
+    /// Per-object byte sizes of deferred (undecoded) images, in arrival
+    /// order — the decode units a parallel plan fans out.
+    undecoded_images: Vec<u64>,
     css_discovered: usize,
     css_processed: usize,
     since_display: usize,
+    /// Latest finish time of helper-core work issued during the
+    /// transmission phase (`overlap_css`); the phase cannot end before it.
+    side_end: SimTime,
     recorder: Recorder,
 }
 
@@ -437,7 +490,9 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             // Processing done: the freed connections pick up queued work.
             self.pump();
         }
-        self.m.data_transmission_end = self.t;
+        // The transmission phase also covers any transmission-generating
+        // scan still draining on a helper core (`overlap_css`).
+        self.m.data_transmission_end = self.t.max(self.side_end);
         // Graceful degradation: a load with failed objects still renders
         // whatever arrived, but is flagged partial.
         self.m.degraded = self.m.failed_objects > 0;
@@ -541,15 +596,51 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
             }
             PipelineMode::EnergyAware => {
                 // Cheap scan only; parsing waits for the layout phase.
-                let scan = css::scan_urls(body);
-                let d = self.cost.css_scan(scan.bytes);
-                self.busy(d, Cat::Dtc, "css_scan");
-                for u in scan.urls.iter().chain(&scan.imports) {
-                    self.request(&u.clone());
-                }
-                self.css_bodies.push(body.to_string());
+                self.ea_scan_css(body);
             }
         }
+    }
+
+    /// Energy-aware CSS handling: cheap URL scan now — on the main core,
+    /// or concurrently on a helper core when the plan overlaps it with
+    /// the HTML parsing and transfer wait — full parse deferred to the
+    /// layout phase.
+    fn ea_scan_css(&mut self, body: &str) {
+        let scan = css::scan_urls(body);
+        let d = self.cost.css_scan(scan.bytes);
+        if self.cfg.plan.overlap_css {
+            self.side_scan(d);
+        } else {
+            self.busy(d, Cat::Dtc, "css_scan");
+        }
+        for u in scan.urls.iter().chain(&scan.imports) {
+            self.request(&u.clone());
+        }
+        self.css_bodies.push(body.to_string());
+    }
+
+    /// Runs a transmission-generating scan on a helper core, off the
+    /// main core's critical path. The discovered requests are issued at
+    /// the same loop point as in the sequential schedule (the scanner
+    /// emits URLs as it finds them); the transmission phase is extended
+    /// to cover the helper core's finish via `side_end`.
+    fn side_scan(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let fork = SimDuration::from_micros(parallel::FORK_US_PER_WORKER.round() as u64);
+        let start = self.t;
+        let end = start + fork + d;
+        self.m.aux_busy.push((start, end));
+        self.recorder.emit_with(|| ObsEvent::Span {
+            layer: ObsLayer::Browser,
+            name: "css_scan",
+            start,
+            end,
+        });
+        self.side_end = self.side_end.max(end);
+        self.m.work.dtc += fork + d;
+        self.m.parallel_work += d;
     }
 
     /// Inline `<style>` blocks follow the same §4.1 split as external
@@ -572,13 +663,7 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 self.sheets.push(parsed.sheet);
             }
             PipelineMode::EnergyAware => {
-                let scan = css::scan_urls(body);
-                let d = self.cost.css_scan(scan.bytes);
-                self.busy(d, Cat::Dtc, "css_scan");
-                for u in scan.urls.iter().chain(&scan.imports) {
-                    self.request(&u.clone());
-                }
-                self.css_bodies.push(body.to_string());
+                self.ea_scan_css(body);
             }
         }
     }
@@ -626,14 +711,17 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
         match self.cfg.mode {
             PipelineMode::Original => {
                 // Decode immediately — layout computation on the critical
-                // path of the transmission schedule.
+                // path of the transmission schedule. Always one unit at a
+                // time here, so no plan fan-out applies.
                 let d = self.cost.image_decode(bytes);
                 self.busy(d, Cat::Layout, "image_decode");
+                self.m.decode_jobs += 1;
+                self.m.decoded_bytes += bytes;
             }
             PipelineMode::EnergyAware => {
                 // "Image files ... can be saved in memory instead of being
                 // delivered to the web browser" (§4.1).
-                self.undecoded_image_bytes += bytes;
+                self.undecoded_images.push(bytes);
             }
         }
     }
@@ -680,13 +768,17 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
     fn layout_phase(&mut self) {
         // Layout cache (Zhang et al.): a fresh entry for this exact page
         // skips rule extraction, style, and layout; decoding and painting
-        // still run.
+        // still run. The cache-hit path always decodes sequentially —
+        // its residual work is too small for a fan-out to pay the fork.
         let fingerprint = self.m.bytes_fetched;
         if let Some(cache) = self.cache.as_mut() {
             if let Some(hit) = cache.lookup(&self.root_url, fingerprint) {
                 if self.cfg.mode == PipelineMode::EnergyAware {
-                    let d = self.cost.image_decode(self.undecoded_image_bytes);
+                    let bytes: u64 = self.undecoded_images.iter().sum();
+                    let d = self.cost.image_decode(bytes);
                     self.busy(d, Cat::Layout, "image_decode");
+                    self.m.decode_jobs += self.undecoded_images.len();
+                    self.m.decoded_bytes += bytes;
                 }
                 let d = self.cost.paint(hit.boxes);
                 self.busy(d, Cat::Layout, "paint_cached");
@@ -698,27 +790,163 @@ impl<F: ResourceFetcher + ?Sized> Loader<'_, F> {
                 return;
             }
         }
+        if self.cfg.plan.is_sequential() {
+            self.layout_phase_sequential();
+        } else {
+            self.layout_phase_parallel();
+        }
+    }
+
+    /// The exact legacy single-core schedule — every golden in the repo
+    /// pins this path bit-for-bit (note the *summed* image decode: µs
+    /// rounding makes it differ from a per-object sum, so the sequential
+    /// plan must not be routed through the per-unit code).
+    fn layout_phase_sequential(&mut self) {
         if self.cfg.mode == PipelineMode::EnergyAware {
             let bodies = std::mem::take(&mut self.css_bodies);
             for body in &bodies {
                 let parsed = css::parse(body);
                 let d = self.cost.css_parse(parsed.bytes, parsed.sheet.rules.len());
                 self.busy(d, Cat::Layout, "css_parse");
+                self.m.parallel_work += d;
+                self.m.parallel_span += d;
                 self.sheets.push(parsed.sheet);
             }
-            let d = self.cost.image_decode(self.undecoded_image_bytes);
+            let bytes: u64 = self.undecoded_images.iter().sum();
+            let d = self.cost.image_decode(bytes);
             self.busy(d, Cat::Layout, "image_decode");
+            self.m.decode_jobs += self.undecoded_images.len();
+            self.m.decoded_bytes += bytes;
+            self.m.parallel_work += d;
+            self.m.parallel_span += d;
         }
         let doc = self.doc.take().unwrap_or_default();
         let sheet_refs: Vec<&css::Stylesheet> = self.sheets.iter().collect();
         let styles = css::compute_styles(&doc, &sheet_refs);
         let lr = layout::layout(&doc, Some(&styles), self.cfg.viewport_px);
-        let d = self
+        let d_style = self
             .cost
-            .style(styles.match_attempts, styles.declarations_applied)
-            + self.cost.layout(lr.boxes)
-            + self.cost.paint(lr.boxes);
+            .style(styles.match_attempts, styles.declarations_applied);
+        let d = d_style + self.cost.layout(lr.boxes) + self.cost.paint(lr.boxes);
         self.busy(d, Cat::Layout, "style_layout_paint");
+        self.m.parallel_work += d_style;
+        self.m.parallel_span += d_style;
+        self.finish_layout(&doc, lr);
+    }
+
+    /// The plan's multi-core layout phase: deferred CSS parses fan out
+    /// over `style_threads`, per-object image decodes over
+    /// `decode_threads`, and final style resolution is chunked over
+    /// `style_threads`. Layout and paint remain sequential — a single
+    /// dependent tail after the merged styles exist.
+    fn layout_phase_parallel(&mut self) {
+        let plan = self.cfg.plan;
+        let hp = self.cfg.host_parallel;
+        let cost = self.cost;
+        if self.cfg.mode == PipelineMode::EnergyAware {
+            let bodies = std::mem::take(&mut self.css_bodies);
+            if !bodies.is_empty() {
+                let parsed = parallel::run_jobs(bodies.len(), plan.style_threads, hp, |i| {
+                    css::parse(&bodies[i])
+                });
+                let durs: Vec<SimDuration> = parsed
+                    .iter()
+                    .map(|p| cost.css_parse(p.bytes, p.sheet.rules.len()))
+                    .collect();
+                self.parallel_stage(&durs, plan.style_threads, "css_parse");
+                self.sheets.extend(parsed.into_iter().map(|p| p.sheet));
+            }
+            let images = std::mem::take(&mut self.undecoded_images);
+            if !images.is_empty() {
+                let k = plan.decode_threads.min(images.len()).max(1);
+                let durs = parallel::run_jobs(images.len(), plan.decode_threads, hp, |i| {
+                    cost.image_decode(images[i])
+                });
+                self.m.decode_jobs += images.len();
+                // Workers accumulate their own decoded-byte subtotals;
+                // the merge is where the seeded racy-counter defect bites.
+                self.m.decoded_bytes += if hp && k > 1 {
+                    parallel::merge_worker_byte_counts(&parallel::worker_byte_counts(&images, k))
+                } else {
+                    images.iter().sum::<u64>()
+                };
+                self.parallel_stage(&durs, plan.decode_threads, "image_decode");
+            }
+        }
+        let doc = self.doc.take().unwrap_or_default();
+        let sheet_refs: Vec<&css::Stylesheet> = self.sheets.iter().collect();
+        let ids = doc.descendants();
+        let k = plan.style_threads.min(ids.len()).max(1);
+        let chunks: Vec<_> = ids.chunks(ids.len().div_ceil(k).max(1)).collect();
+        let partials = parallel::run_jobs(chunks.len(), k, hp, |i| {
+            css::compute_styles_for(&doc, &sheet_refs, chunks[i])
+        });
+        let durs: Vec<SimDuration> = partials
+            .iter()
+            .map(|p| cost.style(p.match_attempts, p.declarations_applied))
+            .collect();
+        self.parallel_stage(&durs, plan.style_threads, "style");
+        let mut styles = css::StyleResult {
+            styles: Default::default(),
+            match_attempts: 0,
+            declarations_applied: 0,
+        };
+        for p in partials {
+            styles.match_attempts += p.match_attempts;
+            styles.declarations_applied += p.declarations_applied;
+            styles.styles.extend(p.styles);
+        }
+        let lr = layout::layout(&doc, Some(&styles), self.cfg.viewport_px);
+        let d = cost.layout(lr.boxes) + cost.paint(lr.boxes);
+        self.busy(d, Cat::Layout, "layout_paint");
+        self.finish_layout(&doc, lr);
+    }
+
+    /// Advances simulated time over one fanned-out stage: units are
+    /// placed on `threads` cores by [`parallel::schedule_jobs`], the main
+    /// core's share extends `cpu_busy`, helper cores' shares land in
+    /// `aux_busy`, and the stage's total CPU work plus the per-worker
+    /// fork overhead is charged to the layout category.
+    fn parallel_stage(&mut self, durs: &[SimDuration], threads: usize, stage: &'static str) {
+        let work = durs.iter().copied().fold(SimDuration::ZERO, |a, b| a + b);
+        let k = threads.min(durs.len()).max(1);
+        if k == 1 {
+            for &d in durs {
+                self.busy(d, Cat::Layout, stage);
+            }
+            self.m.parallel_work += work;
+            self.m.parallel_span += work;
+            return;
+        }
+        let fork =
+            SimDuration::from_micros((parallel::FORK_US_PER_WORKER * k as f64).round() as u64);
+        self.busy(fork, Cat::Layout, "parallel_fork");
+        let sched = parallel::schedule_jobs(durs, k);
+        let t0 = self.t;
+        for (c, &b) in sched.core_busy.iter().enumerate() {
+            if b.is_zero() {
+                continue;
+            }
+            if c == 0 {
+                self.m.cpu_busy.push((t0, t0 + b));
+            } else {
+                self.m.aux_busy.push((t0, t0 + b));
+            }
+            self.recorder.emit_with(|| ObsEvent::Span {
+                layer: ObsLayer::Browser,
+                name: stage,
+                start: t0,
+                end: t0 + b,
+            });
+        }
+        self.t = t0 + sched.makespan;
+        self.m.work.layout += work;
+        self.m.parallel_work += work;
+        self.m.parallel_span += fork + sched.makespan;
+    }
+
+    fn finish_layout(&mut self, doc: &Document, lr: layout::LayoutResult) {
+        let fingerprint = self.m.bytes_fetched;
         self.m.final_display_at = self.t;
         self.m.page_height = lr.page_height;
         self.m.page_width = lr.page_width;

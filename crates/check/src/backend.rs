@@ -245,7 +245,7 @@ impl BackendReference for ReferenceLte {
     }
 
     fn set_cpu_load(&mut self, load: f64) {
-        self.cpu_load = load.clamp(0.0, 1.0);
+        self.cpu_load = load.clamp(0.0, ewb_rrc::MAX_CPU_CORES);
     }
 }
 
@@ -400,7 +400,7 @@ impl BackendReference for ReferenceWifi {
     }
 
     fn set_cpu_load(&mut self, load: f64) {
-        self.cpu_load = load.clamp(0.0, 1.0);
+        self.cpu_load = load.clamp(0.0, ewb_rrc::MAX_CPU_CORES);
     }
 }
 
@@ -570,7 +570,7 @@ impl BackendReference for ReferenceFiveG {
     }
 
     fn set_cpu_load(&mut self, load: f64) {
-        self.cpu_load = load.clamp(0.0, 1.0);
+        self.cpu_load = load.clamp(0.0, ewb_rrc::MAX_CPU_CORES);
     }
 }
 

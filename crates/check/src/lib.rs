@@ -57,6 +57,7 @@ pub mod corpus;
 pub mod explore;
 pub mod fuzz;
 pub mod mutant;
+pub mod parallel;
 pub mod pipeline;
 pub mod run;
 pub mod scenario;

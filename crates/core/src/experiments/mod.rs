@@ -8,6 +8,7 @@ pub mod cases16;
 pub mod display;
 pub mod energy;
 pub mod loadtime;
+pub mod parallel;
 pub mod power_trace;
 pub mod robustness;
 pub mod timeline;

@@ -46,6 +46,7 @@ mod config;
 
 pub mod cases;
 pub mod experiments;
+pub mod planner;
 pub mod profile;
 pub mod radio_profile;
 pub mod session;

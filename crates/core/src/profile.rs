@@ -37,8 +37,9 @@
 use crate::cases::{Case, ReleasePolicy};
 use crate::config::CoreConfig;
 use crate::session::release_decision;
+use ewb_browser::parallel::ParallelismPlan;
 use ewb_browser::pipeline::{load_page, PipelineConfig, PipelineMode};
-use ewb_net::replay::{events_of_load, sort_radio_events, RadioEvent};
+use ewb_net::replay::{events_of_load_parallel, sort_radio_events, RadioEvent};
 use ewb_net::{FaultConfig, RetryPolicy, ThreeGFetcher};
 use ewb_rrc::{RrcCounters, RrcMachine, RrcState, StateResidency};
 use ewb_simcore::{SimDuration, SimTime, SplitMix64};
@@ -172,6 +173,29 @@ impl FaultTier {
             | u64::from(self.index());
         SplitMix64::mix(0x3EBF_9A7C_51D0_246E ^ key)
     }
+
+    /// [`capture_seed`](FaultTier::capture_seed) extended with the
+    /// [`ParallelismPlan`] the load runs under. The plan is part of the
+    /// profile key, so it must be part of the seed too — otherwise two
+    /// plans' captures of the same (page, mode, state, tier) would share
+    /// one fault stream while consuming it on different schedules.
+    /// The sequential plan maps to the legacy seed unchanged
+    /// ([`ParallelismPlan::key`] is 0 there), keeping every existing
+    /// capture bit-identical.
+    pub fn capture_seed_planned(
+        self,
+        page_idx: usize,
+        mode: PipelineMode,
+        state: RrcState,
+        plan: ParallelismPlan,
+    ) -> u64 {
+        let base = self.capture_seed(page_idx, mode, state);
+        if plan.is_sequential() {
+            base
+        } else {
+            SplitMix64::mix(base ^ plan.key().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+    }
 }
 
 impl std::fmt::Display for FaultTier {
@@ -191,6 +215,7 @@ pub struct ProfileTable {
     profiles: Vec<LoadProfile>,
     n_pages: usize,
     tiers: Vec<FaultTier>,
+    plans: Vec<ParallelismPlan>,
 }
 
 impl ProfileTable {
@@ -228,6 +253,44 @@ impl ProfileTable {
         cfg: &CoreConfig,
         tiers: &[FaultTier],
     ) -> Self {
+        Self::capture_planned(corpus, server, cfg, tiers, &[ParallelismPlan::SEQUENTIAL])
+    }
+
+    /// [`capture_tiered`](ProfileTable::capture_tiered) with an extra
+    /// profile dimension: the intra-page [`ParallelismPlan`] each load
+    /// runs under. The plan changes a load's CPU schedule (and therefore
+    /// its radio events, helper-core power steps, and open time), so it
+    /// **must** be part of the capture key — a table captured under one
+    /// plan served for another would replay the wrong profile. Faulted
+    /// captures key their fault stream by
+    /// [`FaultTier::capture_seed_planned`] for the same reason.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`capture_tiered`](ProfileTable::capture_tiered) does,
+    /// or if `plans` is empty, contains duplicates or an invalid plan, or
+    /// does not include [`ParallelismPlan::SEQUENTIAL`] (the anchor plan
+    /// that [`profile_tiered`](ProfileTable::profile_tiered) serves).
+    pub fn capture_planned(
+        corpus: &Corpus,
+        server: &OriginServer,
+        cfg: &CoreConfig,
+        tiers: &[FaultTier],
+        plans: &[ParallelismPlan],
+    ) -> Self {
+        assert!(
+            plans.contains(&ParallelismPlan::SEQUENTIAL),
+            "a profile table must include the sequential plan (got {plans:?})"
+        );
+        for (i, plan) in plans.iter().enumerate() {
+            if let Err(e) = plan.validate() {
+                panic!("invalid ParallelismPlan {plan}: {e}");
+            }
+            assert!(
+                !plans[..i].contains(plan),
+                "duplicate parallelism plan {plan} in {plans:?}"
+            );
+        }
         if let Err(e) = cfg.validate() {
             panic!("invalid CoreConfig: {e}");
         }
@@ -241,8 +304,9 @@ impl ProfileTable {
                 "duplicate fault tier {tier} in {tiers:?}"
             );
         }
-        let mut profiles =
-            Vec::with_capacity(corpus.sites().len() * 2 * MODES.len() * 3 * tiers.len());
+        let mut profiles = Vec::with_capacity(
+            corpus.sites().len() * 2 * MODES.len() * 3 * tiers.len() * plans.len(),
+        );
         for (site_idx, site) in corpus.sites().iter().enumerate() {
             for version in [PageVersion::Mobile, PageVersion::Full] {
                 let page = match version {
@@ -258,73 +322,89 @@ impl ProfileTable {
                     }
                     for state in CLICK_STATES {
                         for &tier in tiers {
-                            let (machine, t0) = machine_in_state(cfg, state);
-                            let mut fetcher = ThreeGFetcher::with_machine(cfg.net, machine, server);
-                            if tier != FaultTier::Clean {
-                                fetcher = fetcher
-                                    .try_with_faults(
-                                        tier.fault_config(),
-                                        tier.capture_seed(page_idx, mode, state),
-                                        RetryPolicy::standard(),
-                                    )
-                                    .unwrap_or_else(|e| {
-                                        panic!("fault tier {tier} has an invalid config: {e}")
-                                    });
-                            }
-                            let metrics =
-                                load_page(&mut fetcher, page.root_url(), t0, &pipe_cfg, &cfg.cost);
-                            let mut events = events_of_load(fetcher.transfers(), &metrics.cpu_busy);
-                            sort_radio_events(&mut events);
-                            let events: Vec<RadioEvent> = events
-                                .iter()
-                                .map(|e| {
-                                    assert!(
-                                        e.at() >= t0,
-                                        "captured event before the click: {e:?} (click {t0:?})"
-                                    );
-                                    shift_back(e, t0)
-                                })
-                                .collect();
-                            let first_begin = events
-                                .iter()
-                                .find(|e| matches!(e, RadioEvent::BeginTransfer { .. }))
-                                .expect("a page load has at least one transfer");
-                            assert!(
-                                matches!(
-                                    first_begin,
-                                    RadioEvent::BeginTransfer {
-                                        at: SimTime::ZERO,
-                                        ..
-                                    }
-                                ),
-                                "the first transfer must begin at the click \
-                                 (it is what makes click-state a sufficient memoization key), \
-                                 got {first_begin:?} (tier {tier})"
-                            );
-                            if tier == FaultTier::Clean {
+                            for &plan in plans {
+                                let (machine, t0) = machine_in_state(cfg, state);
+                                let mut fetcher =
+                                    ThreeGFetcher::with_machine(cfg.net, machine, server);
+                                if tier != FaultTier::Clean {
+                                    fetcher = fetcher
+                                        .try_with_faults(
+                                            tier.fault_config(),
+                                            tier.capture_seed_planned(page_idx, mode, state, plan),
+                                            RetryPolicy::standard(),
+                                        )
+                                        .unwrap_or_else(|e| {
+                                            panic!("fault tier {tier} has an invalid config: {e}")
+                                        });
+                                }
+                                let mut plan_cfg = pipe_cfg.clone();
+                                plan_cfg.plan = plan;
+                                let metrics = load_page(
+                                    &mut fetcher,
+                                    page.root_url(),
+                                    t0,
+                                    &plan_cfg,
+                                    &cfg.cost,
+                                );
+                                let mut events = events_of_load_parallel(
+                                    fetcher.transfers(),
+                                    &metrics.cpu_busy,
+                                    &metrics.aux_busy,
+                                );
+                                sort_radio_events(&mut events);
+                                let events: Vec<RadioEvent> = events
+                                    .iter()
+                                    .map(|e| {
+                                        assert!(
+                                            e.at() >= t0,
+                                            "captured event before the click: {e:?} (click {t0:?})"
+                                        );
+                                        shift_back(e, t0)
+                                    })
+                                    .collect();
+                                let first_begin = events
+                                    .iter()
+                                    .find(|e| matches!(e, RadioEvent::BeginTransfer { .. }))
+                                    .expect("a page load has at least one transfer");
                                 assert!(
                                     matches!(
                                         first_begin,
                                         RadioEvent::BeginTransfer {
-                                            promotion_retries: 0,
+                                            at: SimTime::ZERO,
                                             ..
                                         }
                                     ),
-                                    "a clean-link first transfer cannot retry its promotion, \
-                                     got {first_begin:?}"
+                                    "the first transfer must begin at the click \
+                                     (it is what makes click-state a sufficient memoization \
+                                     key), got {first_begin:?} (tier {tier}, plan {plan})"
                                 );
-                                assert_eq!(
-                                    metrics.failed_objects, 0,
-                                    "clean-tier profiles must fetch every object"
-                                );
+                                if tier == FaultTier::Clean {
+                                    assert!(
+                                        matches!(
+                                            first_begin,
+                                            RadioEvent::BeginTransfer {
+                                                promotion_retries: 0,
+                                                ..
+                                            }
+                                        ),
+                                        "a clean-link first transfer cannot retry its \
+                                         promotion, got {first_begin:?}"
+                                    );
+                                    assert_eq!(
+                                        metrics.failed_objects, 0,
+                                        "clean-tier profiles must fetch every object"
+                                    );
+                                }
+                                profiles.push(LoadProfile {
+                                    events,
+                                    opened: metrics.final_display_at - t0,
+                                    tx_end: metrics.data_transmission_end - t0,
+                                    features: FeatureVector::from_slice(
+                                        &metrics.features().to_vec(),
+                                    ),
+                                    bytes: metrics.bytes_fetched,
+                                });
                             }
-                            profiles.push(LoadProfile {
-                                events,
-                                opened: metrics.final_display_at - t0,
-                                tx_end: metrics.data_transmission_end - t0,
-                                features: FeatureVector::from_slice(&metrics.features().to_vec()),
-                                bytes: metrics.bytes_fetched,
-                            });
                         }
                     }
                 }
@@ -334,6 +414,7 @@ impl ProfileTable {
             profiles,
             n_pages: corpus.sites().len() * 2,
             tiers: tiers.to_vec(),
+            plans: plans.to_vec(),
         }
     }
 
@@ -350,6 +431,16 @@ impl ProfileTable {
     /// Whether `tier` was captured into this table.
     pub fn has_tier(&self, tier: FaultTier) -> bool {
         self.tiers.contains(&tier)
+    }
+
+    /// The parallelism plans this table captured, in capture order.
+    pub fn plans(&self) -> &[ParallelismPlan] {
+        &self.plans
+    }
+
+    /// Whether `plan` was captured into this table.
+    pub fn has_plan(&self, plan: ParallelismPlan) -> bool {
+        self.plans.contains(&plan)
     }
 
     /// The clean-tier profile of `page_idx` under `mode` when the click
@@ -376,12 +467,31 @@ impl ProfileTable {
         state: RrcState,
         tier: FaultTier,
     ) -> &LoadProfile {
+        self.profile_planned(page_idx, mode, state, tier, ParallelismPlan::SEQUENTIAL)
+    }
+
+    /// The profile of `page_idx` under `mode`, link-quality `tier`, and
+    /// intra-page [`ParallelismPlan`] `plan` when the click finds the
+    /// radio in `state` — the full five-dimensional profile key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` is out of range, `state` is `Promoting`, or
+    /// `tier`/`plan` was not captured into this table.
+    pub fn profile_planned(
+        &self,
+        page_idx: usize,
+        mode: PipelineMode,
+        state: RrcState,
+        tier: FaultTier,
+        plan: ParallelismPlan,
+    ) -> &LoadProfile {
         assert!(
             page_idx < self.n_pages,
             "page index {page_idx} out of range ({} pages)",
             self.n_pages
         );
-        let slot = self
+        let tier_slot = self
             .tiers
             .iter()
             .position(|&t| t == tier)
@@ -391,9 +501,19 @@ impl ProfileTable {
                     self.tiers
                 )
             });
+        let plan_slot = self
+            .plans
+            .iter()
+            .position(|&p| p == plan)
+            .unwrap_or_else(|| {
+                panic!(
+                    "parallelism plan {plan} was not captured (table has {:?})",
+                    self.plans
+                )
+            });
         let key =
             (page_idx * MODES.len() + mode_index(mode)) * CLICK_STATES.len() + state_index(state);
-        &self.profiles[key * self.tiers.len() + slot]
+        &self.profiles[(key * self.tiers.len() + tier_slot) * self.plans.len() + plan_slot]
     }
 }
 
@@ -510,6 +630,10 @@ pub struct ProfiledSessionOpts {
     /// means the predictor stays up. Oracle and fixed policies are
     /// unaffected — they never consult a predictor.
     pub predictor_outage_from: Option<usize>,
+    /// The intra-page [`ParallelismPlan`] whose profiles the session
+    /// replays. Must have been captured into the table
+    /// ([`ProfileTable::capture_planned`]).
+    pub plan: ParallelismPlan,
 }
 
 impl Default for ProfiledSessionOpts {
@@ -517,6 +641,7 @@ impl Default for ProfiledSessionOpts {
         ProfiledSessionOpts {
             tier: FaultTier::Clean,
             predictor_outage_from: None,
+            plan: ParallelismPlan::SEQUENTIAL,
         }
     }
 }
@@ -587,8 +712,13 @@ pub fn run_profiled_session_with(
             "reading time must be non-negative"
         );
         let click_state = machine.state();
-        let profile =
-            table.profile_tiered(visit.page_idx, case.pipeline_mode(), click_state, opts.tier);
+        let profile = table.profile_planned(
+            visit.page_idx,
+            case.pipeline_mode(),
+            click_state,
+            opts.tier,
+            opts.plan,
+        );
         let dt = t - start;
         for e in &profile.events {
             match *e {
@@ -1034,6 +1164,138 @@ mod tests {
         let (corpus, server, cfg) = setup();
         let table = ProfileTable::capture(&corpus, &server, &cfg);
         table.profile_tiered(0, PipelineMode::Original, RrcState::Idle, FaultTier::Lossy2);
+    }
+
+    /// Regression for the plan-capture-key fix: the [`ParallelismPlan`]
+    /// is a profile-key dimension. A planned table must (a) serve the
+    /// sequential profiles bit-identically to a plain capture, (b) serve
+    /// *different* profiles for a parallel plan (the schedule changes
+    /// open times and CPU events — a table that ignored the plan would
+    /// replay the wrong load), and (c) replay a planned session
+    /// bit-identically to the full parallel-pipeline session.
+    #[test]
+    fn plan_is_part_of_the_profile_key() {
+        use crate::session::{simulate_session_planned, Visit};
+        let (corpus, server, cfg) = setup();
+        let par = ParallelismPlan::new(4, 4, true);
+        let plain = ProfileTable::capture(&corpus, &server, &cfg);
+        let planned = ProfileTable::capture_planned(
+            &corpus,
+            &server,
+            &cfg,
+            &[FaultTier::Clean],
+            &[ParallelismPlan::SEQUENTIAL, par],
+        );
+        assert_eq!(planned.plans(), &[ParallelismPlan::SEQUENTIAL, par]);
+        assert!(planned.has_plan(par));
+        assert!(!planned.has_plan(ParallelismPlan::new(2, 2, false)));
+
+        let mut parallel_differs = false;
+        for page_idx in 0..planned.n_pages() {
+            for mode in MODES {
+                for state in CLICK_STATES {
+                    let a = plain.profile(page_idx, mode, state);
+                    let b = planned.profile(page_idx, mode, state);
+                    assert_eq!(
+                        a.events, b.events,
+                        "sequential capture must be plan-independent"
+                    );
+                    assert_eq!(a.opened, b.opened);
+                    let p = planned.profile_planned(page_idx, mode, state, FaultTier::Clean, par);
+                    parallel_differs |= p.events != a.events || p.opened != a.opened;
+                    assert_eq!(p.bytes, a.bytes, "a plan never changes what is fetched");
+                }
+            }
+        }
+        assert!(
+            parallel_differs,
+            "a 4-thread plan must change at least one of the 120 loads"
+        );
+
+        // (c) planned replay ≡ full planned session, to the bit.
+        let plan = [
+            ("espn", PageVersion::Full, 2.0),
+            ("cnn", PageVersion::Mobile, 6.0),
+            ("bbc", PageVersion::Mobile, 30.0),
+            ("ebay", PageVersion::Full, 12.0),
+        ];
+        let visits: Vec<Visit<'_>> = plan
+            .iter()
+            .map(|&(key, version, reading_s)| Visit {
+                page: corpus.page(key, version).unwrap(),
+                reading_s,
+                features: None,
+            })
+            .collect();
+        let profiled: Vec<ProfiledVisit> = plan
+            .iter()
+            .map(|&(key, version, reading_s)| ProfiledVisit {
+                page_idx: page_idx(&corpus, key, version),
+                reading_s,
+                predicted_s: None,
+            })
+            .collect();
+        for case in [Case::Original, Case::Accurate9] {
+            let opts = ProfiledSessionOpts {
+                plan: par,
+                ..ProfiledSessionOpts::default()
+            };
+            let fast = run_profiled_session_with(&planned, &cfg, case, opts, &profiled, |_| {});
+            let full =
+                simulate_session_planned(&server, &visits, case, &cfg, None, None, par, true);
+            assert_eq!(
+                fast.total_joules.to_bits(),
+                full.total_joules.to_bits(),
+                "case {case}: planned replay must match the full session to the last bit"
+            );
+            assert_eq!(fast.counters, full.counters, "case {case}");
+            assert_eq!(fast.duration, full.duration, "case {case}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "was not captured")]
+    fn uncaptured_plan_panics() {
+        let (corpus, server, cfg) = setup();
+        let table = ProfileTable::capture(&corpus, &server, &cfg);
+        table.profile_planned(
+            0,
+            PipelineMode::Original,
+            RrcState::Idle,
+            FaultTier::Clean,
+            ParallelismPlan::new(2, 2, false),
+        );
+    }
+
+    #[test]
+    fn planned_capture_seeds_extend_the_legacy_ones() {
+        // Sequential plan → the legacy seed, bit for bit.
+        for tier in FaultTier::ALL {
+            assert_eq!(
+                tier.capture_seed_planned(
+                    3,
+                    PipelineMode::EnergyAware,
+                    RrcState::Fach,
+                    ParallelismPlan::SEQUENTIAL
+                ),
+                tier.capture_seed(3, PipelineMode::EnergyAware, RrcState::Fach)
+            );
+        }
+        // Distinct plans → distinct streams.
+        let mut seeds = std::collections::HashSet::new();
+        for plan in [
+            ParallelismPlan::SEQUENTIAL,
+            ParallelismPlan::new(2, 2, false),
+            ParallelismPlan::new(4, 4, true),
+            ParallelismPlan::new(8, 1, false),
+        ] {
+            assert!(seeds.insert(FaultTier::Lossy10.capture_seed_planned(
+                0,
+                PipelineMode::Original,
+                RrcState::Idle,
+                plan
+            )));
+        }
     }
 
     #[test]

@@ -16,9 +16,10 @@
 
 use crate::cases::{Case, ReleasePolicy};
 use crate::config::CoreConfig;
+use ewb_browser::parallel::ParallelismPlan;
 use ewb_browser::pipeline::{load_page_recorded, PipelineConfig};
 use ewb_browser::CpuWork;
-use ewb_net::replay::{events_of_load, replay_radio_recorded, RadioEvent};
+use ewb_net::replay::{events_of_load_parallel, replay_radio_recorded, RadioEvent};
 use ewb_net::{FaultConfig, RadioFetcher, RetryPolicy};
 use ewb_obs::{Event as ObsEvent, Recorder};
 use ewb_rrc::{RadioModel, RrcMachine};
@@ -325,6 +326,77 @@ pub fn simulate_session_recorded(
     simulate_session_impl(server, visits, case, cfg, predictor, faults, None, recorder)
 }
 
+/// Simulates a session whose page loads run under an intra-page
+/// [`ParallelismPlan`] (see [`ewb_browser::parallel`]): decode/style
+/// stage units fan out over simulated cores and helper-core CPU power
+/// rides into the energy replay. With `plan = SEQUENTIAL` and any
+/// `host_parallel` this is bit-identical to [`simulate_session_faulted`].
+///
+/// `host_parallel` selects whether the *host* executor may use threads
+/// for the fanned-out engine work; the outcome is bit-identical either
+/// way (the `ewb-check` parallel differential oracle proves it).
+///
+/// # Panics
+///
+/// Panics as [`simulate_session_faulted`] does, or if `plan` is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_session_planned(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
+    plan: ParallelismPlan,
+    host_parallel: bool,
+) -> SessionOutcome {
+    simulate_session_radio_planned::<RrcMachine>(
+        server,
+        visits,
+        case,
+        cfg,
+        cfg.rrc,
+        predictor,
+        faults,
+        plan,
+        host_parallel,
+    )
+}
+
+/// Backend-generic [`simulate_session_planned`]: the parallel-plan
+/// session on any [`RadioModel`].
+///
+/// # Panics
+///
+/// Panics as [`simulate_session_radio_recorded`] does, or if `plan` is
+/// invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_session_radio_planned<R: RadioModel>(
+    server: &OriginServer,
+    visits: &[Visit<'_>],
+    case: Case,
+    cfg: &CoreConfig,
+    radio_cfg: R::Config,
+    predictor: Option<&ReadingTimePredictor>,
+    faults: Option<&SessionFaults>,
+    plan: ParallelismPlan,
+    host_parallel: bool,
+) -> RadioSessionOutcome<R> {
+    simulate_session_radio_impl(
+        server,
+        visits,
+        case,
+        cfg,
+        radio_cfg,
+        predictor,
+        faults,
+        None,
+        &Recorder::disabled(),
+        plan,
+        host_parallel,
+    )
+}
+
 /// Simulates a session on an arbitrary radio backend: the same browser
 /// pipelines, Algorithm 2 release policy, and energy-replay machinery as
 /// [`simulate_session`], with the radio swapped for any [`RadioModel`]
@@ -353,6 +425,8 @@ pub fn simulate_session_radio<R: RadioModel>(
         None,
         None,
         &Recorder::disabled(),
+        ParallelismPlan::SEQUENTIAL,
+        true,
     )
 }
 
@@ -376,7 +450,17 @@ pub fn simulate_session_radio_recorded<R: RadioModel>(
     recorder: &Recorder,
 ) -> RadioSessionOutcome<R> {
     simulate_session_radio_impl(
-        server, visits, case, cfg, radio_cfg, predictor, faults, None, recorder,
+        server,
+        visits,
+        case,
+        cfg,
+        radio_cfg,
+        predictor,
+        faults,
+        None,
+        recorder,
+        ParallelismPlan::SEQUENTIAL,
+        true,
     )
 }
 
@@ -443,6 +527,8 @@ fn simulate_session_impl(
         faults,
         visit_seeds,
         recorder,
+        ParallelismPlan::SEQUENTIAL,
+        true,
     )
 }
 
@@ -457,8 +543,13 @@ fn simulate_session_radio_impl<R: RadioModel>(
     faults: Option<&SessionFaults>,
     visit_seeds: Option<&[u64]>,
     recorder: &Recorder,
+    plan: ParallelismPlan,
+    host_parallel: bool,
 ) -> RadioSessionOutcome<R> {
     assert!(!visits.is_empty(), "a session needs at least one visit");
+    if let Err(e) = plan.validate() {
+        panic!("invalid ParallelismPlan: {e}");
+    }
     if let Err(e) = cfg.validate() {
         panic!("invalid CoreConfig: {e}");
     }
@@ -480,6 +571,8 @@ fn simulate_session_radio_impl<R: RadioModel>(
             "reading time must be non-negative"
         );
         let mut pipe_cfg = PipelineConfig::new(case.pipeline_mode());
+        pipe_cfg.plan = plan;
+        pipe_cfg.host_parallel = host_parallel;
         if visit.page.spec().version == PageVersion::Mobile {
             // §4.2: mobile pages get no intermediate display.
             pipe_cfg.draw_intermediate = false;
@@ -503,7 +596,11 @@ fn simulate_session_radio_impl<R: RadioModel>(
             &cfg.cost,
             recorder.clone(),
         );
-        events.extend(events_of_load(fetcher.transfers(), &metrics.cpu_busy));
+        events.extend(events_of_load_parallel(
+            fetcher.transfers(),
+            &metrics.cpu_busy,
+            &metrics.aux_busy,
+        ));
         machine = fetcher.into_machine();
 
         let opened = metrics.final_display_at;

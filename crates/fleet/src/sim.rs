@@ -317,6 +317,7 @@ pub fn simulate_user(
     let opts = ProfiledSessionOpts {
         tier: cfg.tier,
         predictor_outage_from: predictor_outage_from(cfg, user_id, n as u64),
+        ..ProfiledSessionOpts::default()
     };
     let baseline = run_profiled_session_with(
         &env.table,

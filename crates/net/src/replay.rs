@@ -40,7 +40,10 @@ pub enum RadioEvent {
     CpuLoad {
         /// When the load changes.
         at: SimTime,
-        /// New load in `[0, 1]`.
+        /// New load: the number of busy CPU cores (fractional values
+        /// allowed). Single-core loads use `{0, 1}`; parallel plans
+        /// step through higher counts, clamped by the power model to
+        /// `ewb_rrc::MAX_CPU_CORES`.
         load: f64,
     },
 }
@@ -75,6 +78,49 @@ pub fn events_of_load(
     for &(s, e) in cpu_busy {
         events.push(RadioEvent::CpuLoad { at: s, load: 1.0 });
         events.push(RadioEvent::CpuLoad { at: e, load: 0.0 });
+    }
+    events
+}
+
+/// [`events_of_load`] for loads that also carry helper-core busy
+/// intervals (`LoadMetrics::aux_busy` under a parallel plan).
+///
+/// With no aux intervals this delegates to [`events_of_load`] and is
+/// bit-identical to it — the sequential plan's sessions replay exactly
+/// as before. Otherwise the main and helper intervals are merged into a
+/// single active-core-count step function: one `CpuLoad` event per time
+/// the count changes, carrying the new count, so concurrent cores draw
+/// concurrent CPU power during replay.
+pub fn events_of_load_parallel(
+    transfers: &[TransferRecord],
+    cpu_busy: &[(SimTime, SimTime)],
+    aux_busy: &[(SimTime, SimTime)],
+) -> Vec<RadioEvent> {
+    if aux_busy.is_empty() {
+        return events_of_load(transfers, cpu_busy);
+    }
+    let mut events = events_of_load(transfers, &[]);
+    // Net +1/-1 deltas per boundary instant; BTreeMap both merges
+    // same-time boundaries and yields them in time order.
+    let mut deltas: std::collections::BTreeMap<SimTime, i64> = std::collections::BTreeMap::new();
+    for &(s, e) in cpu_busy.iter().chain(aux_busy) {
+        if s == e {
+            continue;
+        }
+        *deltas.entry(s).or_insert(0) += 1;
+        *deltas.entry(e).or_insert(0) -= 1;
+    }
+    let mut active = 0i64;
+    for (at, delta) in deltas {
+        if delta == 0 {
+            continue;
+        }
+        active += delta;
+        debug_assert!(active >= 0, "unbalanced CPU interval at {at}");
+        events.push(RadioEvent::CpuLoad {
+            at,
+            load: active as f64,
+        });
     }
     events
 }
@@ -220,6 +266,47 @@ mod tests {
             replayed.energy_j()
         );
         assert_eq!(replayed.residency(), f.machine().residency());
+    }
+
+    #[test]
+    fn parallel_events_without_aux_match_the_legacy_builder() {
+        let cpu = vec![
+            (SimTime::ZERO, SimTime::from_secs(1)),
+            (SimTime::from_secs(2), SimTime::from_secs(3)),
+        ];
+        assert_eq!(
+            events_of_load_parallel(&[], &cpu, &[]),
+            events_of_load(&[], &cpu)
+        );
+    }
+
+    #[test]
+    fn parallel_events_form_a_core_count_step_function() {
+        let s = SimTime::from_secs;
+        // Main core [0,2] and [3,4]; helper core [1,3]: counts are
+        // 1, 2, 1, 1, 0 — the 3 s boundary cancels (one ends as the
+        // other begins) so no event is emitted there.
+        let cpu = vec![(s(0), s(2)), (s(3), s(4))];
+        let aux = vec![(s(1), s(3))];
+        let got: Vec<(SimTime, f64)> = events_of_load_parallel(&[], &cpu, &aux)
+            .into_iter()
+            .map(|e| match e {
+                RadioEvent::CpuLoad { at, load } => (at, load),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![(s(0), 1.0), (s(1), 2.0), (s(2), 1.0), (s(4), 0.0)]
+        );
+        // Core-seconds under the step function match the interval sums.
+        let mut core_s = 0.0;
+        let mut last = (s(0), 0.0);
+        for &(at, load) in &got {
+            core_s += last.1 * (at - last.0).as_secs_f64();
+            last = (at, load);
+        }
+        assert_eq!(core_s, 5.0);
     }
 
     #[test]

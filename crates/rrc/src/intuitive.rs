@@ -327,7 +327,7 @@ impl ReferenceRrc {
 
     /// Sets the simulated CPU load in `[0, 1]`, effective immediately.
     pub fn set_cpu_load(&mut self, load: f64) {
-        self.cpu_load = load.clamp(0.0, 1.0);
+        self.cpu_load = load.clamp(0.0, crate::power::MAX_CPU_CORES);
     }
 
     fn promote(&mut self, target: RrcState, latency: SimDuration, watts: f64) -> SimTime {

@@ -371,7 +371,7 @@ impl<B: LadderBackend> LadderMachine<B> {
     /// Panics if `t` is in the machine's past.
     pub fn set_cpu_load(&mut self, t: SimTime, load: f64) {
         self.advance_to(t);
-        self.cpu_load = load.clamp(0.0, 1.0);
+        self.cpu_load = load.clamp(0.0, crate::power::MAX_CPU_CORES);
     }
 
     /// Advances virtual time to `t`, firing promotions and dwell timers

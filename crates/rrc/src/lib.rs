@@ -58,5 +58,5 @@ pub use ladder::{
     WifiMachine,
 };
 pub use machine::{RrcCounters, RrcMachine, StateResidency, Transition};
-pub use power::PowerModel;
+pub use power::{PowerModel, MAX_CPU_CORES};
 pub use state::RrcState;

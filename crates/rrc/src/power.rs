@@ -17,6 +17,13 @@
 use crate::state::RrcState;
 use serde::{Deserialize, Serialize};
 
+/// Ceiling on the CPU-load value the power model honors: the number of
+/// cores a parallel browser plan can keep busy at once
+/// (`ewb_browser::parallel::MAX_THREADS` mirrors it). Sequential loads
+/// only ever report loads in `[0, 1]`; parallel pipeline stages report
+/// the active-core count, each core drawing `cpu_full_extra_w`.
+pub const MAX_CPU_CORES: f64 = 8.0;
+
 /// Instantaneous power draw of the handset as a function of radio state,
 /// transmission activity, and CPU load.
 ///
@@ -71,8 +78,9 @@ impl PowerModel {
     /// Total handset draw in watts.
     ///
     /// `transmitting` only matters in DCH (FACH's shared-channel trickle is
-    /// folded into its single measured level). `cpu_load` is clamped to
-    /// `[0, 1]`.
+    /// folded into its single measured level). `cpu_load` is the number of
+    /// busy cores, clamped to `[0, MAX_CPU_CORES]`; each busy core adds
+    /// `cpu_full_extra_w`.
     pub fn watts(&self, state: RrcState, transmitting: bool, cpu_load: f64) -> f64 {
         let radio = match state {
             RrcState::Idle => self.idle_w,
@@ -86,7 +94,7 @@ impl PowerModel {
             }
             RrcState::Promoting => self.promotion_w,
         };
-        radio + self.cpu_full_extra_w * cpu_load.clamp(0.0, 1.0)
+        radio + self.cpu_full_extra_w * cpu_load.clamp(0.0, MAX_CPU_CORES)
     }
 
     /// Validates that the model is physically sensible (non-negative,
@@ -157,9 +165,12 @@ mod tests {
         let pm = PowerModel::paper();
         let half = pm.watts(RrcState::Idle, false, 0.5);
         assert!((half - (0.15 + 0.225)).abs() < 1e-12);
+        // Multi-core loads are additive per core up to MAX_CPU_CORES.
+        let four = pm.watts(RrcState::Idle, false, 4.0);
+        assert!((four - (0.15 + 4.0 * 0.45)).abs() < 1e-12);
         assert_eq!(
-            pm.watts(RrcState::Idle, false, 2.0),
-            pm.watts(RrcState::Idle, false, 1.0)
+            pm.watts(RrcState::Idle, false, MAX_CPU_CORES + 1.0),
+            pm.watts(RrcState::Idle, false, MAX_CPU_CORES)
         );
         assert_eq!(
             pm.watts(RrcState::Idle, false, -1.0),
