@@ -283,6 +283,7 @@ fn collect_worker_results<T>(n: usize, mut per_worker: Vec<Vec<(usize, T)>>) -> 
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     match active_mutant() {
         ParallelMutant::UnorderedJoin => {
+            // lint:allow(parallel/unordered-join) this arm IS the seeded UnorderedJoin defect; the mutant-teeth test strips this allow and requires the rule to flag both shapes below
             // Seeded defect: drop the unit indices and fill positionally
             // in (emulated) completion order.
             per_worker.reverse();
@@ -323,7 +324,7 @@ pub fn worker_byte_counts(bytes: &[u64], workers: usize) -> Vec<u64> {
 /// defect models the lost updates of an unsynchronized shared counter.
 pub fn merge_worker_byte_counts(per_worker: &[u64]) -> u64 {
     match active_mutant() {
-        ParallelMutant::RacyDecodeCounter => per_worker.iter().copied().max().unwrap_or(0),
+        ParallelMutant::RacyDecodeCounter => per_worker.iter().copied().max().unwrap_or(0), // lint:allow(parallel/lossy-merge) this arm IS the seeded RacyDecodeCounter defect; the mutant-teeth test strips this allow and requires the rule to flag it
         _ => per_worker.iter().sum(),
     }
 }

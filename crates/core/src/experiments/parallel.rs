@@ -106,7 +106,6 @@ pub fn pipeline_speedup(
         work += w;
         span += sp;
     }
-    // lint:allow(api/float-eq) span is a sum of exact zero durations, never computed
     if span == 0.0 {
         1.0
     } else {
@@ -174,7 +173,7 @@ pub fn sweep(corpus: &Corpus, server: &OriginServer, cfg: &CoreConfig) -> Vec<Pl
         plan: "learned".to_string(),
         joules,
         load_time_s: load_s,
-        pipeline_speedup: if span == 0.0 { 1.0 } else { work / span }, // lint:allow(api/float-eq) guard against an empty-page zero span, not a computed value
+        pipeline_speedup: if span == 0.0 { 1.0 } else { work / span },
         energy_saving: 1.0 - joules / base.0,
         delay_saving: 1.0 - load_s / base.1,
     });

@@ -1,0 +1,6 @@
+// Fixture: per-worker byte subtotals merged with `max` — the lost-update
+// outcome of an unsynchronized shared counter, dressed up as a reduce.
+
+pub fn merge_worker_bytes(worker_counts: &[u64]) -> u64 {
+    worker_counts.iter().copied().max().unwrap_or(0)
+}

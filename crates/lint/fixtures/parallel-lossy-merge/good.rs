@@ -1,0 +1,10 @@
+// Fixture: the correct counter merge is a sum — every worker's subtotal
+// contributes. `max` of two scalars stays legal (not a counter merge).
+
+pub fn merge_worker_bytes(worker_counts: &[u64]) -> u64 {
+    worker_counts.iter().sum()
+}
+
+pub fn slower(a_s: f64, b_s: f64) -> f64 {
+    a_s.max(b_s)
+}

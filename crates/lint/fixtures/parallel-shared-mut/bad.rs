@@ -1,0 +1,16 @@
+// Fixture: spawn closures mutate state captured from the enclosing
+// scope — the result depends on host scheduling, not on (config, seed).
+
+pub fn collect_shared(scope: &Scope, chunks: &[u64], totals: &mut Vec<u64>) {
+    for &chunk in chunks {
+        scope.spawn(move |_| {
+            totals.push(chunk);
+        });
+    }
+}
+
+pub fn sum_shared(scope: &Scope, values: &[u64], total: &mut u64) {
+    for &v in values {
+        scope.spawn(move |_| *total += v);
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: the documented per-worker-vec pattern — each closure builds
+// and returns its own state; the reduce happens after the join, in
+// spawn order. Mutating names the closure binds itself is fine.
+
+pub fn collect(scope: &Scope, chunks: &[u64]) -> Vec<u64> {
+    let handles: Vec<_> = chunks
+        .iter()
+        .map(|&chunk| scope.spawn(move |_| chunk * 2))
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker panicked"))
+        .collect()
+}
+
+pub fn per_worker_sums(scope: &Scope, n: usize, workers: usize) -> Vec<Vec<usize>> {
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            scope.spawn(move |_| {
+                let mut acc = Vec::new();
+                for unit in (w..n).step_by(workers) {
+                    acc.push(unit);
+                }
+                acc
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker panicked"))
+        .collect()
+}

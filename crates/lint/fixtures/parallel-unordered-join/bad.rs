@@ -1,0 +1,16 @@
+// Fixture: the reduce destroys the deterministic worker join order
+// (reverse emulates completion order) and then fills result slots
+// positionally, discarding the unit index every result carries.
+
+pub fn collect(n: usize, mut per_worker: Vec<Vec<(usize, u64)>>) -> Vec<u64> {
+    let mut slots = vec![0u64; n];
+    per_worker.reverse();
+    let mut pos = 0;
+    for chunk in per_worker {
+        for (_, v) in chunk {
+            slots[pos] = v;
+            pos += 1;
+        }
+    }
+    slots
+}

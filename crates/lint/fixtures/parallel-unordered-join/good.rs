@@ -1,0 +1,13 @@
+// Fixture: the compliant reduce — workers stay in spawn order and every
+// result lands in the slot its carried unit index names, so the output
+// is identical under any host scheduling.
+
+pub fn collect(n: usize, per_worker: Vec<Vec<(usize, u64)>>) -> Vec<u64> {
+    let mut slots = vec![0u64; n];
+    for chunk in per_worker {
+        for (unit, v) in chunk {
+            slots[unit] = v;
+        }
+    }
+    slots
+}

@@ -1,0 +1,9 @@
+// Fixture: RNGs seeded from a raw literal and from homebrew arithmetic.
+// Both detach this code from the root seed — sweeping the root no
+// longer sweeps these worlds.
+
+pub fn sample(i: u64) -> u64 {
+    let mut rng = Xoshiro256::seed_from_u64(12345);
+    let mut other = Xoshiro256::seed_from_u64(i * 31 + 7);
+    rng.next_u64() ^ other.next_u64()
+}

@@ -1,0 +1,11 @@
+// Fixture: every seed has documented provenance — a `seed`-named config
+// field, a fork of an existing RNG, or SplitMix64 mixing of a profile
+// key (arithmetic touching blessed material stays blessed).
+
+pub fn sample(cfg: &Config, rng: &mut Xoshiro256) -> u64 {
+    let mut site_rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut forked = rng.fork(3);
+    let identity = SplitMix64::mix(cfg.page_key) ^ 0x9E37_79B9;
+    let mut page_rng = Xoshiro256::seed_from_u64(identity);
+    site_rng.next_u64() ^ forked.next_u64() ^ page_rng.next_u64()
+}

@@ -1,0 +1,12 @@
+// Fixture: dimensionally ill-typed arithmetic the old token-level rule
+// could not see — the joules/seconds mix hides inside a compound
+// expression, and the scale change ships without its factor of 1000.
+
+pub fn total(energy_j: f64, extra_j: f64, elapsed_s: f64) -> f64 {
+    (energy_j + extra_j) - elapsed_s * 2.0
+}
+
+pub fn rescale(beacon_wake_mj: f64) -> f64 {
+    let beacon_wake_j = beacon_wake_mj;
+    beacon_wake_j
+}

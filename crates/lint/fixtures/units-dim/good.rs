@@ -1,0 +1,21 @@
+// Fixture: dimensionally well-typed arithmetic. W × s multiplies out to
+// J, J / s divides down to W, the mJ → J move carries its factor of
+// 1000, and ratios of like quantities are dimensionless.
+
+pub fn total(base_j: f64, idle_w: f64, dwell_s: f64) -> f64 {
+    base_j + idle_w * dwell_s
+}
+
+pub fn rescale(beacon_wake_mj: f64) -> f64 {
+    let beacon_wake_j = beacon_wake_mj / 1_000.0;
+    beacon_wake_j
+}
+
+pub fn average_power(total_j: f64, elapsed_s: f64, floor_w: f64) -> f64 {
+    let avg_w = total_j / elapsed_s;
+    avg_w.max(floor_w)
+}
+
+pub fn saving(now_j: f64, base_j: f64) -> f64 {
+    1.0 - now_j / base_j
+}

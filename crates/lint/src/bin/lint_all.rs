@@ -1,12 +1,20 @@
 //! `lint_all` — run the ewb-lint pass over the workspace.
 //!
 //! ```text
-//! cargo run -p ewb-lint --release -- [--deny-all] [--json] [--root PATH] [--rule ID]
+//! cargo run -p ewb-lint --release -- [--deny-all] [--json] [--timing]
+//!                                    [--no-allow] [--root PATH] [--rule ID]
 //! ```
 //!
 //! * `--deny-all`  exit nonzero if *any* diagnostic survives (CI mode)
 //! * `--json`      emit a JSON report (machine-readable; uploaded as a CI
 //!   artifact) instead of human-readable lines
+//! * `--timing`    time the pass and write `BENCH_lint.json` (files/s,
+//!   findings per rule). Asserts `parse_errors == 0`: an unparsed
+//!   expression is an unchecked expression, so a parse failure over the
+//!   real workspace is a lint bug, not a data point.
+//! * `--no-allow`  ignore in-source `lint:allow` directives. CI's
+//!   mutant-detection check runs this way to prove the justified allows
+//!   in `crates/browser/src/parallel.rs` still sit on live findings.
 //! * `--root PATH` workspace root (default: auto-detected from the crate's
 //!   manifest directory, falling back to the current directory)
 //! * `--rule ID`   only report diagnostics for one rule id
@@ -15,17 +23,31 @@ use ewb_lint::engine;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Report {
     files_scanned: usize,
     findings: usize,
+    parse_errors: usize,
     diagnostics: Vec<ewb_lint::Diagnostic>,
+}
+
+#[derive(Serialize)]
+struct Timing {
+    files_scanned: usize,
+    wall_s: f64,
+    files_per_s: f64,
+    parse_errors: usize,
+    total_findings: usize,
+    findings_by_rule: std::collections::BTreeMap<String, usize>,
 }
 
 fn main() -> ExitCode {
     let mut deny_all = false;
     let mut json = false;
+    let mut timing = false;
+    let mut honor_allows = true;
     let mut root: Option<PathBuf> = None;
     let mut only_rule: Option<String> = None;
 
@@ -34,10 +56,15 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
             "--json" => json = true,
+            "--timing" => timing = true,
+            "--no-allow" => honor_allows = false,
             "--root" => root = args.next().map(PathBuf::from),
             "--rule" => only_rule = args.next(),
             "--help" | "-h" => {
-                eprintln!("usage: lint_all [--deny-all] [--json] [--root PATH] [--rule ID]");
+                eprintln!(
+                    "usage: lint_all [--deny-all] [--json] [--timing] [--no-allow] \
+                     [--root PATH] [--rule ID]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -48,21 +75,53 @@ fn main() -> ExitCode {
     }
 
     let root = root.unwrap_or_else(default_root);
-    let mut outcome = match engine::lint_root(&root) {
+    let started = Instant::now();
+    let mut outcome = match engine::lint_root_opts(&root, honor_allows) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("lint_all: {e}");
             return ExitCode::from(2);
         }
     };
+    let wall_s = started.elapsed().as_secs_f64();
     if let Some(rule) = &only_rule {
         outcome.diagnostics.retain(|d| &d.rule == rule);
+    }
+
+    if timing {
+        if outcome.parse_errors != 0 {
+            eprintln!(
+                "lint_all: {} parse error(s) over the workspace — an unparsed \
+                 expression is an unchecked expression; refusing to publish timings",
+                outcome.parse_errors
+            );
+            return ExitCode::from(2);
+        }
+        let bench = Timing {
+            files_scanned: outcome.files_scanned,
+            wall_s,
+            files_per_s: outcome.files_scanned as f64 / wall_s.max(1e-9),
+            parse_errors: outcome.parse_errors,
+            total_findings: outcome.diagnostics.len(),
+            findings_by_rule: outcome.findings_by_rule.clone(),
+        };
+        match serde_json::to_string(&bench) {
+            Ok(s) => {
+                ewb_bench::write_atomic("BENCH_lint.json", s);
+                println!("wrote BENCH_lint.json");
+            }
+            Err(e) => {
+                eprintln!("lint_all: serializing timing report: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     if json {
         let report = Report {
             files_scanned: outcome.files_scanned,
             findings: outcome.diagnostics.len(),
+            parse_errors: outcome.parse_errors,
             diagnostics: outcome.diagnostics.clone(),
         };
         match serde_json::to_string(&report) {

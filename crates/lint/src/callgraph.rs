@@ -1,30 +1,39 @@
-//! A crate-level call-graph approximation for serialization taint.
+//! A crate-level call graph for serialization taint, derived from the
+//! expression AST.
 //!
 //! The hash-iteration rule needs to know which functions *feed
 //! serialization*: goldens, JSON reports, and `Recorder` events are where
-//! a nondeterministic iteration order becomes a nondeterministic artifact.
-//! Without full name resolution we approximate:
+//! a nondeterministic iteration order becomes a nondeterministic
+//! artifact. Without full name resolution we approximate:
 //!
-//! * an edge `F → g` exists when the body of `F` contains the identifier
-//!   `g` immediately followed by `(` (free/method call) — a *name-level*
-//!   graph, blind to which `g` among same-named functions is meant;
-//! * a function is a **taint seed** when its body mentions a
+//! * an edge `F → g` exists when the body of `F` contains a call
+//!   expression whose callee is `g` — a free/associated call
+//!   ([`crate::ast::Expr::Call`], last path segment) or a method call
+//!   ([`crate::ast::Expr::MethodCall`]). This replaces the old
+//!   "identifier followed by `(`" token scan: string contents and
+//!   format-string arguments no longer fabricate edges — only real call
+//!   nodes do. The graph is still *name-level*, blind to which `g` among
+//!   same-named functions is meant;
+//! * a function is a **taint seed** when its body *mentions* a
 //!   serialization token (`serde_json`, `Serialize`, `serialize`,
-//!   `to_writer`, `Recorder`, `emit`, `emit_with`, `write_golden`, …), its
-//!   own name looks sink-like (`golden`/`export`/`to_json`/`write_json`),
-//!   or it names a same-crate `#[derive(Serialize)]` type (constructing a
-//!   serializable value counts as feeding serialization);
+//!   `to_writer`, `Recorder`, `emit`, `emit_with`, `write_golden`, …) as
+//!   a path segment, struct-literal head, or method name; when its own
+//!   name looks sink-like (`golden`/`export`/`to_json`/`write_json`); or
+//!   when it constructs a same-crate `#[derive(Serialize)]` type
+//!   (building a serializable value counts as feeding serialization);
 //! * taint propagates from callees to callers to a fixed point: if `F`
 //!   calls a tainted `g`, `F` is tainted.
 //!
 //! Known false negatives (documented in DESIGN.md): taint does **not**
 //! flow from callers to callees, so a helper that returns a hash-ordered
 //! `Vec` consumed by a serializing caller escapes the transitive check —
-//! the derive-field check catches the common container case instead; and
-//! cross-crate edges are invisible (each crate is analyzed alone).
+//! the derive-field check catches the common container case instead; a
+//! sink type appearing *only* in a type annotation (never in an
+//! expression) no longer seeds taint; and cross-crate edges are
+//! invisible (each crate is analyzed alone).
 
+use crate::ast::{walk_block, Ast, Expr};
 use crate::items::FileModel;
-use crate::lexer::TokenKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Body tokens that mark a function as directly feeding serialization.
@@ -88,14 +97,21 @@ impl Taint {
     }
 }
 
+/// Whether any segment of a path/struct-literal head is a sink mention.
+fn mentions_sink(segs: &[String], serde_types: &BTreeSet<&str>) -> bool {
+    segs.iter()
+        .any(|s| SINK_TOKENS.contains(&s.as_str()) || serde_types.contains(s.as_str()))
+}
+
 /// Builds the taint set for one crate from its analyzed files.
 ///
-/// `files` pairs each file's source with its model; all files of the
+/// Each file contributes its model (for `#[derive(Serialize)]` types)
+/// and its AST (for call edges and sink mentions); all files of the
 /// crate must be passed together so the name-level graph spans modules.
-pub fn taint_for_crate(files: &[(&str, &FileModel)]) -> Taint {
+pub fn taint_for_crate(files: &[(&FileModel, &Ast)]) -> Taint {
     // Serializable type names declared anywhere in the crate.
     let mut serde_types: BTreeSet<&str> = BTreeSet::new();
-    for (_, model) in files {
+    for (model, _) in files {
         for ty in &model.types {
             if ty
                 .derives
@@ -110,39 +126,38 @@ pub fn taint_for_crate(files: &[(&str, &FileModel)]) -> Taint {
     let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut tainted: BTreeSet<String> = BTreeSet::new();
 
-    for (src, model) in files {
-        for f in &model.fns {
-            if f.in_test {
-                continue;
+    for (_, ast) in files {
+        ast.for_each_fn(&mut |def, in_test| {
+            if in_test {
+                return;
             }
-            let Some((body_start, body_end)) = f.body else {
-                continue;
-            };
+            let Some(body) = &def.body else { return };
             let mut callees = BTreeSet::new();
-            let mut seed = SINK_NAME_PARTS.iter().any(|p| f.name.contains(p));
-            for ci in body_start..body_end {
-                let ti = model.code[ci];
-                let tok = &model.tokens[ti];
-                if tok.kind != TokenKind::Ident {
-                    continue;
-                }
-                let text = tok.text(src);
-                if SINK_TOKENS.contains(&text) || serde_types.contains(text) {
-                    seed = true;
-                }
-                // Call edge: ident directly followed by `(`.
-                if let Some(&next) = model.code.get(ci + 1) {
-                    let nt = &model.tokens[next];
-                    if nt.kind == TokenKind::Punct && nt.text(src) == "(" {
-                        callees.insert(text.to_string());
+            let mut seed = SINK_NAME_PARTS.iter().any(|p| def.name.contains(p));
+            walk_block(body, &mut |e| match e {
+                Expr::Call { callee, .. } => {
+                    if let Some(name) = callee.path_last() {
+                        callees.insert(name.to_string());
                     }
                 }
-            }
+                Expr::MethodCall { method, .. } => {
+                    callees.insert(method.clone());
+                    if SINK_TOKENS.contains(&method.as_str()) {
+                        seed = true;
+                    }
+                }
+                Expr::Path { segs, .. } | Expr::StructLit { segs, .. }
+                    if mentions_sink(segs, &serde_types) =>
+                {
+                    seed = true;
+                }
+                _ => {}
+            });
             if seed {
-                tainted.insert(f.name.clone());
+                tainted.insert(def.name.clone());
             }
-            calls.entry(f.name.clone()).or_default().extend(callees);
-        }
+            calls.entry(def.name.clone()).or_default().extend(callees);
+        });
     }
 
     // Propagate callee taint to callers to a fixed point.
@@ -168,7 +183,15 @@ pub fn taint_for_crate(files: &[(&str, &FileModel)]) -> Taint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::parse_file;
     use crate::items::analyze;
+
+    fn taint_of(src: &str) -> Taint {
+        let m = analyze(src);
+        let ast = parse_file(src, &m.tokens);
+        assert!(ast.errors.is_empty(), "{:?}", ast.errors);
+        taint_for_crate(&[(&m, &ast)])
+    }
 
     #[test]
     fn direct_sink_and_transitive_caller_are_tainted() {
@@ -177,8 +200,7 @@ fn emit_report(x: &X) { serde_json::to_string(x); }\n\
 fn mid(x: &X) { emit_report(x); }\n\
 fn top(x: &X) { mid(x); }\n\
 fn unrelated() { let v = 1 + 1; }\n";
-        let m = analyze(src);
-        let t = taint_for_crate(&[(src, &m)]);
+        let t = taint_of(src);
         assert!(t.is_tainted("emit_report"));
         assert!(t.is_tainted("mid"));
         assert!(t.is_tainted("top"));
@@ -191,8 +213,7 @@ fn unrelated() { let v = 1 + 1; }\n";
 #[derive(Serialize)]\nstruct Report { n: u32 }\n\
 fn build() -> Report { Report { n: 1 } }\n\
 fn plain() -> u32 { 2 }\n";
-        let m = analyze(src);
-        let t = taint_for_crate(&[(src, &m)]);
+        let t = taint_of(src);
         assert!(t.is_tainted("build"));
         assert!(!t.is_tainted("plain"));
     }
@@ -200,8 +221,7 @@ fn plain() -> u32 { 2 }\n";
     #[test]
     fn sinky_names_are_seeds() {
         let src = "fn write_golden_summary() { }\nfn helper() { write_golden_summary(); }\n";
-        let m = analyze(src);
-        let t = taint_for_crate(&[(src, &m)]);
+        let t = taint_of(src);
         assert!(t.is_tainted("write_golden_summary"));
         assert!(t.is_tainted("helper"));
     }
@@ -214,8 +234,7 @@ fn plan_chaos() -> ChaosConfig { ChaosConfig::none() }\n\
 fn commit(b: &Board) { save_progress(b); }\n\
 fn load_checkpoint_file(p: &Path) { }\n\
 fn plain() -> u32 { 2 }\n";
-        let m = analyze(src);
-        let t = taint_for_crate(&[(src, &m)]);
+        let t = taint_of(src);
         assert!(t.is_tainted("save_progress"), "Checkpoint body token");
         assert!(t.is_tainted("plan_chaos"), "ChaosConfig body token");
         assert!(t.is_tainted("commit"), "transitive via save_progress");
@@ -230,8 +249,7 @@ fn wifi_sweep() -> Row { run(WifiConfig::calibrated()) }\n\
 fn pick_tag() -> RadioBackend { RadioBackend::Lte }\n\
 fn drive() { wifi_sweep(); }\n\
 fn plain() -> u32 { 2 }\n";
-        let m = analyze(src);
-        let t = taint_for_crate(&[(src, &m)]);
+        let t = taint_of(src);
         assert!(t.is_tainted("wifi_sweep"), "WifiConfig body token");
         assert!(t.is_tainted("pick_tag"), "RadioBackend body token");
         assert!(t.is_tainted("drive"), "transitive via wifi_sweep");
@@ -241,8 +259,17 @@ fn plain() -> u32 { 2 }\n";
     #[test]
     fn test_fns_do_not_participate() {
         let src = "#[test]\nfn check() { serde_json::to_string(&1); }\n";
-        let m = analyze(src);
-        let t = taint_for_crate(&[(src, &m)]);
+        let t = taint_of(src);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn string_contents_do_not_fabricate_edges() {
+        // The old token scan could be fooled by identifiers adjacent to
+        // `(` in unusual positions; the AST graph only follows real call
+        // nodes, and string literals are opaque.
+        let src = "fn log_about() { println!(\"emit (not a call)\"); }\n";
+        let t = taint_of(src);
+        assert!(!t.is_tainted("log_about"));
     }
 }

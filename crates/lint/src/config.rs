@@ -157,6 +157,7 @@ exclude = ["vendor", "target", "crates/lint/fixtures"]
 
 [rules.wall-clock]
 allowed_crates = ["bench"]
+allowed_files = ["crates/lint/src/bin/lint_all.rs"]
 
 [rules.ambient-rng]
 allowed_files = ["crates/simcore/src/rng.rs"]

@@ -1,0 +1,987 @@
+//! Expression-level abstract interpretation over the [`crate::ast`].
+//!
+//! Three analyses share this module:
+//!
+//! * **Dimensional analysis** ([`check_fn_dims`]): every expression is
+//!   assigned a [`Qty`] from the workspace's name vocabulary
+//!   (`_j`/`_mj`/`_uj`/`_s`/`_ms`/`_w`/bytes) and arithmetic is checked
+//!   dimensionally — `W × s → J`, `J / s → W`, `J / W → s`, same-unit
+//!   ratios, and power-of-1000 conversion factors that shift scales
+//!   (`x_mj / 1_000.0 → J`, `x_s * 1_000.0 → ms`). Additions,
+//!   subtractions, comparisons, assignments, `let` bindings, struct
+//!   literal fields, and `max`/`min`/`clamp` arguments between
+//!   *different* material quantities are findings.
+//! * **Seed provenance** ([`seed_prov`]): a small lattice tracking
+//!   whether a value fed to `seed_from_u64` derives from a documented
+//!   seed source (a `seed`-named binding/field/const, `fork()`, or
+//!   SplitMix64 `mix`), is a raw literal, or is ad-hoc arithmetic.
+//! * **Division guards** ([`div_guard_spans`]): `x == 0.0` comparisons
+//!   that exist only to guard a division by `x` (in the other branch,
+//!   or after an early return) — the float-eq rule exempts them, which
+//!   is what lets the allowlist shrink in this PR.
+//!
+//! Documented false-negative boundaries (shared by all three): calls
+//! and branches yield [`Qty::Unknown`] / [`Prov::Unknown`] rather than
+//! joining over targets or arms, and `.0` tuple fields carry no
+//! vocabulary.
+
+use crate::ast::{walk_expr, Ast, BinOp, Block, Expr, LitKind, Span, Stmt};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------
+
+/// A metric scale for energy/time quantities. Ordered fine-ward:
+/// multiplying a count by 1000 moves one step *down* the scale
+/// (joules → millijoules), dividing moves up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scale {
+    /// Base unit (joules, seconds).
+    Unit,
+    /// Thousandth (millijoules, milliseconds).
+    Milli,
+    /// Millionth (microjoules; microseconds are unused here).
+    Micro,
+}
+
+impl Scale {
+    fn step(self) -> i32 {
+        match self {
+            Scale::Unit => 0,
+            Scale::Milli => 1,
+            Scale::Micro => 2,
+        }
+    }
+
+    fn from_step(step: i32) -> Option<Scale> {
+        match step {
+            0 => Some(Scale::Unit),
+            1 => Some(Scale::Milli),
+            2 => Some(Scale::Micro),
+            _ => None,
+        }
+    }
+}
+
+/// The abstract quantity of an expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Qty {
+    /// Energy at a scale (`_j`, `_mj`, `_uj`).
+    Energy(Scale),
+    /// Time at a scale (`_s`, `_ms`).
+    Time(Scale),
+    /// Power (`_w`).
+    Power,
+    /// Byte counts (`_bytes`, `_kb`, `_mb`).
+    Bytes,
+    /// A dimensionless ratio of two same-unit quantities.
+    Ratio,
+    /// A numeric literal — polymorphic; the value (when representable)
+    /// feeds conversion-factor detection.
+    Num(Option<f64>),
+    /// Anything the analysis cannot classify.
+    Unknown,
+}
+
+impl Qty {
+    /// Whether the quantity carries a physical dimension (participates
+    /// in mixing checks).
+    pub fn is_material(self) -> bool {
+        matches!(
+            self,
+            Qty::Energy(_) | Qty::Time(_) | Qty::Power | Qty::Bytes
+        )
+    }
+
+    /// Human name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Qty::Energy(Scale::Unit) => "joules",
+            Qty::Energy(Scale::Milli) => "millijoules",
+            Qty::Energy(Scale::Micro) => "microjoules",
+            Qty::Time(Scale::Unit) => "seconds",
+            Qty::Time(Scale::Milli) => "milliseconds",
+            Qty::Time(Scale::Micro) => "microseconds",
+            Qty::Power => "watts",
+            Qty::Bytes => "bytes",
+            Qty::Ratio => "a ratio",
+            Qty::Num(_) => "a number",
+            Qty::Unknown => "unknown",
+        }
+    }
+
+    fn scale_shift(self, steps: i32) -> Qty {
+        match self {
+            Qty::Energy(s) => Scale::from_step(s.step() + steps)
+                .map(Qty::Energy)
+                .unwrap_or(self),
+            Qty::Time(s) => Scale::from_step(s.step() + steps)
+                .map(Qty::Time)
+                .unwrap_or(self),
+            other => other,
+        }
+    }
+}
+
+/// The vocabulary an identifier belongs to, from its last `_` segment
+/// (`total_energy_j` → joules). Single-segment whole-word matches
+/// (`joules`, `bytes`, …) count too; everything else has no vocabulary.
+pub fn vocab_of(ident: &str) -> Option<Qty> {
+    let last = ident.rsplit('_').next().unwrap_or(ident);
+    let l = last.to_ascii_lowercase();
+    match l.as_str() {
+        "j" | "joule" | "joules" => Some(Qty::Energy(Scale::Unit)),
+        "mj" | "millijoule" | "millijoules" => Some(Qty::Energy(Scale::Milli)),
+        "uj" | "microjoule" | "microjoules" => Some(Qty::Energy(Scale::Micro)),
+        "s" | "sec" | "secs" | "second" | "seconds" => Some(Qty::Time(Scale::Unit)),
+        "ms" | "milli" | "millis" | "millisecond" | "milliseconds" => Some(Qty::Time(Scale::Milli)),
+        "w" | "watt" | "watts" => Some(Qty::Power),
+        "byte" | "bytes" | "kb" | "mb" => Some(Qty::Bytes),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dimensional analysis
+// ---------------------------------------------------------------------
+
+/// One dimensional-analysis finding, anchored at a span.
+#[derive(Debug)]
+pub struct DimFinding {
+    /// Where (usually the operator token).
+    pub span: Span,
+    /// What mixed with what.
+    pub message: String,
+}
+
+/// Methods that preserve their receiver's dimension. The arguments of
+/// the comparing ones (`max`/`min`/`clamp`) are dimension-checked
+/// against the receiver.
+const DIM_PRESERVING: &[&str] = &["max", "min", "clamp", "abs", "floor", "ceil", "round"];
+
+struct DimCk<'a> {
+    src: &'a str,
+    env: HashMap<String, Qty>,
+    out: Vec<DimFinding>,
+}
+
+/// Runs dimensional analysis over one function body. `params` seeds the
+/// environment from parameter names.
+pub fn check_fn_dims(src: &str, params: &[String], body: &Block) -> Vec<DimFinding> {
+    let mut ck = DimCk {
+        src,
+        env: HashMap::new(),
+        out: Vec::new(),
+    };
+    for p in params {
+        if let Some(q) = vocab_of(p) {
+            ck.env.insert(p.clone(), q);
+        }
+    }
+    ck.block(body);
+    ck.out
+}
+
+impl<'a> DimCk<'a> {
+    fn block(&mut self, b: &Block) -> Qty {
+        let saved = self.env.clone();
+        let mut last = Qty::Unknown;
+        for stmt in &b.stmts {
+            last = Qty::Unknown;
+            match stmt {
+                Stmt::Let { pats, init, .. } => {
+                    let init_q = init.as_ref().map(|e| self.expr(e)).unwrap_or(Qty::Unknown);
+                    if pats.len() == 1 {
+                        let name = &pats[0];
+                        let named = vocab_of(name);
+                        if let (Some(nq), true) = (named, init_q.is_material()) {
+                            if nq != init_q {
+                                let span = init.as_ref().map(|e| e.span()).unwrap_or(b.span);
+                                self.out.push(DimFinding {
+                                    span,
+                                    message: format!(
+                                        "`{name}` ({}) is bound to a value in {}",
+                                        nq.name(),
+                                        init_q.name()
+                                    ),
+                                });
+                            }
+                        }
+                        let q = named.unwrap_or(init_q);
+                        self.env.insert(name.clone(), q);
+                    } else {
+                        for p in pats {
+                            let q = vocab_of(p).unwrap_or(Qty::Unknown);
+                            self.env.insert(p.clone(), q);
+                        }
+                    }
+                }
+                Stmt::Expr { expr, semi } => {
+                    let q = self.expr(expr);
+                    if !*semi {
+                        last = q;
+                    }
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+        self.env = saved;
+        last
+    }
+
+    fn bind_unknowns(&mut self, names: &[String]) {
+        for n in names {
+            let q = vocab_of(n).unwrap_or(Qty::Unknown);
+            self.env.insert(n.clone(), q);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Qty {
+        match e {
+            Expr::Lit { kind, span } => match kind {
+                LitKind::Float | LitKind::Int => Qty::Num(parse_num(span.text(self.src))),
+                _ => Qty::Unknown,
+            },
+            Expr::Path { segs, .. } => {
+                let last = segs.last().map(|s| s.as_str()).unwrap_or("");
+                if let Some(q) = vocab_of(last) {
+                    return q;
+                }
+                if segs.len() == 1 {
+                    if let Some(q) = self.env.get(last) {
+                        return *q;
+                    }
+                }
+                Qty::Unknown
+            }
+            Expr::Field { base, name, .. } => {
+                self.expr(base);
+                vocab_of(name).unwrap_or(Qty::Unknown)
+            }
+            Expr::Index { base, index, .. } => {
+                let q = self.expr(base);
+                self.expr(index);
+                q
+            }
+            Expr::Unary { expr, .. } | Expr::Ref { expr, .. } | Expr::Try { expr, .. } => {
+                self.expr(expr)
+            }
+            Expr::Cast { expr, .. } => self.expr(expr),
+            Expr::Binary {
+                op,
+                lhs,
+                rhs,
+                op_span,
+                ..
+            } => self.binary(*op, lhs, rhs, *op_span),
+            Expr::Assign {
+                lhs,
+                rhs,
+                op,
+                op_span,
+                ..
+            } => {
+                let lq = self.expr(lhs);
+                let rq = self.expr(rhs);
+                // Plain `=` and additive compounds (`+=`, `-=`) require
+                // matching dimensions; `*=` / `/=` rescale and are free.
+                let additive_compound = op.map(|o| o.is_additive()).unwrap_or(true);
+                if additive_compound && lq.is_material() && rq.is_material() && lq != rq {
+                    self.out.push(DimFinding {
+                        span: *op_span,
+                        message: format!(
+                            "assignment mixes {} with {} without a conversion",
+                            lq.name(),
+                            rq.name()
+                        ),
+                    });
+                }
+                Qty::Unknown
+            }
+            Expr::Call { callee, args, .. } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+                Qty::Unknown
+            }
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
+                let rq = self.expr(recv);
+                let arg_qs: Vec<Qty> = args.iter().map(|a| self.expr(a)).collect();
+                match method.as_str() {
+                    m if DIM_PRESERVING.contains(&m) => {
+                        if matches!(m, "max" | "min" | "clamp") {
+                            for (a, aq) in args.iter().zip(&arg_qs) {
+                                if rq.is_material() && aq.is_material() && rq != *aq {
+                                    self.out.push(DimFinding {
+                                        span: a.span(),
+                                        message: format!(
+                                            "`.{m}(…)` compares {} with {}",
+                                            rq.name(),
+                                            aq.name()
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                        rq
+                    }
+                    "as_secs_f64" | "as_secs" => Qty::Time(Scale::Unit),
+                    "as_millis" => Qty::Time(Scale::Milli),
+                    "as_micros" => Qty::Time(Scale::Micro),
+                    _ => Qty::Unknown,
+                }
+            }
+            Expr::Closure { params, body, .. } => {
+                let saved = self.env.clone();
+                self.bind_unknowns(params);
+                self.expr(body);
+                self.env = saved;
+                Qty::Unknown
+            }
+            Expr::Block(b) => self.block(b),
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(el) = else_ {
+                    self.expr(el);
+                }
+                Qty::Unknown
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee);
+                for (pats, body) in arms {
+                    let saved = self.env.clone();
+                    self.bind_unknowns(pats);
+                    self.expr(body);
+                    self.env = saved;
+                }
+                Qty::Unknown
+            }
+            Expr::Loop { cond, body, .. } => {
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.block(body);
+                Qty::Unknown
+            }
+            Expr::For {
+                pats, iter, body, ..
+            } => {
+                self.expr(iter);
+                let saved = self.env.clone();
+                self.bind_unknowns(pats);
+                self.block(body);
+                self.env = saved;
+                Qty::Unknown
+            }
+            Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+                Qty::Unknown
+            }
+            Expr::StructLit { fields, .. } => {
+                for (name, value) in fields {
+                    let vq = self.expr(value);
+                    if name == ".." {
+                        continue;
+                    }
+                    if let Some(fq) = vocab_of(name) {
+                        if vq.is_material() && vq != fq {
+                            self.out.push(DimFinding {
+                                span: value.span(),
+                                message: format!(
+                                    "field `{name}` ({}) is set from a value in {}",
+                                    fq.name(),
+                                    vq.name()
+                                ),
+                            });
+                        }
+                    }
+                }
+                Qty::Unknown
+            }
+            Expr::MacroCall { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                Qty::Unknown
+            }
+            Expr::Range { lo, hi, .. } => {
+                if let Some(l) = lo {
+                    self.expr(l);
+                }
+                if let Some(h) = hi {
+                    self.expr(h);
+                }
+                Qty::Unknown
+            }
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                for el in elems {
+                    self.expr(el);
+                }
+                Qty::Unknown
+            }
+            Expr::Opaque { .. } => Qty::Unknown,
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, op_span: Span) -> Qty {
+        let lq = self.expr(lhs);
+        let rq = self.expr(rhs);
+        if (op.is_additive() || op.is_comparison())
+            && lq.is_material()
+            && rq.is_material()
+            && lq != rq
+        {
+            self.out.push(DimFinding {
+                span: op_span,
+                message: format!(
+                    "`{}` mixes {} with {} without a conversion",
+                    op.text(),
+                    lq.name(),
+                    rq.name()
+                ),
+            });
+            return Qty::Unknown;
+        }
+        binary_result(op, lq, rq)
+    }
+}
+
+/// The result quantity of `lq op rq` (operands already checked).
+fn binary_result(op: BinOp, lq: Qty, rq: Qty) -> Qty {
+    use BinOp::*;
+    match op {
+        Add | Sub => match (lq, rq) {
+            (q, Qty::Num(_)) | (Qty::Num(_), q) => q,
+            (q, Qty::Ratio) | (Qty::Ratio, q) => q,
+            (a, b) if a == b => a,
+            _ => Qty::Unknown,
+        },
+        Mul => match (lq, rq) {
+            (Qty::Power, Qty::Time(s)) | (Qty::Time(s), Qty::Power) => Qty::Energy(s),
+            (q, Qty::Num(v)) | (Qty::Num(v), q) => match factor_steps(v) {
+                Some(steps) => q.scale_shift(steps),
+                None => q,
+            },
+            (q, Qty::Ratio) | (Qty::Ratio, q) => q,
+            _ => Qty::Unknown,
+        },
+        Div => match (lq, rq) {
+            (Qty::Energy(a), Qty::Time(b)) if a == b => Qty::Power,
+            (Qty::Energy(a), Qty::Power) => Qty::Time(a),
+            (a, b) if a.is_material() && a == b => Qty::Ratio,
+            (q, Qty::Num(v)) => match factor_steps(v) {
+                Some(steps) => q.scale_shift(-steps),
+                None => q,
+            },
+            (q, Qty::Ratio) => q,
+            _ => Qty::Unknown,
+        },
+        Rem => match (lq, rq) {
+            (q, Qty::Num(_)) => q,
+            (a, b) if a == b => a,
+            _ => Qty::Unknown,
+        },
+        Eq | Ne | Lt | Le | Gt | Ge | And | Or => Qty::Num(None),
+        BitAnd | BitOr | BitXor | Shl | Shr => Qty::Unknown,
+    }
+}
+
+/// Parses a numeric literal's value (underscores and type suffixes
+/// stripped) for conversion-factor detection.
+fn parse_num(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let cleaned = cleaned
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("usize")
+        .trim_end_matches("i64")
+        .trim_end_matches("i32");
+    cleaned.parse::<f64>().ok()
+}
+
+/// How many scale steps a multiplicative factor moves: 1000 → 1 step,
+/// 1 000 000 → 2 steps; anything else is not a conversion factor. The
+/// half-unit window stands in for exact equality so the check itself
+/// passes `api/float-eq` (source factors are exact literals anyway).
+fn factor_steps(v: Option<f64>) -> Option<i32> {
+    match v {
+        Some(x) if (x - 1_000.0).abs() < 0.5 => Some(1),
+        Some(x) if (x - 1_000_000.0).abs() < 0.5 => Some(2),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seed provenance
+// ---------------------------------------------------------------------
+
+/// Where a seed value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prov {
+    /// Derived from a documented seed source (`seed`-named binding or
+    /// field, `fork()`, SplitMix64 `mix`).
+    Blessed,
+    /// A bare numeric literal.
+    Literal,
+    /// Arithmetic over literals/unknowns with no blessed input.
+    Adhoc,
+    /// Cannot be classified (calls, foreign data).
+    Unknown,
+}
+
+/// Calls whose result is always blessed seed material.
+const BLESSED_CALLS: &[&str] = &["mix", "fork", "seed_from_u64"];
+
+/// Computes the provenance of `e` under `env` (let-bound locals).
+pub fn seed_prov(e: &Expr, env: &HashMap<String, Prov>) -> Prov {
+    match e {
+        Expr::Lit {
+            kind: LitKind::Int | LitKind::Float,
+            ..
+        } => Prov::Literal,
+        Expr::Lit { .. } => Prov::Unknown,
+        Expr::Path { segs, .. } => {
+            let last = segs.last().map(|s| s.as_str()).unwrap_or("");
+            if seed_named(last) {
+                return Prov::Blessed;
+            }
+            if segs.len() == 1 {
+                if let Some(p) = env.get(last) {
+                    return *p;
+                }
+            }
+            Prov::Unknown
+        }
+        Expr::Field { name, .. } => {
+            if seed_named(name) {
+                Prov::Blessed
+            } else {
+                Prov::Unknown
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Ref { expr, .. } | Expr::Cast { expr, .. } => {
+            seed_prov(expr, env)
+        }
+        Expr::Binary { lhs, rhs, .. } => join_prov(seed_prov(lhs, env), seed_prov(rhs, env)),
+        Expr::Call { callee, args, .. } => {
+            if let Some(name) = callee.path_last() {
+                if BLESSED_CALLS.contains(&name) || seed_named(name) {
+                    return Prov::Blessed;
+                }
+            }
+            args.iter()
+                .map(|a| seed_prov(a, env))
+                .fold(Prov::Unknown, |acc, p| {
+                    if p == Prov::Blessed {
+                        Prov::Blessed
+                    } else {
+                        acc
+                    }
+                })
+        }
+        Expr::MethodCall {
+            recv, method, args, ..
+        } => {
+            if BLESSED_CALLS.contains(&method.as_str()) || seed_named(method) {
+                return Prov::Blessed;
+            }
+            let base = seed_prov(recv, env);
+            args.iter().map(|a| seed_prov(a, env)).fold(base, join_prov)
+        }
+        _ => Prov::Unknown,
+    }
+}
+
+/// Combining two provenances in arithmetic: anything touching blessed
+/// material stays blessed; literal-involved arithmetic with no blessed
+/// input is ad-hoc.
+fn join_prov(a: Prov, b: Prov) -> Prov {
+    use Prov::*;
+    match (a, b) {
+        (Blessed, _) | (_, Blessed) => Blessed,
+        (Literal | Adhoc, _) | (_, Literal | Adhoc) => Adhoc,
+        (Unknown, Unknown) => Unknown,
+    }
+}
+
+/// Whether a name documents seed material (`seed`, `cfg.seed`,
+/// `CAPTURE_SEED`, `reseed`, …).
+pub fn seed_named(name: &str) -> bool {
+    name.to_ascii_lowercase().contains("seed")
+}
+
+/// Builds a flow-insensitive provenance environment for a function
+/// body: every single-binding `let` anywhere in the body records its
+/// initializer's provenance (in source order, so later lets see
+/// earlier ones).
+pub fn prov_env_of_fn(body: &Block) -> HashMap<String, Prov> {
+    let mut env = HashMap::new();
+    fn walk(b: &Block, env: &mut HashMap<String, Prov>) {
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let { pats, init, .. } => {
+                    if let Some(init) = init {
+                        visit_nested(init, env);
+                        if pats.len() == 1 {
+                            let p = seed_prov(init, env);
+                            env.insert(pats[0].clone(), p);
+                        }
+                    }
+                }
+                Stmt::Expr { expr, .. } => visit_nested(expr, env),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+    fn visit_nested(e: &Expr, env: &mut HashMap<String, Prov>) {
+        match e {
+            Expr::Block(b) => walk(b, env),
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                visit_nested(cond, env);
+                walk(then, env);
+                if let Some(el) = else_ {
+                    visit_nested(el, env);
+                }
+            }
+            Expr::Loop { cond, body, .. } => {
+                if let Some(c) = cond {
+                    visit_nested(c, env);
+                }
+                walk(body, env);
+            }
+            Expr::For { iter, body, .. } => {
+                visit_nested(iter, env);
+                walk(body, env);
+            }
+            _ => e.for_each_child(&mut |c| visit_nested(c, env)),
+        }
+    }
+    walk(body, &mut env);
+    env
+}
+
+// ---------------------------------------------------------------------
+// Division guards (float-eq exemptions)
+// ---------------------------------------------------------------------
+
+/// Byte ranges of `== 0.0` / `!= 0.0` comparison *operators* that guard
+/// a division by the compared name: the non-zero branch divides by it,
+/// or the zero branch diverges and a later statement divides by it.
+pub fn div_guard_spans(ast: &Ast) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    ast.for_each_fn(&mut |def, _| {
+        if let Some(body) = &def.body {
+            guard_block(body, &mut out);
+        }
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn guard_block(b: &Block, out: &mut Vec<(usize, usize)>) {
+    for (i, stmt) in b.stmts.iter().enumerate() {
+        let exprs: Vec<&Expr> = match stmt {
+            Stmt::Let { init, .. } => init.iter().collect(),
+            Stmt::Expr { expr, .. } => vec![expr],
+            Stmt::Item(_) => Vec::new(),
+        };
+        for e in exprs {
+            walk_expr(e, &mut |ex| {
+                if let Expr::If {
+                    cond, then, else_, ..
+                } = ex
+                {
+                    check_guard(cond, then, else_.as_deref(), &b.stmts[i + 1..], out);
+                }
+            });
+        }
+    }
+}
+
+/// Collects `name == 0.0`-style comparisons in `cond` (under `||`/`&&`
+/// chains) and exempts each whose guarded region divides by `name`.
+fn check_guard(
+    cond: &Expr,
+    then: &Block,
+    else_: Option<&Expr>,
+    rest: &[Stmt],
+    out: &mut Vec<(usize, usize)>,
+) {
+    let mut comparisons = Vec::new();
+    collect_zero_cmps(cond, &mut comparisons);
+    for (name, is_eq, op_span) in comparisons {
+        // For `== 0.0` the division lives in the else branch (or after
+        // a diverging then); for `!= 0.0` it lives in the then branch.
+        let mut ok = if is_eq {
+            else_.is_some_and(|e| expr_divides_by(e, &name))
+        } else {
+            block_divides_by(then, &name)
+        };
+        if !ok && is_eq && else_.is_none() && block_diverges(then) {
+            ok = rest.iter().any(|s| stmt_divides_by(s, &name));
+        }
+        if ok {
+            out.push((op_span.start, op_span.end));
+        }
+    }
+}
+
+/// Extracts `(name, is_eq, op_span)` from zero-comparisons in a
+/// condition, descending `||`/`&&`.
+fn collect_zero_cmps(cond: &Expr, out: &mut Vec<(String, bool, Span)>) {
+    match cond {
+        Expr::Binary {
+            op: BinOp::Or | BinOp::And,
+            lhs,
+            rhs,
+            ..
+        } => {
+            collect_zero_cmps(lhs, out);
+            collect_zero_cmps(rhs, out);
+        }
+        Expr::Binary {
+            op: op @ (BinOp::Eq | BinOp::Ne),
+            lhs,
+            rhs,
+            op_span,
+            ..
+        } => {
+            let name = match (simple_name(lhs), simple_name(rhs)) {
+                (Some(n), None) if is_zero_float(rhs) => Some(n),
+                (None, Some(n)) if is_zero_float(lhs) => Some(n),
+                _ => None,
+            };
+            if let Some(n) = name {
+                out.push((n, *op == BinOp::Eq, *op_span));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn simple_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } => segs.last().cloned(),
+        Expr::Field { name, .. } => Some(name.clone()),
+        _ => None,
+    }
+}
+
+fn is_zero_float(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Lit {
+            kind: LitKind::Float,
+            ..
+        }
+    )
+}
+
+/// Whether a block's control flow always leaves the enclosing function
+/// or loop (its last statement is `return`/`break`/`continue`).
+fn block_diverges(b: &Block) -> bool {
+    match b.stmts.last() {
+        Some(Stmt::Expr { expr, .. }) => matches!(expr, Expr::Jump { .. }),
+        _ => false,
+    }
+}
+
+fn block_divides_by(b: &Block, name: &str) -> bool {
+    let mut found = false;
+    crate::ast::walk_block(b, &mut |e| {
+        if expr_is_div_by(e, name) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn expr_divides_by(e: &Expr, name: &str) -> bool {
+    let mut found = false;
+    walk_expr(e, &mut |ex| {
+        if expr_is_div_by(ex, name) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn stmt_divides_by(s: &Stmt, name: &str) -> bool {
+    match s {
+        Stmt::Let { init, .. } => init.as_ref().is_some_and(|e| expr_divides_by(e, name)),
+        Stmt::Expr { expr, .. } => expr_divides_by(expr, name),
+        Stmt::Item(_) => false,
+    }
+}
+
+/// Whether `e` is a division (or `/=`) whose divisor mentions `name`.
+fn expr_is_div_by(e: &Expr, name: &str) -> bool {
+    let divisor = match e {
+        Expr::Binary {
+            op: BinOp::Div,
+            rhs,
+            ..
+        } => rhs,
+        Expr::Assign {
+            op: Some(BinOp::Div),
+            rhs,
+            ..
+        } => rhs,
+        _ => return false,
+    };
+    let mut mentions = false;
+    walk_expr(divisor, &mut |d| {
+        let hit = match d {
+            Expr::Path { segs, .. } => segs.last().is_some_and(|s| s == name),
+            Expr::Field { name: f, .. } => f == name,
+            _ => false,
+        };
+        if hit {
+            mentions = true;
+        }
+    });
+    mentions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+    use crate::lexer::lex;
+
+    fn dims_of(src: &str) -> Vec<String> {
+        let ast = parse_file(src, &lex(src));
+        assert!(ast.errors.is_empty(), "{:?}", ast.errors);
+        let mut out = Vec::new();
+        ast.for_each_fn(&mut |def, _| {
+            if let Some(b) = &def.body {
+                for f in check_fn_dims(src, &def.params, b) {
+                    out.push(f.message);
+                }
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let src = "fn f(idle_w: f64, dwell_s: f64, total_j: f64) -> f64 {\n\
+                   total_j + idle_w * dwell_s\n}";
+        assert!(dims_of(src).is_empty(), "{:?}", dims_of(src));
+    }
+
+    #[test]
+    fn joules_plus_seconds_is_flagged() {
+        let src = "fn f(a_j: f64, b_s: f64) -> f64 { a_j + b_s }";
+        let found = dims_of(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("joules") && found[0].contains("seconds"));
+    }
+
+    #[test]
+    fn compound_expressions_are_seen_through() {
+        // The old token-level rule missed mixes behind parentheses.
+        let src = "fn f(a_j: f64, b_s: f64, c_j: f64) -> f64 { (a_j + c_j) - (b_s * 2.0) }";
+        let found = dims_of(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn scale_conversion_requires_the_factor() {
+        let ok = "fn f(x_mj: f64) -> f64 { let y_j = x_mj / 1_000.0; y_j }";
+        assert!(dims_of(ok).is_empty(), "{:?}", dims_of(ok));
+        let bad = "fn f(x_mj: f64) -> f64 { let y_j = x_mj; y_j }";
+        assert_eq!(dims_of(bad).len(), 1, "{:?}", dims_of(bad));
+        let up = "fn f(x_s: f64) -> f64 { let y_ms = x_s * 1_000.0; y_ms }";
+        assert!(dims_of(up).is_empty(), "{:?}", dims_of(up));
+    }
+
+    #[test]
+    fn energy_over_time_is_power_and_ratios_are_free() {
+        let src = "fn f(e_j: f64, t_s: f64, p_w: f64) -> f64 {\n\
+                   let avg_w = e_j / t_s;\n    avg_w + p_w\n}";
+        assert!(dims_of(src).is_empty(), "{:?}", dims_of(src));
+        let src2 = "fn f(a_j: f64, b_j: f64, frac: f64) -> f64 { frac * (a_j / b_j) }";
+        assert!(dims_of(src2).is_empty(), "{:?}", dims_of(src2));
+    }
+
+    #[test]
+    fn max_with_mixed_dimensions_is_flagged() {
+        let src = "fn f(a_j: f64, b_s: f64) -> f64 { a_j.max(b_s) }";
+        assert_eq!(dims_of(src).len(), 1, "{:?}", dims_of(src));
+    }
+
+    #[test]
+    fn seed_provenance_lattice() {
+        let src = "fn f() { let rng = Xoshiro256::seed_from_u64(3); }";
+        let ast = parse_file(src, &lex(src));
+        let mut checked = false;
+        ast.for_each_fn(&mut |def, _| {
+            let body = def.body.as_ref().expect("body");
+            let env = prov_env_of_fn(body);
+            crate::ast::walk_block(body, &mut |e| {
+                if let Expr::Call { callee, args, .. } = e {
+                    if callee.path_last() == Some("seed_from_u64") {
+                        assert_eq!(seed_prov(&args[0], &env), Prov::Literal);
+                        checked = true;
+                    }
+                }
+            });
+        });
+        assert!(checked);
+    }
+
+    #[test]
+    fn blessed_provenance_propagates_through_lets_and_mixing() {
+        let src = "fn f(cfg_seed: u64, key: u64) {\n\
+                   let identity = SplitMix64::mix(key) ^ 0x9e37;\n\
+                   let rng = Xoshiro256::seed_from_u64(identity);\n}";
+        let ast = parse_file(src, &lex(src));
+        let mut prov = None;
+        ast.for_each_fn(&mut |def, _| {
+            let body = def.body.as_ref().expect("body");
+            let env = prov_env_of_fn(body);
+            crate::ast::walk_block(body, &mut |e| {
+                if let Expr::Call { callee, args, .. } = e {
+                    if callee.path_last() == Some("seed_from_u64") {
+                        prov = Some(seed_prov(&args[0], &env));
+                    }
+                }
+            });
+        });
+        assert_eq!(prov, Some(Prov::Blessed));
+    }
+
+    #[test]
+    fn div_guard_detects_both_shapes() {
+        let src = "fn f(span: f64, work: f64) -> f64 {\n\
+                   if span == 0.0 { 1.0 } else { work / span }\n}";
+        let ast = parse_file(src, &lex(src));
+        assert_eq!(div_guard_spans(&ast).len(), 1);
+
+        let early = "fn g(secs: f64, j: f64) -> f64 {\n\
+                     if secs == 0.0 { return 0.0; }\n    j / secs\n}";
+        let ast = parse_file(early, &lex(early));
+        assert_eq!(div_guard_spans(&ast).len(), 1);
+
+        let unguarded = "fn h(x: f64) -> bool { x == 0.0 }";
+        let ast = parse_file(unguarded, &lex(unguarded));
+        assert!(div_guard_spans(&ast).is_empty());
+    }
+}

@@ -6,8 +6,10 @@
 //! to the same standard it enforces.
 
 use crate::allow;
+use crate::ast::{self, Ast};
 use crate::callgraph::{self, Taint};
 use crate::config::Policy;
+use crate::dataflow;
 use crate::diag::Diagnostic;
 use crate::items::{self, FileModel};
 use crate::rules::{self, FileKind, RuleCtx, ALL_RULES};
@@ -30,11 +32,26 @@ pub struct Outcome {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files analyzed.
     pub files_scanned: usize,
+    /// Total narrow parse errors across all files. Must be zero over the
+    /// real workspace (`BENCH_lint.json` asserts it): an unparsed
+    /// expression is an unchecked expression.
+    pub parse_errors: usize,
+    /// Surviving findings per rule id (zero-count rules included, so the
+    /// report schema is stable).
+    pub findings_by_rule: BTreeMap<String, usize>,
 }
 
 /// Lints a set of in-memory files (the testable core — fixtures and the
 /// workspace walk both funnel through here).
 pub fn lint_files(files: &[SourceFile], policy: &Policy) -> Outcome {
+    lint_files_opts(files, policy, true)
+}
+
+/// [`lint_files`] with the allowlist made optional: `honor_allows =
+/// false` reports findings that in-source `lint:allow` directives would
+/// suppress (the mutant-detection teeth check runs this way to prove the
+/// par-safety rules see the seeded defects under their justifications).
+pub fn lint_files_opts(files: &[SourceFile], policy: &Policy, honor_allows: bool) -> Outcome {
     // Group files by crate for the taint analysis.
     let mut models: Vec<(usize, FileModel)> = Vec::new();
     let mut by_crate: BTreeMap<String, Vec<usize>> = BTreeMap::new();
@@ -45,13 +62,16 @@ pub fn lint_files(files: &[SourceFile], policy: &Policy) -> Outcome {
             .or_default()
             .push(i);
     }
+    let asts: Vec<Ast> = models
+        .iter()
+        .map(|(i, m)| ast::parse_file(&files[*i].text, &m.tokens))
+        .collect();
+    let parse_errors = asts.iter().map(|a| a.errors.len()).sum();
 
     let mut taints: BTreeMap<String, Taint> = BTreeMap::new();
     for (krate, idxs) in &by_crate {
-        let pairs: Vec<(&str, &FileModel)> = idxs
-            .iter()
-            .map(|&i| (files[i].text.as_str(), &models[i].1))
-            .collect();
+        let pairs: Vec<(&FileModel, &Ast)> =
+            idxs.iter().map(|&i| (&models[i].1, &asts[i])).collect();
         taints.insert(krate.clone(), callgraph::taint_for_crate(&pairs));
     }
 
@@ -59,9 +79,12 @@ pub fn lint_files(files: &[SourceFile], policy: &Policy) -> Outcome {
     for (i, model) in &models {
         let f = &files[*i];
         let krate = crate_of(&f.rel_path);
+        let guards = dataflow::div_guard_spans(&asts[*i]);
         let ctx = RuleCtx {
             src: &f.text,
             model,
+            ast: &asts[*i],
+            guards: &guards,
             file: &f.rel_path,
             crate_name: krate,
             kind: kind_of(&f.rel_path),
@@ -70,24 +93,42 @@ pub fn lint_files(files: &[SourceFile], policy: &Policy) -> Outcome {
         };
         let mut file_diags = Vec::new();
         rules::run_all(&ctx, &mut file_diags);
-        let (allows, bad_allows) = allow::parse(&f.text, model, &f.rel_path, ALL_RULES);
-        file_diags.retain(|d| !allow::suppressed(&allows, &d.rule, d.line));
-        diags.extend(bad_allows);
+        if honor_allows {
+            let (allows, bad_allows) = allow::parse(&f.text, model, &f.rel_path, ALL_RULES);
+            file_diags.retain(|d| !allow::suppressed(&allows, &d.rule, d.line));
+            diags.extend(bad_allows);
+        }
         diags.extend(file_diags);
     }
 
     diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     diags.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
 
+    let mut findings_by_rule: BTreeMap<String, usize> =
+        ALL_RULES.iter().map(|r| (r.to_string(), 0)).collect();
+    for d in &diags {
+        *findings_by_rule.entry(d.rule.clone()).or_insert(0) += 1;
+    }
+
     Outcome {
         diagnostics: diags,
         files_scanned: files.len(),
+        parse_errors,
+        findings_by_rule,
     }
 }
 
 /// Lints the workspace rooted at `root`, honoring `root/lint.toml` when
 /// present (falling back to the built-in policy).
 pub fn lint_root(root: &Path) -> Result<Outcome, String> {
+    lint_root_opts(root, true)
+}
+
+/// [`lint_root`] with the allowlist made optional — the workspace-wide
+/// counterpart of [`lint_files_opts`]. `lint_all --no-allow` runs this
+/// with `honor_allows = false` so CI can prove the justified allows
+/// still sit on real findings (mutant-detection check).
+pub fn lint_root_opts(root: &Path, honor_allows: bool) -> Result<Outcome, String> {
     let policy = load_policy(root)?;
     let mut files = Vec::new();
     let excludes = policy.list("paths.exclude");
@@ -106,7 +147,7 @@ pub fn lint_root(root: &Path) -> Result<Outcome, String> {
             text,
         });
     }
-    Ok(lint_files(&files, &policy))
+    Ok(lint_files_opts(&files, &policy, honor_allows))
 }
 
 /// Loads `root/lint.toml`, or the built-in policy when absent.

@@ -13,9 +13,13 @@
 //!
 //! `ewb-lint` enforces both statically, from scratch: a hand-rolled Rust
 //! [`lexer`] (raw strings, lifetimes, nested block comments) feeds an
-//! item-level analyzer ([`items`]) and a crate-level serialization-taint
-//! approximation ([`callgraph`]), over which eight [`rules`] run. Findings
-//! can be suppressed *only* with an in-source justification
+//! item-level analyzer ([`items`]) and a total recursive-descent parser
+//! ([`ast`]) whose expression trees power the [`dataflow`] passes
+//! (dimensional analysis, division-guard proofs, seed provenance) and a
+//! crate-level serialization-taint approximation ([`callgraph`]); eleven
+//! [`rules`] across five families (determinism, units, parallel, rng,
+//! API hygiene) run over all of it. Findings can be suppressed
+//! *only* with an in-source justification
 //! ([`allow`]: `// lint:allow(<rule>) <why>`) or scoped by the workspace
 //! [`config`] (`lint.toml`).
 //!
@@ -44,8 +48,10 @@
 //! ```
 
 pub mod allow;
+pub mod ast;
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod items;

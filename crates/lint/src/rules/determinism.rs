@@ -11,11 +11,17 @@ use crate::lexer::TokenKind;
 use std::collections::BTreeSet;
 
 /// `determinism/wall-clock` — forbid `Instant`/`SystemTime`/`std::time`
-/// outside the crates the policy allows (benchmarks measure real time by
-/// design; the simulation must not).
+/// outside the crates (`allowed_crates`) and individual files
+/// (`allowed_files`) the policy allows. Benchmarks — and the lint
+/// driver's own `--timing` mode — measure real time by design; the
+/// simulation must not.
 pub fn wall_clock(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     let allowed = ctx.policy.list("rules.wall-clock.allowed_crates");
     if allowed.iter().any(|c| c == ctx.crate_name) {
+        return;
+    }
+    let allowed_files = ctx.policy.list("rules.wall-clock.allowed_files");
+    if allowed_files.iter().any(|f| f == ctx.file) {
         return;
     }
     for ci in 0..ctx.model.code.len() {

@@ -142,9 +142,16 @@ pub fn no_f32(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
 
 /// `api/float-eq` — `==`/`!=` with a float-literal operand, outside the
 /// approved epsilon helpers named by the policy. Exact comparison is
-/// occasionally right (a zero guard before division, an IEEE-exact
-/// sentinel); those sites carry a `lint:allow(api/float-eq)` with the
-/// reason, which is the point: exactness becomes a reviewed decision.
+/// occasionally right; two escapes exist:
+///
+/// * **proven division guards** are exempt automatically: the dataflow
+///   pass ([`crate::dataflow::div_guard_spans`]) proves `x == 0.0` guards
+///   a division by `x` (the non-zero branch divides, or the zero branch
+///   diverges and a later statement divides), so the exact comparison is
+///   the correct IEEE idiom and needs no justification;
+/// * everything else (an IEEE-exact sentinel, a subgradient branch)
+///   carries a `lint:allow(api/float-eq)` with the reason, which is the
+///   point: exactness stays a reviewed decision.
 pub fn float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     if ctx.kind == FileKind::Test {
         return;
@@ -153,6 +160,13 @@ pub fn float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for ci in 0..ctx.model.code.len() {
         let Some(tok) = ctx.ctok(ci) else { continue };
         if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        if ctx
+            .guards
+            .iter()
+            .any(|&(s, e)| tok.start >= s && tok.start < e)
+        {
             continue;
         }
         let op = ctx.ctext(ci).unwrap_or("");

@@ -1,22 +1,28 @@
 //! The rule catalog and the shared per-file rule context.
 //!
-//! Three families, eight rules:
+//! Five families, eleven rules:
 //!
 //! | id | family | what it forbids |
 //! |----|--------|-----------------|
-//! | `determinism/wall-clock`  | determinism | `Instant::now` / `SystemTime` / `std::time` outside crates the policy allows (`bench`) |
+//! | `determinism/wall-clock`  | determinism | `Instant::now` / `SystemTime` / `std::time` outside crates/files the policy allows (`bench`, the lint timer) |
 //! | `determinism/hash-iter`   | determinism | iterating `HashMap`/`HashSet` in functions that transitively feed serialization, goldens, or `Recorder` events; serializable structs with hash-ordered fields |
 //! | `determinism/ambient-rng` | determinism | `thread_rng` / `rand::` / OS entropy outside `simcore::rng` |
-//! | `units/mix`          | units | `+ - < <= > >= == !=` between identifiers from different unit vocabularies (J vs s vs ms vs W vs bytes) with no conversion call |
-//! | `units/cross-assign` | units | bare assignment of a value from one unit vocabulary to a name from another |
+//! | `units/dim` | units | dimensionally ill-typed arithmetic over the `_j/_mj/_uj/_s/_ms/_w/_bytes` vocabulary: `a_j + b_s`, unit-scale reassignment without a `/ 1_000.0`-style factor, mixes inside compound expressions (`(a_j + c_j) - b_s * 2.0`) |
+//! | `parallel/shared-mut`      | parallel | mutating captured state inside a thread-`spawn` closure (assignment, `&mut`, or a mutating method on a name not bound in the closure) |
+//! | `parallel/unordered-join`  | parallel | destroying worker join order before an indexed reduce: reordering a per-worker result vec, or filling result slots positionally while discarding the unit index |
+//! | `parallel/lossy-merge`     | parallel | merging per-worker counters with `max()`/`min()` (the lost-update outcome of an unsynchronized shared counter) instead of a sum |
+//! | `rng/seed-provenance` | rng | `seed_from_u64` with a raw literal or ad-hoc arithmetic seed; sim-path RNGs must derive from `fork()`/`seed`-named values/SplitMix64 mixing |
 //! | `api/no-unwrap` | hygiene | bare `unwrap()`, message-less or context-free `panic!`, `todo!`, `unimplemented!`, empty `expect("")` in non-test library code |
 //! | `api/no-f32`    | hygiene | `f32` (type or literal suffix) in energy/time crates |
-//! | `api/float-eq`  | hygiene | `==`/`!=` against float literals outside approved epsilon helpers |
+//! | `api/float-eq`  | hygiene | `==`/`!=` against float literals outside approved epsilon helpers and proven division guards |
 
 pub mod determinism;
 pub mod hygiene;
-pub mod units;
+pub mod par_safety;
+pub mod seed_prov;
+pub mod units_dim;
 
+use crate::ast::{Ast, Span};
 use crate::callgraph::Taint;
 use crate::config::Policy;
 use crate::diag::Diagnostic;
@@ -28,8 +34,11 @@ pub const ALL_RULES: &[&str] = &[
     "determinism/wall-clock",
     "determinism/hash-iter",
     "determinism/ambient-rng",
-    "units/mix",
-    "units/cross-assign",
+    "units/dim",
+    "parallel/shared-mut",
+    "parallel/unordered-join",
+    "parallel/lossy-merge",
+    "rng/seed-provenance",
     "api/no-unwrap",
     "api/no-f32",
     "api/float-eq",
@@ -52,6 +61,13 @@ pub struct RuleCtx<'a> {
     pub src: &'a str,
     /// Analyzed structure.
     pub model: &'a FileModel,
+    /// Expression-level AST (total: parses every file, recovering with
+    /// `Opaque` nodes on constructs it cannot model).
+    pub ast: &'a Ast,
+    /// Byte ranges of `==`/`!=` operators proven to be division guards
+    /// (see [`crate::dataflow::div_guard_spans`]); `api/float-eq` skips
+    /// them.
+    pub guards: &'a [(usize, usize)],
     /// Workspace-relative path.
     pub file: &'a str,
     /// Crate name (`net`, `obs`, …; `workspace` for top-level tests).
@@ -123,6 +139,18 @@ impl<'a> RuleCtx<'a> {
             hint: hint.to_string(),
         }
     }
+
+    /// Emits a diagnostic anchored at an AST span.
+    pub fn diag_span(&self, span: Span, rule: &str, message: String, hint: &str) -> Diagnostic {
+        Diagnostic {
+            file: self.file.to_string(),
+            line: span.line.max(1),
+            col: span.col.max(1),
+            rule: rule.to_string(),
+            message,
+            hint: hint.to_string(),
+        }
+    }
 }
 
 /// Runs every rule over one file.
@@ -130,8 +158,11 @@ pub fn run_all(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     determinism::wall_clock(ctx, out);
     determinism::hash_iter(ctx, out);
     determinism::ambient_rng(ctx, out);
-    units::mix(ctx, out);
-    units::cross_assign(ctx, out);
+    units_dim::dim(ctx, out);
+    par_safety::shared_mut(ctx, out);
+    par_safety::unordered_join(ctx, out);
+    par_safety::lossy_merge(ctx, out);
+    seed_prov::seed_provenance(ctx, out);
     hygiene::no_unwrap(ctx, out);
     hygiene::no_f32(ctx, out);
     hygiene::float_eq(ctx, out);

@@ -1,0 +1,63 @@
+//! `rng/seed-provenance` — every RNG seeded on a sim path must be able
+//! to say where its seed came from.
+//!
+//! The reproduction's determinism story is *seed discipline*: one root
+//! seed, expanded with SplitMix64 (`SplitMix64::mix`), forked per
+//! subsystem (`rng.fork(tag)`), threaded through `seed`-named bindings
+//! and config fields. A `Xoshiro256::seed_from_u64(3)` buried in a sim
+//! path silently detaches that code from the root seed — two experiment
+//! configs that should explore different worlds share one, and sweeping
+//! the root seed no longer sweeps everything.
+//!
+//! The rule evaluates the seed argument of every `seed_from_u64` call in
+//! non-test code under the provenance lattice in [`crate::dataflow`]:
+//!
+//! * **Blessed** (fine): derived from `mix`/`fork`/`seed_from_u64`
+//!   calls, a `seed`-named binding/field/const, or arithmetic touching
+//!   any of those (documented mixing like `base ^ SplitMix64::mix(k)`);
+//! * **Literal** (finding): a bare numeric literal;
+//! * **Adhoc** (finding): arithmetic over literals/unknowns with no
+//!   blessed input (`i * 31 + 7`-style homebrew);
+//! * **Unknown** (fine): calls or foreign data the lattice cannot
+//!   classify — flagging those would punish indirection, not bad seeds.
+
+use super::{Diagnostic, FileKind, RuleCtx};
+use crate::ast::{walk_block, Expr};
+use crate::dataflow::{self, Prov};
+
+/// Checks seed provenance at every `seed_from_u64` call site.
+pub fn seed_provenance(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.kind == FileKind::Test {
+        return;
+    }
+    ctx.ast.for_each_fn(&mut |def, in_test| {
+        if in_test {
+            return;
+        }
+        let Some(body) = &def.body else { return };
+        let env = dataflow::prov_env_of_fn(body);
+        walk_block(body, &mut |e| {
+            let args = match e {
+                Expr::Call { callee, args, .. } if callee.path_last() == Some("seed_from_u64") => {
+                    args
+                }
+                Expr::MethodCall { method, args, .. } if method == "seed_from_u64" => args,
+                _ => return,
+            };
+            let Some(arg) = args.first() else { return };
+            let what = match dataflow::seed_prov(arg, &env) {
+                Prov::Literal => "a raw literal",
+                Prov::Adhoc => "ad-hoc arithmetic with no documented seed input",
+                Prov::Blessed | Prov::Unknown => return,
+            };
+            let text = arg.span().text(ctx.src);
+            out.push(ctx.diag_span(
+                arg.span(),
+                "rng/seed-provenance",
+                format!("RNG seeded from {what} (`{text}`)"),
+                "derive the seed from the root: a `seed`-named config value, \
+                 `rng.fork(tag)`, or `SplitMix64::mix` of a profile key",
+            ));
+        });
+    });
+}

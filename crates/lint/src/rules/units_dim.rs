@@ -1,0 +1,36 @@
+//! `units/dim` — dimensional analysis over the unit-suffix vocabulary.
+//!
+//! The old token rule (`units/mix`) compared the two identifiers flanking
+//! an operator, so `(a_j + c_j) - b_s * 2.0` slipped through: the mix
+//! hides behind a parenthesized subexpression. This rule runs the
+//! abstract interpreter in [`crate::dataflow`] over every non-test
+//! function body instead: each expression gets a quantity (`J`, `s`,
+//! `ms`, `W`, `bytes`, dimensionless), `W × s` multiplies out to `J`,
+//! `J / s` to `W`, scale changes (`_mj` → `_j`) demand the matching
+//! `/ 1_000.0` factor, and additive/comparison/assignment mixes of
+//! different materials are findings wherever they occur in the tree.
+
+use super::{Diagnostic, FileKind, RuleCtx};
+use crate::dataflow;
+
+/// Runs the dimensional checker over every non-test function.
+pub fn dim(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.kind == FileKind::Test {
+        return;
+    }
+    ctx.ast.for_each_fn(&mut |def, in_test| {
+        if in_test {
+            return;
+        }
+        let Some(body) = &def.body else { return };
+        for finding in dataflow::check_fn_dims(ctx.src, &def.params, body) {
+            out.push(ctx.diag_span(
+                finding.span,
+                "units/dim",
+                finding.message,
+                "convert explicitly (`* 1_000.0` per scale step) or rename the binding \
+                 to its true unit",
+            ));
+        }
+    });
+}

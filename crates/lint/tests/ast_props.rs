@@ -1,0 +1,182 @@
+//! Parser robustness properties: `parse_file` must be *total* over
+//! anything the lexer accepts — never panic, never loop (the fuel
+//! budget bounds work), and every span it records must be a valid,
+//! in-bounds, token-aligned slice of the source (`validate_spans`
+//! returns no violations). Recovery may produce `Opaque` nodes and
+//! narrow errors; it may never produce a lie about where code lives.
+
+use ewb_lint::ast::{parse_file, validate_spans};
+use ewb_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Parse a source string and assert the structural invariants that hold
+/// for *any* input, well-formed or garbage.
+fn assert_parser_invariants(src: &str) {
+    let tokens = lex(src);
+    let ast = parse_file(src, &tokens);
+    let violations = validate_spans(&ast, src);
+    assert!(
+        violations.is_empty(),
+        "invalid spans on input {src:?}: {violations:?}"
+    );
+}
+
+/// Fragment soup biased toward *parser* structure: statement keywords,
+/// operators with tricky precedence, delimiters that can unbalance, and
+/// construct heads that trigger every branch of the recursive descent.
+const ATOMS: &[&str] = &[
+    "fn f()",
+    "fn",
+    "let",
+    "let mut x =",
+    "if",
+    "else",
+    "match",
+    "loop",
+    "while",
+    "for",
+    "in",
+    "move",
+    "return",
+    "break",
+    "continue",
+    "'outer:",
+    "continue 'outer",
+    "impl T for U",
+    "struct S",
+    "enum E",
+    "trait T",
+    "mod m",
+    "use a::b::*",
+    "pub",
+    "unsafe",
+    "async",
+    "x",
+    "__x",
+    "self",
+    "Self::new",
+    "a::b::<C>::d",
+    "0",
+    "1.5e3",
+    "0x_ff",
+    "\"s\"",
+    "'c'",
+    "b\"bytes\"",
+    "|a, b|",
+    "||",
+    "|",
+    "&mut",
+    "&",
+    "*",
+    "..",
+    "..=",
+    "...",
+    "=>",
+    "->",
+    "::",
+    ".",
+    ".await",
+    "?",
+    "as",
+    "as usize",
+    "+",
+    "-",
+    "==",
+    "!=",
+    "<=",
+    ">>",
+    "<<=",
+    "&&",
+    "||=",
+    "+=",
+    "=",
+    ";",
+    ",",
+    ":",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    "#[derive(Debug)]",
+    "#![allow(dead_code)]",
+    "macro_rules! m",
+    "vec![1, 2]",
+    "println!(\"{}\", x)",
+    "if let Some(v) = o",
+    "Point { x: 1, ..p }",
+    "// line\n",
+    "/* block */",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parsing_never_panics_and_spans_stay_valid_on_fragment_soup(
+        picks in proptest::collection::vec(0usize..512, 0..48)
+    ) {
+        let src: String = picks
+            .iter()
+            .map(|&i| ATOMS[i % ATOMS.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_parser_invariants(&src);
+    }
+
+    #[test]
+    fn parsing_never_panics_on_arbitrary_low_ascii_and_multibyte(
+        codes in proptest::collection::vec(1u32..0x2000, 0..96)
+    ) {
+        let src: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        assert_parser_invariants(&src);
+    }
+
+    #[test]
+    fn parsing_survives_deep_nesting_without_overflow(
+        which in 0usize..5,
+        depth in 1usize..600
+    ) {
+        // Depth beyond MAX_DEPTH must degrade to Opaque recovery, not a
+        // stack overflow; below it, spans must still validate.
+        let open = ["(", "[", "{", "if x {", "&"][which];
+        let mut src = String::from("fn f() { let x = ");
+        for _ in 0..depth {
+            src.push_str(open);
+            src.push(' ');
+        }
+        src.push_str("0 ; }");
+        assert_parser_invariants(&src);
+    }
+
+    #[test]
+    fn truncated_real_code_still_parses_totally(
+        cut in 0usize..400
+    ) {
+        // Chop a well-formed function at every byte boundary: recovery
+        // must absorb the missing tail without panicking.
+        let whole = r#"
+            pub fn drain(&mut self, now_s: f64) -> Result<Vec<u64>, Error> {
+                let mut out = Vec::with_capacity(self.queue.len());
+                for (i, item) in self.queue.iter().enumerate() {
+                    match item.state {
+                        State::Ready if item.at_s <= now_s => out.push(i as u64),
+                        State::Waiting { until_s } => {
+                            if until_s > now_s { break; }
+                        }
+                        _ => continue,
+                    }
+                }
+                Ok(out)
+            }
+        "#;
+        let mut cut = cut.min(whole.len());
+        while !whole.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        assert_parser_invariants(&whole[..cut]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Parser torture file for the golden AST dump: one of everything the
+//! rule families walk — units arithmetic, spawn closures, match arms
+//! with guards, labeled loops, casts, ranges, struct literals, macros,
+//! try/await chains, and nested items.
+
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+pub struct Draw {
+    pub energy_j: f64,
+    pub elapsed_s: f64,
+}
+
+impl Draw {
+    pub fn power_w(&self) -> f64 {
+        self.energy_j / self.elapsed_s.max(1e-9)
+    }
+}
+
+pub fn torture(cfg: &Config, xs: &[u64]) -> Result<Draw, Error> {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let scale_mj = (cfg.base_j * 1_000.0) as u64;
+    let mut total_j = 0.0_f64;
+    'outer: for (i, &x) in xs.iter().enumerate() {
+        if x == 0 {
+            continue 'outer;
+        }
+        let bucket = match x % 3 {
+            0 => "idle",
+            1 if i > 4 => "dch",
+            _ => {
+                break 'outer;
+            }
+        };
+        total_j += (x as f64) * cfg.step_w * cfg.tick_s;
+        let _ = bucket;
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let shard = Arc::clone(&cfg.shard);
+            std::thread::spawn(move || {
+                let mut local = 0u64;
+                for v in shard.iter().skip(w).step_by(4) {
+                    local += v?;
+                }
+                Ok::<u64, Error>(local ^ rng.next_u64())
+            })
+        })
+        .collect();
+    let merged: u64 = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(Ok(0)).unwrap_or(0))
+        .sum();
+    let range = (scale_mj..=scale_mj + merged).len();
+    let draw = Draw {
+        energy_j: total_j + range as f64 / 1_000.0,
+        elapsed_s: cfg.tick_s * xs.len() as f64,
+    };
+    println!("torture: {:?} [{}..{}]", draw, 0, merged);
+    Ok(draw)
+}
+
+mod helpers {
+    pub fn clamp01(x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else if x > 1.0 {
+            1.0
+        } else {
+            x
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::clamp01;
+
+        #[test]
+        fn clamps_both_ends() {
+            assert_eq!(clamp01(-2.0), 0.0);
+            assert_eq!(clamp01(2.0), 1.0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Golden AST dump: the parser's structural interpretation of a torture
+//! file is pinned byte-for-byte. Any parser change that re-shapes the
+//! tree (precedence, recovery, statement boundaries) shows up as a
+//! readable diff here instead of as a silent rule regression.
+//!
+//! To regenerate after an *intentional* parser change:
+//! `UPDATE_GOLDEN=1 cargo test -p ewb-lint --test golden_ast` and
+//! review the diff like any other code change.
+
+use ewb_lint::ast::{dump, parse_file, validate_spans};
+use ewb_lint::lexer::lex;
+use std::path::PathBuf;
+
+fn data(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+#[test]
+fn torture_file_dump_matches_golden() {
+    let src = std::fs::read_to_string(data("torture.rs")).expect("torture file exists");
+    let tokens = lex(&src);
+    let ast = parse_file(&src, &tokens);
+    assert!(
+        ast.errors.is_empty(),
+        "torture file must parse with zero errors: {:?}",
+        ast.errors
+    );
+    let violations = validate_spans(&ast, &src);
+    assert!(violations.is_empty(), "invalid spans: {violations:?}");
+
+    let got = dump(&ast, &src);
+    let golden_path = data("torture.ast.golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden at {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            golden_path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "AST dump drifted from golden; if the parser change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and review the \
+         diff.\n--- golden\n{want}\n--- got\n{got}"
+    );
+}

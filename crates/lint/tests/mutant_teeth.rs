@@ -1,0 +1,121 @@
+//! Mutant-teeth tests: the parallel-safety rules must catch the two
+//! seeded defects in `crates/browser/src/parallel.rs` **at source
+//! level** — the same mutants the runtime chaos tests catch
+//! behaviourally (`ParallelMutant::UnorderedJoin` reorders worker
+//! results before the join; `ParallelMutant::RacyDecodeCounter` merges
+//! per-worker counters with `max`, the lost-update outcome of a race).
+//!
+//! Those sites carry justified `lint:allow` comments in the real tree
+//! (the mutants are intentional). So the proof runs twice:
+//!
+//! 1. with allows **stripped** (`lint_files_opts(.., honor_allows =
+//!    false)`) each rule must fire on the exact mutant lines — if the
+//!    rule rots, this test fails even though deny-all stays green;
+//! 2. with allows honored, the file must produce zero `parallel/*`
+//!    findings — the allows cover precisely the seeded defects and
+//!    nothing else leaks.
+
+use ewb_lint::engine::{lint_files, lint_files_opts, SourceFile};
+use ewb_lint::Policy;
+use std::path::{Path, PathBuf};
+
+const MUTANT_FILE: &str = "crates/browser/src/parallel.rs";
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint is two levels below the root")
+        .to_path_buf()
+}
+
+fn load_mutant_source() -> SourceFile {
+    let path = workspace_root().join(MUTANT_FILE);
+    SourceFile {
+        rel_path: MUTANT_FILE.to_string(),
+        text: std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// 1-based line numbers of lines whose text contains `needle`. Locating
+/// the mutants by content instead of hard-coded numbers keeps this test
+/// honest across unrelated edits to the file.
+fn lines_containing(text: &str, needle: &str) -> Vec<u32> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(needle))
+        .map(|(i, _)| i as u32 + 1)
+        .collect()
+}
+
+#[test]
+fn unordered_join_mutant_is_flagged_at_source_level() {
+    let file = load_mutant_source();
+    let reverse_lines = lines_containing(&file.text, "per_worker.reverse()");
+    assert_eq!(
+        reverse_lines.len(),
+        1,
+        "expected exactly one per_worker.reverse() — the UnorderedJoin mutant"
+    );
+    let out = lint_files_opts(&[file], &Policy::builtin(), false);
+    let hits: Vec<u32> = out
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "parallel/unordered-join")
+        .map(|d| d.line)
+        .collect();
+    assert!(
+        hits.contains(&reverse_lines[0]),
+        "parallel/unordered-join must flag the reverse() shape at line \
+         {}; fired at {hits:?}",
+        reverse_lines[0]
+    );
+    // The mutant has two order-destroying shapes: the reverse() and the
+    // index-discarding positional re-insert loop right after it. Both
+    // must be caught — catching only one means half the defect survives.
+    assert!(
+        hits.len() >= 2,
+        "parallel/unordered-join must also flag the positional re-insert \
+         loop, not just the reverse(); fired at {hits:?}"
+    );
+}
+
+#[test]
+fn racy_decode_counter_mutant_is_flagged_at_source_level() {
+    let file = load_mutant_source();
+    let max_lines = lines_containing(&file.text, ".max().unwrap_or(0)");
+    assert_eq!(
+        max_lines.len(),
+        1,
+        "expected exactly one lossy max-merge — the RacyDecodeCounter mutant"
+    );
+    let out = lint_files_opts(&[file], &Policy::builtin(), false);
+    let hits: Vec<u32> = out
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "parallel/lossy-merge")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        hits, max_lines,
+        "parallel/lossy-merge must flag exactly the max-merge line"
+    );
+}
+
+#[test]
+fn mutant_allows_cover_exactly_the_seeded_defects() {
+    let file = load_mutant_source();
+    let out = lint_files(&[file], &Policy::builtin());
+    let leaked: Vec<_> = out
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.starts_with("parallel/"))
+        .collect();
+    assert!(
+        leaked.is_empty(),
+        "with allows honored the mutant file must be parallel-clean \
+         (the justified allows cover the seeded defects): {leaked:?}"
+    );
+    assert_eq!(out.parse_errors, 0, "mutant file must parse clean");
+}

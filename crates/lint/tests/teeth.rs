@@ -110,7 +110,9 @@ fn bad_fixtures_fire_at_a_real_location() {
 #[test]
 fn fixture_corpus_has_no_orphan_directories() {
     // The inverse guard: a fixture directory whose rule id no longer
-    // exists means a rule was renamed/removed without its corpus.
+    // exists means a rule was renamed/removed without its corpus, and a
+    // directory holding anything besides the `good.rs`/`bad.rs` pair is
+    // dead weight the teeth tests never exercise.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let known: Vec<String> = ALL_RULES.iter().map(|r| r.replace('/', "-")).collect();
     for entry in std::fs::read_dir(&root).expect("fixtures directory exists") {
@@ -122,6 +124,21 @@ fn fixture_corpus_has_no_orphan_directories() {
         assert!(
             known.contains(&name),
             "fixtures/{name}/ does not correspond to any rule in ALL_RULES"
+        );
+        let mut contents: Vec<String> = std::fs::read_dir(entry.path())
+            .expect("readable fixture directory")
+            .map(|e| {
+                e.expect("readable fixture file")
+                    .file_name()
+                    .to_string_lossy()
+                    .to_string()
+            })
+            .collect();
+        contents.sort();
+        assert_eq!(
+            contents,
+            vec!["bad.rs".to_string(), "good.rs".to_string()],
+            "fixtures/{name}/ must hold exactly the good.rs/bad.rs pair"
         );
     }
 }

@@ -128,7 +128,6 @@ impl EnergyMeter {
     /// elapsed.
     pub fn average_watts(&self) -> f64 {
         let secs = self.elapsed().as_secs_f64();
-        // lint:allow(api/float-eq) zero-elapsed guard before division; now - start of an unstepped meter is exactly 0.0
         if secs == 0.0 {
             0.0
         } else {

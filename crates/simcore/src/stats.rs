@@ -280,7 +280,6 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    // lint:allow(api/float-eq) degenerate-variance guard before division; exact zero only for constant series
     if sxx == 0.0 || syy == 0.0 {
         return 0.0;
     }
